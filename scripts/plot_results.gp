@@ -1,0 +1,77 @@
+# Gnuplot script for the CSV series emitted by `dune exec bench/main.exe`
+# (written into results/).  Produces one PNG per reproduced figure:
+#
+#   gnuplot scripts/plot_results.gp
+#
+set datafile separator ','
+set key outside
+set term pngcairo size 900,600
+
+set output 'results/fig3.png'
+set title 'Fig 3: multicommodity solution spread (Bell-Canada, 4 pairs)'
+set xlabel 'demand flow per pair'; set ylabel 'total repairs'
+plot 'results/fig3_1.csv' skip 1 using 1:2 with linespoints title 'OPT', \
+     '' skip 1 using 1:3 with linespoints title 'MCW', \
+     '' skip 1 using 1:4 with linespoints title 'MCB', \
+     '' skip 1 using 1:5 with lines title 'ALL'
+
+set output 'results/fig4_total.png'
+set title 'Fig 4(c): total repairs vs number of demand pairs (Bell-Canada)'
+set xlabel 'number of demand pairs'; set ylabel 'total repairs'
+plot 'results/fig4_3.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'OPT', \
+     '' skip 1 using 1:4 with linespoints title 'SRT', \
+     '' skip 1 using 1:5 with linespoints title 'GRD-COM', \
+     '' skip 1 using 1:6 with linespoints title 'GRD-NC', \
+     '' skip 1 using 1:7 with lines title 'ALL'
+
+set output 'results/fig4_satisfied.png'
+set title 'Fig 4(d): % satisfied demand vs number of demand pairs'
+set xlabel 'number of demand pairs'; set ylabel '% satisfied'
+set yrange [50:105]
+plot 'results/fig4_4.csv' skip 1 using 1:2 with linespoints title 'SRT', \
+     '' skip 1 using 1:3 with linespoints title 'GRD-COM', \
+     '' skip 1 using 1:4 with linespoints title 'ISP'
+unset yrange
+
+set output 'results/fig5_total.png'
+set title 'Fig 5(a): total repairs vs demand per pair (Bell-Canada, 4 pairs)'
+set xlabel 'demand flow per pair'; set ylabel 'total repairs'
+plot 'results/fig5_1.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'OPT', \
+     '' skip 1 using 1:4 with linespoints title 'SRT', \
+     '' skip 1 using 1:5 with linespoints title 'GRD-COM', \
+     '' skip 1 using 1:6 with linespoints title 'GRD-NC', \
+     '' skip 1 using 1:7 with lines title 'ALL'
+
+set output 'results/fig6_total.png'
+set title 'Fig 6(a): total repairs vs variance of the Gaussian disruption'
+set xlabel 'variance'; set ylabel 'total repairs'
+plot 'results/fig6_1.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'OPT', \
+     '' skip 1 using 1:4 with linespoints title 'SRT', \
+     '' skip 1 using 1:5 with linespoints title 'GRD-COM', \
+     '' skip 1 using 1:6 with linespoints title 'GRD-NC', \
+     '' skip 1 using 1:7 with lines title 'ALL'
+
+set output 'results/fig7_repairs.png'
+set title 'Fig 7(b): total repairs vs edge probability (G(100,p), 5 unit pairs)'
+set xlabel 'edge probability p'; set ylabel 'total repairs'
+plot 'results/fig7_2.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'OPT (exact DP)', \
+     '' skip 1 using 1:4 with linespoints title 'SRT'
+
+set output 'results/fig9_repairs.png'
+set title 'Fig 9(a): total repairs vs number of demand pairs (CAIDA-like)'
+set xlabel 'number of demand pairs'; set ylabel 'total repairs'
+plot 'results/fig9_1.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'OPT (proxy)', \
+     '' skip 1 using 1:4 with linespoints title 'SRT'
+
+set output 'results/fig9_satisfied.png'
+set title 'Fig 9(b): % satisfied demand vs number of demand pairs (CAIDA-like)'
+set xlabel 'number of demand pairs'; set ylabel '% satisfied'
+set yrange [50:105]
+plot 'results/fig9_2.csv' skip 1 using 1:2 with linespoints title 'ISP', \
+     '' skip 1 using 1:3 with linespoints title 'SRT'
+unset yrange
