@@ -1,0 +1,160 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Figs. 3-7 and 9; Figs. 1, 2, 8 are illustrations and
+   Table I is notation) and runs one Bechamel micro-benchmark per
+   table/figure family.
+
+   Usage:
+     main.exe               benches + all figures (default settings)
+     main.exe quick         benches + all figures (1 run/point, small OPT budget)
+     main.exe bench         Bechamel micro-benchmarks only
+     main.exe fig3 ... fig9 a single figure
+     main.exe figures       all figures, no micro-benchmarks *)
+
+module G = Netrec_graph.Graph
+module Rng = Netrec_util.Rng
+module Table = Netrec_util.Table
+module Failure = Netrec_disrupt.Failure
+module Instance = Netrec_core.Instance
+module E = Netrec_experiments
+
+(* ---- Bechamel micro-benchmarks: one Test.make per figure family ---- *)
+
+let bell_canada_instance () =
+  let g = Netrec_topo.Bell_canada.graph () in
+  let rng = Rng.create 1 in
+  let demands = E.Common.feasible_demands ~rng ~count:4 ~amount:10.0 g in
+  Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+
+let gaussian_instance () =
+  let g = Netrec_topo.Bell_canada.graph () in
+  let rng = Rng.create 2 in
+  let demands = E.Common.feasible_demands ~rng ~count:4 ~amount:10.0 g in
+  let failure = Netrec_disrupt.Models.gaussian ~rng ~variance:70.0 g in
+  Instance.make ~graph:g ~demands ~failure ()
+
+let er_instance () =
+  let rng = Rng.create 3 in
+  let g =
+    Netrec_graph.Generate.erdos_renyi ~rng ~n:100 ~p:0.3 ~capacity:1000.0
+  in
+  let demands =
+    E.Common.feasible_demands ~rng ~distinct:true ~count:5 ~amount:1.0 g
+  in
+  (g, Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ())
+
+let caida_instance () =
+  let g = Netrec_topo.Caida.graph () in
+  let rng = Rng.create 4 in
+  let demands =
+    E.Common.feasible_demands ~rng ~distinct:true ~count:4 ~amount:22.0 g
+  in
+  Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let bc = bell_canada_instance () in
+  let gauss = gaussian_instance () in
+  let er_g, er = er_instance () in
+  let caida = caida_instance () in
+  let er_pairs =
+    List.map
+      (fun d -> (d.Netrec_flow.Commodity.src, d.Netrec_flow.Commodity.dst))
+      er.Instance.demands
+  in
+  let tests =
+    [ Test.make ~name:"fig3:mcf-relaxation-lp" (Staged.stage (fun () ->
+          ignore (Netrec_heuristics.Mcf_heuristic.solve bc)));
+      Test.make ~name:"fig4:isp-bell-canada" (Staged.stage (fun () ->
+          ignore (Netrec_core.Isp.solve bc)));
+      Test.make ~name:"fig4:grd-com-bell-canada" (Staged.stage (fun () ->
+          ignore (Netrec_heuristics.Greedy.grd_com bc)));
+      Test.make ~name:"fig5:srt-bell-canada" (Staged.stage (fun () ->
+          ignore (Netrec_heuristics.Srt.solve bc)));
+      Test.make ~name:"fig6:isp-gaussian" (Staged.stage (fun () ->
+          ignore (Netrec_core.Isp.solve gauss)));
+      Test.make ~name:"fig7:isp-erdos-renyi" (Staged.stage (fun () ->
+          ignore (Netrec_core.Isp.solve er)));
+      Test.make ~name:"fig7:steiner-forest-dp" (Staged.stage (fun () ->
+          ignore
+            (Netrec_heuristics.Exact_forest.optimal_total_repairs er_g
+               ~pairs:er_pairs)));
+      Test.make ~name:"fig9:isp-caida" (Staged.stage (fun () ->
+          ignore (Netrec_core.Isp.solve caida))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ clock ] test in
+      let analyzed = Analyze.all ols clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (v :: _) -> v
+            | Some [] | None -> nan
+          in
+          Printf.printf "  %-28s %12.3f ms/run\n%!" name (ns /. 1e6))
+        analyzed)
+    tests;
+  print_newline ()
+
+(* ---- figure regeneration ---- *)
+
+type settings = { runs : int; opt_nodes : int }
+
+let default = { runs = 3; opt_nodes = 800 }
+let quick = { runs = 1; opt_nodes = 60 }
+
+(* Print each table and also drop it as CSV under results/ so the series
+   can be re-plotted without re-running anything. *)
+let emit_tables fig tables =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iteri
+    (fun i t ->
+      Table.print t;
+      let path = Printf.sprintf "results/%s_%d.csv" fig (i + 1) in
+      let oc = open_out path in
+      output_string oc (Table.to_csv t);
+      output_char oc '\n';
+      close_out oc)
+    tables
+
+let run_figure s = function
+  | "fig3" -> emit_tables "fig3" (E.Fig3.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig4" -> emit_tables "fig4" (E.Fig4.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig5" -> emit_tables "fig5" (E.Fig5.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig6" -> emit_tables "fig6" (E.Fig6.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig7" -> emit_tables "fig7" (E.Fig7.run ~runs:s.runs ())
+  | "fig9" -> emit_tables "fig9" (E.Fig9.run ~runs:s.runs ())
+  | "ablation" -> emit_tables "ablation" (E.Ablation.run ~runs:s.runs ())
+  | other -> Printf.eprintf "unknown figure %S\n" other
+
+let all_figures = [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "ablation" ]
+
+let run_all s =
+  List.iter
+    (fun fig ->
+      let t0 = Unix.gettimeofday () in
+      run_figure s fig;
+      Printf.printf "(%s regenerated in %.1f s)\n\n%!" fig
+        (Unix.gettimeofday () -. t0))
+    all_figures
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] ->
+    micro_benchmarks ();
+    run_all default
+  | [ _; "quick" ] ->
+    micro_benchmarks ();
+    run_all quick
+  | [ _; "bench" ] -> micro_benchmarks ()
+  | [ _; "figures" ] -> run_all default
+  | _ :: figs ->
+    let s = if List.mem "quick" figs then quick else default in
+    List.iter (fun f -> if f <> "quick" then run_figure s f) figs

@@ -1,0 +1,328 @@
+(* Command-line front end: run a recovery algorithm on a topology under a
+   disruption model and print the repair plan, or regenerate the paper's
+   experiment tables.
+
+   Examples:
+     recover plan --topology bell-canada --pairs 4 --amount 10 \
+                  --algorithm isp --disruption complete
+     recover plan --topology caida --pairs 3 --amount 22 --algorithm srt
+     recover plan --topology er --er-p 0.3 --algorithm isp \
+                  --disruption gaussian --variance 50
+     recover experiment fig4 --runs 3 --opt-nodes 250
+     recover topology --topology bell-canada --format dot *)
+
+open Cmdliner
+module G = Netrec_graph.Graph
+module Rng = Netrec_util.Rng
+module Failure = Netrec_disrupt.Failure
+module Models = Netrec_disrupt.Models
+module Commodity = Netrec_flow.Commodity
+module Instance = Netrec_core.Instance
+module Evaluate = Netrec_core.Evaluate
+module H = Netrec_heuristics
+module E = Netrec_experiments
+
+(* ---- shared options ---- *)
+
+let topology_arg =
+  let doc = "Supply topology: bell-canada, abilene, caida, er, grid or ring." in
+  Arg.(value & opt string "bell-canada" & info [ "topology"; "t" ] ~doc)
+
+let er_p_arg =
+  let doc = "Edge probability for the er topology." in
+  Arg.(value & opt float 0.3 & info [ "er-p" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (demands, topology, disruption)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let pairs_arg =
+  let doc = "Number of demand pairs." in
+  Arg.(value & opt int 4 & info [ "pairs"; "p" ] ~doc)
+
+let amount_arg =
+  let doc = "Flow units per demand pair." in
+  Arg.(value & opt float 10.0 & info [ "amount"; "a" ] ~doc)
+
+let algorithm_arg =
+  let doc =
+    "Recovery algorithm: isp, srt, grd-com, grd-nc, opt, steiner or all."
+  in
+  Arg.(value & opt string "isp" & info [ "algorithm"; "g" ] ~doc)
+
+let disruption_arg =
+  let doc = "Disruption model: complete, gaussian or uniform." in
+  Arg.(value & opt string "complete" & info [ "disruption"; "d" ] ~doc)
+
+let variance_arg =
+  let doc = "Variance of the gaussian disruption." in
+  Arg.(value & opt float 50.0 & info [ "variance" ] ~doc)
+
+let fail_p_arg =
+  let doc = "Element failure probability of the uniform disruption." in
+  Arg.(value & opt float 0.5 & info [ "fail-p" ] ~doc)
+
+let build_topology name ~er_p ~seed =
+  match name with
+  | "bell-canada" -> Netrec_topo.Bell_canada.graph ()
+  | "abilene" -> Netrec_topo.Abilene.graph ()
+  | "caida" -> Netrec_topo.Caida.graph ()
+  | "er" ->
+    Netrec_graph.Generate.erdos_renyi ~rng:(Rng.create seed) ~n:100 ~p:er_p
+      ~capacity:1000.0
+  | "grid" -> Netrec_graph.Generate.grid ~width:8 ~height:6 ~capacity:20.0
+  | "ring" -> Netrec_graph.Generate.ring ~n:24 ~capacity:20.0
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let build_failure name ~variance ~fail_p ~rng g =
+  match name with
+  | "complete" -> Failure.complete g
+  | "gaussian" ->
+    if not (G.has_coords g) then
+      failwith "gaussian disruption needs an embedded topology";
+    Models.gaussian ~rng ~variance g
+  | "uniform" -> Models.uniform ~rng ~p_vertex:fail_p ~p_edge:fail_p g
+  | other -> failwith (Printf.sprintf "unknown disruption %S" other)
+
+(* ---- plan command ---- *)
+
+let describe_solution g inst name sol seconds =
+  let report = Evaluate.assess inst sol in
+  Printf.printf "== %s ==\n" name;
+  Printf.printf "repairs: %d nodes + %d edges = %d (cost %.1f)\n"
+    report.Evaluate.vertex_repairs report.Evaluate.edge_repairs
+    report.Evaluate.total_repairs report.Evaluate.repair_cost;
+  Printf.printf "satisfied demand: %.1f%%   runtime: %.3f s\n"
+    (100.0 *. report.Evaluate.satisfied_fraction)
+    seconds;
+  if sol.Instance.repaired_vertices <> [] then begin
+    let names = List.map (G.name g) sol.Instance.repaired_vertices in
+    Printf.printf "repair nodes: %s\n" (String.concat ", " names)
+  end;
+  if sol.Instance.repaired_edges <> [] then begin
+    let edge_name e =
+      let u, v = G.endpoints g e in
+      Printf.sprintf "%s-%s" (G.name g u) (G.name g v)
+    in
+    Printf.printf "repair links: %s\n"
+      (String.concat ", " (List.map edge_name sol.Instance.repaired_edges))
+  end;
+  print_newline ()
+
+let run_algorithm inst = function
+  | "isp" -> [ ("ISP", (fun () -> fst (Netrec_core.Isp.solve inst))) ]
+  | "srt" -> [ ("SRT", fun () -> H.Srt.solve inst) ]
+  | "grd-com" -> [ ("GRD-COM", fun () -> H.Greedy.grd_com inst) ]
+  | "grd-nc" -> [ ("GRD-NC", fun () -> H.Greedy.grd_nc inst) ]
+  | "steiner" -> [ ("Steiner", fun () -> H.Steiner.recovery inst) ]
+  | "opt" -> [ ("OPT", fun () -> (H.Opt.solve inst).H.Opt.solution) ]
+  | "all" ->
+    [ ("ISP", (fun () -> fst (Netrec_core.Isp.solve inst)));
+      ("SRT", fun () -> H.Srt.solve inst);
+      ("GRD-COM", fun () -> H.Greedy.grd_com inst);
+      ("GRD-NC", fun () -> H.Greedy.grd_nc inst);
+      ("OPT", fun () -> (H.Opt.solve inst).H.Opt.solution) ]
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let dot_arg =
+  let doc = "Write a Graphviz rendering of the (last) solution to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let save_arg =
+  let doc = "Save the generated instance to $(docv) (Serialize format)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let load_arg =
+  let doc =
+    "Load the instance from $(docv) instead of generating one (overrides \
+     the topology/demand/disruption options)."
+  in
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let plan topology er_p seed pairs amount algorithm disruption variance fail_p
+    dot_file save_file load_file =
+  try
+    let inst =
+      match load_file with
+      | Some path -> Netrec_core.Serialize.load path
+      | None ->
+        let g = build_topology topology ~er_p ~seed in
+        let rng = Rng.create seed in
+        let demands = E.Common.feasible_demands ~rng ~count:pairs ~amount g in
+        let failure = build_failure disruption ~variance ~fail_p ~rng g in
+        Instance.make ~graph:g ~demands ~failure ()
+    in
+    let g = inst.Instance.graph in
+    let demands = inst.Instance.demands in
+    let failure = inst.Instance.failure in
+    (match save_file with
+    | Some path -> Netrec_core.Serialize.save path inst
+    | None -> ());
+    let bv, be = Failure.counts failure in
+    Printf.printf "topology %s: %s\n" topology
+      (Netrec_graph.Metrics.summary g);
+    let disruption_label =
+      if load_file <> None then "(loaded)" else disruption
+    in
+    Printf.printf "disruption %s: %d nodes + %d edges broken\n"
+      disruption_label bv
+      be;
+    List.iter
+      (fun d ->
+        Printf.printf "demand: %s -> %s (%g units)\n"
+          (G.name g d.Commodity.src) (G.name g d.Commodity.dst)
+          d.Commodity.amount)
+      demands;
+    print_newline ();
+    let last = ref None in
+    List.iter
+      (fun (name, algo) ->
+        let t0 = Unix.gettimeofday () in
+        let sol = algo () in
+        last := Some sol;
+        describe_solution g inst name sol (Unix.gettimeofday () -. t0))
+      (run_algorithm inst algorithm);
+    (match (dot_file, !last) with
+    | Some path, Some sol ->
+      let oc = open_out path in
+      output_string oc (Netrec_core.Render.solution_dot inst sol);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | Some path, None ->
+      let oc = open_out path in
+      output_string oc (Netrec_core.Render.instance_dot inst);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None, _ -> ());
+    0
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let plan_cmd =
+  let doc = "compute a repair plan for a disrupted network" in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(
+      const plan $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
+      $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
+      $ fail_p_arg $ dot_arg $ save_arg $ load_arg)
+
+(* ---- experiment command ---- *)
+
+let runs_arg =
+  let doc = "Runs (seeds) averaged per data point." in
+  Arg.(value & opt int 3 & info [ "runs" ] ~doc)
+
+let opt_nodes_arg =
+  let doc = "Branch-and-bound node budget for the OPT series." in
+  Arg.(value & opt int 250 & info [ "opt-nodes" ] ~doc)
+
+let figure_arg =
+  let doc = "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 or all." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
+
+let experiment figure runs opt_nodes =
+  let print = List.iter Netrec_util.Table.print in
+  let one = function
+    | "fig3" -> print (E.Fig3.run ~runs ~opt_nodes ())
+    | "fig4" -> print (E.Fig4.run ~runs ~opt_nodes ())
+    | "fig5" -> print (E.Fig5.run ~runs ~opt_nodes ())
+    | "fig6" -> print (E.Fig6.run ~runs ~opt_nodes ())
+    | "fig7" -> print (E.Fig7.run ~runs ())
+    | "fig9" -> print (E.Fig9.run ~runs ())
+    | other -> failwith (Printf.sprintf "unknown figure %S" other)
+  in
+  try
+    (match figure with
+    | "all" ->
+      List.iter one [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9" ]
+    | f -> one f);
+    0
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let experiment_cmd =
+  let doc = "regenerate the paper's evaluation tables" in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(const experiment $ figure_arg $ runs_arg $ opt_nodes_arg)
+
+(* ---- schedule command ---- *)
+
+let schedule topology er_p seed pairs amount disruption variance fail_p =
+  try
+    let g = build_topology topology ~er_p ~seed in
+    let rng = Rng.create seed in
+    let demands = E.Common.feasible_demands ~rng ~count:pairs ~amount g in
+    let failure = build_failure disruption ~variance ~fail_p ~rng g in
+    let inst = Instance.make ~graph:g ~demands ~failure () in
+    let sol, _ = Netrec_core.Isp.solve inst in
+    Printf.printf "ISP plan: %d repairs; ordering for fastest recovery:\n"
+      (Instance.total_repairs sol);
+    let sched = Netrec_core.Schedule.greedy inst sol in
+    List.iteri
+      (fun i step ->
+        let what =
+          match step.Netrec_core.Schedule.element with
+          | `Vertex v -> Printf.sprintf "node %s" (G.name g v)
+          | `Edge e ->
+            let u, v = G.endpoints g e in
+            Printf.sprintf "link %s-%s" (G.name g u) (G.name g v)
+        in
+        Printf.printf "  %2d. %-34s -> %5.1f%% of demand served\n" (i + 1)
+          what
+          (100.0 *. step.Netrec_core.Schedule.satisfied_after))
+      sched.Netrec_core.Schedule.steps;
+    Printf.printf "area under the recovery curve: %.3f\n"
+      sched.Netrec_core.Schedule.auc;
+    0
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let schedule_cmd =
+  let doc = "order a repair plan for fastest service recovery" in
+  Cmd.v
+    (Cmd.info "schedule" ~doc)
+    Term.(
+      const schedule $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
+      $ amount_arg $ disruption_arg $ variance_arg $ fail_p_arg)
+
+(* ---- topology command ---- *)
+
+let format_arg =
+  let doc = "Output format: summary, dot or edges." in
+  Arg.(value & opt string "summary" & info [ "format"; "f" ] ~doc)
+
+let topology topology er_p seed format =
+  try
+    let g = build_topology topology ~er_p ~seed in
+    (match format with
+    | "summary" -> print_endline (Netrec_graph.Metrics.summary g)
+    | "dot" -> print_string (G.to_dot g)
+    | "edges" -> print_string (G.to_edge_list g)
+    | other -> failwith (Printf.sprintf "unknown format %S" other));
+    0
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let topology_cmd =
+  let doc = "inspect or export a topology" in
+  Cmd.v
+    (Cmd.info "topology" ~doc)
+    Term.(const topology $ topology_arg $ er_p_arg $ seed_arg $ format_arg)
+
+let () =
+  (* NETREC_DEBUG=1 turns on the algorithm trace. *)
+  if Sys.getenv_opt "NETREC_DEBUG" = Some "1" then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let doc = "network recovery after massive failures (DSN 2016)" in
+  let info = Cmd.info "recover" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ plan_cmd; experiment_cmd; schedule_cmd; topology_cmd ]))

@@ -1,0 +1,1 @@
+examples/build_new_links.ml: Evaluate Instance Isp List Netrec_core Netrec_disrupt Netrec_flow Netrec_graph Printf

@@ -1,0 +1,1 @@
+examples/build_new_links.mli:

@@ -1,0 +1,1 @@
+examples/disaster_response.mli:

@@ -1,0 +1,1 @@
+examples/progressive_recovery.ml: Instance Isp List Netrec_core Netrec_disrupt Netrec_graph Netrec_topo Netrec_util Printf Schedule String

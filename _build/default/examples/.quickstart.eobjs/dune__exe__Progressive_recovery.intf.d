@@ -1,0 +1,1 @@
+examples/progressive_recovery.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Evaluate Instance Isp List Netrec_core Netrec_disrupt Netrec_flow Netrec_graph Printf String

@@ -1,0 +1,1 @@
+examples/scalability_study.ml: Instance Isp List Netrec_core Netrec_disrupt Netrec_flow Netrec_graph Netrec_heuristics Netrec_topo Netrec_util Printf Unix

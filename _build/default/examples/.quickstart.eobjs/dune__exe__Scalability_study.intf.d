@@ -1,0 +1,1 @@
+examples/scalability_study.mli:

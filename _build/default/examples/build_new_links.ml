@@ -1,0 +1,53 @@
+(* Building new infrastructure: the paper's model (§III, footnote 1)
+   covers not just repairing broken elements but deploying NEW links —
+   a candidate link is simply a "broken" supply edge whose repair cost is
+   its installation cost.
+
+   The scenario: a disaster severs the single corridor between two
+   regions.  The operator can either repair the old corridor (several
+   expensive segments) or lay one new long-haul link (e.g. a temporary
+   microwave hop).  ISP weighs both options inside one optimization.
+
+   Run with:  dune exec examples/build_new_links.exe *)
+
+module G = Netrec_graph.Graph
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+open Netrec_core
+
+let () =
+  (* Two 3-node regions joined by a 3-segment corridor (7 nodes total):
+     0-1-2   corridor: 2-3-4   region B: 4-5-6 *)
+  let g =
+    G.make ~n:7
+      ~edges:
+        [ (0, 1, 20.0); (1, 2, 20.0);      (* region A *)
+          (2, 3, 20.0); (3, 4, 20.0);      (* the corridor *)
+          (4, 5, 20.0); (5, 6, 20.0) ]     (* region B *)
+      ()
+  in
+  let demands = [ Commodity.make ~src:0 ~dst:6 ~amount:10.0 ] in
+  (* The disaster destroys the corridor (relay 3 and both segments). *)
+  let failure = Failure.of_lists g ~vertices:[ 3 ] ~edges:[ 2; 3 ] in
+  let base = Instance.make ~graph:g ~demands ~failure () in
+  let sol_repair, _ = Isp.solve base in
+  Printf.printf "repair-only plan: %d elements, cost %.1f\n"
+    (Instance.total_repairs sol_repair)
+    (Instance.repair_cost base sol_repair);
+
+  (* Option B: offer a direct temporary link 2-4 (capacity 15).  First at
+     a price where repairing wins, then at a bargain price. *)
+  List.iter
+    (fun install_cost ->
+      let inst, ids =
+        Instance.with_candidate_links base [ (2, 4, 15.0, install_cost) ]
+      in
+      let sol, _ = Isp.solve inst in
+      let built = List.exists (fun e -> List.mem e ids) sol.Instance.repaired_edges in
+      Printf.printf
+        "with a candidate 2-4 link at cost %.1f: %s (total cost %.1f, %.0f%% served)\n"
+        install_cost
+        (if built then "BUILD the new link" else "repair the old corridor")
+        (Instance.repair_cost inst sol)
+        (100.0 *. Evaluate.satisfied_fraction inst sol))
+    [ 10.0; 1.5 ]

@@ -1,0 +1,59 @@
+(* Progressive recovery: a repair plan is executed one element at a
+   time — in what order should the crews work so that service comes back
+   as fast as possible?
+
+   ISP decides WHAT to repair (minimum cost); Schedule.greedy then orders
+   those repairs to maximize the satisfied demand after every step (the
+   throughput-over-time concern of Wang, Qiao & Yu, the paper's
+   reference [32]).  The example prints the recovery curve for the
+   greedy order next to the solver's arbitrary emission order.
+
+   Run with:  dune exec examples/progressive_recovery.exe *)
+
+module G = Netrec_graph.Graph
+module Rng = Netrec_util.Rng
+module Failure = Netrec_disrupt.Failure
+open Netrec_core
+
+let bar frac =
+  let width = 30 in
+  let full = int_of_float (frac *. float_of_int width) in
+  String.make full '#' ^ String.make (width - full) '.'
+
+let () =
+  let g = Netrec_topo.Bell_canada.graph () in
+  let rng = Rng.create 7 in
+  let demands = Netrec_topo.Demand_gen.far_pairs ~rng ~count:3 ~amount:10.0 g in
+  let failure = Netrec_disrupt.Models.gaussian ~rng ~variance:80.0 g in
+  let inst = Instance.make ~graph:g ~demands ~failure () in
+
+  let sol, _ = Isp.solve inst in
+  Printf.printf "ISP plan: %d repairs for %d critical services\n\n"
+    (Instance.total_repairs sol)
+    (List.length demands);
+
+  let sched = Schedule.greedy inst sol in
+  Printf.printf "Greedy execution order (satisfied demand after each step):\n";
+  List.iteri
+    (fun i step ->
+      let what =
+        match step.Schedule.element with
+        | `Vertex v -> Printf.sprintf "node %s" (G.name g v)
+        | `Edge e ->
+          let u, v = G.endpoints g e in
+          Printf.sprintf "link %s-%s" (G.name g u) (G.name g v)
+      in
+      Printf.printf "  %2d. %-32s %s %5.1f%%\n" (i + 1) what
+        (bar step.Schedule.satisfied_after)
+        (100.0 *. step.Schedule.satisfied_after))
+    sched.Schedule.steps;
+  Printf.printf "\narea under the recovery curve: %.3f (greedy order)\n"
+    sched.Schedule.auc;
+
+  let solver_order =
+    List.map (fun v -> `Vertex v) sol.Instance.repaired_vertices
+    @ List.map (fun e -> `Edge e) sol.Instance.repaired_edges
+  in
+  let plain = Schedule.in_order inst solver_order in
+  Printf.printf "area under the recovery curve: %.3f (solver order)\n"
+    plain.Schedule.auc

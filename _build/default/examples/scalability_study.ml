@@ -1,0 +1,58 @@
+(* Scalability study: how does ISP behave as the supply network becomes
+   denser?  Mirrors the paper's Erdos-Renyi scenario (§VII-B): 100-node
+   random graphs of growing edge probability, connectivity-only demands
+   (5 unit pairs, huge capacities), complete destruction.
+
+   For every density the example reports ISP's repairs and runtime next
+   to the EXACT optimum from the Steiner-forest dynamic program, showing
+   both the approximation quality and the planarity effect the paper
+   discusses (the ISP/OPT gap widens on dense non-planar graphs).
+
+   Run with:  dune exec examples/scalability_study.exe *)
+
+module Rng = Netrec_util.Rng
+module G = Netrec_graph.Graph
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+open Netrec_core
+module H = Netrec_heuristics
+
+let () =
+  let master = Rng.create 77 in
+  Printf.printf "%4s  %6s  %9s  %5s  %9s  %5s\n" "p" "edges" "ISP" "t(s)"
+    "OPT(DP)" "t(s)";
+  List.iter
+    (fun p ->
+      let rec connected_graph tries =
+        if tries = 0 then failwith "no connected G(100,p) found"
+        else begin
+          let g =
+            Netrec_graph.Generate.erdos_renyi ~rng:(Rng.split master) ~n:100
+              ~p ~capacity:1000.0
+          in
+          if Netrec_graph.Traverse.is_connected g then g
+          else connected_graph (tries - 1)
+        end
+      in
+      let g = connected_graph 50 in
+      let demands =
+        Netrec_topo.Demand_gen.distinct_endpoint_pairs ~rng:(Rng.split master)
+          ~count:5 ~amount:1.0 g
+      in
+      let inst =
+        Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let isp, _ = Isp.solve inst in
+      let isp_t = Unix.gettimeofday () -. t0 in
+      let pairs =
+        List.map (fun d -> (d.Commodity.src, d.Commodity.dst)) demands
+      in
+      let t0 = Unix.gettimeofday () in
+      let opt = H.Exact_forest.optimal_total_repairs g ~pairs in
+      let opt_t = Unix.gettimeofday () -. t0 in
+      Printf.printf "%4.1f  %6d  %9d  %5.2f  %9s  %5.2f\n%!" p (G.ne g)
+        (Instance.total_repairs isp) isp_t
+        (match opt with Some r -> string_of_int r | None -> "-")
+        opt_t)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]

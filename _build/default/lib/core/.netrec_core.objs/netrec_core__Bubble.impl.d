@@ -1,0 +1,1 @@
+lib/core/bubble.ml: Array Float Graph List Maxflow Netrec_flow Paths Traverse

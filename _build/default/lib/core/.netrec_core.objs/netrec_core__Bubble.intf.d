@@ -1,0 +1,1 @@
+lib/core/bubble.mli: Graph Netrec_flow Paths

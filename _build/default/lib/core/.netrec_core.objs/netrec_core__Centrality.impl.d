@@ -1,0 +1,1 @@
+lib/core/centrality.ml: Array Graph List Netrec_flow Paths

@@ -1,0 +1,1 @@
+lib/core/centrality.mli: Graph Netrec_flow Paths

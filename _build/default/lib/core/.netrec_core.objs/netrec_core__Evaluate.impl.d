@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Graph Instance Netrec_flow

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Instance Netrec_flow

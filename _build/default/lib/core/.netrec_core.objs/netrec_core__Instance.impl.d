@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Graph List Netrec_disrupt Netrec_flow Option

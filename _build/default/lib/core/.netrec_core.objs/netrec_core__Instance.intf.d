@@ -1,0 +1,1 @@
+lib/core/instance.mli: Graph Netrec_disrupt Netrec_flow

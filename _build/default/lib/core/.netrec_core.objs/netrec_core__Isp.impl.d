@@ -1,0 +1,1 @@
+lib/core/isp.ml: Array Bubble Centrality Dijkstra Float Graph Instance List Logs Maxflow Netrec_disrupt Netrec_flow Unix

@@ -1,0 +1,1 @@
+lib/core/render.ml: Buffer Graph Hashtbl Instance List Netrec_disrupt Netrec_flow Printf

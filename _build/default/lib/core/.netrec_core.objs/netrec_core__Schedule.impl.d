@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Dijkstra Graph Instance List Netrec_disrupt Netrec_flow Netrec_util Paths

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Fun Graph Instance List Netrec_disrupt Netrec_flow Option Printf String

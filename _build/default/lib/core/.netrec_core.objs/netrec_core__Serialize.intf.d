@@ -1,0 +1,1 @@
+lib/core/serialize.mli: Instance

@@ -1,0 +1,94 @@
+module Commodity = Netrec_flow.Commodity
+
+let find g ~demands h =
+  let s = h.Commodity.src and t = h.Commodity.dst in
+  let n = Graph.nv g in
+  let other_endpoint = Array.make n false in
+  List.iter
+    (fun d ->
+      if not (d.Commodity.src = s && d.Commodity.dst = t)
+         && not (d.Commodity.src = t && d.Commodity.dst = s)
+      then begin
+        if d.Commodity.src <> s && d.Commodity.src <> t then
+          other_endpoint.(d.Commodity.src) <- true;
+        if d.Commodity.dst <> s && d.Commodity.dst <> t then
+          other_endpoint.(d.Commodity.dst) <- true
+      end)
+    demands;
+  (* Membership is evaluated on the FULL supply graph (Def. 2's cut is
+     over E, broken elements included): [allowed] starts as "not another
+     demand's endpoint"; the loop removes interior vertices whose
+     full-graph neighborhood escapes the candidate set, then recomputes
+     reachability, until stable.  Only the routing inside the final set
+     is restricted to working elements (in [prune]). *)
+  let allowed = Array.init n (fun v -> not other_endpoint.(v)) in
+  let rec stabilize () =
+    if not (allowed.(s) && allowed.(t)) then None
+    else begin
+      let vertex_ok v = allowed.(v) in
+      let dist = Traverse.bfs_dist ~vertex_ok g s in
+      if dist.(t) = max_int then None
+      else begin
+        let in_set v = dist.(v) < max_int in
+        (* Check the supply cut: full-graph neighbors of interior members
+           must stay inside the set. *)
+        let offenders = ref [] in
+        for v = 0 to n - 1 do
+          if in_set v && v <> s && v <> t then begin
+            let escapes =
+              List.exists (fun (w, _) -> not (in_set w)) (Graph.incident g v)
+            in
+            if escapes then offenders := v :: !offenders
+          end
+        done;
+        match !offenders with
+        | [] ->
+          let members =
+            List.filter (fun v -> in_set v) (Graph.vertices g)
+          in
+          Some members
+        | off ->
+          List.iter (fun v -> allowed.(v) <- false) off;
+          stabilize ()
+      end
+    end
+  in
+  stabilize ()
+
+type prune = { amount : float; paths : (Paths.path * float) list }
+
+let prune ~working_vertex ~working_edge ~cap g ~demands h =
+  if h.Commodity.amount <= 1e-9 then None
+  else
+    match find g ~demands h with
+    | None -> None
+    | Some members ->
+      let inside = Array.make (Graph.nv g) false in
+      List.iter (fun v -> inside.(v) <- true) members;
+      let vertex_ok v = inside.(v) && working_vertex v in
+      let flow =
+        Maxflow.max_flow ~vertex_ok ~edge_ok:working_edge ~cap g
+          ~source:h.Commodity.src ~sink:h.Commodity.dst
+      in
+      let amount = Float.min flow.Maxflow.value h.Commodity.amount in
+      if amount <= 1e-9 then None
+      else begin
+        let paths =
+          Maxflow.decompose g ~source:h.Commodity.src ~sink:h.Commodity.dst
+            flow
+        in
+        (* Trim the decomposition to exactly [amount]. *)
+        let taken = ref 0.0 in
+        let trimmed =
+          List.filter_map
+            (fun (p, f) ->
+              let take = Float.min f (amount -. !taken) in
+              if take > 1e-9 then begin
+                taken := !taken +. take;
+                Some (p, take)
+              end
+              else None)
+            paths
+        in
+        Some { amount = !taken; paths = trimmed }
+      end

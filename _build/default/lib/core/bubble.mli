@@ -1,0 +1,43 @@
+(** Bubble detection and the prune action (paper Def. 2 and Thm. 3).
+
+    A bubble for demand [h] is a vertex set [S] containing no demand
+    endpoint other than [s_h, t_h] such that every {e supply-graph} edge
+    leaving [S] is incident to [s_h] or [t_h].  Pruning routes
+    [min (f*, d_h)] units over working paths inside a bubble; by Thm. 3
+    this never compromises routability nor worsens the final repair
+    count.
+
+    Detection follows the paper's modified BFS — explore from [s_h],
+    discarding other demands' endpoints — hardened into an iterative
+    shrink: an interior vertex adjacent (in the full graph) to a vertex
+    outside the candidate set violates the cut condition and is removed,
+    until a fixpoint.  The working paths used for routing live inside the
+    surviving set. *)
+
+val find :
+  Graph.t ->
+  demands:Netrec_flow.Commodity.t list ->
+  Netrec_flow.Commodity.t ->
+  Graph.vertex list option
+(** [find g ~demands h] returns a bubble for [h] — computed on the full
+    supply graph, broken elements included, since Def. 2's cut condition
+    ranges over all of [E] — containing both endpoints, or [None].
+    [demands] is the full current demand list (used for the "no other
+    endpoint" condition); [h] itself may appear in it. *)
+
+type prune = {
+  amount : float;  (** [min (f*, d_h)], > 0 *)
+  paths : (Paths.path * float) list;  (** working paths carrying it *)
+}
+
+val prune :
+  working_vertex:(Graph.vertex -> bool) ->
+  working_edge:(Graph.edge_id -> bool) ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  demands:Netrec_flow.Commodity.t list ->
+  Netrec_flow.Commodity.t ->
+  prune option
+(** Attempt to prune demand [h]: find a bubble, compute the max working
+    flow inside it between the endpoints, and decompose it into paths.
+    [None] when no bubble exists or the bubble carries no flow. *)

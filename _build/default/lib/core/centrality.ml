@@ -1,0 +1,65 @@
+module Commodity = Netrec_flow.Commodity
+
+type contribution = { demand : Commodity.t; bundle : Paths.bundle }
+
+type t = { score : float array; contributions : contribution list }
+
+let compute ~length ~cap g demands =
+  let score = Array.make (Graph.nv g) 0.0 in
+  let live = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let contributions =
+    List.map
+      (fun demand ->
+        let bundle =
+          Paths.shortest_bundle ~length ~cap ~demand:demand.Commodity.amount g
+            demand.Commodity.src demand.Commodity.dst
+        in
+        let total_cap =
+          List.fold_left (fun acc (_, c) -> acc +. c) 0.0 bundle.Paths.paths
+        in
+        if total_cap > 1e-12 then
+          List.iter
+            (fun (p, c) ->
+              let weight = c /. total_cap *. demand.Commodity.amount in
+              let vs = Paths.vertices_of g demand.Commodity.src p in
+              List.iter
+                (fun v ->
+                  if v <> demand.Commodity.src && v <> demand.Commodity.dst
+                  then score.(v) <- score.(v) +. weight)
+                vs)
+            bundle.Paths.paths;
+        { demand; bundle })
+      live
+  in
+  { score; contributions }
+
+let best t =
+  let best_v = ref (-1) in
+  let best_s = ref 1e-12 in
+  Array.iteri
+    (fun v s ->
+      if s > !best_s then begin
+        best_v := v;
+        best_s := s
+      end)
+    t.score;
+  if !best_v < 0 then None else Some !best_v
+
+let through_interior g contribution v =
+  let { demand; bundle } = contribution in
+  List.exists
+    (fun (p, _) ->
+      Paths.through g demand.Commodity.src demand.Commodity.dst v p)
+    bundle.Paths.paths
+
+let contributors g t v =
+  List.filter (fun c -> through_interior g c v) t.contributions
+
+let paths_capacity_through g contribution v =
+  let { demand; bundle } = contribution in
+  List.fold_left
+    (fun acc (p, c) ->
+      if Paths.through g demand.Commodity.src demand.Commodity.dst v p then
+        acc +. c
+      else acc)
+    0.0 bundle.Paths.paths

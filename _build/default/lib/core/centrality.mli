@@ -1,0 +1,48 @@
+(** Demand-based centrality (paper §IV-B, equation (3)).
+
+    For each demand [(i,j)] the set [P*(i,j)] of first shortest paths that
+    cover the demand is estimated by successive Dijkstra runs on residual
+    capacities (the paper's runtime approximation); each path [p]
+    contributes a fraction [c(p) / sum_q c(q)] of the demand [d_ij] to
+    the centrality of its {e interior} vertices.  Lengths follow the
+    dynamic repair-aware metric of §IV-D, so already-repaired elements
+    attract subsequent flow.
+
+    The computation runs on the {e full} supply graph — broken elements
+    included — with current residual capacities, per §IV-C: "the
+    centrality calculation considers the original complete supply
+    graph". *)
+
+type contribution = {
+  demand : Netrec_flow.Commodity.t;
+  bundle : Paths.bundle;  (** the estimated [P*] for this demand *)
+}
+
+type t = {
+  score : float array;  (** [cd(v)] per vertex *)
+  contributions : contribution list;  (** one per live demand, in order *)
+}
+
+val compute :
+  length:(Graph.edge_id -> float) ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Netrec_flow.Commodity.t list ->
+  t
+(** Evaluate the metric.  Edges with non-positive residual capacity are
+    unusable; demands with zero amount are skipped. *)
+
+val best : t -> Graph.vertex option
+(** The vertex [v_BC] with the highest strictly positive centrality
+    (ties broken towards the smallest id), or [None] when every score is
+    zero — i.e. no demand has any interior shortest-path vertex left. *)
+
+val contributors :
+  Graph.t -> t -> Graph.vertex -> contribution list
+(** [C(v)]: the demands whose [P*] bundle passes through [v] as an
+    interior vertex (paper §IV-C). *)
+
+val paths_capacity_through :
+  Graph.t -> contribution -> Graph.vertex -> float
+(** [sum over p in P*(i,j)|v of c(p)] — the numerator capacity of the
+    split-selection rule. *)

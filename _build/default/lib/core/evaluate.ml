@@ -1,0 +1,49 @@
+module Routing = Netrec_flow.Routing
+module Oracle = Netrec_flow.Oracle
+
+type report = {
+  vertex_repairs : int;
+  edge_repairs : int;
+  total_repairs : int;
+  repair_cost : float;
+  satisfied_fraction : float;
+  routing : Routing.t;
+}
+
+let best_routing ?lp_var_budget inst sol =
+  let g = inst.Instance.graph in
+  let own = sol.Instance.routing in
+  let own_complete =
+    own <> Routing.empty
+    && Routing.satisfaction ~demands:inst.Instance.demands own >= 1.0 -. 1e-6
+    && Instance.valid inst sol
+  in
+  if own_complete then own
+  else begin
+    let vertex_ok = Instance.repaired_vertex_ok inst sol in
+    let edge_ok = Instance.repaired_edge_ok inst sol in
+    let computed =
+      Oracle.max_satisfiable ~vertex_ok ~edge_ok ?lp_var_budget
+        ~cap:(Graph.capacity g) g inst.Instance.demands
+    in
+    (* Keep whichever routes more (the solution's own partial routing can
+       beat the oracle's greedy fallback). *)
+    let own_ok =
+      own <> Routing.empty && Instance.valid inst sol
+    in
+    if own_ok && Routing.total_routed own > Routing.total_routed computed
+    then own
+    else computed
+  end
+
+let assess ?lp_var_budget inst sol =
+  let routing = best_routing ?lp_var_budget inst sol in
+  { vertex_repairs = Instance.vertex_repairs sol;
+    edge_repairs = Instance.edge_repairs sol;
+    total_repairs = Instance.total_repairs sol;
+    repair_cost = Instance.repair_cost inst sol;
+    satisfied_fraction = Routing.satisfaction ~demands:inst.Instance.demands routing;
+    routing }
+
+let satisfied_fraction ?lp_var_budget inst sol =
+  (assess ?lp_var_budget inst sol).satisfied_fraction

@@ -1,0 +1,67 @@
+(** ITERATIVE SPLIT AND PRUNE (paper §IV, Algorithm 1).
+
+    ISP decides which broken components to repair by iterating three
+    actions until the residual demand is routable over the working
+    (never-broken or repaired) sub-network:
+
+    - {b prune} demands that a working bubble can carry (Thm. 3),
+      committing the corresponding routing and consuming residual
+      capacity;
+    - {b repair} broken supply edges that directly connect the endpoints
+      of a demand no working path can satisfy (§IV-E);
+    - {b split} the hardest demand through the vertex of highest
+      demand-based centrality [v_BC], repairing [v_BC] when broken and
+      forcing [dx] units through it (§IV-C).
+
+    Interpretation choices (see DESIGN.md §4): split/prune feasibility is
+    certified against the full residual supply graph, termination against
+    the working one; demand endpoints that are broken are repaired
+    upfront (any feasible solution must); the split amount [dx] uses the
+    exact LP when the instance fits the simplex budget and a certified
+    binary search over the constructive router otherwise.  An iteration
+    cap with a shortest-repair-path fallback guarantees termination even
+    when the oracles are inconclusive; the [stats] record reports whether
+    the fallback fired (it does not in any shipped experiment). *)
+
+type length_mode =
+  | Dynamic
+      (** the §IV-D repair-aware metric
+          [(const + ke + (kv_u + kv_v)/2) / residual_capacity], updated
+          every iteration — the paper's choice *)
+  | Hop  (** unit lengths: ablation switch to measure what the dynamic
+             metric buys (see the fig4 ablation bench) *)
+
+type config = {
+  length_mode : length_mode;  (** default [Dynamic] *)
+  length_const : float;
+      (** the [const] of the §IV-D metric accounting for the length of a
+          working link (default 1.0) *)
+  max_iterations : int option;
+      (** safety cap; default [20 * (nv + ne) + 100 * |H|] *)
+  lp_var_budget : int;
+      (** exact-LP size threshold for the inner oracles (default 2500) *)
+  gk_eps : float;  (** GK accuracy for oversize instances (default 0.05) *)
+  split_candidates : int;
+      (** how many top-centrality vertices to try per split step
+          (default 5) *)
+}
+
+val default_config : config
+
+type stats = {
+  iterations : int;
+  splits : int;
+  prunes : int;
+  direct_edge_repairs : int;
+  endpoint_repairs : int;
+  fallback_paths : int;
+      (** demands finished by the shortest-repair-path fallback; 0 in
+          normal operation *)
+  wall_seconds : float;
+}
+
+val solve : ?config:config -> Instance.t -> Instance.solution * stats
+(** Run ISP.  The returned solution always carries an explicit routing
+    for the instance's original demands over the repaired network when
+    one exists (ISP's no-demand-loss property); its repair lists contain
+    only originally broken elements. *)

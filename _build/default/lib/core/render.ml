@@ -1,0 +1,73 @@
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+
+type palette = {
+  vertex_color : Graph.vertex -> string;
+  edge_color : Graph.edge_id -> string;
+}
+
+let dot_of inst palette =
+  let g = inst.Instance.graph in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "graph recovery {\n";
+  Buffer.add_string buf "  overlap=false;\n  splines=true;\n";
+  let endpoint = Commodity.is_endpoint inst.Instance.demands in
+  List.iter
+    (fun v ->
+      let pos =
+        match Graph.coord g v with
+        | Some (x, y) -> Printf.sprintf " pos=\"%g,%g!\"" x y
+        | None -> ""
+      in
+      let shape = if endpoint v then "box" else "ellipse" in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %d [label=\"%s\" shape=%s style=filled fillcolor=\"%s\"%s];\n" v
+           (Graph.name g v) shape (palette.vertex_color v) pos))
+    (Graph.vertices g);
+  Graph.fold_edges
+    (fun e () ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%g\" color=\"%s\" penwidth=2];\n"
+           e.Graph.u e.Graph.v e.Graph.capacity
+           (palette.edge_color e.Graph.id)))
+    g ();
+  (* Demands as dashed overlay edges. *)
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %d -- %d [style=dashed color=blue label=\"%g\" constraint=false];\n"
+           d.Commodity.src d.Commodity.dst d.Commodity.amount))
+    inst.Instance.demands;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let working = "#bbbbbb"
+let broken = "#f4a6a6"
+let repaired = "#7bc77b"
+
+let instance_dot inst =
+  let failure = inst.Instance.failure in
+  dot_of inst
+    { vertex_color =
+        (fun v -> if Failure.vertex_broken failure v then broken else working);
+      edge_color =
+        (fun e -> if Failure.edge_broken failure e then broken else working) }
+
+let solution_dot inst sol =
+  let failure = inst.Instance.failure in
+  let rv = Hashtbl.create 16 and re = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace rv v ()) sol.Instance.repaired_vertices;
+  List.iter (fun e -> Hashtbl.replace re e ()) sol.Instance.repaired_edges;
+  dot_of inst
+    { vertex_color =
+        (fun v ->
+          if Hashtbl.mem rv v then repaired
+          else if Failure.vertex_broken failure v then broken
+          else working);
+      edge_color =
+        (fun e ->
+          if Hashtbl.mem re e then repaired
+          else if Failure.edge_broken failure e then broken
+          else working) }

@@ -1,0 +1,14 @@
+(** Graphviz rendering of instances and repair plans.
+
+    Produces DOT text (viewable with [dot -Tsvg]) showing the supply
+    graph with the disruption and a solution overlaid: working elements
+    in grey, broken-and-abandoned in light red, repaired in green, demand
+    endpoints as labelled boxes.  Coordinates (when the graph is
+    embedded) become fixed node positions so geographic topologies render
+    geographically. *)
+
+val instance_dot : Instance.t -> string
+(** The disrupted instance without a solution. *)
+
+val solution_dot : Instance.t -> Instance.solution -> string
+(** Instance plus repair overlay. *)

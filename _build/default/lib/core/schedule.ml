@@ -1,0 +1,209 @@
+module Routing = Netrec_flow.Routing
+module Oracle = Netrec_flow.Oracle
+module Route_greedy = Netrec_flow.Route_greedy
+module Failure = Netrec_disrupt.Failure
+
+type element = [ `Vertex of Graph.vertex | `Edge of Graph.edge_id ]
+
+type step = { element : element; satisfied_after : float }
+
+type t = { steps : step list; auc : float }
+
+type sched_state = {
+  inst : Instance.t;
+  fixed_v : bool array;  (* repaired so far *)
+  fixed_e : bool array;
+}
+
+let fresh inst =
+  { inst;
+    fixed_v = Array.make (Graph.nv inst.Instance.graph) false;
+    fixed_e = Array.make (Graph.ne inst.Instance.graph) false }
+
+let vertex_ok st v =
+  (not (Failure.vertex_broken st.inst.Instance.failure v)) || st.fixed_v.(v)
+
+let edge_ok st e =
+  ((not (Failure.edge_broken st.inst.Instance.failure e)) || st.fixed_e.(e))
+  &&
+  let u, v = Graph.endpoints st.inst.Instance.graph e in
+  vertex_ok st u && vertex_ok st v
+
+let apply st = function
+  | `Vertex v -> st.fixed_v.(v) <- true
+  | `Edge e -> st.fixed_e.(e) <- true
+
+let unapply st = function
+  | `Vertex v -> st.fixed_v.(v) <- false
+  | `Edge e -> st.fixed_e.(e) <- false
+
+(* Fast lower bound on satisfiable demand: constructive router only. *)
+let satisfied_fast st =
+  let g = st.inst.Instance.graph in
+  let r =
+    Route_greedy.route_max ~vertex_ok:(vertex_ok st) ~edge_ok:(edge_ok st)
+      ~cap:(Graph.capacity g) g st.inst.Instance.demands
+  in
+  Routing.satisfaction ~demands:st.inst.Instance.demands r
+
+(* Exact(ish) satisfiable demand for the reported curve. *)
+let satisfied_exact st =
+  let g = st.inst.Instance.graph in
+  let r =
+    Oracle.max_satisfiable ~vertex_ok:(vertex_ok st) ~edge_ok:(edge_ok st)
+      ~cap:(Graph.capacity g) g st.inst.Instance.demands
+  in
+  Routing.satisfaction ~demands:st.inst.Instance.demands r
+
+let cost_of inst = function
+  | `Vertex v -> inst.Instance.vertex_cost.(v)
+  | `Edge e -> inst.Instance.edge_cost.(e)
+
+let elements_of solution =
+  List.map (fun v -> `Vertex v) solution.Instance.repaired_vertices
+  @ List.map (fun e -> `Edge e) solution.Instance.repaired_edges
+
+let finalize steps =
+  let sats = List.map (fun s -> s.satisfied_after) steps in
+  let auc =
+    match sats with [] -> 1.0 | _ -> Netrec_util.Stats.mean sats
+  in
+  { steps; auc }
+
+(* When no single repair yields immediate service (the common case while
+   a corridor is half-built), steer towards the unserved demand whose
+   completing path needs the fewest still-unexecuted elements: the next
+   element of that path is the best zero-gain move. *)
+let completion_element st remaining =
+  let g = st.inst.Instance.graph in
+  let in_remaining el = List.mem el remaining in
+  let pending_v v =
+    Failure.vertex_broken st.inst.Instance.failure v
+    && (not st.fixed_v.(v))
+    && in_remaining (`Vertex v)
+  in
+  let pending_e e =
+    Failure.edge_broken st.inst.Instance.failure e
+    && (not st.fixed_e.(e))
+    && in_remaining (`Edge e)
+  in
+  (* An edge is eventually usable when every broken piece of it is either
+     already executed or still scheduled. *)
+  let usable_v v = vertex_ok st v || pending_v v in
+  let usable_e e =
+    let u, v = Graph.endpoints g e in
+    (edge_ok st e || pending_e e) && usable_v u && usable_v v
+  in
+  let length e =
+    let u, v = Graph.endpoints g e in
+    let cost_v w = if pending_v w then 0.5 else 0.0 in
+    1e-6 +. (if pending_e e then 1.0 else 0.0) +. cost_v u +. cost_v v
+  in
+  let best = ref None in
+  List.iter
+    (fun d ->
+      if usable_v d.Netrec_flow.Commodity.src
+         && usable_v d.Netrec_flow.Commodity.dst
+      then begin
+        match
+          Dijkstra.shortest_path ~vertex_ok:usable_v ~edge_ok:usable_e ~length
+            g d.Netrec_flow.Commodity.src d.Netrec_flow.Commodity.dst
+        with
+        | None -> ()
+        | Some p ->
+          let pending_work = Paths.length ~length p in
+          (match !best with
+          | Some (w, _, _) when w <= pending_work -> ()
+          | _ -> best := Some (pending_work, d, p))
+      end)
+    st.inst.Instance.demands;
+  match !best with
+  | None -> None
+  | Some (_, d, p) ->
+    (* First unexecuted element along the path, endpoints first. *)
+    let rec first v = function
+      | [] -> None
+      | e :: rest ->
+        if pending_v v then Some (`Vertex v)
+        else if pending_e e then Some (`Edge e)
+        else first (Graph.other_end g e v) rest
+    in
+    let from_path = first d.Netrec_flow.Commodity.src p in
+    (match from_path with
+    | Some el -> Some el
+    | None ->
+      let t = d.Netrec_flow.Commodity.dst in
+      if pending_v t then Some (`Vertex t) else None)
+
+let greedy inst solution =
+  let st = fresh inst in
+  let remaining = ref (elements_of solution) in
+  let steps = ref [] in
+  while !remaining <> [] do
+    (* Pick the element with the best immediate (fast) gain; when nothing
+       helps immediately, advance the demand closest to completion. *)
+    let scored =
+      List.map
+        (fun el ->
+          apply st el;
+          let s = satisfied_fast st in
+          unapply st el;
+          (el, s))
+        !remaining
+    in
+    let baseline = satisfied_fast st in
+    let best, best_gain =
+      List.fold_left
+        (fun (bel, bs) (el, s) ->
+          if
+            s > bs +. 1e-9
+            || (abs_float (s -. bs) <= 1e-9
+               && cost_of inst el < cost_of inst bel)
+          then (el, s)
+          else (bel, bs))
+        (List.hd scored) (List.tl scored)
+    in
+    let choice =
+      if best_gain > baseline +. 1e-9 then best
+      else
+        match completion_element st !remaining with
+        | Some el -> el
+        | None -> best
+    in
+    apply st choice;
+    remaining := List.filter (fun el -> el <> choice) !remaining;
+    steps :=
+      { element = choice; satisfied_after = satisfied_exact st } :: !steps
+  done;
+  finalize (List.rev !steps)
+
+let in_order inst order =
+  let st = fresh inst in
+  let steps =
+    List.map
+      (fun el ->
+        apply st el;
+        { element = el; satisfied_after = satisfied_exact st })
+      order
+  in
+  finalize steps
+
+type stage = { elements : element list; satisfied : float }
+
+let staged ~per_stage inst solution =
+  if per_stage < 1 then invalid_arg "Schedule.staged: per_stage < 1";
+  let ordered = (greedy inst solution).steps in
+  let rec chunk acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | step :: rest ->
+      let current = step :: current in
+      if n + 1 = per_stage then chunk (List.rev current :: acc) [] 0 rest
+      else chunk acc current (n + 1) rest
+  in
+  let groups = chunk [] [] 0 ordered in
+  List.map
+    (fun steps ->
+      let last = List.nth steps (List.length steps - 1) in
+      { elements = List.map (fun s -> s.element) steps;
+        satisfied = last.satisfied_after })
+    groups

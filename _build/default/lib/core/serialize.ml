@@ -1,0 +1,150 @@
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+
+let to_string inst =
+  let g = inst.Instance.graph in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "[graph]";
+  Graph.fold_edges
+    (fun e () -> line "%d %d %.12g" e.Graph.u e.Graph.v e.Graph.capacity)
+    g ();
+  if Graph.has_coords g then begin
+    line "[coords]";
+    List.iter
+      (fun v ->
+        let x, y = Option.get (Graph.coord g v) in
+        line "%.12g %.12g" x y)
+      (Graph.vertices g)
+  end;
+  line "[names]";
+  List.iter (fun v -> line "%s" (Graph.name g v)) (Graph.vertices g);
+  line "[demands]";
+  List.iter
+    (fun d -> line "%d %d %.12g" d.Commodity.src d.Commodity.dst d.Commodity.amount)
+    inst.Instance.demands;
+  line "[broken_vertices]";
+  List.iter (fun v -> line "%d" v)
+    (Failure.broken_vertex_list inst.Instance.failure);
+  line "[broken_edges]";
+  List.iter (fun e -> line "%d" e)
+    (Failure.broken_edge_list inst.Instance.failure);
+  line "[vertex_costs]";
+  Array.iter (fun c -> line "%.12g" c) inst.Instance.vertex_cost;
+  line "[edge_costs]";
+  Array.iter (fun c -> line "%.12g" c) inst.Instance.edge_cost;
+  Buffer.contents buf
+
+type section = {
+  mutable edges : (int * int * float) list;  (* reversed *)
+  mutable coords : (float * float) list;
+  mutable names : string list;
+  mutable demands : (int * int * float) list;
+  mutable broken_v : int list;
+  mutable broken_e : int list;
+  mutable vcosts : float list;
+  mutable ecosts : float list;
+}
+
+let of_string text =
+  let acc =
+    { edges = []; coords = []; names = []; demands = []; broken_v = [];
+      broken_e = []; vcosts = []; ecosts = [] }
+  in
+  let current = ref "" in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let parse_floats line n =
+    match
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    with
+    | parts when List.length parts = n -> (
+      try List.map float_of_string parts
+      with _ -> fail "Serialize: bad numeric line %S" line)
+    | _ -> fail "Serialize: expected %d fields in %S" n line
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else if line.[0] = '[' then current := line
+         else
+           match !current with
+           | "[graph]" -> (
+             match parse_floats line 3 with
+             | [ u; v; c ] ->
+               acc.edges <- (int_of_float u, int_of_float v, c) :: acc.edges
+             | _ -> assert false)
+           | "[coords]" -> (
+             match parse_floats line 2 with
+             | [ x; y ] -> acc.coords <- (x, y) :: acc.coords
+             | _ -> assert false)
+           | "[names]" -> acc.names <- line :: acc.names
+           | "[demands]" -> (
+             match parse_floats line 3 with
+             | [ s; t; a ] ->
+               acc.demands <- (int_of_float s, int_of_float t, a) :: acc.demands
+             | _ -> assert false)
+           | "[broken_vertices]" ->
+             acc.broken_v <- int_of_string line :: acc.broken_v
+           | "[broken_edges]" ->
+             acc.broken_e <- int_of_string line :: acc.broken_e
+           | "[vertex_costs]" -> acc.vcosts <- float_of_string line :: acc.vcosts
+           | "[edge_costs]" -> acc.ecosts <- float_of_string line :: acc.ecosts
+           | "" -> fail "Serialize: content before any section: %S" line
+           | s -> fail "Serialize: unknown section %s" s);
+  let edges = List.rev acc.edges in
+  if edges = [] then fail "Serialize: no [graph] section";
+  (* Vertex count: largest endpoint, or the [names]/[coords] length when
+     given (covers isolated trailing vertices). *)
+  let n =
+    List.fold_left (fun m (u, v, _) -> max m (max u v + 1)) 0 edges
+    |> max (List.length acc.names)
+    |> max (List.length acc.coords)
+  in
+  let names =
+    match List.rev acc.names with
+    | [] -> None
+    | ns when List.length ns = n -> Some (Array.of_list ns)
+    | _ -> fail "Serialize: [names] arity mismatch"
+  in
+  let coords =
+    match List.rev acc.coords with
+    | [] -> None
+    | cs when List.length cs = n -> Some (Array.of_list cs)
+    | _ -> fail "Serialize: [coords] arity mismatch"
+  in
+  let graph = Graph.make ?names ?coords ~n ~edges () in
+  let failure =
+    Failure.of_lists graph ~vertices:acc.broken_v ~edges:acc.broken_e
+  in
+  let demands =
+    (* acc.demands is reversed; rev_map restores input order. *)
+    List.rev_map
+      (fun (s, t, a) -> Commodity.make ~src:s ~dst:t ~amount:a)
+      acc.demands
+  in
+  let vertex_cost =
+    match List.rev acc.vcosts with
+    | [] -> None
+    | cs when List.length cs = n -> Some (Array.of_list cs)
+    | _ -> fail "Serialize: [vertex_costs] arity mismatch"
+  in
+  let edge_cost =
+    match List.rev acc.ecosts with
+    | [] -> None
+    | cs when List.length cs = Graph.ne graph -> Some (Array.of_list cs)
+    | _ -> fail "Serialize: [edge_costs] arity mismatch"
+  in
+  Instance.make ?vertex_cost ?edge_cost ~graph ~demands ~failure ()
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic) |> of_string)

@@ -1,0 +1,33 @@
+(** Plain-text serialization of recovery instances.
+
+    A line-oriented sectioned format so instances can be saved from one
+    tool run and re-analyzed by another (or shipped as bug reports):
+
+    {v
+    [graph]
+    <u> <v> <capacity>          one line per edge
+    [coords]                    optional, one "<x> <y>" line per vertex
+    [names]                     optional, one name per vertex
+    [demands]
+    <src> <dst> <amount>
+    [broken_vertices]
+    <id> ...
+    [broken_edges]
+    <id> ...
+    [vertex_costs]              optional, one float per vertex
+    [edge_costs]                optional, one float per edge
+    v}
+
+    Sections may appear in any order; unknown sections are rejected. *)
+
+val to_string : Instance.t -> string
+(** Serialize an instance (always writes every section). *)
+
+val of_string : string -> Instance.t
+(** Parse.  @raise Failure on malformed input. *)
+
+val save : string -> Instance.t -> unit
+(** Write {!to_string} to a file. *)
+
+val load : string -> Instance.t
+(** Read and {!of_string} a file.  @raise Sys_error / Failure. *)

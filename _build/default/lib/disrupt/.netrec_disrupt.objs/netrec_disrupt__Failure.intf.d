@@ -1,0 +1,1 @@
+lib/disrupt/failure.mli: Graph

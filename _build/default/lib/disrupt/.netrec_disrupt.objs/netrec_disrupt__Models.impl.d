@@ -1,0 +1,1 @@
+lib/disrupt/models.ml: Array Failure Graph List Netrec_util

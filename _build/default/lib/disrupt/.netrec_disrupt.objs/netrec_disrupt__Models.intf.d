@@ -1,0 +1,1 @@
+lib/disrupt/models.mli: Failure Graph Netrec_util

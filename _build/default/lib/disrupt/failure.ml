@@ -1,0 +1,51 @@
+type t = { broken_vertices : bool array; broken_edges : bool array }
+
+let none g =
+  { broken_vertices = Array.make (Graph.nv g) false;
+    broken_edges = Array.make (Graph.ne g) false }
+
+let complete g =
+  { broken_vertices = Array.make (Graph.nv g) true;
+    broken_edges = Array.make (Graph.ne g) true }
+
+let of_lists g ~vertices ~edges =
+  let f = none g in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.nv g then invalid_arg "Failure.of_lists: vertex";
+      f.broken_vertices.(v) <- true)
+    vertices;
+  List.iter
+    (fun e ->
+      if e < 0 || e >= Graph.ne g then invalid_arg "Failure.of_lists: edge";
+      f.broken_edges.(e) <- true)
+    edges;
+  f
+
+let copy f =
+  { broken_vertices = Array.copy f.broken_vertices;
+    broken_edges = Array.copy f.broken_edges }
+
+let vertex_broken f v = f.broken_vertices.(v)
+let edge_broken f e = f.broken_edges.(e)
+let vertex_ok f v = not f.broken_vertices.(v)
+
+let edge_usable f g e =
+  (not f.broken_edges.(e))
+  &&
+  let u, v = Graph.endpoints g e in
+  (not f.broken_vertices.(u)) && not f.broken_vertices.(v)
+
+let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+let counts f = (count_true f.broken_vertices, count_true f.broken_edges)
+
+let indices_of a =
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if a.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let broken_vertex_list f = indices_of f.broken_vertices
+let broken_edge_list f = indices_of f.broken_edges

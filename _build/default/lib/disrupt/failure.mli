@@ -1,0 +1,47 @@
+(** Failure states: which vertices and edges of a supply graph are broken.
+
+    This is the paper's pair [(VB, EB)] (§III).  Values are plain boolean
+    arrays indexed by vertex/edge id; they are the mutable per-instance
+    state that graph algorithms consume through [vertex_ok]/[edge_ok]
+    predicates. *)
+
+type t = {
+  broken_vertices : bool array;  (** length [Graph.nv] *)
+  broken_edges : bool array;  (** length [Graph.ne] *)
+}
+
+val none : Graph.t -> t
+(** Nothing broken. *)
+
+val complete : Graph.t -> t
+(** Everything broken — the paper's "complete destruction of the supply
+    graph" setting of §VII-A1/2 and §VII-B. *)
+
+val of_lists : Graph.t -> vertices:Graph.vertex list -> edges:Graph.edge_id list -> t
+(** Break exactly the listed elements.
+    @raise Invalid_argument on out-of-range ids. *)
+
+val copy : t -> t
+(** Independent copy (algorithms mutate their own instance state). *)
+
+val vertex_broken : t -> Graph.vertex -> bool
+(** Whether a vertex is broken. *)
+
+val edge_broken : t -> Graph.edge_id -> bool
+(** Whether an edge is broken. *)
+
+val vertex_ok : t -> Graph.vertex -> bool
+(** Complement of {!vertex_broken} — pass directly to graph algorithms. *)
+
+val edge_usable : t -> Graph.t -> Graph.edge_id -> bool
+(** An edge is usable when neither it nor its endpoints are broken. *)
+
+val counts : t -> int * int
+(** [(broken vertex count, broken edge count)] — the "ALL" series of the
+    figures. *)
+
+val broken_vertex_list : t -> Graph.vertex list
+(** Broken vertices in increasing order. *)
+
+val broken_edge_list : t -> Graph.edge_id list
+(** Broken edges in increasing order. *)

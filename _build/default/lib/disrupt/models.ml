@@ -1,0 +1,72 @@
+module Rng = Netrec_util.Rng
+
+let coords_exn g v =
+  match Graph.coord g v with
+  | Some c -> c
+  | None -> invalid_arg "Disrupt: graph has no coordinates"
+
+let barycenter g =
+  let n = Graph.nv g in
+  if n = 0 then invalid_arg "Disrupt.barycenter: empty graph";
+  let sx = ref 0.0 and sy = ref 0.0 in
+  List.iter
+    (fun v ->
+      let x, y = coords_exn g v in
+      sx := !sx +. x;
+      sy := !sy +. y)
+    (Graph.vertices g);
+  (!sx /. float_of_int n, !sy /. float_of_int n)
+
+let fail_probability ~epicenter ~variance (x, y) =
+  let ex, ey = epicenter in
+  let dx = x -. ex and dy = y -. ey in
+  let r2 = (dx *. dx) +. (dy *. dy) in
+  if variance <= 0.0 then (if r2 = 0.0 then 1.0 else 0.0)
+  else exp (-.r2 /. (2.0 *. variance))
+
+let midpoint g e =
+  let u, v = Graph.endpoints g e in
+  let xu, yu = coords_exn g u and xv, yv = coords_exn g v in
+  ((xu +. xv) /. 2.0, (yu +. yv) /. 2.0)
+
+let gaussian ~rng ?epicenter ~variance g =
+  let epicenter =
+    match epicenter with Some e -> e | None -> barycenter g
+  in
+  let f = Failure.none g in
+  List.iter
+    (fun v ->
+      let p = fail_probability ~epicenter ~variance (coords_exn g v) in
+      if Rng.bernoulli rng p then f.Failure.broken_vertices.(v) <- true)
+    (Graph.vertices g);
+  Graph.fold_edges
+    (fun e () ->
+      let p = fail_probability ~epicenter ~variance (midpoint g e.Graph.id) in
+      if Rng.bernoulli rng p then f.Failure.broken_edges.(e.Graph.id) <- true)
+    g ();
+  f
+
+let uniform ~rng ~p_vertex ~p_edge g =
+  let f = Failure.none g in
+  List.iter
+    (fun v ->
+      if Rng.bernoulli rng p_vertex then f.Failure.broken_vertices.(v) <- true)
+    (Graph.vertices g);
+  Graph.fold_edges
+    (fun e () ->
+      if Rng.bernoulli rng p_edge then f.Failure.broken_edges.(e.Graph.id) <- true)
+    g ();
+  f
+
+let expected_gaussian_failures ~variance g =
+  let epicenter = barycenter g in
+  let vertex_sum =
+    List.fold_left
+      (fun acc v ->
+        acc +. fail_probability ~epicenter ~variance (coords_exn g v))
+      0.0 (Graph.vertices g)
+  in
+  Graph.fold_edges
+    (fun e acc ->
+      acc +. fail_probability ~epicenter ~variance (midpoint g e.Graph.id))
+    g vertex_sum

@@ -1,0 +1,33 @@
+(** Stochastic disruption models.
+
+    The paper evaluates (i) complete destruction and (ii) geographically
+    correlated failures drawn from a bivariate Gaussian around an
+    epicenter (§VII-A3): components closer to the epicenter fail with
+    higher probability; growing the variance both widens and — with the
+    paper's rescaling — intensifies the disruption. *)
+
+val barycenter : Graph.t -> float * float
+(** Average of the vertex coordinates.  @raise Invalid_argument when the
+    graph has no coordinates or no vertices. *)
+
+val gaussian :
+  rng:Netrec_util.Rng.t ->
+  ?epicenter:float * float ->
+  variance:float ->
+  Graph.t ->
+  Failure.t
+(** Geographically correlated failure: an element at squared distance
+    [r2] from the epicenter (default {!barycenter}) fails with
+    probability [exp (-r2 / (2 variance))] — 1 at the epicenter, decaying
+    with distance, so larger variance destroys a wider area.  Edges are
+    sampled at their midpoint, independently of their endpoints.
+    @raise Invalid_argument when the graph lacks coordinates. *)
+
+val uniform :
+  rng:Netrec_util.Rng.t -> p_vertex:float -> p_edge:float -> Graph.t -> Failure.t
+(** Independent uniform failures (not in the paper's evaluation; used by
+    tests and as an ablation). *)
+
+val expected_gaussian_failures : variance:float -> Graph.t -> float
+(** Expected number of failed elements under {!gaussian} — handy to
+    calibrate variance sweeps. *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Graph List Netrec_core Netrec_disrupt Netrec_flow Netrec_heuristics Netrec_topo Netrec_util Unix

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Graph Netrec_core Netrec_disrupt Netrec_flow Netrec_util

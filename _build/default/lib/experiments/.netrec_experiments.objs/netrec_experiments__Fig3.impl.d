@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Common Float Hashtbl List Netrec_core Netrec_disrupt Netrec_heuristics Netrec_topo Netrec_util Option

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Common Hashtbl Netrec_core Netrec_disrupt Netrec_heuristics Netrec_topo Netrec_util Option Unix

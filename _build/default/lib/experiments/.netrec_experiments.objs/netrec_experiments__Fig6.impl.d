@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common Hashtbl List Netrec_core Netrec_disrupt Netrec_heuristics Netrec_topo Netrec_util Option Unix

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Common Generate List Netrec_core Netrec_disrupt Netrec_flow Netrec_heuristics Netrec_util Printf Traverse Unix

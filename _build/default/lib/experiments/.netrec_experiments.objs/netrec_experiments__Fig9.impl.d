@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Common List Netrec_core Netrec_disrupt Netrec_heuristics Netrec_topo Netrec_util

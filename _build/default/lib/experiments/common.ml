@@ -1,0 +1,94 @@
+module Instance = Netrec_core.Instance
+module Evaluate = Netrec_core.Evaluate
+module Failure = Netrec_disrupt.Failure
+module Demand_gen = Netrec_topo.Demand_gen
+module Commodity = Netrec_flow.Commodity
+module Rng = Netrec_util.Rng
+
+type measurement = {
+  repairs_v : float;
+  repairs_e : float;
+  repairs_total : float;
+  satisfied : float;
+  seconds : float;
+}
+
+let measure_precomputed inst sol ~seconds =
+  let report = Evaluate.assess inst sol in
+  { repairs_v = float_of_int report.Evaluate.vertex_repairs;
+    repairs_e = float_of_int report.Evaluate.edge_repairs;
+    repairs_total = float_of_int report.Evaluate.total_repairs;
+    satisfied = report.Evaluate.satisfied_fraction;
+    seconds }
+
+let measure inst algorithm =
+  let t0 = Unix.gettimeofday () in
+  let sol = algorithm () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  measure_precomputed inst sol ~seconds
+
+let average = function
+  | [] -> invalid_arg "Common.average: no measurements"
+  | ms ->
+    let n = float_of_int (List.length ms) in
+    let sum f = List.fold_left (fun acc m -> acc +. f m) 0.0 ms in
+    { repairs_v = sum (fun m -> m.repairs_v) /. n;
+      repairs_e = sum (fun m -> m.repairs_e) /. n;
+      repairs_total = sum (fun m -> m.repairs_total) /. n;
+      satisfied = sum (fun m -> m.satisfied) /. n;
+      seconds = sum (fun m -> m.seconds) /. n }
+
+let feasible_demands ~rng ?(distinct = false) ?(max_tries = 60) ~count ~amount g =
+  let draw () =
+    if distinct then
+      Demand_gen.distinct_endpoint_pairs ~rng ~count ~amount g
+    else Demand_gen.far_pairs ~rng ~count ~amount g
+  in
+  let routable demands =
+    match
+      Netrec_flow.Oracle.routable ~cap:(Graph.capacity g) g demands
+    with
+    | Netrec_flow.Oracle.Routable _ -> true
+    | Netrec_flow.Oracle.Unroutable | Netrec_flow.Oracle.Unknown -> false
+  in
+  let rec attempt n =
+    if n = 0 then
+      failwith "Common.feasible_demands: no feasible demand set found"
+    else begin
+      let demands = draw () in
+      if List.length demands = count && routable demands then demands
+      else attempt (n - 1)
+    end
+  in
+  attempt max_tries
+
+let complete_instance ~rng ?distinct ~count ~amount g =
+  let demands = feasible_demands ~rng ?distinct ~count ~amount g in
+  Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+
+let scale_demands demands amount =
+  List.map (fun d -> { d with Commodity.amount }) demands
+
+let scalable_demands ~rng ?max_tries ~count ~max_amount g =
+  let at_max = feasible_demands ~rng ?max_tries ~count ~amount:max_amount g in
+  scale_demands at_max 1.0
+
+let percent f = 100.0 *. f
+
+let best_incumbent inst sol =
+  let pruned = Netrec_heuristics.Postpass.prune inst sol in
+  let candidates =
+    match Netrec_heuristics.Mcf_heuristic.solve inst with
+    | Some r -> [ pruned; r.Netrec_heuristics.Mcf_heuristic.mcb ]
+    | None -> [ pruned ]
+  in
+  let fully_served s =
+    Netrec_core.Evaluate.satisfied_fraction inst s >= 1.0 -. 1e-6
+  in
+  match
+    List.filter fully_served candidates
+    |> List.sort (fun a b ->
+           compare (Instance.repair_cost inst a) (Instance.repair_cost inst b))
+  with
+  | best :: _ -> best
+  | [] -> pruned

@@ -1,0 +1,79 @@
+(** Shared scaffolding for the figure reproductions: feasible-scenario
+    construction, timed measurement, and averaging over seeded runs.
+
+    The paper averages each point over 20 runs; the harness takes the run
+    count as a parameter (the shipped benchmark defaults to fewer for
+    wall-clock reasons — see EXPERIMENTS.md) with deterministic
+    per-run seeds split from one experiment seed. *)
+
+module Instance = Netrec_core.Instance
+module Failure = Netrec_disrupt.Failure
+
+type measurement = {
+  repairs_v : float;
+  repairs_e : float;
+  repairs_total : float;
+  satisfied : float;  (** fraction in [0,1] *)
+  seconds : float;  (** algorithm wall time *)
+}
+
+val measure :
+  Instance.t -> (unit -> Instance.solution) -> measurement
+(** Run an algorithm, time it, and assess the solution. *)
+
+val measure_precomputed :
+  Instance.t -> Instance.solution -> seconds:float -> measurement
+(** Assess an already-computed solution with a known runtime. *)
+
+val average : measurement list -> measurement
+(** Component-wise mean.  @raise Invalid_argument on []. *)
+
+val feasible_demands :
+  rng:Netrec_util.Rng.t ->
+  ?distinct:bool ->
+  ?max_tries:int ->
+  count:int ->
+  amount:float ->
+  Graph.t ->
+  Netrec_flow.Commodity.t list
+(** Draw far-apart demand pairs (§VII-A) and redraw until the demand is
+    routable on the {e intact} supply graph, so that every recovery
+    problem posed to the algorithms is solvable — as in the paper.
+    @raise Failure after [max_tries] (default 60) infeasible draws. *)
+
+val complete_instance :
+  rng:Netrec_util.Rng.t ->
+  ?distinct:bool ->
+  count:int ->
+  amount:float ->
+  Graph.t ->
+  Instance.t
+(** Feasible demands + complete destruction. *)
+
+val scalable_demands :
+  rng:Netrec_util.Rng.t ->
+  ?max_tries:int ->
+  count:int ->
+  max_amount:float ->
+  Graph.t ->
+  Netrec_flow.Commodity.t list
+(** Demand pairs (amount 1 each) that remain routable on the intact graph
+    when every amount is scaled up to [max_amount].  Intensity sweeps
+    (Figs. 3 and 5) fix one such pair set per seed and scale it across
+    the x-axis, exactly as the paper varies "the demand flow per pair"
+    with the pairs held fixed. *)
+
+val scale_demands :
+  Netrec_flow.Commodity.t list -> float -> Netrec_flow.Commodity.t list
+(** Set every demand's amount. *)
+
+val percent : float -> float
+(** [percent f] is [100 * f] (for satisfied-demand columns). *)
+
+val best_incumbent :
+  Instance.t -> Instance.solution -> Instance.solution
+(** Strongest cheap warm start for the OPT branch-and-bound: the better
+    (fewest repairs, demand fully served) of the given solution after the
+    redundancy postpass and the multicommodity-relaxation MCB solution.
+    Falls back to the postpassed input when the relaxation is
+    unavailable. *)

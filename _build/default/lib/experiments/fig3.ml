@@ -1,0 +1,62 @@
+module Table = Netrec_util.Table
+module Rng = Netrec_util.Rng
+module Instance = Netrec_core.Instance
+module Failure = Netrec_disrupt.Failure
+module H = Netrec_heuristics
+
+let amounts = [ 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0; 16.0; 18.0 ]
+
+let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
+  let g = Netrec_topo.Bell_canada.graph () in
+  let master = Rng.create seed in
+  let table =
+    Table.create ~title:"Fig 3: Bell-Canada, total repairs of multi-commodity solutions (4 pairs)"
+      ~columns:[ "demand/pair"; "OPT"; "MCW"; "MCB"; "ALL" ]
+  in
+  let acc = Hashtbl.create 64 in
+  let push amount name x =
+    let key = (amount, name) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
+    Hashtbl.replace acc key (x :: prev)
+  in
+  (* Fixed pairs per run, intensity swept by scaling (paper §VII-A2). *)
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let base =
+      Common.scalable_demands ~rng ~count:4
+        ~max_amount:(List.fold_left Float.max 0.0 amounts)
+        g
+    in
+    List.iter
+      (fun amount ->
+        let demands = Common.scale_demands base amount in
+        let inst =
+          Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+        in
+        (match H.Mcf_heuristic.solve inst with
+        | Some r ->
+          push amount "MCW"
+            (float_of_int (Instance.total_repairs r.H.Mcf_heuristic.mcw));
+          push amount "MCB"
+            (float_of_int (Instance.total_repairs r.H.Mcf_heuristic.mcb))
+        | None -> ());
+        let isp, _ = Netrec_core.Isp.solve inst in
+        let warm = Common.best_incumbent inst isp in
+        let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
+        push amount "OPT"
+          (float_of_int (Instance.total_repairs opt.H.Opt.solution)))
+      amounts
+  done;
+  let all_v, all_e = Failure.counts (Failure.complete g) in
+  List.iter
+    (fun amount ->
+      let mean name =
+        match Hashtbl.find_opt acc (amount, name) with
+        | Some xs -> Netrec_util.Stats.mean xs
+        | None -> nan
+      in
+      Table.add_float_row ~decimals:1 table
+        [ amount; mean "OPT"; mean "MCW"; mean "MCB";
+          float_of_int (all_v + all_e) ])
+    amounts;
+  [ table ]

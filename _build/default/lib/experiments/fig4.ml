@@ -1,0 +1,68 @@
+module Table = Netrec_util.Table
+module Rng = Netrec_util.Rng
+module Instance = Netrec_core.Instance
+module H = Netrec_heuristics
+open Common
+
+let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
+  let g = Netrec_topo.Bell_canada.graph () in
+  let master = Rng.create seed in
+  let edges_t =
+    Table.create ~title:"Fig 4(a): Bell-Canada, edge repairs vs number of demand pairs (10 units/pair)"
+      ~columns:[ "pairs"; "ISP"; "OPT"; "SRT"; "GRD-COM"; "GRD-NC"; "ALL" ]
+  in
+  let nodes_t =
+    Table.create ~title:"Fig 4(b): Bell-Canada, node repairs vs number of demand pairs"
+      ~columns:[ "pairs"; "ISP"; "OPT"; "SRT"; "GRD-COM"; "GRD-NC"; "ALL" ]
+  in
+  let total_t =
+    Table.create ~title:"Fig 4(c): Bell-Canada, total repairs vs number of demand pairs"
+      ~columns:[ "pairs"; "ISP"; "OPT"; "SRT"; "GRD-COM"; "GRD-NC"; "ALL" ]
+  in
+  let sat_t =
+    Table.create ~title:"Fig 4(d): Bell-Canada, % satisfied demand vs number of demand pairs"
+      ~columns:[ "pairs"; "SRT"; "GRD-COM"; "ISP" ]
+  in
+  let all_v, all_e =
+    Netrec_disrupt.Failure.counts (Netrec_disrupt.Failure.complete g)
+  in
+  for pairs = 1 to max_pairs do
+    let acc = Hashtbl.create 8 in
+    let push name m =
+      let prev = Option.value ~default:[] (Hashtbl.find_opt acc name) in
+      Hashtbl.replace acc name (m :: prev)
+    in
+    for _ = 1 to runs do
+      let rng = Rng.split master in
+      let inst = complete_instance ~rng ~count:pairs ~amount:10.0 g in
+      let t0 = Unix.gettimeofday () in
+      let isp_sol, _ = Netrec_core.Isp.solve inst in
+      let isp_secs = Unix.gettimeofday () -. t0 in
+      push "ISP" (measure_precomputed inst isp_sol ~seconds:isp_secs);
+      push "SRT" (measure inst (fun () -> H.Srt.solve inst));
+      push "GRD-COM" (measure inst (fun () -> H.Greedy.grd_com inst));
+      push "GRD-NC" (measure inst (fun () -> H.Greedy.grd_nc inst));
+      let warm = best_incumbent inst isp_sol in
+      let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
+      push "OPT"
+        (measure_precomputed inst opt.H.Opt.solution
+           ~seconds:opt.H.Opt.wall_seconds)
+    done;
+    let avg name = average (Hashtbl.find acc name) in
+    let isp = avg "ISP" and opt = avg "OPT" and srt = avg "SRT" in
+    let gcom = avg "GRD-COM" and gnc = avg "GRD-NC" in
+    let p = float_of_int pairs in
+    Table.add_float_row ~decimals:1 edges_t
+      [ p; isp.repairs_e; opt.repairs_e; srt.repairs_e; gcom.repairs_e;
+        gnc.repairs_e; float_of_int all_e ];
+    Table.add_float_row ~decimals:1 nodes_t
+      [ p; isp.repairs_v; opt.repairs_v; srt.repairs_v; gcom.repairs_v;
+        gnc.repairs_v; float_of_int all_v ];
+    Table.add_float_row ~decimals:1 total_t
+      [ p; isp.repairs_total; opt.repairs_total; srt.repairs_total;
+        gcom.repairs_total; gnc.repairs_total; float_of_int (all_v + all_e) ];
+    Table.add_float_row ~decimals:1 sat_t
+      [ p; percent srt.satisfied; percent gcom.satisfied;
+        percent isp.satisfied ]
+  done;
+  [ edges_t; nodes_t; total_t; sat_t ]

@@ -1,0 +1,13 @@
+(** Fig. 5 — Bell-Canada, complete destruction, varying the demand
+    intensity (4 demand pairs).
+
+    Two tables: (a) total repairs — ISP, OPT, SRT, GRD-COM, GRD-NC,
+    ALL — and (b) percentage of satisfied demand — SRT, GRD-COM, ISP. *)
+
+val run :
+  ?runs:int ->
+  ?opt_nodes:int ->
+  ?seed:int ->
+  unit ->
+  Netrec_util.Table.t list
+(** Produce both tables (one row per demand intensity 2..18). *)

@@ -1,0 +1,28 @@
+(** Fig. 7 — scalability on Erdős–Rényi topologies (n = 100), varying the
+    edge probability p.
+
+    Connectivity-only instances as in the paper: 5 unit-demand pairs,
+    link capacity 1000, complete destruction — a Steiner Forest instance
+    (Thm. 1).  Two tables: (a) execution time of ISP, SRT and OPT, and
+    (b) total repairs of ISP, OPT and SRT.
+
+    OPT here is the {e exact} optimum computed by the Dreyfus–Wagner
+    Steiner-forest dynamic program ({!Netrec_heuristics.Exact_forest}) —
+    the paper solved the same instances with a Gurobi MILP that took up
+    to ~27 hours; the MILP column of table (a) reports our
+    branch-and-bound root relaxation when the model fits its size budget
+    and is marked absent beyond, reproducing the "OPT does not scale"
+    observation (see EXPERIMENTS.md). *)
+
+val run :
+  ?runs:int ->
+  ?seed:int ->
+  ?milp_p_max:float ->
+  ?milp_nodes:int ->
+  unit ->
+  Netrec_util.Table.t list
+(** Produce both tables (one row per p in 0.1..1.0).  [milp_p_max]
+    (default 0: disabled — even the root LP exceeds 10 minutes at this
+    size, which the table notes) bounds the densities on which the MILP
+    timing column is attempted (once per density); [milp_nodes]
+    (default 1: root only) bounds its search. *)

@@ -1,0 +1,63 @@
+module Table = Netrec_util.Table
+module Rng = Netrec_util.Rng
+module Instance = Netrec_core.Instance
+module Failure = Netrec_disrupt.Failure
+module H = Netrec_heuristics
+open Common
+
+(* Best feasible (no demand loss) candidate by total repairs. *)
+let opt_proxy inst candidates =
+  let feasible sol =
+    Netrec_core.Evaluate.satisfied_fraction inst sol >= 1.0 -. 1e-6
+  in
+  List.filter feasible candidates
+  |> List.sort (fun a b ->
+         compare (Instance.total_repairs a) (Instance.total_repairs b))
+  |> function
+  | best :: _ -> Some best
+  | [] -> None
+
+let run ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
+  let g = Netrec_topo.Caida.graph () in
+  let master = Rng.create seed in
+  let rep_t =
+    Table.create ~title:"Fig 9(a): CAIDA-like topology, total repairs vs number of demand pairs (22 units/pair)"
+      ~columns:[ "pairs"; "ISP"; "OPT(proxy)"; "SRT" ]
+  in
+  let sat_t =
+    Table.create ~title:"Fig 9(b): CAIDA-like topology, % satisfied demand vs number of demand pairs"
+      ~columns:[ "pairs"; "ISP"; "SRT" ]
+  in
+  for pairs = 1 to max_pairs do
+    let isps = ref [] and opts = ref [] and srts = ref [] in
+    let isp_sats = ref [] and srt_sats = ref [] in
+    for _ = 1 to runs do
+      let rng = Rng.split master in
+      let demands =
+        feasible_demands ~rng ~distinct:true ~count:pairs ~amount:22.0 g
+      in
+      let inst =
+        Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+      in
+      let isp_sol, _ = Netrec_core.Isp.solve inst in
+      let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
+      isps := isp.repairs_total :: !isps;
+      isp_sats := isp.satisfied :: !isp_sats;
+      let srt = measure inst (fun () -> H.Srt.solve inst) in
+      srts := srt.repairs_total :: !srts;
+      srt_sats := srt.satisfied :: !srt_sats;
+      let pruned = H.Postpass.prune inst isp_sol in
+      let steiner = H.Steiner.recovery inst in
+      (match opt_proxy inst [ pruned; steiner; isp_sol ] with
+      | Some best -> opts := float_of_int (Instance.total_repairs best) :: !opts
+      | None -> ())
+    done;
+    let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in
+    Table.add_float_row ~decimals:1 rep_t
+      [ float_of_int pairs; mean !isps; mean !opts; mean !srts ];
+    Table.add_float_row ~decimals:1 sat_t
+      [ float_of_int pairs;
+        percent (mean !isp_sats);
+        percent (mean !srt_sats) ]
+  done;
+  [ rep_t; sat_t ]

@@ -1,0 +1,1 @@
+lib/flow/commodity.ml: Format Graph Hashtbl List Option

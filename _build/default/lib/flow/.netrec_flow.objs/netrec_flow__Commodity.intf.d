@@ -1,0 +1,1 @@
+lib/flow/commodity.mli: Format Graph

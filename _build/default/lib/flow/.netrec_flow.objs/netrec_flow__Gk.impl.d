@@ -1,0 +1,1 @@
+lib/flow/gk.ml: Array Commodity Dijkstra Float Graph List Routing

@@ -1,0 +1,1 @@
+lib/flow/gk.mli: Commodity Graph Routing

@@ -1,0 +1,1 @@
+lib/flow/mcf_lp.ml: Array Commodity Float Graph Hashtbl List Maxflow Netrec_lp Routing

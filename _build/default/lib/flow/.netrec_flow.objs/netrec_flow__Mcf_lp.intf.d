@@ -1,0 +1,1 @@
+lib/flow/mcf_lp.mli: Commodity Graph Routing

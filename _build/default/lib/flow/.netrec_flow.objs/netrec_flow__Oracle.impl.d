@@ -1,0 +1,1 @@
+lib/flow/oracle.ml: Array Commodity Gk Hashtbl List Mcf_lp Option Route_greedy Routing Traverse

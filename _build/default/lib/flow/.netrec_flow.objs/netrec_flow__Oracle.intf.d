@@ -1,0 +1,1 @@
+lib/flow/oracle.mli: Commodity Graph Routing

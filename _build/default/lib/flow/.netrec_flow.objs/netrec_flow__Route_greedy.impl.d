@@ -1,0 +1,1 @@
+lib/flow/route_greedy.ml: Array Commodity Dijkstra Float Graph List Option Routing

@@ -1,0 +1,1 @@
+lib/flow/route_greedy.mli: Commodity Graph Routing

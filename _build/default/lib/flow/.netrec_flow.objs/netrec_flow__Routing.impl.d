@@ -1,0 +1,1 @@
+lib/flow/routing.ml: Array Commodity Float Format Graph List Paths

@@ -1,0 +1,1 @@
+lib/flow/routing.mli: Commodity Format Graph Paths

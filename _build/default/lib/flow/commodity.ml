@@ -1,0 +1,30 @@
+type t = { src : Graph.vertex; dst : Graph.vertex; amount : float }
+
+let make ~src ~dst ~amount =
+  if src = dst then invalid_arg "Commodity.make: src = dst";
+  if amount < 0.0 then invalid_arg "Commodity.make: negative amount";
+  { src; dst; amount }
+
+let total ds = List.fold_left (fun acc d -> acc +. d.amount) 0.0 ds
+
+let endpoints ds =
+  List.concat_map (fun d -> [ d.src; d.dst ]) ds |> List.sort_uniq compare
+
+let is_endpoint ds v = List.exists (fun d -> d.src = v || d.dst = v) ds
+
+let normalize ds =
+  let tbl = Hashtbl.create (List.length ds) in
+  let key d = if d.src < d.dst then (d.src, d.dst) else (d.dst, d.src) in
+  List.iter
+    (fun d ->
+      let k = key d in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (prev +. d.amount))
+    ds;
+  Hashtbl.fold
+    (fun (s, t) amount acc ->
+      if amount > 1e-9 then { src = s; dst = t; amount } :: acc else acc)
+    tbl []
+  |> List.sort compare
+
+let pp fmt d = Format.fprintf fmt "%d->%d:%g" d.src d.dst d.amount

@@ -1,0 +1,33 @@
+(** Demand flows (the commodities of the multicommodity problem).
+
+    The demand graph [H = (VH, EH)] of the paper is represented as a list
+    of demands; each demand is one edge of [EH] with its flow requirement
+    [d_h].  Lists rather than sets: ISP's split action creates several
+    demands that share endpoints, and order carries no meaning. *)
+
+type t = {
+  src : Graph.vertex;
+  dst : Graph.vertex;
+  amount : float;  (** strictly positive for live demands *)
+}
+(** One demand pair [(s_h, t_h)] with flow [d_h]. *)
+
+val make : src:Graph.vertex -> dst:Graph.vertex -> amount:float -> t
+(** @raise Invalid_argument when [src = dst] or [amount < 0]. *)
+
+val total : t list -> float
+(** Sum of demand amounts. *)
+
+val endpoints : t list -> Graph.vertex list
+(** Sorted distinct endpoint vertices (the paper's [VH]). *)
+
+val is_endpoint : t list -> Graph.vertex -> bool
+(** Whether a vertex is an endpoint of any demand in the list. *)
+
+val normalize : t list -> t list
+(** Merge demands sharing the same unordered endpoint pair and drop
+    (near-)zero amounts.  Used before routability tests to keep the
+    commodity count — and thus LP size — small. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable "s->t:amount". *)

@@ -1,0 +1,229 @@
+type result = { lambda : float; routing : Routing.t }
+
+let all _ = true
+
+(* Fleischer-style max-sum multicommodity flow.  Each commodity carries a
+   private virtual access edge of capacity d_h whose length grows as the
+   commodity gets served; flow is pushed along the globally cheapest
+   (virtual + real) shortest path until every such path has length >= 1. *)
+let max_sum ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g demands =
+  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let m = Graph.ne g in
+  let live e =
+    edge_ok e
+    && cap e > 1e-12
+    &&
+    let u, v = Graph.endpoints g e in
+    vertex_ok u && vertex_ok v
+  in
+  let live_count = ref 0 in
+  for e = 0 to m - 1 do
+    if live e then incr live_count
+  done;
+  if demands = [] || !live_count = 0 then
+    List.map (fun demand -> { Routing.demand; paths = [] }) demands
+  else begin
+    let darr = Array.of_list demands in
+    let nh = Array.length darr in
+    (* virtual edges count towards the delta sizing *)
+    let mf = float_of_int (!live_count + nh) in
+    let delta = (mf /. (1.0 -. eps)) ** (-1.0 /. eps) in
+    let len = Array.make m infinity in
+    for e = 0 to m - 1 do
+      if live e then len.(e) <- delta /. cap e
+    done;
+    let vlen = Array.map (fun d -> delta /. d.Commodity.amount) darr in
+    let routed = Array.make nh 0.0 in
+    let paths = Array.make nh [] in
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      for h = 0 to nh - 1 do
+        let d = darr.(h) in
+        let rec push () =
+          match
+            Dijkstra.shortest_path ~vertex_ok ~edge_ok:live
+              ~length:(fun e -> len.(e))
+              g d.Commodity.src d.Commodity.dst
+          with
+          | None | Some [] -> ()
+          | Some p ->
+            let dist =
+              List.fold_left (fun acc e -> acc +. len.(e)) vlen.(h) p
+            in
+            if dist < 1.0 then begin
+              let bottleneck =
+                List.fold_left
+                  (fun a e -> Float.min a (cap e))
+                  d.Commodity.amount p
+              in
+              routed.(h) <- routed.(h) +. bottleneck;
+              paths.(h) <- (p, bottleneck) :: paths.(h);
+              List.iter
+                (fun e ->
+                  len.(e) <- len.(e) *. (1.0 +. (eps *. bottleneck /. cap e)))
+                p;
+              vlen.(h) <-
+                vlen.(h) *. (1.0 +. (eps *. bottleneck /. d.Commodity.amount));
+              continue := true;
+              push ()
+            end
+        in
+        push ()
+      done
+    done;
+    (* Certify feasibility: uniform scaling by the worst congestion over
+       real and virtual edges, then trim each demand to its amount. *)
+    let load = Array.make m 0.0 in
+    Array.iter
+      (fun plist ->
+        List.iter
+          (fun (p, f) -> List.iter (fun e -> load.(e) <- load.(e) +. f) p)
+          plist)
+      paths;
+    let congestion = ref 1.0 in
+    for e = 0 to m - 1 do
+      if live e && load.(e) > 0.0 then
+        congestion := Float.max !congestion (load.(e) /. cap e)
+    done;
+    for h = 0 to nh - 1 do
+      if routed.(h) > 0.0 then
+        congestion :=
+          Float.max !congestion (routed.(h) /. darr.(h).Commodity.amount)
+    done;
+    List.mapi
+      (fun h demand ->
+        let target =
+          Float.min demand.Commodity.amount (routed.(h) /. !congestion)
+        in
+        let taken = ref 0.0 in
+        let trimmed =
+          List.filter_map
+            (fun (p, f) ->
+              let available = f /. !congestion in
+              let take = Float.min available (target -. !taken) in
+              if take > 1e-12 then begin
+                taken := !taken +. take;
+                Some (p, take)
+              end
+              else None)
+            (List.rev paths.(h))
+        in
+        { Routing.demand; paths = trimmed })
+      demands
+  end
+
+let max_concurrent ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g
+    demands =
+  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let m = Graph.ne g in
+  let live e =
+    edge_ok e
+    && cap e > 1e-12
+    &&
+    let u, v = Graph.endpoints g e in
+    vertex_ok u && vertex_ok v
+  in
+  let live_count = ref 0 in
+  for e = 0 to m - 1 do
+    if live e then incr live_count
+  done;
+  let fail_result = { lambda = 0.0; routing = Routing.empty } in
+  if demands = [] then { lambda = infinity; routing = Routing.empty }
+  else if !live_count = 0 then fail_result
+  else begin
+    let mf = float_of_int !live_count in
+    let delta = (mf /. (1.0 -. eps)) ** (-1.0 /. eps) in
+    let len = Array.make m infinity in
+    for e = 0 to m - 1 do
+      if live e then len.(e) <- delta /. cap e
+    done;
+    (* D(l) = sum_e c_e l_e; the algorithm stops when D >= 1. *)
+    let dsum = ref (mf *. delta) in
+    let darr = Array.of_list demands in
+    let nh = Array.length darr in
+    let routed = Array.make nh 0.0 in
+    let paths = Array.make nh [] in
+    (* per-commodity accumulated (path, amount), unscaled *)
+    let disconnected = ref false in
+    let shortest h =
+      Dijkstra.shortest_path ~vertex_ok ~edge_ok:live
+        ~length:(fun e -> len.(e))
+        g darr.(h).Commodity.src darr.(h).Commodity.dst
+    in
+    while !dsum < 1.0 && not !disconnected do
+      (* One Fleischer phase: route each commodity's full demand. *)
+      let h = ref 0 in
+      while !h < nh && not !disconnected do
+        let remaining = ref darr.(!h).Commodity.amount in
+        while !remaining > 1e-12 && !dsum < 1.0 && not !disconnected do
+          match shortest !h with
+          | None | Some [] -> disconnected := true
+          | Some p ->
+            let bottleneck =
+              List.fold_left (fun a e -> Float.min a (cap e)) infinity p
+            in
+            let f = Float.min bottleneck !remaining in
+            remaining := !remaining -. f;
+            routed.(!h) <- routed.(!h) +. f;
+            paths.(!h) <- (p, f) :: paths.(!h);
+            List.iter
+              (fun e ->
+                let old_len = len.(e) in
+                let new_len = old_len *. (1.0 +. (eps *. f /. cap e)) in
+                len.(e) <- new_len;
+                dsum := !dsum +. (cap e *. (new_len -. old_len)))
+              p
+        done;
+        incr h
+      done
+    done;
+    if !disconnected then fail_result
+    else begin
+      (* Certify: scale the accumulated flow by the worst congestion. *)
+      let load = Array.make m 0.0 in
+      Array.iter
+        (fun plist ->
+          List.iter
+            (fun (p, f) -> List.iter (fun e -> load.(e) <- load.(e) +. f) p)
+            plist)
+        paths;
+      let congestion = ref 1e-12 in
+      for e = 0 to m - 1 do
+        if live e && load.(e) > 0.0 then
+          congestion := Float.max !congestion (load.(e) /. cap e)
+      done;
+      let lambda = ref infinity in
+      for h = 0 to nh - 1 do
+        lambda :=
+          Float.min !lambda
+            (routed.(h) /. !congestion /. darr.(h).Commodity.amount)
+      done;
+      let lambda = !lambda in
+      (* Build a routing serving min(1, lambda) of each demand: scale every
+         path by 1/congestion, then trim the excess beyond the target. *)
+      let routing =
+        List.mapi
+          (fun h demand ->
+            let target =
+              Float.min 1.0 lambda *. demand.Commodity.amount
+            in
+            let taken = ref 0.0 in
+            let trimmed =
+              List.filter_map
+                (fun (p, f) ->
+                  let available = f /. !congestion in
+                  let take = Float.min available (target -. !taken) in
+                  if take > 1e-12 then begin
+                    taken := !taken +. take;
+                    Some (p, take)
+                  end
+                  else None)
+                (List.rev paths.(h))
+            in
+            { Routing.demand; paths = trimmed })
+          demands
+      in
+      { lambda; routing }
+    end
+  end

@@ -1,0 +1,54 @@
+(** Garg–Könemann fully-polynomial approximation for maximum concurrent
+    multicommodity flow (Garg & Könemann, SIAM J. Comput. 2007 — the
+    paper's reference [17]), with Fleischer-style phases.
+
+    Used as the large-instance fallback of the routability {!Oracle}: the
+    exact LP of {!Mcf_lp} does not scale past a few thousand flow
+    variables, while GK only needs repeated Dijkstra runs.
+
+    The returned ratio [lambda] is {e certified feasible}: the flow
+    scaled by the observed congestion satisfies every capacity, so
+    [lambda >= 1] proves routability constructively.  Conversely the GK
+    guarantee [lambda >= (1 - 3 eps) lambda*] makes
+    [lambda < 1 - 3 eps] a proof of unroutability; ratios in between are
+    inconclusive. *)
+
+type result = {
+  lambda : float;
+      (** certified concurrent ratio: every demand can be served at
+          [lambda] times its amount simultaneously *)
+  routing : Routing.t;
+      (** explicit feasible routing serving [min 1 lambda] of each
+          demand *)
+}
+
+val max_concurrent :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?eps:float ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  result
+(** Approximate the maximum concurrent flow.  [eps] (default 0.1) trades
+    accuracy for running time (cost grows as [1/eps^2]).  Demands with
+    amount 0 are ignored; a demand disconnected from its endpoint makes
+    [lambda = 0]. *)
+
+val max_sum :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?eps:float ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  Routing.t
+(** Approximate the {e maximum total} multicommodity flow with
+    per-demand caps [d_h] (each demand served at most its amount) — the
+    demand-loss measurement problem.  The per-demand cap is realised by
+    the classic virtual-source-edge trick folded into the algorithm: a
+    commodity's length includes a private "access" length that grows
+    with its own routed amount, so saturated demands stop attracting
+    flow.  The returned routing is certified capacity-feasible (scaled
+    by the observed congestion) and serves at least [(1 - 3 eps)] of
+    the optimum. *)

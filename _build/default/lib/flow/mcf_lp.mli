@@ -1,0 +1,57 @@
+(** Exact multicommodity-flow linear programs (paper systems (2) and the
+    split LP of §IV-C), built on the {!Netrec_lp} simplex.
+
+    The LPs are dense and sized [2 * |live edges| * |commodities|] flow
+    variables, so every entry point takes a [var_budget] and refuses
+    ([`Too_big]) instances beyond it — the {!Oracle} then falls back to
+    the Garg–Könemann approximation.  All entry points accept the usual
+    availability predicates and a residual-capacity function. *)
+
+type verdict =
+  | Routable of Routing.t  (** feasible, with an explicit routing *)
+  | Unroutable  (** proven infeasible *)
+  | Too_big  (** above [var_budget]; not attempted *)
+  | Undecided  (** simplex hit its iteration limit *)
+
+val feasible :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?var_budget:int ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  verdict
+(** Exact routability test: solve the feasibility system (2).  Default
+    [var_budget] is 6000 flow variables. *)
+
+val max_scale :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?var_budget:int ->
+  cap:(Graph.edge_id -> float) ->
+  tmax:float ->
+  Graph.t ->
+  (Commodity.t * float) list ->
+  [ `Max of float | `Too_big | `Undecided ]
+(** [max_scale ~tmax g param] maximizes the scalar [t] in [\[0, tmax\]]
+    such that the demand set where each [(c, slope)] has amount
+    [c.amount + slope * t] is routable.  Amounts must remain non-negative
+    on the whole range (the caller chooses [tmax] accordingly).
+
+    With [param = \[(d, -1); (s->v, +1); (v->t, +1)\]] and [tmax = d_h]
+    this is exactly the paper's LP for the maximum splittable amount
+    [dx]; with all bases 0 and slopes [d_h], [tmax = ∞] it computes the
+    maximum concurrent-flow ratio.  Returns [`Max 0.] when even [t = 0]
+    is infeasible territory — callers should pre-check feasibility. *)
+
+val max_total :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?var_budget:int ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  [ `Routing of Routing.t | `Too_big | `Undecided ]
+(** Maximize the total satisfied demand with per-demand caps [d_h] (each
+    demand may be partially served).  This is the demand-loss measurement
+    LP for heuristics without a routing guarantee (SRT, GRD-COM). *)

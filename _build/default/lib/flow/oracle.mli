@@ -1,0 +1,48 @@
+(** Layered routability oracle.
+
+    Decides whether a demand set is routable over (a sub-graph of) the
+    supply graph — the test at the heart of ISP's loop condition (paper
+    §IV-A, system (2)) — escalating through progressively more expensive
+    methods:
+
+    + connectivity pre-check (BFS): a demand whose endpoints are
+      disconnected kills routability immediately;
+    + constructive greedy routing ({!Route_greedy}): success is a
+      certificate of routability with an explicit routing;
+    + exact LP ({!Mcf_lp.feasible}) when the instance fits the simplex
+      budget: decides either way;
+    + Garg–Könemann ({!Gk}) on large instances: certified either way
+      outside its approximation gray zone.
+
+    The verdict [Unknown] (gray zone, or simplex iteration limit) is
+    possible but rare; ISP treats it conservatively as "not routable". *)
+
+type verdict =
+  | Routable of Routing.t  (** with an explicit feasible routing *)
+  | Unroutable
+  | Unknown
+
+val routable :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?lp_var_budget:int ->
+  ?gk_eps:float ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  verdict
+(** Run the escalation chain.  [lp_var_budget] (default 6000) bounds the
+    exact-LP size; [gk_eps] (default 0.1) is the GK accuracy. *)
+
+val max_satisfiable :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  ?lp_var_budget:int ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  Routing.t
+(** Best-effort maximum satisfied demand: the exact {!Mcf_lp.max_total}
+    LP when the instance fits, otherwise the best greedy routing.  Used
+    to measure the demand loss of heuristics without routing
+    guarantees. *)

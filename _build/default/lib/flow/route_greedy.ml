@@ -1,0 +1,76 @@
+let all _ = true
+
+type metric = Hop | Inverse_capacity
+
+(* Route one demand over the residual capacities [resid] (mutated on
+   success only for the routed amount), returning the assigned paths. *)
+let route_one ~vertex_ok ~edge_ok ~metric g resid demand =
+  let open Commodity in
+  let eps = 1e-9 in
+  let edge_live e = edge_ok e && resid.(e) > eps in
+  let length e =
+    match metric with
+    | Hop -> 1.0
+    | Inverse_capacity -> 1.0 /. Float.max resid.(e) eps
+  in
+  let rec collect acc remaining =
+    if remaining <= eps then Some (List.rev acc)
+    else
+      match
+        Dijkstra.shortest_path ~vertex_ok ~edge_ok:edge_live ~length g
+          demand.src demand.dst
+      with
+      | None | Some [] -> if acc = [] then None else Some (List.rev acc)
+      | Some p ->
+        let bottleneck =
+          List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
+        in
+        let send = Float.min bottleneck remaining in
+        List.iter (fun e -> resid.(e) <- resid.(e) -. send) p;
+        collect ((p, send) :: acc) (remaining -. send)
+  in
+  collect [] demand.amount
+
+let attempt ~vertex_ok ~edge_ok ~cap ~metric g demands =
+  let resid = Array.init (Graph.ne g) cap in
+  List.map
+    (fun demand ->
+      let paths =
+        Option.value ~default:[]
+          (route_one ~vertex_ok ~edge_ok ~metric g resid demand)
+      in
+      { Routing.demand; paths })
+    demands
+
+let orders demands =
+  let by_amount d d' = compare d'.Commodity.amount d.Commodity.amount in
+  [ List.stable_sort by_amount demands;
+    List.rev (List.stable_sort by_amount demands);
+    demands ]
+
+let portfolio ~vertex_ok ~edge_ok ~cap g demands =
+  List.concat_map
+    (fun order ->
+      [ attempt ~vertex_ok ~edge_ok ~cap ~metric:Hop g order;
+        attempt ~vertex_ok ~edge_ok ~cap ~metric:Inverse_capacity g order ])
+    (orders demands)
+
+let complete demands routing =
+  Routing.total_routed routing >= Commodity.total demands -. 1e-6
+
+let route_all ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
+  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  if demands = [] then Some Routing.empty
+  else
+    List.find_opt (complete demands)
+      (portfolio ~vertex_ok ~edge_ok ~cap g demands)
+
+let route_max ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
+  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  if demands = [] then Routing.empty
+  else
+    let candidates = portfolio ~vertex_ok ~edge_ok ~cap g demands in
+    List.fold_left
+      (fun best r ->
+        if Routing.total_routed r > Routing.total_routed best then r else best)
+      (List.hd candidates) (List.tl candidates)

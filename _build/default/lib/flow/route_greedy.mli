@@ -1,0 +1,34 @@
+(** Constructive sequential router.
+
+    Routes demands one at a time over residual capacities using successive
+    shortest paths, trying a small portfolio of demand orders and edge
+    metrics.  A full success is a {e certificate} of routability (the
+    routing is explicit and capacity-feasible); a failure is inconclusive
+    — sequential routing is not complete for multicommodity flow — so the
+    {!Oracle} escalates to an LP in that case.
+
+    This is the fast path of the routability test that ISP runs at every
+    iteration, and the constructive "no demand loss" witness of the
+    experiments. *)
+
+val route_all :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  Routing.t option
+(** All-or-nothing: [Some routing] iff some portfolio attempt routes every
+    demand completely.  The routing respects [cap] exactly. *)
+
+val route_max :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  cap:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Commodity.t list ->
+  Routing.t
+(** Best effort: the portfolio attempt that routes the largest total
+    amount (possibly partial).  Lower-bounds the maximum satisfiable
+    demand; used for the demand-loss metric on instances too large for
+    the exact LP. *)

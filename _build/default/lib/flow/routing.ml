@@ -1,0 +1,59 @@
+type assignment = {
+  demand : Commodity.t;
+  paths : (Paths.path * float) list;
+}
+
+type t = assignment list
+
+let empty = []
+
+let routed_amount a = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 a.paths
+
+let total_routed t = List.fold_left (fun acc a -> acc +. routed_amount a) 0.0 t
+
+let edge_load g t =
+  let load = Array.make (Graph.ne g) 0.0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (p, x) -> List.iter (fun e -> load.(e) <- load.(e) +. x) p)
+        a.paths)
+    t;
+  load
+
+let path_joins g src dst p =
+  match p with
+  | [] -> src = dst
+  | _ -> (
+    match Paths.vertices_of g src p with
+    | exception Invalid_argument _ -> false
+    | vs -> List.nth vs (List.length vs - 1) = dst)
+
+let satisfies ?(eps = 1e-6) g ~cap t =
+  let load = edge_load g t in
+  let caps_ok = ref true in
+  Array.iteri
+    (fun e l -> if l > cap e +. eps then caps_ok := false)
+    load;
+  !caps_ok
+  && List.for_all
+       (fun a ->
+         List.for_all
+           (fun (p, x) ->
+             x >= -.eps && path_joins g a.demand.Commodity.src a.demand.Commodity.dst p)
+           a.paths)
+       t
+
+let satisfaction ~demands t =
+  let want = Commodity.total demands in
+  if want <= 0.0 then 1.0
+  else Float.min 1.0 (total_routed t /. want)
+
+let merge = ( @ )
+
+let pp fmt t =
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "%a via %d path(s), %.3f routed@."
+        Commodity.pp a.demand (List.length a.paths) (routed_amount a))
+    t

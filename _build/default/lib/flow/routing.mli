@@ -1,0 +1,43 @@
+(** Explicit routings: which paths carry how much of each demand.
+
+    ISP must output a routing together with the repair list (paper §I:
+    "the algorithm also produces a routing solution that guarantees that
+    the demand flows are actually accommodated"); this module is that
+    artifact plus its validity checker. *)
+
+type assignment = {
+  demand : Commodity.t;
+  paths : (Paths.path * float) list;
+      (** paths from [demand.src] to [demand.dst] with carried amounts *)
+}
+
+type t = assignment list
+
+val empty : t
+(** No demands routed. *)
+
+val routed_amount : assignment -> float
+(** Total amount carried for one demand. *)
+
+val total_routed : t -> float
+(** Sum over all assignments. *)
+
+val edge_load : Graph.t -> t -> float array
+(** Total flow (all demands, both directions summed — the paper's capacity
+    model) per edge id. *)
+
+val satisfies : ?eps:float -> Graph.t -> cap:(Graph.edge_id -> float) -> t -> bool
+(** Whether every edge load respects [cap] and every assignment's paths
+    really join its demand endpoints. *)
+
+val satisfaction : demands:Commodity.t list -> t -> float
+(** Fraction (in [0,1]) of the total demand that the routing carries —
+    the "percentage of satisfied demand" series of Figs. 4(d), 5(b), 6(b)
+    and 9(b), as a ratio.  1 when [demands] is empty. *)
+
+val merge : t -> t -> t
+(** Concatenate two routings (used when pruning routes part of the demand
+    and the final test routes the rest). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)

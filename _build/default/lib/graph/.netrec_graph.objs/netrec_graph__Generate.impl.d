@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Array Float Graph Hashtbl List Netrec_util Option Traverse

@@ -1,0 +1,1 @@
+lib/graph/generate.mli: Graph Netrec_util

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Graph Hashtbl List Option Printf Queue Traverse

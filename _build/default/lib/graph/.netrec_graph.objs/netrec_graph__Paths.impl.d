@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Dijkstra Float Graph List

@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Array Graph List Queue

@@ -1,0 +1,53 @@
+module Pqueue = Netrec_util.Pqueue
+
+let all _ = true
+
+let run ?(vertex_ok = all) ?(edge_ok = all) ~length g src =
+  let n = Graph.nv g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  if vertex_ok src then begin
+    let heap = Pqueue.create () in
+    dist.(src) <- 0.0;
+    Pqueue.push heap 0.0 src;
+    let rec loop () =
+      match Pqueue.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+        if d <= dist.(u) then begin
+          let relax (w, e) =
+            if vertex_ok w && edge_ok e then begin
+              let len = length e in
+              if len < 0.0 then invalid_arg "Dijkstra: negative edge length";
+              let nd = d +. len in
+              if nd < dist.(w) then begin
+                dist.(w) <- nd;
+                pred.(w) <- e;
+                Pqueue.push heap nd w
+              end
+            end
+          in
+          List.iter relax (Graph.incident g u)
+        end;
+        loop ()
+    in
+    loop ()
+  end;
+  (dist, pred)
+
+let distances ?vertex_ok ?edge_ok ~length g src =
+  fst (run ?vertex_ok ?edge_ok ~length g src)
+
+let shortest_path ?vertex_ok ?edge_ok ~length g src dst =
+  let dist, pred = run ?vertex_ok ?edge_ok ~length g src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = src then acc
+      else
+        let e = pred.(v) in
+        walk (Graph.other_end g e v) (e :: acc)
+    in
+    Some (walk dst [])
+  end

@@ -1,0 +1,27 @@
+(** Single-source shortest paths with arbitrary non-negative edge lengths.
+
+    The length is a function of the edge id, which lets callers plug in the
+    dynamic repair-aware path metric of the paper (§IV-D):
+    [l(e) = (const + ke + (kv_u + kv_v)/2) / c(e)], re-evaluated every
+    iteration as repairs and prunes change costs and residual capacities. *)
+
+val distances :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  length:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Graph.vertex ->
+  float array
+(** Shortest-path length from the source to every vertex ([infinity] when
+    unreachable).  @raise Invalid_argument on a negative edge length. *)
+
+val shortest_path :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  length:(Graph.edge_id -> float) ->
+  Graph.t ->
+  Graph.vertex ->
+  Graph.vertex ->
+  Graph.edge_id list option
+(** Shortest path between two vertices as an edge sequence (source to
+    target; [Some []] when they coincide and are ok). *)

@@ -1,0 +1,145 @@
+type vertex = int
+type edge_id = int
+
+type edge = { id : edge_id; u : vertex; v : vertex; capacity : float }
+
+type t = {
+  nv : int;
+  edge_arr : edge array;
+  adj : (vertex * edge_id) list array;
+  names : string array option;
+  coords : (float * float) array option;
+}
+
+let make ?names ?coords ~n ~edges () =
+  if n < 0 then invalid_arg "Graph.make: negative vertex count";
+  (match names with
+  | Some a when Array.length a <> n -> invalid_arg "Graph.make: names arity"
+  | _ -> ());
+  (match coords with
+  | Some a when Array.length a <> n -> invalid_arg "Graph.make: coords arity"
+  | _ -> ());
+  let check_vertex w =
+    if w < 0 || w >= n then invalid_arg "Graph.make: endpoint out of range"
+  in
+  let edge_arr =
+    Array.of_list
+      (List.mapi
+         (fun id (u, v, capacity) ->
+           check_vertex u;
+           check_vertex v;
+           if u = v then invalid_arg "Graph.make: self-loop";
+           if capacity < 0.0 then invalid_arg "Graph.make: negative capacity";
+           { id; u; v; capacity })
+         edges)
+  in
+  let adj = Array.make n [] in
+  (* Build adjacency in reverse so that each list ends up in edge-id order. *)
+  for i = Array.length edge_arr - 1 downto 0 do
+    let e = edge_arr.(i) in
+    adj.(e.u) <- (e.v, e.id) :: adj.(e.u);
+    adj.(e.v) <- (e.u, e.id) :: adj.(e.v)
+  done;
+  { nv = n; edge_arr; adj; names; coords }
+
+let nv g = g.nv
+let ne g = Array.length g.edge_arr
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edge_arr then
+    invalid_arg "Graph.edge: id out of range";
+  g.edge_arr.(id)
+
+let edges g = Array.to_list g.edge_arr
+let capacity g id = (edge g id).capacity
+
+let endpoints g id =
+  let e = edge g id in
+  (e.u, e.v)
+
+let other_end g id w =
+  let e = edge g id in
+  if e.u = w then e.v
+  else if e.v = w then e.u
+  else invalid_arg "Graph.other_end: vertex not an endpoint"
+
+let incident g v =
+  if v < 0 || v >= g.nv then invalid_arg "Graph.incident: vertex out of range";
+  g.adj.(v)
+
+let neighbors g v = List.map fst (incident g v)
+let degree g v = List.length (incident g v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.nv - 1 do
+    best := max !best (List.length g.adj.(v))
+  done;
+  !best
+
+let find_edges g u v =
+  List.filter_map (fun (w, e) -> if w = v then Some e else None) (incident g u)
+
+let find_edge g u v =
+  match find_edges g u v with [] -> None | e :: _ -> Some e
+
+let name g v =
+  match g.names with
+  | Some a -> a.(v)
+  | None -> "v" ^ string_of_int v
+
+let coord g v =
+  match g.coords with Some a -> Some a.(v) | None -> None
+
+let has_coords g = g.coords <> None
+
+let vertices g = List.init g.nv (fun i -> i)
+
+let fold_edges f g init = Array.fold_left (fun acc e -> f e acc) init g.edge_arr
+
+let total_capacity g = fold_edges (fun e acc -> acc +. e.capacity) g 0.0
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph supply {\n";
+  for v = 0 to g.nv - 1 do
+    let pos =
+      match coord g v with
+      | Some (x, y) -> Printf.sprintf " pos=\"%g,%g!\"" x y
+      | None -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\"%s];\n" v (name g v) pos)
+  done;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%g\"];\n" e.u e.v e.capacity))
+    g.edge_arr;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%d %d %g\n" e.u e.v e.capacity))
+    g.edge_arr;
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let parse line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ u; v; c ] -> (
+        try Some (int_of_string u, int_of_string v, float_of_string c)
+        with _ -> failwith ("Graph.of_edge_list: bad line: " ^ line))
+      | _ -> failwith ("Graph.of_edge_list: bad line: " ^ line)
+  in
+  let parsed = List.filter_map parse lines in
+  let n =
+    List.fold_left (fun acc (u, v, _) -> max acc (max u v + 1)) 0 parsed
+  in
+  make ~n ~edges:parsed ()

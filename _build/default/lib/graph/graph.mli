@@ -1,0 +1,109 @@
+(** Undirected capacitated multigraph.
+
+    The supply network of the recovery problem (paper §III): vertices are
+    dense integers [0 .. nv-1]; each edge has a unique dense identifier, two
+    endpoints and a nominal capacity.  The structure is immutable after
+    construction — per-iteration state (residual capacities, broken sets,
+    repair lists) lives outside the graph and is passed to algorithms as
+    functions ([cap : edge_id -> float], [edge_ok : edge_id -> bool], ...),
+    so one graph value can back many concurrent problem instances. *)
+
+type vertex = int
+(** Dense vertex identifier in [0 .. nv-1]. *)
+
+type edge_id = int
+(** Dense edge identifier in [0 .. ne-1]. *)
+
+type edge = {
+  id : edge_id;
+  u : vertex;
+  v : vertex;
+  capacity : float;  (** nominal (pre-failure) capacity *)
+}
+(** An undirected edge; [u < v] is not guaranteed (endpoints are stored as
+    given), use {!other_end} to traverse. *)
+
+type t
+(** The graph. *)
+
+val make :
+  ?names:string array ->
+  ?coords:(float * float) array ->
+  n:int ->
+  edges:(vertex * vertex * float) list ->
+  unit ->
+  t
+(** [make ~n ~edges ()] builds a graph with [n] vertices and the given
+    [(u, v, capacity)] edges (ids assigned in list order).  Optional [names]
+    and [coords] arrays must have length [n] when given.  Self-loops are
+    rejected; parallel edges are allowed.
+    @raise Invalid_argument on out-of-range endpoints or arity mismatch. *)
+
+val nv : t -> int
+(** Number of vertices. *)
+
+val ne : t -> int
+(** Number of edges. *)
+
+val edge : t -> edge_id -> edge
+(** Edge record by id.  @raise Invalid_argument when out of range. *)
+
+val edges : t -> edge list
+(** All edges in id order. *)
+
+val capacity : t -> edge_id -> float
+(** Nominal capacity of an edge. *)
+
+val endpoints : t -> edge_id -> vertex * vertex
+(** Both endpoints of an edge. *)
+
+val other_end : t -> edge_id -> vertex -> vertex
+(** [other_end g e w] is the endpoint of [e] different from [w].
+    @raise Invalid_argument if [w] is not an endpoint of [e]. *)
+
+val incident : t -> vertex -> (vertex * edge_id) list
+(** [(neighbor, edge)] pairs incident to a vertex. *)
+
+val neighbors : t -> vertex -> vertex list
+(** Adjacent vertices (with multiplicity for parallel edges). *)
+
+val degree : t -> vertex -> int
+(** Number of incident edges. *)
+
+val max_degree : t -> int
+(** [ηmax], the maximum vertex degree (0 for an edgeless graph). *)
+
+val find_edge : t -> vertex -> vertex -> edge_id option
+(** Some edge connecting the two vertices, if any. *)
+
+val find_edges : t -> vertex -> vertex -> edge_id list
+(** Every parallel edge connecting the two vertices. *)
+
+val name : t -> vertex -> string
+(** Vertex display name (defaults to ["v<i>"]). *)
+
+val coord : t -> vertex -> (float * float) option
+(** Planar coordinate of a vertex when the graph is embedded. *)
+
+val has_coords : t -> bool
+(** Whether every vertex carries a coordinate. *)
+
+val vertices : t -> vertex list
+(** [0; 1; ...; nv-1]. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over edges in id order. *)
+
+val total_capacity : t -> float
+(** Sum of nominal capacities. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (capacities as labels, coordinates as [pos]). *)
+
+val to_edge_list : t -> string
+(** One [u v capacity] line per edge — the library's plain-text exchange
+    format, re-read by {!of_edge_list}. *)
+
+val of_edge_list : string -> t
+(** Parse the {!to_edge_list} format.  Vertex count is one more than the
+    largest mentioned endpoint.  @raise Failure on malformed input. *)

@@ -1,0 +1,214 @@
+type result = { value : float; edge_flow : float array }
+
+let all _ = true
+
+(* Arc encoding: undirected edge [e] becomes arcs [2e] (u -> v) and [2e+1]
+   (v -> u), each with the edge capacity; pushing on one increases the
+   residual of the other, which realises the undirected capacity model. *)
+
+let flow_eps = 1e-9
+
+let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
+  let n = Graph.nv g and m = Graph.ne g in
+  if source < 0 || source >= n || sink < 0 || sink >= n then
+    invalid_arg "Maxflow: vertex out of range";
+  let cap_of e = match cap with Some f -> f e | None -> Graph.capacity g e in
+  let resid = Array.make (2 * m) 0.0 in
+  for e = 0 to m - 1 do
+    let c = cap_of e in
+    if c < 0.0 then invalid_arg "Maxflow: negative capacity";
+    resid.(2 * e) <- c;
+    resid.((2 * e) + 1) <- c
+  done;
+  let arc_ok a =
+    let e = a / 2 in
+    edge_ok e
+    &&
+    let u, v = Graph.endpoints g e in
+    vertex_ok u && vertex_ok v
+  in
+  let arc_head a =
+    let e = Graph.edge g (a / 2) in
+    if a land 1 = 0 then e.v else e.u
+  in
+  let arcs_from = Array.make n [] in
+  for e = m - 1 downto 0 do
+    let { Graph.u; v; _ } = Graph.edge g e in
+    arcs_from.(u) <- (2 * e) :: arcs_from.(u);
+    arcs_from.(v) <- ((2 * e) + 1) :: arcs_from.(v)
+  done;
+  let level = Array.make n (-1) in
+  let build_levels () =
+    Array.fill level 0 n (-1);
+    if not (vertex_ok source) then false
+    else begin
+      let queue = Queue.create () in
+      level.(source) <- 0;
+      Queue.add source queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let visit a =
+          if arc_ok a && resid.(a) > flow_eps then begin
+            let w = arc_head a in
+            if level.(w) < 0 then begin
+              level.(w) <- level.(u) + 1;
+              Queue.add w queue
+            end
+          end
+        in
+        List.iter visit arcs_from.(u)
+      done;
+      level.(sink) >= 0
+    end
+  in
+  (* [iter] is the current-arc optimisation: remaining arcs to try per
+     vertex within one blocking-flow phase. *)
+  let iter = Array.make n [] in
+  let rec push u limit =
+    if u = sink then limit
+    else begin
+      let rec try_arcs () =
+        match iter.(u) with
+        | [] -> 0.0
+        | a :: rest ->
+          let advance () =
+            iter.(u) <- rest;
+            try_arcs ()
+          in
+          if not (arc_ok a) || resid.(a) <= flow_eps then advance ()
+          else begin
+            let w = arc_head a in
+            if level.(w) <> level.(u) + 1 then advance ()
+            else begin
+              let got = push w (Float.min limit resid.(a)) in
+              if got > flow_eps then begin
+                resid.(a) <- resid.(a) -. got;
+                resid.(a lxor 1) <- resid.(a lxor 1) +. got;
+                got
+              end
+              else advance ()
+            end
+          end
+      in
+      try_arcs ()
+    end
+  in
+  let value = ref 0.0 in
+  if source <> sink then begin
+    while build_levels () do
+      for v = 0 to n - 1 do
+        iter.(v) <- arcs_from.(v)
+      done;
+      let rec drain () =
+        let got = push source infinity in
+        if got > flow_eps then begin
+          value := !value +. got;
+          drain ()
+        end
+      in
+      drain ()
+    done
+  end;
+  let edge_flow =
+    Array.init m (fun e -> (resid.((2 * e) + 1) -. resid.(2 * e)) /. 2.0)
+  in
+  { value = !value; edge_flow }
+
+let max_flow_value ?vertex_ok ?edge_ok ?cap g ~source ~sink =
+  (max_flow ?vertex_ok ?edge_ok ?cap g ~source ~sink).value
+
+let min_cut ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
+  let { edge_flow; _ } = max_flow ~vertex_ok ~edge_ok ?cap g ~source ~sink in
+  let cap_of e = match cap with Some f -> f e | None -> Graph.capacity g e in
+  (* Residual reachability from the source: an edge is traversable u -> v
+     when its residual capacity in that direction is positive. *)
+  let n = Graph.nv g in
+  let seen = Array.make n false in
+  if vertex_ok source then begin
+    let queue = Queue.create () in
+    seen.(source) <- true;
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let visit (w, e) =
+        if vertex_ok w && edge_ok e && not seen.(w) then begin
+          let { Graph.u = eu; _ } = Graph.edge g e in
+          let along = if eu = u then edge_flow.(e) else -.edge_flow.(e) in
+          if cap_of e -. along > flow_eps then begin
+            seen.(w) <- true;
+            Queue.add w queue
+          end
+        end
+      in
+      List.iter visit (Graph.incident g u)
+    done
+  end;
+  let side = List.filter (fun v -> seen.(v)) (Graph.vertices g) in
+  let crossing =
+    Graph.fold_edges
+      (fun e acc ->
+        if edge_ok e.Graph.id && vertex_ok e.Graph.u && vertex_ok e.Graph.v
+           && seen.(e.Graph.u) <> seen.(e.Graph.v)
+        then e.Graph.id :: acc
+        else acc)
+      g []
+  in
+  (side, List.rev crossing)
+
+let decompose g ~source ~sink { edge_flow; _ } =
+  let flow = Array.copy edge_flow in
+  (* Walk positive-flow arcs from source to sink, peel off the bottleneck,
+     repeat.  Each peel zeroes at least one edge, so at most [ne] paths. *)
+  let n = Graph.nv g in
+  let along e u =
+    let { Graph.u = eu; _ } = Graph.edge g e in
+    if eu = u then flow.(e) else -.flow.(e)
+  in
+  let rec find_path () =
+    let pred = Array.make n (-1) in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(source) <- true;
+    Queue.add source queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let visit (w, e) =
+        if (not seen.(w)) && along e u > flow_eps then begin
+          seen.(w) <- true;
+          pred.(w) <- e;
+          if w = sink then found := true else Queue.add w queue
+        end
+      in
+      if not !found then List.iter visit (Graph.incident g u)
+    done;
+    if not !found then []
+    else begin
+      let rec walk v acc =
+        if v = source then acc
+        else
+          let e = pred.(v) in
+          walk (Graph.other_end g e v) (e :: acc)
+      in
+      let path = walk sink [] in
+      let rec bottleneck v acc = function
+        | [] -> acc
+        | e :: rest ->
+          let w = Graph.other_end g e v in
+          bottleneck w (Float.min acc (along e v)) rest
+      in
+      let amt = bottleneck source infinity path in
+      let rec subtract v = function
+        | [] -> ()
+        | e :: rest ->
+          let w = Graph.other_end g e v in
+          let { Graph.u = eu; _ } = Graph.edge g e in
+          if eu = v then flow.(e) <- flow.(e) -. amt
+          else flow.(e) <- flow.(e) +. amt;
+          subtract w rest
+      in
+      subtract source path;
+      if amt > flow_eps then (path, amt) :: find_path () else []
+    end
+  in
+  if source = sink then [] else find_path ()

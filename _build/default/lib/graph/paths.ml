@@ -1,0 +1,65 @@
+type path = Graph.edge_id list
+
+let vertices_of g src p =
+  let rec walk v acc = function
+    | [] -> List.rev (v :: acc)
+    | e :: rest ->
+      let u, w = Graph.endpoints g e in
+      let next =
+        if u = v then w
+        else if w = v then u
+        else invalid_arg "Paths.vertices_of: path does not chain"
+      in
+      walk next (v :: acc) rest
+  in
+  walk src [] p
+
+let length ~length p = List.fold_left (fun acc e -> acc +. length e) 0.0 p
+
+let capacity ~cap p =
+  List.fold_left (fun acc e -> Float.min acc (cap e)) infinity p
+
+let is_simple g src p =
+  let vs = vertices_of g src p in
+  let sorted = List.sort compare vs in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | _ -> true
+  in
+  distinct sorted
+
+type bundle = { paths : (path * float) list; covered : float }
+
+let shortest_bundle ?(vertex_ok = fun _ -> true) ?(edge_ok = fun _ -> true)
+    ~length:len ~cap ~demand g i j =
+  let m = Graph.ne g in
+  let resid = Array.init m (fun e -> cap e) in
+  let eps = 1e-9 in
+  let edge_ok e = edge_ok e && resid.(e) > eps in
+  let rec collect acc covered =
+    if covered >= demand -. eps then { paths = List.rev acc; covered }
+    else
+      match
+        Dijkstra.shortest_path ~vertex_ok ~edge_ok
+          ~length:(fun e -> len e)
+          g i j
+      with
+      | None -> { paths = List.rev acc; covered }
+      | Some [] -> { paths = List.rev acc; covered }
+      | Some p ->
+        let bottleneck =
+          List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
+        in
+        List.iter (fun e -> resid.(e) <- resid.(e) -. bottleneck) p;
+        collect ((p, bottleneck) :: acc) (covered +. bottleneck)
+  in
+  if i = j then { paths = []; covered = demand }
+  else collect [] 0.0
+
+let through g i j v p =
+  v <> i && v <> j
+  && List.exists
+       (fun e ->
+         let u, w = Graph.endpoints g e in
+         u = v || w = v)
+       p

@@ -1,0 +1,58 @@
+(** Paths as edge sequences and the successive-shortest-path family used by
+    the demand-based centrality (paper §IV-B).
+
+    A path between [i] and [j] is a list of edge ids whose endpoints chain
+    from [i] to [j].  [P*(i,j)] — the first shortest paths whose cumulative
+    capacity covers a demand — is estimated exactly as the paper describes:
+    repeat Dijkstra, push the path's bottleneck capacity, subtract it from a
+    residual copy, stop once the accumulated capacity reaches the demand or
+    the endpoints disconnect. *)
+
+type path = Graph.edge_id list
+(** A simple path as an edge sequence. *)
+
+val vertices_of : Graph.t -> Graph.vertex -> path -> Graph.vertex list
+(** [vertices_of g src p] is the vertex sequence of [p] starting at [src]
+    (so it has [length p + 1] elements).
+    @raise Invalid_argument if [p] does not chain from [src]. *)
+
+val length : length:(Graph.edge_id -> float) -> path -> float
+(** Total length under the given edge-length metric. *)
+
+val capacity : cap:(Graph.edge_id -> float) -> path -> float
+(** Bottleneck (minimum edge) capacity; [infinity] for the empty path. *)
+
+val is_simple : Graph.t -> Graph.vertex -> path -> bool
+(** Whether no vertex repeats. *)
+
+type bundle = {
+  paths : (path * float) list;
+      (** selected paths with their full residual bottleneck capacities
+          [c(p)], in selection (shortest-first) order *)
+  covered : float;
+      (** total capacity accumulated ([>= demand] when the demand was
+          covered; the last path may overshoot, as in the paper's
+          definition of [P*]) *)
+}
+(** Result of a successive-shortest-path computation. *)
+
+val shortest_bundle :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  length:(Graph.edge_id -> float) ->
+  cap:(Graph.edge_id -> float) ->
+  demand:float ->
+  Graph.t ->
+  Graph.vertex ->
+  Graph.vertex ->
+  bundle
+(** [shortest_bundle ~length ~cap ~demand g i j] computes the paper's
+    [P̂*(i,j)]: successive shortest paths under [length], each taken with
+    its bottleneck residual capacity, until [demand] is covered or no
+    positive-capacity path remains.  Edges with non-positive residual
+    capacity are skipped. *)
+
+val through : Graph.t -> Graph.vertex -> Graph.vertex -> Graph.vertex -> path -> bool
+(** [through g i j v p] tells whether [v] is an {e interior} vertex of path
+    [p] from [i] to [j] (endpoints excluded) — the membership test of
+    [P*_ij|v] used by the centrality. *)

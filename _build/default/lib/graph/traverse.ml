@@ -1,0 +1,77 @@
+let all_vertices _ = true
+let all_edges _ = true
+
+let bfs_core ?(vertex_ok = all_vertices) ?(edge_ok = all_edges) g src =
+  let n = Graph.nv g in
+  let dist = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  (* pred.(v) = edge id used to reach v *)
+  if src < 0 || src >= n then invalid_arg "Traverse: source out of range";
+  if vertex_ok src then begin
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let visit (w, e) =
+        if vertex_ok w && edge_ok e && dist.(w) = max_int then begin
+          dist.(w) <- dist.(u) + 1;
+          pred.(w) <- e;
+          Queue.add w queue
+        end
+      in
+      List.iter visit (Graph.incident g u)
+    done
+  end;
+  (dist, pred)
+
+let bfs_dist ?vertex_ok ?edge_ok g src =
+  fst (bfs_core ?vertex_ok ?edge_ok g src)
+
+let reachable ?vertex_ok ?edge_ok g src dst =
+  let dist = bfs_dist ?vertex_ok ?edge_ok g src in
+  dist.(dst) < max_int
+
+let bfs_path ?vertex_ok ?edge_ok g src dst =
+  let dist, pred = bfs_core ?vertex_ok ?edge_ok g src in
+  if dist.(dst) = max_int then None
+  else begin
+    let rec walk v acc =
+      if v = src then acc
+      else
+        let e = pred.(v) in
+        walk (Graph.other_end g e v) (e :: acc)
+    in
+    Some (walk dst [])
+  end
+
+let components ?(vertex_ok = all_vertices) ?(edge_ok = all_edges) g =
+  let n = Graph.nv g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for src = 0 to n - 1 do
+    if vertex_ok src && not seen.(src) then begin
+      let dist = bfs_dist ~vertex_ok ~edge_ok g src in
+      let comp = ref [] in
+      for v = n - 1 downto 0 do
+        if dist.(v) < max_int then begin
+          seen.(v) <- true;
+          comp := v :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let giant_component ?vertex_ok ?edge_ok g =
+  let comps = components ?vertex_ok ?edge_ok g in
+  List.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    [] comps
+
+let is_connected g =
+  Graph.nv g <= 1
+  ||
+  let dist = bfs_dist g 0 in
+  Array.for_all (fun d -> d < max_int) dist

@@ -1,0 +1,54 @@
+(** Breadth-first traversal, reachability and connected components with
+    vertex/edge availability predicates.
+
+    The predicates express the "working subgraph" of a partially destroyed
+    network: algorithms see only vertices with [vertex_ok] and edges with
+    [edge_ok] whose two endpoints are also ok.  Both default to accepting
+    everything. *)
+
+val bfs_dist :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  Graph.t ->
+  Graph.vertex ->
+  int array
+(** Hop distance from the source to every vertex ([max_int] when
+    unreachable, including the source itself when [vertex_ok src] fails). *)
+
+val reachable :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  Graph.t ->
+  Graph.vertex ->
+  Graph.vertex ->
+  bool
+(** Whether a working path connects the two vertices. *)
+
+val bfs_path :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  Graph.t ->
+  Graph.vertex ->
+  Graph.vertex ->
+  Graph.edge_id list option
+(** A minimum-hop working path as an edge sequence from source to target
+    ([Some []] when source = target and the source is ok). *)
+
+val components :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  Graph.t ->
+  Graph.vertex list list
+(** Connected components of the working subgraph (vertices failing
+    [vertex_ok] appear in no component). *)
+
+val giant_component :
+  ?vertex_ok:(Graph.vertex -> bool) ->
+  ?edge_ok:(Graph.edge_id -> bool) ->
+  Graph.t ->
+  Graph.vertex list
+(** The largest component ([[]] for an empty working subgraph). *)
+
+val is_connected : Graph.t -> bool
+(** Whether the full graph is connected ([true] for graphs with at most one
+    vertex). *)

@@ -1,0 +1,1 @@
+lib/heuristics/exact_forest.ml: Array Graph Hashtbl List Option Traverse

@@ -1,0 +1,1 @@
+lib/heuristics/exact_forest.mli: Graph

@@ -1,0 +1,1 @@
+lib/heuristics/greedy.ml: Array Dijkstra Float Graph Instance List Netrec_core Netrec_disrupt Netrec_flow Option Path_enum Paths

@@ -1,0 +1,1 @@
+lib/heuristics/mcf_heuristic.ml: Array Graph Hashtbl Instance List Netrec_core Netrec_disrupt Netrec_flow Netrec_lp Postpass

@@ -1,0 +1,1 @@
+lib/heuristics/mcf_heuristic.mli: Instance Netrec_core

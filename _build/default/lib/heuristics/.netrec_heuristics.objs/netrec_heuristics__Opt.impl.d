@@ -1,0 +1,1 @@
+lib/heuristics/opt.ml: Array Float Graph Hashtbl Instance Isp List Maxflow Netrec_core Netrec_disrupt Netrec_flow Netrec_lp Postpass Unix

@@ -1,0 +1,1 @@
+lib/heuristics/opt.mli: Instance Netrec_core

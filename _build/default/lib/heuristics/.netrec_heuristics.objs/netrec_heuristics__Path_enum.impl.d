@@ -1,0 +1,1 @@
+lib/heuristics/path_enum.ml: Array Graph List Netrec_flow Option Paths

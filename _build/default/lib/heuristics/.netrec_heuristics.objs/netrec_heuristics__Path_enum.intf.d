@@ -1,0 +1,1 @@
+lib/heuristics/path_enum.mli: Graph Netrec_flow Paths

@@ -1,0 +1,1 @@
+lib/heuristics/postpass.ml: Array Graph Instance List Netrec_core Netrec_flow

@@ -1,0 +1,1 @@
+lib/heuristics/postpass.mli: Instance Netrec_core

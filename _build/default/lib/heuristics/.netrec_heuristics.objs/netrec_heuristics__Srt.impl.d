@@ -1,0 +1,1 @@
+lib/heuristics/srt.ml: Array Dijkstra Float Graph Instance List Netrec_core Netrec_disrupt Netrec_flow Paths

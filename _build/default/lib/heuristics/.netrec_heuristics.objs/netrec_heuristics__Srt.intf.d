@@ -1,0 +1,1 @@
+lib/heuristics/srt.mli: Instance Netrec_core

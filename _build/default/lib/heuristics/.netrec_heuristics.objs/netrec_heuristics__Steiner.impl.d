@@ -1,0 +1,1 @@
+lib/heuristics/steiner.ml: Array Float Graph Hashtbl Instance List Netrec_core Netrec_disrupt Netrec_flow Postpass Traverse

@@ -1,0 +1,1 @@
+lib/heuristics/steiner.mli: Graph Netrec_core

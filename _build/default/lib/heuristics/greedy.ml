@@ -1,0 +1,184 @@
+module Commodity = Netrec_flow.Commodity
+module Routing = Netrec_flow.Routing
+module Oracle = Netrec_flow.Oracle
+module Failure = Netrec_disrupt.Failure
+open Netrec_core
+
+(* Weight of a path: repair cost of its broken edges over its (nominal)
+   bottleneck capacity, per the paper. *)
+let path_weight inst p =
+  let failure = inst.Instance.failure in
+  let cost =
+    List.fold_left
+      (fun acc e ->
+        if Failure.edge_broken failure e then
+          acc +. inst.Instance.edge_cost.(e)
+        else acc)
+      0.0 p
+  in
+  let capacity =
+    Paths.capacity ~cap:(Graph.capacity inst.Instance.graph) p
+  in
+  cost /. Float.max capacity 1e-9
+
+let sorted_paths ?max_per_pair inst =
+  let enum =
+    Path_enum.enumerate ?max_per_pair inst.Instance.graph
+      inst.Instance.demands
+  in
+  List.stable_sort
+    (fun (_, p1) (_, p2) ->
+      compare (path_weight inst p1) (path_weight inst p2))
+    enum.Path_enum.paths
+
+type state = {
+  inst : Instance.t;
+  repaired_v : bool array;
+  repaired_e : bool array;
+}
+
+let fresh_state inst =
+  { inst;
+    repaired_v = Array.make (Graph.nv inst.Instance.graph) false;
+    repaired_e = Array.make (Graph.ne inst.Instance.graph) false }
+
+(* Returns whether any element was newly repaired. *)
+let repair_path st p =
+  let g = st.inst.Instance.graph in
+  let failure = st.inst.Instance.failure in
+  let news = ref false in
+  let mark arr i = if not arr.(i) then begin arr.(i) <- true; news := true end in
+  List.iter
+    (fun e ->
+      if Failure.edge_broken failure e then mark st.repaired_e e;
+      let u, v = Graph.endpoints g e in
+      if Failure.vertex_broken failure u then mark st.repaired_v u;
+      if Failure.vertex_broken failure v then mark st.repaired_v v)
+    p;
+  !news
+
+let working_vertex st v =
+  (not (Failure.vertex_broken st.inst.Instance.failure v)) || st.repaired_v.(v)
+
+let working_edge st e =
+  ((not (Failure.edge_broken st.inst.Instance.failure e)) || st.repaired_e.(e))
+  &&
+  let u, v = Graph.endpoints st.inst.Instance.graph e in
+  working_vertex st u && working_vertex st v
+
+let to_solution st routing =
+  let indices a =
+    List.filteri (fun i _ -> a.(i)) (List.init (Array.length a) (fun i -> i))
+  in
+  { Instance.repaired_vertices = indices st.repaired_v;
+    repaired_edges = indices st.repaired_e;
+    routing }
+
+(* ---- GRD-COM ---- *)
+
+let grd_com ?max_per_pair inst =
+  let g = inst.Instance.graph in
+  let st = fresh_state inst in
+  let paths = sorted_paths ?max_per_pair inst in
+  let demands = Array.of_list inst.Instance.demands in
+  let remaining = Array.map (fun d -> d.Commodity.amount) demands in
+  let resid = Array.init (Graph.ne g) (Graph.capacity g) in
+  let assignments = Array.make (Array.length demands) [] in
+  let index_of d =
+    let found = ref (-1) in
+    Array.iteri (fun i d' -> if !found < 0 && d' == d then found := i) demands;
+    !found
+  in
+  let commit i p amount =
+    List.iter (fun e -> resid.(e) <- Float.max 0.0 (resid.(e) -. amount)) p;
+    remaining.(i) <- remaining.(i) -. amount;
+    assignments.(i) <- (p, amount) :: assignments.(i)
+  in
+  (* Opportunistic routing of demand [k] over the current repaired
+     residual network (successive shortest working paths). *)
+  let route_opportunistically k =
+    let d = demands.(k) in
+    let rec go () =
+      if remaining.(k) > 1e-9 then begin
+        let edge_ok e = working_edge st e && resid.(e) > 1e-9 in
+        match
+          Dijkstra.shortest_path ~vertex_ok:(working_vertex st) ~edge_ok
+            ~length:(fun e -> 1.0 /. Float.max resid.(e) 1e-9)
+            g d.Commodity.src d.Commodity.dst
+        with
+        | None | Some [] -> ()
+        | Some p ->
+          let bottleneck =
+            List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
+          in
+          let amount = Float.min bottleneck remaining.(k) in
+          if amount > 1e-9 then begin
+            commit k p amount;
+            go ()
+          end
+      end
+    in
+    go ()
+  in
+  let all_satisfied () = Array.for_all (fun r -> r <= 1e-9) remaining in
+  let rec consume = function
+    | [] -> ()
+    | _ when all_satisfied () -> ()
+    | (d, p) :: rest ->
+      let i = index_of d in
+      if remaining.(i) > 1e-9 then begin
+        let cap_now =
+          List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
+        in
+        (* A saturated path cannot serve anybody: repairing it would only
+           waste crews, so skip it. *)
+        if cap_now > 1e-9 then begin
+          ignore (repair_path st p : bool);
+          let amount = Float.min cap_now remaining.(i) in
+          commit i p amount;
+          (* Let every other demand use the newly repaired capacity. *)
+          Array.iteri
+            (fun k _ -> if k <> i then route_opportunistically k)
+            demands
+        end
+      end;
+      consume rest
+  in
+  consume paths;
+  let routing =
+    Array.to_list
+      (Array.mapi
+         (fun i demand -> { Routing.demand; paths = List.rev assignments.(i) })
+         demands)
+  in
+  to_solution st routing
+
+(* ---- GRD-NC ---- *)
+
+let grd_nc ?max_per_pair inst =
+  let g = inst.Instance.graph in
+  let st = fresh_state inst in
+  let paths = sorted_paths ?max_per_pair inst in
+  let routable () =
+    Oracle.routable ~vertex_ok:(working_vertex st)
+      ~edge_ok:(fun e -> working_edge st e)
+      ~cap:(Graph.capacity g) g inst.Instance.demands
+  in
+  let rec consume last = function
+    | [] -> last
+    | (_, p) :: rest ->
+      (* Re-test only when the path actually repaired something new. *)
+      if repair_path st p then begin
+        match routable () with
+        | Oracle.Routable r -> Some r
+        | Oracle.Unroutable | Oracle.Unknown -> consume last rest
+      end
+      else consume last rest
+  in
+  (* The empty repair set might already be routable. *)
+  let result =
+    match routable () with
+    | Oracle.Routable r -> Some r
+    | Oracle.Unroutable | Oracle.Unknown -> consume None paths
+  in
+  to_solution st (Option.value ~default:Routing.empty result)

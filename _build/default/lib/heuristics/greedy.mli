@@ -1,0 +1,29 @@
+(** Knapsack-style greedy heuristics (paper §VI-C).
+
+    Both map every simple path between a demand pair to a knapsack object
+    of weight [cost(p) / capacity(p)] — the repair cost of the path's
+    broken edges over its bottleneck capacity — and repair paths in
+    ascending weight order:
+
+    - {b GRD-COM} (Greedy Commitment) immediately commits flow to each
+      repaired path, updates residual capacities and demands, and
+      opportunistically routes other demands over the repaired network;
+      it repairs less but can strand demand behind bad routing choices.
+    - {b GRD-NC} (Greedy No-Commitment) commits nothing and instead
+      re-runs the routability test after each repair, stopping as soon as
+      the whole demand is routable; it repairs more but never loses
+      demand when the pre-failure network could carry it.
+
+    Both need the exhaustive path set [P(H,G)] ({!Path_enum}) and are
+    therefore only practical on small topologies, as in the paper. *)
+
+open Netrec_core
+
+val grd_com : ?max_per_pair:int -> Instance.t -> Instance.solution
+(** Greedy Commitment.  The solution carries the routing the heuristic
+    committed (possibly partial). *)
+
+val grd_nc : ?max_per_pair:int -> Instance.t -> Instance.solution
+(** Greedy No-Commitment.  The solution carries the routing found by the
+    final (successful) routability test, or none when even repairing
+    every enumerated path leaves demand unroutable. *)

@@ -1,0 +1,153 @@
+module Lp = Netrec_lp.Lp
+module Commodity = Netrec_flow.Commodity
+module Routing = Netrec_flow.Routing
+module Failure = Netrec_disrupt.Failure
+open Netrec_core
+
+type result = {
+  support : Instance.solution;
+  mcb : Instance.solution;
+  mcw : Instance.solution;
+  lp_objective : float;
+}
+
+(* Flow variables for the relaxation: per commodity and direction over
+   every edge (broken edges are usable — using them is what costs). *)
+let build_flow_lp inst =
+  let g = inst.Instance.graph in
+  let demands = Array.of_list inst.Instance.demands in
+  let nh = Array.length demands in
+  let lp = Lp.create () in
+  let fvar = Hashtbl.create (2 * nh * Graph.ne g) in
+  for h = 0 to nh - 1 do
+    Graph.fold_edges
+      (fun e () ->
+        let broken = Failure.edge_broken inst.Instance.failure e.Graph.id in
+        let obj =
+          if broken then inst.Instance.edge_cost.(e.Graph.id) else 0.0
+        in
+        let fwd = Lp.add_var lp ~obj () in
+        let bwd = Lp.add_var lp ~obj () in
+        Hashtbl.replace fvar (h, e.Graph.id) (fwd, bwd))
+      g ()
+  done;
+  Graph.fold_edges
+    (fun e () ->
+      let terms =
+        List.concat
+          (List.init nh (fun h ->
+               let fwd, bwd = Hashtbl.find fvar (h, e.Graph.id) in
+               [ (fwd, 1.0); (bwd, 1.0) ]))
+      in
+      Lp.add_constraint lp terms Lp.Le e.Graph.capacity)
+    g ();
+  for h = 0 to nh - 1 do
+    let d = demands.(h) in
+    List.iter
+      (fun v ->
+        let terms = ref [] in
+        List.iter
+          (fun (_, e) ->
+            let fwd, bwd = Hashtbl.find fvar (h, e) in
+            let u, _ = Graph.endpoints g e in
+            if u = v then terms := (fwd, 1.0) :: (bwd, -1.0) :: !terms
+            else terms := (fwd, -1.0) :: (bwd, 1.0) :: !terms)
+          (Graph.incident g v);
+        let b =
+          if v = d.Commodity.src then d.Commodity.amount
+          else if v = d.Commodity.dst then -.d.Commodity.amount
+          else 0.0
+        in
+        Lp.add_constraint lp !terms Lp.Eq b)
+      (Graph.vertices g)
+  done;
+  (lp, fvar, nh)
+
+(* Repairs implied by a flow: every broken edge carrying flow, every
+   broken vertex some loaded edge touches. *)
+let support_of_flow inst fvar nh values =
+  let g = inst.Instance.graph in
+  let failure = inst.Instance.failure in
+  let used_v = Array.make (Graph.nv g) false in
+  let used_e = Array.make (Graph.ne g) false in
+  Graph.fold_edges
+    (fun e () ->
+      let load = ref 0.0 in
+      for h = 0 to nh - 1 do
+        let fwd, bwd = Hashtbl.find fvar (h, e.Graph.id) in
+        load := !load +. values.(fwd) +. values.(bwd)
+      done;
+      if !load > 1e-6 then begin
+        used_e.(e.Graph.id) <- true;
+        used_v.(e.Graph.u) <- true;
+        used_v.(e.Graph.v) <- true
+      end)
+    g ();
+  let repaired_vertices =
+    List.filter
+      (fun v -> used_v.(v) && Failure.vertex_broken failure v)
+      (Graph.vertices g)
+  in
+  let repaired_edges =
+    List.filter
+      (fun e -> used_e.(e) && Failure.edge_broken failure e)
+      (List.init (Graph.ne g) (fun e -> e))
+  in
+  { Instance.repaired_vertices; repaired_edges; routing = Routing.empty }
+
+let solve ?(var_budget = 8000) inst =
+  let g = inst.Instance.graph in
+  let nh = List.length inst.Instance.demands in
+  if 2 * nh * Graph.ne g > var_budget then None
+  else begin
+    let lp, fvar, nh = build_flow_lp inst in
+    let sol = Lp.solve lp in
+    match sol.Lp.status with
+    | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> None
+    | Lp.Optimal ->
+      let lp_objective = sol.Lp.objective in
+      let support = support_of_flow inst fvar nh sol.Lp.values in
+      let mcb = Postpass.prune inst support in
+      (* ---- MCW proxy: same optimal cost, maximal broken-edge spread.
+         u_e in [0, tau] counts (to first order) the broken edges that
+         carry at least tau units, so maximizing sum u_e pushes flow onto
+         as many broken edges as the optimal cost allows. ---- *)
+      let tau = 1e-2 in
+      let lp2, fvar2, nh2 = build_flow_lp inst in
+      (* Freeze the original objective at its optimum. *)
+      let cost_terms = ref [] in
+      Graph.fold_edges
+        (fun e () ->
+          if Failure.edge_broken inst.Instance.failure e.Graph.id then
+            for h = 0 to nh2 - 1 do
+              let fwd, bwd = Hashtbl.find fvar2 (h, e.Graph.id) in
+              let k = inst.Instance.edge_cost.(e.Graph.id) in
+              cost_terms := (fwd, k) :: (bwd, k) :: !cost_terms
+            done)
+        g ();
+      Lp.add_constraint lp2 !cost_terms Lp.Le (lp_objective +. 1e-6);
+      (* Zero out the old objective and install the spread objective. *)
+      for v = 0 to Lp.nvars lp2 - 1 do
+        Lp.set_obj lp2 v 0.0
+      done;
+      Graph.fold_edges
+        (fun e () ->
+          if Failure.edge_broken inst.Instance.failure e.Graph.id then begin
+            let u = Lp.add_var lp2 ~ub:tau ~obj:(-1.0) () in
+            let terms = ref [ (u, 1.0) ] in
+            for h = 0 to nh2 - 1 do
+              let fwd, bwd = Hashtbl.find fvar2 (h, e.Graph.id) in
+              terms := (fwd, -1.0) :: (bwd, -1.0) :: !terms
+            done;
+            (* u_e <= total flow on e *)
+            Lp.add_constraint lp2 !terms Lp.Le 0.0
+          end)
+        g ();
+      let sol2 = Lp.solve lp2 in
+      let mcw =
+        match sol2.Lp.status with
+        | Lp.Optimal -> support_of_flow inst fvar2 nh2 sol2.Lp.values
+        | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> support
+      in
+      Some { support; mcb; mcw; lp_objective }
+  end

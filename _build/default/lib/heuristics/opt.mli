@@ -1,0 +1,35 @@
+(** OPT: the exact MinR MILP (paper system (1)) solved by branch-and-bound.
+
+    The model creates binary repair decisions only for {e broken}
+    elements (working elements are trivially usable), flow variables per
+    commodity and direction, capacity rows gated by the edge binaries,
+    and per-incident-edge vertex-gating rows (a disaggregated — hence
+    LP-tighter — form of the paper's degree constraint (1c)).  The
+    branch-and-bound is warm-started with ISP's solution improved by the
+    redundancy postpass, and uses integral-bound rounding when all costs
+    are integral.
+
+    On instances beyond [var_budget] flow variables (e.g. the CAIDA
+    scenario, where the paper's Gurobi runs took tens of hours) the exact
+    model is not built; the warm-start incumbent is returned with
+    [proved = false] — the documented OPT-proxy of DESIGN.md §3. *)
+
+open Netrec_core
+
+type result = {
+  solution : Instance.solution;
+  objective : float;
+  proved : bool;  (** true iff branch-and-bound proved optimality *)
+  nodes : int;  (** B&B nodes explored (0 for the proxy path) *)
+  wall_seconds : float;
+}
+
+val solve :
+  ?node_limit:int ->
+  ?var_budget:int ->
+  ?incumbent:Instance.solution ->
+  Instance.t ->
+  result
+(** Solve MinR.  [node_limit] (default 3000) bounds the search;
+    [var_budget] (default 6000) bounds the exact model size;
+    [incumbent] (default: ISP + postpass) seeds the upper bound. *)

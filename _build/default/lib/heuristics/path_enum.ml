@@ -1,0 +1,40 @@
+module Commodity = Netrec_flow.Commodity
+
+type t = {
+  paths : (Commodity.t * Paths.path) list;
+  truncated : bool;
+}
+
+let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
+  let max_hops = Option.value ~default:(Graph.nv g - 1) max_hops in
+  let truncated = ref false in
+  let enumerate_pair d =
+    let acc = ref [] in
+    let count = ref 0 in
+    let on_path = Array.make (Graph.nv g) false in
+    (* DFS over incident edges; [rev_path] holds the edges walked so far. *)
+    let rec dfs v rev_path depth =
+      if !count < max_per_pair then begin
+        if v = d.Commodity.dst then begin
+          acc := List.rev rev_path :: !acc;
+          incr count
+        end
+        else if depth < max_hops then begin
+          List.iter
+            (fun (w, e) ->
+              if not on_path.(w) then begin
+                on_path.(w) <- true;
+                dfs w (e :: rev_path) (depth + 1);
+                on_path.(w) <- false
+              end)
+            (Graph.incident g v)
+        end
+      end
+      else truncated := true
+    in
+    on_path.(d.Commodity.src) <- true;
+    dfs d.Commodity.src [] 0;
+    List.rev_map (fun p -> (d, p)) !acc
+  in
+  let paths = List.concat_map enumerate_pair demands in
+  { paths; truncated = !truncated }

@@ -1,0 +1,24 @@
+(** Exhaustive simple-path enumeration — the [P(H,G)] set of the greedy
+    heuristics (paper §VI-C).
+
+    The number of simple paths is potentially exponential (the paper
+    pre-computes them offline and notes the greedies "do not scale to
+    large topologies"), so enumeration takes per-pair and global caps and
+    reports truncation. *)
+
+type t = {
+  paths : (Netrec_flow.Commodity.t * Paths.path) list;
+      (** (owning demand, path) pairs *)
+  truncated : bool;  (** whether any cap was hit *)
+}
+
+val enumerate :
+  ?max_per_pair:int ->
+  ?max_hops:int ->
+  Graph.t ->
+  Netrec_flow.Commodity.t list ->
+  t
+(** DFS enumeration of simple paths between each demand's endpoints on the
+    full supply graph.  [max_per_pair] (default 20_000) caps the paths
+    kept per demand; [max_hops] (default [nv - 1], i.e. no limit) caps
+    path length. *)

@@ -1,0 +1,16 @@
+(** Redundancy-elimination postpass.
+
+    Given any feasible repair set, greedily drop repaired elements whose
+    removal keeps the full demand routable (certified by the routability
+    {!Netrec_flow.Oracle}), most expensive candidates first, until a
+    fixpoint.  Used to strengthen MILP incumbents, to derive the MCB
+    proxy from the multicommodity LP support (Fig. 3), and as the
+    OPT-proxy component on instances too large for exact branch-and-bound
+    (Fig. 9, see DESIGN.md §3). *)
+
+open Netrec_core
+
+val prune : ?max_rounds:int -> Instance.t -> Instance.solution -> Instance.solution
+(** Drop redundant repairs.  The input solution must leave the demand
+    routable (otherwise the solution is returned unchanged).  The result
+    carries the routing of the last successful routability test. *)

@@ -1,0 +1,113 @@
+module Commodity = Netrec_flow.Commodity
+module Failure = Netrec_disrupt.Failure
+open Netrec_core
+
+let solve inst =
+  let g = inst.Instance.graph in
+  let failure = inst.Instance.failure in
+  let repaired_v = Array.make (Graph.nv g) false in
+  let repaired_e = Array.make (Graph.ne g) false in
+  let repair_path p =
+    List.iter
+      (fun e ->
+        if Failure.edge_broken failure e then repaired_e.(e) <- true;
+        let u, v = Graph.endpoints g e in
+        if Failure.vertex_broken failure u then repaired_v.(u) <- true;
+        if Failure.vertex_broken failure v then repaired_v.(v) <- true)
+      p
+  in
+  let demands =
+    List.sort
+      (fun a b -> compare b.Commodity.amount a.Commodity.amount)
+      inst.Instance.demands
+  in
+  List.iter
+    (fun d ->
+      (* S_i: first shortest paths (hop metric, full graph, nominal
+         capacities) jointly covering the demand. *)
+      let bundle =
+        Paths.shortest_bundle
+          ~length:(fun _ -> 1.0)
+          ~cap:(Graph.capacity g) ~demand:d.Commodity.amount g d.Commodity.src
+          d.Commodity.dst
+      in
+      List.iter (fun (p, _) -> repair_path p) bundle.Paths.paths;
+      (* Endpoints must work even when the demand has no path at all. *)
+      List.iter
+        (fun v -> if Failure.vertex_broken failure v then repaired_v.(v) <- true)
+        [ d.Commodity.src; d.Commodity.dst ])
+    demands;
+  let indices a =
+    List.filteri (fun i _ -> a.(i)) (List.init (Array.length a) (fun i -> i))
+  in
+  { Instance.repaired_vertices = indices repaired_v;
+    repaired_edges = indices repaired_e;
+    routing = Netrec_flow.Routing.empty }
+
+let solve_residual inst =
+  let g = inst.Instance.graph in
+  let failure = inst.Instance.failure in
+  let repaired_v = Array.make (Graph.nv g) false in
+  let repaired_e = Array.make (Graph.ne g) false in
+  let resid = Array.init (Graph.ne g) (Graph.capacity g) in
+  let eps = 1e-9 in
+  (* Repair-cost-aware length on the full graph with residual capacity. *)
+  let length e =
+    let u, v = Graph.endpoints g e in
+    let ke =
+      if Failure.edge_broken failure e && not repaired_e.(e) then
+        inst.Instance.edge_cost.(e)
+      else 0.0
+    in
+    let kv w =
+      if Failure.vertex_broken failure w && not repaired_v.(w) then
+        inst.Instance.vertex_cost.(w)
+      else 0.0
+    in
+    (1.0 +. ke +. ((kv u +. kv v) /. 2.0)) /. Float.max resid.(e) eps
+  in
+  let repair_path p =
+    List.iter
+      (fun e ->
+        if Failure.edge_broken failure e then repaired_e.(e) <- true;
+        let u, v = Graph.endpoints g e in
+        if Failure.vertex_broken failure u then repaired_v.(u) <- true;
+        if Failure.vertex_broken failure v then repaired_v.(v) <- true)
+      p
+  in
+  let assignments = ref [] in
+  let route_demand d =
+    List.iter
+      (fun v -> if Failure.vertex_broken failure v then repaired_v.(v) <- true)
+      [ d.Commodity.src; d.Commodity.dst ];
+    let rec go remaining acc =
+      if remaining <= eps then List.rev acc
+      else
+        let edge_ok e = resid.(e) > eps in
+        match
+          Dijkstra.shortest_path ~edge_ok ~length g d.Commodity.src
+            d.Commodity.dst
+        with
+        | None | Some [] -> List.rev acc
+        | Some p ->
+          let bottleneck =
+            List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
+          in
+          let send = Float.min bottleneck remaining in
+          repair_path p;
+          List.iter (fun e -> resid.(e) <- resid.(e) -. send) p;
+          go (remaining -. send) ((p, send) :: acc)
+    in
+    let paths = go d.Commodity.amount [] in
+    assignments := { Netrec_flow.Routing.demand = d; paths } :: !assignments
+  in
+  List.iter route_demand
+    (List.sort
+       (fun a b -> compare b.Commodity.amount a.Commodity.amount)
+       inst.Instance.demands);
+  let indices a =
+    List.filteri (fun i _ -> a.(i)) (List.init (Array.length a) (fun i -> i))
+  in
+  { Instance.repaired_vertices = indices repaired_v;
+    repaired_edges = indices repaired_e;
+    routing = List.rev !assignments }

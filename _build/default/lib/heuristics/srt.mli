@@ -1,0 +1,25 @@
+(** Shortest Path Heuristic (SRT, paper §VI-B).
+
+    Demands are processed in decreasing order of flow; for each demand the
+    first shortest paths whose joint maximum flow covers the demand are
+    repaired wholesale.  Demands are treated independently (each against
+    nominal capacities), so repaired paths may be shared and saturated —
+    SRT has the fewest repairs of all heuristics but may lose demand
+    (Fig. 4(d)). *)
+
+open Netrec_core
+
+val solve : Instance.t -> Instance.solution
+(** Run SRT.  The returned solution carries no routing (the heuristic
+    gives no routing guarantee; satisfaction is measured by
+    {!Netrec_core.Evaluate.assess}). *)
+
+val solve_residual : Instance.t -> Instance.solution
+(** SRT-R: a residual-aware strengthening of SRT (not in the paper; an
+    ablation baseline).  Demands are still processed independently in
+    decreasing order, but each is routed over {e residual} capacities
+    with a repair-cost-aware length, the chosen paths are repaired, and
+    the flow is committed — so later demands see what earlier ones
+    consumed.  It repairs more than SRT but rarely loses demand,
+    isolating how much of SRT's loss comes from ignoring capacity
+    consumption. *)

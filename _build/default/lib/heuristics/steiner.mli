@@ -1,0 +1,29 @@
+(** Goemans–Williamson primal-dual Steiner forest (2-approximation).
+
+    The paper proves MinR NP-hard by reduction {e from} Steiner Forest
+    (Thm. 1): when capacities dwarf demands, MinR {e is} Steiner Forest
+    on the broken network.  This module implements the classic
+    moat-growing 2-approximation with reverse-delete and adapts it to
+    recovery instances: edge weights are the repair cost of the edge plus
+    half the repair cost of each broken endpoint, already-working
+    elements cost (almost) nothing.  Used as a strong incumbent for OPT
+    on the connectivity-only scalability scenario (Fig. 7) and as an
+    ablation baseline. *)
+
+val forest :
+  Graph.t ->
+  weight:(Graph.edge_id -> float) ->
+  pairs:(Graph.vertex * Graph.vertex) list ->
+  Graph.edge_id list
+(** [forest g ~weight ~pairs] returns an edge set connecting every pair,
+    with total weight at most twice the optimum.  Pairs whose endpoints
+    are disconnected in [g] are ignored.  Weights must be
+    non-negative. *)
+
+val recovery :
+  Netrec_core.Instance.t -> Netrec_core.Instance.solution
+(** Build a repair set from the forest on the full supply graph (pairs =
+    demand endpoints), then drop redundancies with the postpass.  The
+    result guarantees connectivity, not capacity — on capacitated
+    instances it may lose demand; on connectivity-only instances it is a
+    2-approximation of MinR. *)

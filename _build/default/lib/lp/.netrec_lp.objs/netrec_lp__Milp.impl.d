@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Float List Lp

@@ -1,0 +1,1 @@
+lib/lp/milp.mli: Lp

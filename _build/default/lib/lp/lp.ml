@@ -1,0 +1,158 @@
+type var = int
+type relation = Le | Ge | Eq
+type sense = Minimize | Maximize
+
+type vardef = {
+  mutable lb : float;
+  mutable ub : float;
+  mutable obj : float;
+  vname : string option;
+}
+
+type cons = { terms : (var * float) list; rel : relation; rhs : float }
+
+type problem = {
+  mutable vars : vardef array;
+  mutable nv : int;
+  mutable cons : cons list;  (* reversed *)
+  mutable ncons : int;
+  mutable sense : sense;
+}
+
+let create ?(sense = Minimize) () =
+  { vars = Array.make 16 { lb = 0.0; ub = 0.0; obj = 0.0; vname = None };
+    nv = 0;
+    cons = [];
+    ncons = 0;
+    sense }
+
+let add_var p ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) ?name () =
+  if lb > ub then invalid_arg "Lp.add_var: lb > ub";
+  if p.nv = Array.length p.vars then begin
+    let bigger =
+      Array.make (2 * p.nv) { lb = 0.0; ub = 0.0; obj = 0.0; vname = None }
+    in
+    Array.blit p.vars 0 bigger 0 p.nv;
+    p.vars <- bigger
+  end;
+  p.vars.(p.nv) <- { lb; ub; obj; vname = name };
+  p.nv <- p.nv + 1;
+  p.nv - 1
+
+let check_var p v =
+  if v < 0 || v >= p.nv then invalid_arg "Lp: unknown variable"
+
+let add_constraint p terms rel rhs =
+  List.iter (fun (v, _) -> check_var p v) terms;
+  (* Merge duplicate variables. *)
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (v, c) ->
+      Hashtbl.replace tbl v (c +. Option.value ~default:0.0 (Hashtbl.find_opt tbl v)))
+    terms;
+  let merged = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
+  p.cons <- { terms = merged; rel; rhs } :: p.cons;
+  p.ncons <- p.ncons + 1
+
+let set_obj p v c =
+  check_var p v;
+  p.vars.(v).obj <- c
+
+let set_bounds p v ~lb ~ub =
+  check_var p v;
+  if lb > ub then invalid_arg "Lp.set_bounds: lb > ub";
+  p.vars.(v).lb <- lb;
+  p.vars.(v).ub <- ub
+
+let fix p v x = set_bounds p v ~lb:x ~ub:x
+
+let nvars p = p.nv
+let nconstraints p = p.ncons
+
+let var_name p v =
+  check_var p v;
+  match p.vars.(v).vname with
+  | Some s -> s
+  | None -> "x" ^ string_of_int v
+
+let copy p =
+  { p with
+    vars = Array.map (fun d -> { d with lb = d.lb }) p.vars;
+    cons = p.cons }
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = { status : status; objective : float; values : float array }
+
+(* Translation to standard form: every free-ish variable is shifted by its
+   (finite) lower bound so shifted variables satisfy y >= 0; fixed
+   variables (lb = ub) are substituted as constants; finite upper bounds
+   become extra [y <= ub - lb] rows.  Maximization negates the costs. *)
+let solve ?max_pivots p =
+  let default_budget = 50_000 + (50 * (p.nv + p.ncons)) in
+  let max_pivots = Option.value ~default:default_budget max_pivots in
+  let col_of = Array.make p.nv (-1) in
+  let shift = Array.make p.nv 0.0 in
+  let ncols = ref 0 in
+  for v = 0 to p.nv - 1 do
+    let d = p.vars.(v) in
+    if d.lb = d.ub then shift.(v) <- d.lb (* constant, no column *)
+    else begin
+      if not (Float.is_finite d.lb) then
+        invalid_arg "Lp.solve: variables need a finite lower bound";
+      shift.(v) <- d.lb;
+      col_of.(v) <- !ncols;
+      incr ncols
+    end
+  done;
+  let ncols = !ncols in
+  let costs = Array.make ncols 0.0 in
+  let obj_const = ref 0.0 in
+  let sign = match p.sense with Minimize -> 1.0 | Maximize -> -1.0 in
+  for v = 0 to p.nv - 1 do
+    let d = p.vars.(v) in
+    obj_const := !obj_const +. (d.obj *. shift.(v));
+    if col_of.(v) >= 0 then costs.(col_of.(v)) <- sign *. d.obj
+  done;
+  let translate_cons { terms; rel; rhs } =
+    let coeffs = Array.make ncols 0.0 in
+    let rhs = ref rhs in
+    List.iter
+      (fun (v, c) ->
+        rhs := !rhs -. (c *. shift.(v));
+        if col_of.(v) >= 0 then
+          coeffs.(col_of.(v)) <- coeffs.(col_of.(v)) +. c)
+      terms;
+    let rel = match rel with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq in
+    (coeffs, rel, !rhs)
+  in
+  let base_rows = List.rev_map translate_cons p.cons in
+  let bound_rows = ref [] in
+  for v = 0 to p.nv - 1 do
+    let d = p.vars.(v) in
+    if col_of.(v) >= 0 && Float.is_finite d.ub then begin
+      let coeffs = Array.make ncols 0.0 in
+      coeffs.(col_of.(v)) <- 1.0;
+      bound_rows := (coeffs, Simplex.Le, d.ub -. d.lb) :: !bound_rows
+    end
+  done;
+  let std = { Simplex.ncols; rows = base_rows @ !bound_rows; costs } in
+  let out = Simplex.solve_std ~max_pivots std in
+  let status =
+    match out.Simplex.status with
+    | Simplex.Optimal -> Optimal
+    | Simplex.Infeasible -> Infeasible
+    | Simplex.Unbounded -> Unbounded
+    | Simplex.Iteration_limit -> Iteration_limit
+  in
+  let values =
+    Array.init p.nv (fun v ->
+        if col_of.(v) >= 0 then out.Simplex.values.(col_of.(v)) +. shift.(v)
+        else shift.(v))
+  in
+  let objective =
+    match status with
+    | Optimal -> (sign *. out.Simplex.objective) +. !obj_const
+    | _ -> 0.0
+  in
+  { status; objective; values }

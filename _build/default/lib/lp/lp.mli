@@ -1,0 +1,76 @@
+(** Linear-program model builder and solver front end.
+
+    This is the optimization substrate of the reproduction: the exact
+    routability test (paper system (2)), the split-amount LP (§IV-C), the
+    multicommodity relaxation (system (8)) and the LP relaxations inside
+    the branch-and-bound MILP (system (1), via {!Milp}) are all expressed
+    against this interface and solved by the dense two-phase primal simplex
+    in {!Simplex}.
+
+    Variables have a lower bound (default 0) and an optional upper bound;
+    constraints are sparse linear forms compared to a constant. *)
+
+type var = int
+(** Dense variable index, assigned by {!add_var} in creation order. *)
+
+type relation = Le | Ge | Eq
+(** Constraint sense. *)
+
+type sense = Minimize | Maximize
+(** Objective sense (default [Minimize]). *)
+
+type problem
+(** A mutable LP under construction. *)
+
+val create : ?sense:sense -> unit -> problem
+(** Fresh empty problem. *)
+
+val add_var :
+  problem -> ?lb:float -> ?ub:float -> ?obj:float -> ?name:string -> unit -> var
+(** Add a variable with bounds [lb <= x <= ub] (defaults [0, +inf)]) and
+    objective coefficient [obj] (default 0).
+    @raise Invalid_argument when [lb > ub]. *)
+
+val add_constraint : problem -> (var * float) list -> relation -> float -> unit
+(** [add_constraint p terms rel rhs] adds [sum terms rel rhs].  Repeated
+    variables in [terms] are summed.
+    @raise Invalid_argument on an unknown variable. *)
+
+val set_obj : problem -> var -> float -> unit
+(** Overwrite a variable's objective coefficient. *)
+
+val fix : problem -> var -> float -> unit
+(** Set both bounds to the same value (used by branch-and-bound to fix
+    binaries). *)
+
+val set_bounds : problem -> var -> lb:float -> ub:float -> unit
+(** Replace a variable's bounds.  @raise Invalid_argument when [lb > ub]. *)
+
+val nvars : problem -> int
+(** Number of variables added so far. *)
+
+val nconstraints : problem -> int
+(** Number of constraints added so far. *)
+
+val var_name : problem -> var -> string
+(** Display name (defaults to ["x<i>"]). *)
+
+val copy : problem -> problem
+(** Independent deep copy (branch-and-bound clones the parent problem at
+    every node). *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** simplex gave up; treat as unsolved *)
+
+type solution = {
+  status : status;
+  objective : float;  (** meaningful only when [status = Optimal] *)
+  values : float array;  (** one entry per variable, in {!var} order *)
+}
+
+val solve : ?max_pivots:int -> problem -> solution
+(** Solve with the two-phase simplex.  [max_pivots] bounds total pivot
+    operations (default [50_000 + 50 * (nvars + nconstraints)]). *)

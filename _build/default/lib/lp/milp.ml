@@ -1,0 +1,98 @@
+type result = {
+  status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
+  objective : float;
+  values : float array;
+  nodes : int;
+  proved : bool;
+}
+
+let frac x = abs_float (x -. Float.round x)
+
+let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
+    ?incumbent ~binary p =
+  let binary = Array.of_list binary in
+  (* All binaries get [0,1] bounds in the relaxation. *)
+  let root = Lp.copy p in
+  Array.iter (fun v -> Lp.set_bounds root v ~lb:0.0 ~ub:1.0) binary;
+  let best_values = ref None in
+  let best_obj = ref infinity in
+  (match incumbent with
+  | Some (values, obj) ->
+    best_values := Some (Array.copy values);
+    best_obj := obj
+  | None -> ());
+  let nodes = ref 0 in
+  let truncated = ref false in
+  (* Depth-first stack of nodes; a node is the list of (var, value)
+     fixings accumulated along the branch. *)
+  let stack = ref [ [] ] in
+  let tighten bound =
+    (* Integral costs allow rounding the LP bound up to the next integer. *)
+    if integral_objective then Float.round (ceil (bound -. 1e-6))
+    else bound
+  in
+  while !stack <> [] && !nodes < node_limit do
+    match !stack with
+    | [] -> ()
+    | fixings :: rest ->
+      stack := rest;
+      incr nodes;
+      let node_p = Lp.copy root in
+      List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
+      let sol = Lp.solve ?max_pivots node_p in
+      (match sol.Lp.status with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded | Lp.Iteration_limit -> truncated := true
+      | Lp.Optimal ->
+        let bound = tighten sol.Lp.objective in
+        if bound >= !best_obj -. 1e-6 then () (* pruned by bound *)
+        else begin
+          (* Most fractional binary decides the branching variable. *)
+          let branch_var = ref (-1) in
+          let branch_frac = ref 1e-6 in
+          Array.iter
+            (fun v ->
+              let f = frac sol.Lp.values.(v) in
+              if f > !branch_frac then begin
+                branch_frac := f;
+                branch_var := v
+              end)
+            binary;
+          if !branch_var < 0 then begin
+            (* Integral solution: new incumbent. *)
+            best_obj := sol.Lp.objective;
+            best_values := Some (Array.copy sol.Lp.values)
+          end
+          else begin
+            let v = !branch_var in
+            let preferred = Float.round sol.Lp.values.(v) in
+            let other = 1.0 -. preferred in
+            (* The preferred branch is pushed on top, so it pops first. *)
+            stack := ((v, preferred) :: fixings)
+                     :: ((v, other) :: fixings)
+                     :: !stack
+          end
+        end)
+  done;
+  if !stack <> [] then truncated := true;
+  let proved = not !truncated in
+  match !best_values with
+  | Some values ->
+    { status = (if proved then `Optimal else `Feasible);
+      objective = !best_obj;
+      values;
+      nodes = !nodes;
+      proved }
+  | None ->
+    if proved then
+      { status = `Infeasible;
+        objective = infinity;
+        values = Array.make (Lp.nvars p) 0.0;
+        nodes = !nodes;
+        proved }
+    else
+      { status = `Unknown;
+        objective = infinity;
+        values = Array.make (Lp.nvars p) 0.0;
+        nodes = !nodes;
+        proved }

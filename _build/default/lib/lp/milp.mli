@@ -1,0 +1,38 @@
+(** Branch-and-bound mixed-integer solver over {!Lp} problems.
+
+    Used to solve the MinR MILP (paper system (1)) exactly on small
+    instances — the OPT baseline of every figure.  Features tuned to that
+    problem: binary variables only, best-first search with depth-first
+    plunging, most-fractional branching, incumbent warm start (ISP's
+    solution seeds the upper bound), and integral-objective bound
+    strengthening ([ceil] of the LP bound when all costs are integral).
+
+    Node and pivot budgets make the solver an anytime algorithm: when the
+    budget runs out it reports the best incumbent with [proved = false],
+    mirroring how the paper's Gurobi runs were wall-clock bounded. *)
+
+type result = {
+  status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
+      (** [`Optimal]: proved; [`Feasible]: incumbent found but budget
+          exhausted before proving optimality; [`Unknown]: budget exhausted
+          with no incumbent. *)
+  objective : float;  (** incumbent objective (meaningful unless [`Unknown]/[`Infeasible]) *)
+  values : float array;  (** incumbent variable values *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+  proved : bool;  (** whether optimality was proved *)
+}
+
+val solve :
+  ?node_limit:int ->
+  ?max_pivots:int ->
+  ?integral_objective:bool ->
+  ?incumbent:float array * float ->
+  binary:Lp.var list ->
+  Lp.problem ->
+  result
+(** [solve ~binary p] minimizes [p] (the problem must be built with the
+    default [Minimize] sense) with the given variables restricted to {0,1}.  [incumbent] is an
+    optional starting solution (values, objective) assumed feasible;
+    [integral_objective] (default false) allows rounding LP bounds to the
+    next integer.  [node_limit] defaults to 100_000.  The problem [p] is
+    not modified. *)

@@ -1,0 +1,278 @@
+type relation = Le | Ge | Eq
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type std = {
+  ncols : int;
+  rows : (float array * relation * float) list;
+  costs : float array;
+}
+
+type outcome = { status : status; objective : float; values : float array }
+
+let eps = 1e-9
+let pivot_eps = 1e-7
+
+(* The tableau stores, per constraint row, the coefficients of every
+   column (structural, slack, artificial) plus the right-hand side in the
+   last position.  [basis.(i)] is the column currently basic in row [i].
+   The objective row holds reduced costs: optimality is reached when every
+   reduced cost is >= -eps (minimization). *)
+
+type tableau = {
+  m : int;  (* constraint rows *)
+  width : int;  (* total columns excluding RHS *)
+  t : float array array;  (* m rows of length width+1 *)
+  basis : int array;
+  obj : float array;  (* length width+1; last entry = -objective value *)
+}
+
+(* Scratch buffer for the pivot row's nonzero column indices: iterating
+   only over them makes each elimination proportional to the pivot row's
+   density rather than the tableau width — a large win on the sparse MCF
+   tableaus this library generates. *)
+let nz_scratch = ref [||]
+
+let pivot tab ~row ~col =
+  let { t; obj; width; m; _ } = tab in
+  let prow = t.(row) in
+  let piv = prow.(col) in
+  let inv = 1.0 /. piv in
+  if Array.length !nz_scratch < width + 1 then
+    nz_scratch := Array.make (width + 1) 0;
+  let nz = !nz_scratch in
+  let nnz = ref 0 in
+  for j = 0 to width do
+    let v = Array.unsafe_get prow j in
+    if v <> 0.0 then begin
+      Array.unsafe_set prow j (v *. inv);
+      Array.unsafe_set nz !nnz j;
+      incr nnz
+    end
+  done;
+  prow.(col) <- 1.0;
+  let nnz = !nnz in
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let r = Array.unsafe_get t i in
+      let factor = Array.unsafe_get r col in
+      if factor <> 0.0 then begin
+        for k = 0 to nnz - 1 do
+          let j = Array.unsafe_get nz k in
+          Array.unsafe_set r j
+            (Array.unsafe_get r j -. (factor *. Array.unsafe_get prow j))
+        done;
+        Array.unsafe_set r col 0.0
+      end
+    end
+  done;
+  let factor = obj.(col) in
+  if factor <> 0.0 then begin
+    for k = 0 to nnz - 1 do
+      let j = Array.unsafe_get nz k in
+      Array.unsafe_set obj j
+        (Array.unsafe_get obj j -. (factor *. Array.unsafe_get prow j))
+    done;
+    obj.(col) <- 0.0
+  end;
+  tab.basis.(row) <- col
+
+(* Ratio test: leaving row minimizing rhs / coeff over positive coeffs,
+   ties broken towards the smallest basis index (lexicographic-ish rule
+   reduces cycling). *)
+let leaving_row tab ~col ~allowed =
+  let best = ref (-1) in
+  let best_ratio = ref infinity in
+  for i = 0 to tab.m - 1 do
+    let coeff = tab.t.(i).(col) in
+    if coeff > pivot_eps then begin
+      let ratio = tab.t.(i).(tab.width) /. coeff in
+      if
+        ratio < !best_ratio -. eps
+        || (ratio < !best_ratio +. eps
+            && !best >= 0
+            && tab.basis.(i) < tab.basis.(!best))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  ignore allowed;
+  !best
+
+let entering_dantzig tab ~allowed =
+  let best = ref (-1) in
+  let best_cost = ref (-.pivot_eps) in
+  for j = 0 to tab.width - 1 do
+    if allowed j && tab.obj.(j) < !best_cost then begin
+      best := j;
+      best_cost := tab.obj.(j)
+    end
+  done;
+  !best
+
+let entering_bland tab ~allowed =
+  let rec scan j =
+    if j >= tab.width then -1
+    else if allowed j && tab.obj.(j) < -.pivot_eps then j
+    else scan (j + 1)
+  in
+  scan 0
+
+(* Runs pivots until optimal / unbounded / budget exhausted.  Returns
+   [`Optimal], [`Unbounded] or [`Limit], consuming from [budget]. *)
+let optimize tab ~allowed ~budget =
+  let stall = ref 0 in
+  let last_obj = ref infinity in
+  let rec loop () =
+    if !budget <= 0 then `Limit
+    else begin
+      let use_bland = !stall > 200 in
+      let col =
+        if use_bland then entering_bland tab ~allowed
+        else entering_dantzig tab ~allowed
+      in
+      if col < 0 then `Optimal
+      else begin
+        let row = leaving_row tab ~col ~allowed in
+        if row < 0 then `Unbounded
+        else begin
+          decr budget;
+          pivot tab ~row ~col;
+          let cur = -.tab.obj.(tab.width) in
+          if cur < !last_obj -. eps then begin
+            last_obj := cur;
+            stall := 0
+          end
+          else incr stall;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let solve_std ~max_pivots { ncols; rows; costs } =
+  if Array.length costs <> ncols then
+    invalid_arg "Simplex.solve_std: costs arity";
+  List.iter
+    (fun (coeffs, _, _) ->
+      if Array.length coeffs <> ncols then
+        invalid_arg "Simplex.solve_std: row arity")
+    rows;
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  (* Normalize RHS signs, then count slack and artificial columns. *)
+  let norm =
+    Array.map
+      (fun (coeffs, rel, rhs) ->
+        if rhs < 0.0 then
+          let flipped = Array.map (fun c -> -.c) coeffs in
+          let rel = match rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (flipped, rel, -.rhs)
+        else (Array.copy coeffs, rel, rhs))
+      rows
+  in
+  let nslack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 norm
+  in
+  let nart =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 norm
+  in
+  let width = ncols + nslack + nart in
+  let t = Array.init m (fun _ -> Array.make (width + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let art_cols = Array.make m (-1) in
+  let slack_idx = ref ncols in
+  let art_idx = ref (ncols + nslack) in
+  Array.iteri
+    (fun i (coeffs, rel, rhs) ->
+      Array.blit coeffs 0 t.(i) 0 ncols;
+      t.(i).(width) <- rhs;
+      (match rel with
+      | Le ->
+        t.(i).(!slack_idx) <- 1.0;
+        basis.(i) <- !slack_idx;
+        incr slack_idx
+      | Ge ->
+        t.(i).(!slack_idx) <- -1.0;
+        incr slack_idx;
+        t.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        art_cols.(i) <- !art_idx;
+        incr art_idx
+      | Eq ->
+        t.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        art_cols.(i) <- !art_idx;
+        incr art_idx))
+    norm;
+  let is_artificial j = j >= ncols + nslack in
+  let budget = ref max_pivots in
+  (* ---- Phase 1: minimize the sum of artificials. ---- *)
+  let obj1 = Array.make (width + 1) 0.0 in
+  for j = ncols + nslack to width - 1 do
+    obj1.(j) <- 1.0
+  done;
+  let tab = { m; width; t; basis; obj = obj1 } in
+  for i = 0 to m - 1 do
+    if art_cols.(i) >= 0 then begin
+      (* Zero the reduced cost of the basic artificial in row i. *)
+      let r = t.(i) in
+      for j = 0 to width do
+        obj1.(j) <- obj1.(j) -. r.(j)
+      done
+    end
+  done;
+  let phase1 = optimize tab ~allowed:(fun _ -> true) ~budget in
+  let fail status = { status; objective = 0.0; values = Array.make ncols 0.0 } in
+  match phase1 with
+  | `Limit -> fail Iteration_limit
+  | `Unbounded -> fail Infeasible (* phase 1 is bounded below by 0 *)
+  | `Optimal ->
+    let art_sum = -.tab.obj.(width) in
+    if art_sum > 1e-6 then fail Infeasible
+    else begin
+      (* Drive any artificial still in the basis out, or note its row as
+         redundant (all structural coefficients zero). *)
+      for i = 0 to m - 1 do
+        if is_artificial basis.(i) && t.(i).(width) <= 1e-6 then begin
+          let found = ref (-1) in
+          for j = 0 to ncols + nslack - 1 do
+            if !found < 0 && abs_float t.(i).(j) > pivot_eps then found := j
+          done;
+          if !found >= 0 then pivot tab ~row:i ~col:!found
+        end
+      done;
+      (* ---- Phase 2: original objective. ---- *)
+      let obj2 = Array.make (width + 1) 0.0 in
+      Array.blit costs 0 obj2 0 ncols;
+      for i = 0 to m - 1 do
+        let b = basis.(i) in
+        if b < ncols && abs_float obj2.(b) > 0.0 then begin
+          let factor = obj2.(b) in
+          let r = t.(i) in
+          for j = 0 to width do
+            obj2.(j) <- obj2.(j) -. (factor *. r.(j))
+          done;
+          obj2.(b) <- 0.0
+        end
+      done;
+      let tab = { tab with obj = obj2 } in
+      let allowed j = not (is_artificial j) in
+      let phase2 = optimize tab ~allowed ~budget in
+      match phase2 with
+      | `Limit -> fail Iteration_limit
+      | `Unbounded -> fail Unbounded
+      | `Optimal ->
+        let values = Array.make ncols 0.0 in
+        for i = 0 to m - 1 do
+          let b = basis.(i) in
+          if b < ncols then values.(b) <- t.(i).(width)
+        done;
+        { status = Optimal; objective = -.tab.obj.(width); values }
+    end

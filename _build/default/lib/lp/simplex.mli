@@ -1,0 +1,28 @@
+(** Dense two-phase primal simplex on standard-form problems.
+
+    Internal engine behind {!Lp.solve}; exposed for direct use and testing.
+    The problem is [min c'x] subject to [rows], [x >= 0].  Degeneracy is
+    handled by switching from Dantzig pricing to Bland's rule when the
+    objective stalls, which guarantees termination. *)
+
+type relation = Le | Ge | Eq
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type std = {
+  ncols : int;  (** number of structural variables *)
+  rows : (float array * relation * float) list;
+      (** each row: dense coefficient vector of length [ncols], sense,
+          right-hand side *)
+  costs : float array;  (** minimization costs, length [ncols] *)
+}
+
+type outcome = {
+  status : status;
+  objective : float;
+  values : float array;  (** length [ncols]; zeros unless [Optimal] *)
+}
+
+val solve_std : max_pivots:int -> std -> outcome
+(** Run the two-phase simplex.  @raise Invalid_argument on arity
+    mismatches between rows/costs and [ncols]. *)

@@ -1,0 +1,1 @@
+lib/topo/bell_canada.mli: Graph

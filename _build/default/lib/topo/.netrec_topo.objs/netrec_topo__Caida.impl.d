@@ -1,0 +1,1 @@
+lib/topo/caida.ml: Generate Graph Netrec_util

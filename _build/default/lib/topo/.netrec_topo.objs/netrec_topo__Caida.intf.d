@@ -1,0 +1,1 @@
+lib/topo/caida.mli: Graph

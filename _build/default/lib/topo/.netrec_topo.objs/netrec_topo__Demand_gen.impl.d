@@ -1,0 +1,1 @@
+lib/topo/demand_gen.ml: Array Graph Hashtbl List Metrics Netrec_flow Netrec_util Traverse

@@ -1,0 +1,1 @@
+lib/topo/demand_gen.mli: Graph Netrec_flow Netrec_util

@@ -1,0 +1,22 @@
+let cities =
+  [| ("Seattle", (1.0, 9.0));        (* 0 *)
+     ("Sunnyvale", (0.5, 5.0));      (* 1 *)
+     ("LosAngeles", (1.5, 3.0));     (* 2 *)
+     ("Denver", (5.0, 6.0));         (* 3 *)
+     ("KansasCity", (7.5, 5.5));     (* 4 *)
+     ("Houston", (7.0, 1.5));        (* 5 *)
+     ("Chicago", (9.5, 7.0));        (* 6 *)
+     ("Indianapolis", (10.0, 6.0));  (* 7 *)
+     ("Atlanta", (10.5, 3.0));       (* 8 *)
+     ("WashingtonDC", (13.0, 5.5));  (* 9 *)
+     ("NewYork", (13.5, 7.0)) |]     (* 10 *)
+
+let links =
+  [ (0, 1); (0, 3); (1, 2); (1, 3); (2, 5); (3, 4); (4, 5); (4, 7); (5, 8);
+    (7, 8); (6, 7); (6, 10); (8, 9); (9, 10) ]
+
+let graph () =
+  let names = Array.map fst cities in
+  let coords = Array.map snd cities in
+  let edges = List.map (fun (u, v) -> (u, v, 10.0)) links in
+  Graph.make ~names ~coords ~n:(Array.length cities) ~edges ()

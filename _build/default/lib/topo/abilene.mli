@@ -1,0 +1,10 @@
+(** The Abilene (Internet2) backbone: 11 nodes, 14 links.
+
+    Not part of the paper's evaluation — included as a small, well-known
+    embedded topology for examples, tests and quick CLI experiments
+    (every link of the real network is present; capacities are
+    normalized to a uniform 10 units). *)
+
+val graph : unit -> Graph.t
+(** Build the topology (11 vertices, 14 edges, connected, embedded on a
+    rough US map). *)

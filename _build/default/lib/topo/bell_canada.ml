@@ -1,0 +1,94 @@
+(* 48 cities with a rough west-to-east planar embedding (x grows eastward,
+   y northward; units are arbitrary map units used only for relative
+   distances in the Gaussian failure model). *)
+let cities =
+  [| ("Victoria", (2.0, 4.0));         (* 0 *)
+     ("Vancouver", (3.0, 6.0));        (* 1 *)
+     ("Whistler", (4.0, 8.0));         (* 2 *)
+     ("Kamloops", (8.0, 7.0));         (* 3 *)
+     ("Kelowna", (9.0, 5.0));          (* 4 *)
+     ("PrinceGeorge", (8.0, 12.0));    (* 5 *)
+     ("Calgary", (16.0, 6.0));         (* 6 *)
+     ("Edmonton", (15.0, 10.0));       (* 7 *)
+     ("RedDeer", (15.5, 8.0));         (* 8 *)
+     ("Lethbridge", (17.0, 4.0));      (* 9 *)
+     ("Saskatoon", (24.0, 9.0));       (* 10 *)
+     ("Regina", (25.0, 6.0));          (* 11 *)
+     ("PrinceAlbert", (24.0, 12.0));   (* 12 *)
+     ("Winnipeg", (33.0, 5.0));        (* 13 *)
+     ("Brandon", (31.0, 5.5));         (* 14 *)
+     ("ThunderBay", (40.0, 7.0));      (* 15 *)
+     ("SaultSteMarie", (46.0, 6.0));   (* 16 *)
+     ("Sudbury", (50.0, 7.0));         (* 17 *)
+     ("NorthBay", (52.0, 8.0));        (* 18 *)
+     ("Timmins", (50.0, 11.0));        (* 19 *)
+     ("Toronto", (54.0, 3.0));         (* 20 *)
+     ("Hamilton", (53.0, 2.5));        (* 21 *)
+     ("London", (51.0, 2.0));          (* 22 *)
+     ("Windsor", (48.0, 1.0));         (* 23 *)
+     ("Kitchener", (52.5, 2.8));       (* 24 *)
+     ("NiagaraFalls", (54.0, 2.0));    (* 25 *)
+     ("Kingston", (57.0, 4.5));        (* 26 *)
+     ("Ottawa", (58.0, 6.0));          (* 27 *)
+     ("Gatineau", (57.8, 6.3));        (* 28 *)
+     ("Montreal", (61.0, 6.0));        (* 29 *)
+     ("Laval", (60.8, 6.4));           (* 30 *)
+     ("TroisRivieres", (63.0, 7.5));   (* 31 *)
+     ("Sherbrooke", (63.0, 5.0));      (* 32 *)
+     ("QuebecCity", (65.0, 8.0));      (* 33 *)
+     ("Chicoutimi", (65.0, 11.0));     (* 34 *)
+     ("Rimouski", (68.0, 10.0));       (* 35 *)
+     ("Fredericton", (72.0, 6.0));     (* 36 *)
+     ("SaintJohn", (73.0, 5.0));       (* 37 *)
+     ("Moncton", (75.0, 6.5));         (* 38 *)
+     ("Halifax", (78.0, 4.0));         (* 39 *)
+     ("Sydney", (82.0, 6.0));          (* 40 *)
+     ("Charlottetown", (77.0, 7.0));   (* 41 *)
+     ("StJohns", (90.0, 8.0));         (* 42 *)
+     ("Barrie", (53.5, 4.0));          (* 43 *)
+     ("Oshawa", (55.0, 3.5));          (* 44 *)
+     ("Peterborough", (56.0, 4.2));    (* 45 *)
+     ("Sarnia", (49.5, 1.8));          (* 46 *)
+     ("Seattle", (3.0, 3.0)) |]        (* 47 *)
+
+(* The main southern backbone, capacity 50, spanning the full west-east
+   extent: Vancouver - Calgary - Regina - Winnipeg - Toronto - Ottawa -
+   Montreal - Quebec City - Fredericton - Halifax.  Together with the
+   northern backbone below it gives every west-east cut at least 80 units
+   of capacity, which is what lets the paper push 4 pairs x 18 units (or
+   7 pairs x 10) through the network. *)
+let backbone50 =
+  [ (1, 6); (6, 11); (11, 13); (13, 20); (20, 27); (27, 29); (29, 33);
+    (33, 36); (36, 39) ]
+
+(* The northern backbone, capacity 30: through the interior (Kamloops,
+   Edmonton, Saskatoon), along the lakes (Thunder Bay, Sault Ste Marie,
+   Sudbury, North Bay), then the St-Lawrence north shore (Gatineau,
+   Laval, Trois-Rivieres, Quebec City, Rimouski) out to St John's. *)
+let backbone30 =
+  [ (1, 3); (3, 7); (7, 10); (10, 13); (13, 15); (15, 16); (16, 17);
+    (17, 18); (18, 28); (28, 30); (30, 31); (31, 33); (33, 35); (35, 38);
+    (38, 40); (40, 42) ]
+
+(* Access and regional links, capacity 20. *)
+let access =
+  [ (0, 1); (1, 47); (1, 2);
+    (3, 4); (4, 6); (3, 5); (5, 7); (6, 8); (7, 8); (6, 9); (9, 11);
+    (10, 11); (10, 12); (11, 14); (13, 14);
+    (19, 17);
+    (20, 21); (21, 25); (21, 22); (22, 23); (22, 46); (20, 24); (20, 43);
+    (43, 18); (20, 44); (45, 26); (26, 27);
+    (27, 28); (28, 29); (29, 30); (29, 32); (32, 33); (33, 34); (34, 35);
+    (36, 37); (37, 38); (38, 41); (41, 40); (39, 40) ]
+
+let graph () =
+  let names = Array.map fst cities in
+  (* Compress the west-east axis to a ~30x12 map so the paper's Gaussian
+     variance sweep (10..150, §VII-A3) spans light-to-near-total
+     destruction on this embedding too. *)
+  let coords = Array.map (fun (_, (x, y)) -> (x /. 3.0, y)) cities in
+  let with_cap c = List.map (fun (u, v) -> (u, v, c)) in
+  let edges =
+    with_cap 50.0 backbone50 @ with_cap 30.0 backbone30 @ with_cap 20.0 access
+  in
+  Graph.make ~names ~coords ~n:(Array.length cities) ~edges ()

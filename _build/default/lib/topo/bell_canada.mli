@@ -1,0 +1,23 @@
+(** The Bell-Canada-like evaluation topology (48 nodes, 64 edges).
+
+    The paper's first scenario uses the Bell Canada map from the Internet
+    Topology Zoo with hand-altered capacities: two backbones of capacity
+    30 and 50, every other link 20, unit repair costs (§VII-A).  The Zoo
+    GraphML is not redistributable inside this sealed build, so this
+    module embeds a structurally equivalent stand-in: same node and edge
+    counts, a west-to-east geographic embedding over Canadian cities
+    (coordinates drive the Gaussian failure model), a planar
+    backbone-plus-spur shape, and exactly the paper's capacity plan.
+    See DESIGN.md §3 for the substitution rationale. *)
+
+val graph : unit -> Graph.t
+(** Build the topology (fresh value each call; the graph is immutable so
+    sharing would also be fine).  48 vertices, 64 edges, connected:
+    7 backbone edges at capacity 50, 9 at capacity 30, 48 access edges at
+    capacity 20. *)
+
+val backbone50 : (int * int) list
+(** Vertex pairs of the capacity-50 backbone, west to east. *)
+
+val backbone30 : (int * int) list
+(** Vertex pairs of the capacity-30 backbone. *)

@@ -1,0 +1,15 @@
+module Rng = Netrec_util.Rng
+
+let nodes = 825
+let edges = 1018
+
+let graph ?(seed = 28717) ?(capacity = 30.0) () =
+  let rng = Rng.create seed in
+  let g =
+    Generate.preferential_attachment ~rng ~n:nodes
+      ~extra_edges:(edges - (nodes - 1))
+      ~capacity
+  in
+  assert (Graph.nv g = nodes);
+  assert (Graph.ne g = edges);
+  g

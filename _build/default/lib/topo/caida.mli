@@ -1,0 +1,22 @@
+(** The CAIDA-AS28717-like large evaluation topology.
+
+    The paper's third scenario uses the giant connected component of the
+    CAIDA ITDK AS28717 router-level map: 825 nodes and 1018 edges
+    (§VII-C, Fig. 8).  The ITDK data set is not available in this sealed
+    build, so this module generates a synthetic stand-in with exactly the
+    same size and a matching heavy-tailed degree profile: a
+    preferential-attachment tree plus degree-proportional extra edges
+    (see DESIGN.md §3). *)
+
+val nodes : int
+(** 825, as in the paper. *)
+
+val edges : int
+(** 1018, as in the paper. *)
+
+val graph : ?seed:int -> ?capacity:float -> unit -> Graph.t
+(** Generate the topology.  [seed] (default 28717) fixes the structure;
+    [capacity] (default 30) is the uniform link capacity — commensurate
+    with the paper's 22-units-per-pair demands so that shortest-path
+    repairs can saturate (the regime where SRT shows demand loss in
+    Fig. 9(b)). *)

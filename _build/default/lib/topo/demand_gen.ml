@@ -1,0 +1,48 @@
+module Rng = Netrec_util.Rng
+module Commodity = Netrec_flow.Commodity
+
+(* All unordered pairs at hop distance >= threshold, with their distance. *)
+let eligible_pairs g =
+  let n = Graph.nv g in
+  if n < 2 then invalid_arg "Demand_gen: graph too small";
+  let diameter = Metrics.hop_diameter g in
+  let threshold = (diameter + 1) / 2 in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    let dist = Traverse.bfs_dist g u in
+    for v = u + 1 to n - 1 do
+      if dist.(v) < max_int then pairs := ((u, v), dist.(v)) :: !pairs
+    done
+  done;
+  let all = !pairs in
+  let far = List.filter (fun (_, d) -> d >= threshold) all in
+  if far <> [] then far
+  else
+    (* Degenerate graphs (e.g. cliques): fall back to the farthest pairs. *)
+    let dmax = List.fold_left (fun acc (_, d) -> max acc d) 0 all in
+    List.filter (fun (_, d) -> d = dmax) all
+
+let draw ~rng ~count ~amount ~distinct g =
+  let candidates = Array.of_list (eligible_pairs g) in
+  Rng.shuffle rng candidates;
+  let used = Hashtbl.create 16 in
+  let taken = ref [] in
+  let ntaken = ref 0 in
+  Array.iter
+    (fun ((u, v), _) ->
+      if !ntaken < count then begin
+        let clash = distinct && (Hashtbl.mem used u || Hashtbl.mem used v) in
+        if not clash then begin
+          Hashtbl.replace used u ();
+          Hashtbl.replace used v ();
+          taken := Commodity.make ~src:u ~dst:v ~amount :: !taken;
+          incr ntaken
+        end
+      end)
+    candidates;
+  List.rev !taken
+
+let far_pairs ~rng ~count ~amount g = draw ~rng ~count ~amount ~distinct:false g
+
+let distinct_endpoint_pairs ~rng ~count ~amount g =
+  draw ~rng ~count ~amount ~distinct:true g

@@ -1,0 +1,1 @@
+lib/util/num.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/util/table.ml: Array List Printf String

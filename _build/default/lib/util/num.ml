@@ -1,0 +1,22 @@
+let eps = 1e-7
+
+let approx_eq ?(eps = eps) a b =
+  abs_float (a -. b) <= eps *. Float.max 1.0 (Float.max (abs_float a) (abs_float b))
+
+let leq ?(eps = eps) a b = a <= b +. eps
+let geq ?(eps = eps) a b = a >= b -. eps
+let is_zero ?(eps = eps) x = abs_float x <= eps
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let sum = List.fold_left ( +. ) 0.0
+
+let fsum a =
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s

@@ -1,0 +1,30 @@
+(** Floating-point tolerances and comparisons shared across the solvers.
+
+    The LP simplex, the Garg–Könemann approximation and the flow-balance
+    checks all compare floating-point quantities; this module centralises
+    the tolerance discipline so the whole library agrees on what "equal"
+    and "at least" mean numerically. *)
+
+val eps : float
+(** Default absolute tolerance (1e-7). *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b| <= eps * max 1 |a| |b|]. *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b + eps] (tolerant less-or-equal). *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b] is [a >= b - eps]. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is [|x| <= eps]. *)
+
+val clamp : float -> float -> float -> float
+(** [clamp lo hi x] limits [x] to [\[lo, hi\]]. *)
+
+val sum : float list -> float
+(** Numerically ordinary left-to-right sum. *)
+
+val fsum : float array -> float
+(** Kahan-compensated sum of an array (stable for long accumulations). *)

@@ -1,0 +1,77 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable len : int;
+}
+
+let create () = { prio = Array.make 16 infinity; data = Array.make 16 None; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h =
+  let cap = Array.length h.prio in
+  let prio = Array.make (2 * cap) infinity in
+  let data = Array.make (2 * cap) None in
+  Array.blit h.prio 0 prio 0 h.len;
+  Array.blit h.data 0 data 0 h.len;
+  h.prio <- prio;
+  h.data <- data
+
+let swap h i j =
+  let p = h.prio.(i) and d = h.data.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.data.(i) <- h.data.(j);
+  h.prio.(j) <- p;
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(i) < h.prio.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+  if r < h.len && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h prio x =
+  if h.len = Array.length h.prio then grow h;
+  h.prio.(h.len) <- prio;
+  h.data.(h.len) <- Some x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let p = h.prio.(0) and d = h.data.(0) in
+    h.len <- h.len - 1;
+    h.prio.(0) <- h.prio.(h.len);
+    h.data.(0) <- h.data.(h.len);
+    h.data.(h.len) <- None;
+    if h.len > 0 then sift_down h 0;
+    match d with
+    | Some x -> Some (p, x)
+    | None -> assert false
+  end
+
+let peek h =
+  if h.len = 0 then None
+  else
+    match h.data.(0) with
+    | Some x -> Some (h.prio.(0), x)
+    | None -> assert false
+
+let clear h =
+  Array.fill h.data 0 h.len None;
+  h.len <- 0

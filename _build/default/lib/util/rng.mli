@@ -1,0 +1,55 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Every stochastic component of the library (topology generation,
+    disruption sampling, demand-pair selection) draws its randomness from a
+    value of type {!t} so that experiments are exactly reproducible from a
+    single integer seed.  The generator is splitmix64 (Steele, Lea &
+    Flood, OOPSLA 2014): a small, fast, well-distributed 64-bit generator
+    whose streams can be split into statistically independent substreams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds
+    produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy and the original then evolve
+    independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream.  Use one split per
+    experiment repetition to decouple runs. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val gaussian2 : t -> float * float
+(** Two independent standard normal deviates from one Box–Muller draw. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  @raise Invalid_argument on []. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements of [xs]
+    uniformly without replacement (order unspecified). *)

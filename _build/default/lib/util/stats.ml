@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> Num.sum xs /. float_of_int (List.length xs)
+
+let variance = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.map (fun x -> (x -. m) ** 2.0) xs in
+    Num.sum sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let confidence95 = function
+  | [] | [ _ ] -> 0.0
+  | xs -> 1.96 *. stddev xs /. sqrt (float_of_int (List.length xs))

@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers used by the experiment harness to
+    average series over repeated seeded runs. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val median : float list -> float
+(** Median (average of the two central elements for even lengths);
+    0 on the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  @raise Invalid_argument on []. *)
+
+val confidence95 : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * stddev / sqrt n]); 0 on lists shorter than 2. *)

@@ -1,0 +1,49 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row ?(decimals = 2) t row =
+  add_row t (List.map (fun v -> Printf.sprintf "%.*f" decimals v) row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf "%*s" widths.(i) cell) row
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" (t.title :: render_row t.columns :: sep :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let to_csv t =
+  let escape cell =
+    if String.contains cell ',' then "\"" ^ cell ^ "\"" else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (List.map line (t.columns :: List.rev t.rows))

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The benchmark executable prints every reproduced figure as an aligned
+    text table (one row per x-axis point, one column per series), matching
+    the rows/series of the paper's plots. *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have as many cells as there are columns. *)
+
+val add_float_row : ?decimals:int -> t -> float list -> unit
+(** Append a row of floats rendered with [decimals] (default 2) digits. *)
+
+val render : t -> string
+(** Render with aligned columns, a title line and a separator. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row included) for machine reading. *)

@@ -1,0 +1,1 @@
+test/test_disrupt.ml: Alcotest Array Failure Generate Graph List Models Netrec_disrupt Netrec_graph Netrec_util Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Commodity Gk Graph List Maxflow Mcf_lp Netrec_flow Netrec_graph Netrec_util Oracle QCheck QCheck_alcotest Route_greedy Routing

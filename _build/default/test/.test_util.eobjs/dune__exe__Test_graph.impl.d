@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dijkstra Generate Graph List Maxflow Metrics Netrec_graph Netrec_util Option Paths QCheck QCheck_alcotest Traverse

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Hashtbl List Lp Milp Netrec_lp Netrec_util QCheck QCheck_alcotest

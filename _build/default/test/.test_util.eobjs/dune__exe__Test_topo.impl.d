@@ -1,0 +1,1 @@
+test/test_topo.ml: Abilene Alcotest Bell_canada Caida Demand_gen Generate Graph List Maxflow Metrics Netrec_flow Netrec_graph Netrec_topo Netrec_util Traverse

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Netrec_util Num Pqueue QCheck QCheck_alcotest Rng Stats String Table

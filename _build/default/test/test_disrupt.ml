@@ -1,0 +1,160 @@
+open Netrec_graph
+open Netrec_disrupt
+module Rng = Netrec_util.Rng
+
+let grid () = Generate.grid ~width:5 ~height:5 ~capacity:10.0
+
+(* ---- Failure ---- *)
+
+let test_none_and_complete () =
+  let g = grid () in
+  let none = Failure.none g in
+  Alcotest.(check (pair int int)) "none" (0, 0) (Failure.counts none);
+  let full = Failure.complete g in
+  Alcotest.(check (pair int int)) "complete" (Graph.nv g, Graph.ne g)
+    (Failure.counts full)
+
+let test_of_lists () =
+  let g = grid () in
+  let f = Failure.of_lists g ~vertices:[ 0; 3 ] ~edges:[ 1 ] in
+  Alcotest.(check bool) "vertex broken" true (Failure.vertex_broken f 0);
+  Alcotest.(check bool) "vertex ok" true (Failure.vertex_ok f 1);
+  Alcotest.(check bool) "edge broken" true (Failure.edge_broken f 1);
+  Alcotest.(check (list int)) "vertex list" [ 0; 3 ] (Failure.broken_vertex_list f);
+  Alcotest.(check (list int)) "edge list" [ 1 ] (Failure.broken_edge_list f)
+
+let test_of_lists_rejects () =
+  let g = grid () in
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Failure.of_lists: vertex")
+    (fun () -> ignore (Failure.of_lists g ~vertices:[ 99 ] ~edges:[]))
+
+let test_edge_usable () =
+  let g = grid () in
+  let f = Failure.of_lists g ~vertices:[ 0 ] ~edges:[] in
+  (* Edges incident to broken vertex 0 are unusable even if unbroken. *)
+  let bad = List.map snd (Graph.incident g 0) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "incident unusable" false (Failure.edge_usable f g e))
+    bad;
+  Alcotest.(check bool) "far edge usable" true
+    (Failure.edge_usable f g (Option.get (Graph.find_edge g 23 24)))
+
+let test_copy_independent () =
+  let g = grid () in
+  let f = Failure.complete g in
+  let f' = Failure.copy f in
+  f'.Failure.broken_vertices.(0) <- false;
+  Alcotest.(check bool) "original untouched" true (Failure.vertex_broken f 0)
+
+(* ---- Models ---- *)
+
+let test_barycenter_grid () =
+  let g = grid () in
+  let x, y = Models.barycenter g in
+  Alcotest.(check (float 1e-9)) "x" 2.0 x;
+  Alcotest.(check (float 1e-9)) "y" 2.0 y
+
+let test_barycenter_requires_coords () =
+  let g = Graph.make ~n:2 ~edges:[ (0, 1, 1.0) ] () in
+  Alcotest.check_raises "no coords"
+    (Invalid_argument "Disrupt: graph has no coordinates") (fun () ->
+      ignore (Models.barycenter g))
+
+let test_gaussian_epicenter_always_fails () =
+  let g = grid () in
+  (* Tiny variance: only the exact epicenter vertex (2,2) = id 12 fails
+     with probability ~1; far vertices essentially never. *)
+  let rng = Rng.create 5 in
+  let f = Models.gaussian ~rng ~variance:0.01 g in
+  Alcotest.(check bool) "center broken" true (Failure.vertex_broken f 12);
+  Alcotest.(check bool) "corner intact" true (Failure.vertex_ok f 0)
+
+let test_gaussian_monotone_in_variance () =
+  let g = grid () in
+  let sizes =
+    List.map
+      (fun variance ->
+        (* average over several draws to smooth the randomness *)
+        let total = ref 0 in
+        for seed = 1 to 10 do
+          let f = Models.gaussian ~rng:(Rng.create seed) ~variance g in
+          let bv, be = Failure.counts f in
+          total := !total + bv + be
+        done;
+        !total)
+      [ 0.5; 4.0; 50.0 ]
+  in
+  match sizes with
+  | [ small; medium; large ] ->
+    Alcotest.(check bool) "growing" true (small < medium && medium < large)
+  | _ -> assert false
+
+let test_gaussian_deterministic_per_seed () =
+  let g = grid () in
+  let f1 = Models.gaussian ~rng:(Rng.create 3) ~variance:2.0 g in
+  let f2 = Models.gaussian ~rng:(Rng.create 3) ~variance:2.0 g in
+  Alcotest.(check (pair int int)) "same counts" (Failure.counts f1)
+    (Failure.counts f2);
+  Alcotest.(check (list int)) "same vertices" (Failure.broken_vertex_list f1)
+    (Failure.broken_vertex_list f2)
+
+let test_gaussian_custom_epicenter () =
+  let g = grid () in
+  let rng = Rng.create 9 in
+  let f = Models.gaussian ~rng ~epicenter:(0.0, 0.0) ~variance:0.01 g in
+  Alcotest.(check bool) "corner broken" true (Failure.vertex_broken f 0);
+  Alcotest.(check bool) "center intact" true (Failure.vertex_ok f 12)
+
+let test_uniform_extremes () =
+  let g = grid () in
+  let rng = Rng.create 1 in
+  let all = Models.uniform ~rng ~p_vertex:1.0 ~p_edge:1.0 g in
+  Alcotest.(check (pair int int)) "all" (Graph.nv g, Graph.ne g)
+    (Failure.counts all);
+  let none = Models.uniform ~rng ~p_vertex:0.0 ~p_edge:0.0 g in
+  Alcotest.(check (pair int int)) "none" (0, 0) (Failure.counts none)
+
+let test_expected_failures_bounds () =
+  let g = grid () in
+  let e = Models.expected_gaussian_failures ~variance:4.0 g in
+  Alcotest.(check bool) "positive" true (e > 0.0);
+  Alcotest.(check bool) "bounded" true
+    (e <= float_of_int (Graph.nv g + Graph.ne g))
+
+let gaussian_respects_probability_prop =
+  QCheck.Test.make ~name:"gaussian failure count near expectation" ~count:20
+    QCheck.small_int (fun seed ->
+      let g = Generate.grid ~width:6 ~height:6 ~capacity:1.0 in
+      let variance = 3.0 in
+      let expected = Models.expected_gaussian_failures ~variance g in
+      let totals =
+        List.init 30 (fun i ->
+            let f =
+              Models.gaussian ~rng:(Rng.create ((31 * seed) + i)) ~variance g
+            in
+            let bv, be = Failure.counts f in
+            float_of_int (bv + be))
+      in
+      let mean = Netrec_util.Stats.mean totals in
+      abs_float (mean -. expected) < 0.35 *. expected +. 3.0)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_disrupt"
+    [ ( "failure",
+        [ tc "none and complete" test_none_and_complete;
+          tc "of_lists" test_of_lists;
+          tc "of_lists rejects" test_of_lists_rejects;
+          tc "edge usable" test_edge_usable;
+          tc "copy independent" test_copy_independent ] );
+      ( "models",
+        [ tc "barycenter grid" test_barycenter_grid;
+          tc "barycenter requires coords" test_barycenter_requires_coords;
+          tc "epicenter always fails" test_gaussian_epicenter_always_fails;
+          tc "monotone in variance" test_gaussian_monotone_in_variance;
+          tc "deterministic per seed" test_gaussian_deterministic_per_seed;
+          tc "custom epicenter" test_gaussian_custom_epicenter;
+          tc "uniform extremes" test_uniform_extremes;
+          tc "expected failures bounds" test_expected_failures_bounds;
+          QCheck_alcotest.to_alcotest gaussian_respects_probability_prop ] ) ]

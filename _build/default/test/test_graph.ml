@@ -1,0 +1,527 @@
+open Netrec_graph
+module Rng = Netrec_util.Rng
+
+(* A small fixture: 6-vertex graph with a bottleneck.
+      0 -- 1 -- 2
+      |         |
+      3 -- 4 -- 5     plus chord 1-4
+   Capacities: all 10 except 1-4 which is 3. *)
+let fixture () =
+  Graph.make ~n:6
+    ~edges:
+      [ (0, 1, 10.0); (1, 2, 10.0); (0, 3, 10.0); (3, 4, 10.0); (4, 5, 10.0);
+        (2, 5, 10.0); (1, 4, 3.0) ]
+    ()
+
+let unit_len _ = 1.0
+
+(* ---- Graph construction ---- *)
+
+let test_make_basic () =
+  let g = fixture () in
+  Alcotest.(check int) "nv" 6 (Graph.nv g);
+  Alcotest.(check int) "ne" 7 (Graph.ne g);
+  Alcotest.(check int) "degree of 1" 3 (Graph.degree g 1);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree g)
+
+let test_make_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+    (fun () -> ignore (Graph.make ~n:2 ~edges:[ (1, 1, 1.0) ] ()))
+
+let test_make_rejects_bad_endpoint () =
+  Alcotest.check_raises "endpoint"
+    (Invalid_argument "Graph.make: endpoint out of range") (fun () ->
+      ignore (Graph.make ~n:2 ~edges:[ (0, 2, 1.0) ] ()))
+
+let test_make_rejects_negative_capacity () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Graph.make: negative capacity") (fun () ->
+      ignore (Graph.make ~n:2 ~edges:[ (0, 1, -1.0) ] ()))
+
+let test_other_end () =
+  let g = fixture () in
+  let e = Option.get (Graph.find_edge g 0 1) in
+  Alcotest.(check int) "from 0" 1 (Graph.other_end g e 0);
+  Alcotest.(check int) "from 1" 0 (Graph.other_end g e 1)
+
+let test_find_edge () =
+  let g = fixture () in
+  Alcotest.(check bool) "found" true (Graph.find_edge g 1 4 <> None);
+  Alcotest.(check bool) "missing" true (Graph.find_edge g 0 5 = None)
+
+let test_parallel_edges () =
+  let g = Graph.make ~n:2 ~edges:[ (0, 1, 1.0); (0, 1, 2.0) ] () in
+  Alcotest.(check int) "two parallel" 2 (List.length (Graph.find_edges g 0 1));
+  Alcotest.(check int) "degree counts both" 2 (Graph.degree g 0)
+
+let test_total_capacity () =
+  let g = fixture () in
+  Alcotest.(check (float 1e-9)) "sum" 63.0 (Graph.total_capacity g)
+
+let test_edge_list_roundtrip () =
+  let g = fixture () in
+  let g' = Graph.of_edge_list (Graph.to_edge_list g) in
+  Alcotest.(check int) "nv" (Graph.nv g) (Graph.nv g');
+  Alcotest.(check int) "ne" (Graph.ne g) (Graph.ne g');
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "u" a.Graph.u b.Graph.u;
+      Alcotest.(check int) "v" a.Graph.v b.Graph.v;
+      Alcotest.(check (float 1e-9)) "cap" a.Graph.capacity b.Graph.capacity)
+    (Graph.edges g) (Graph.edges g')
+
+let test_names_coords () =
+  let g =
+    Graph.make ~names:[| "a"; "b" |] ~coords:[| (0.0, 0.0); (1.0, 1.0) |] ~n:2
+      ~edges:[ (0, 1, 1.0) ] ()
+  in
+  Alcotest.(check string) "name" "b" (Graph.name g 1);
+  Alcotest.(check bool) "coords" true (Graph.has_coords g);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "coord"
+    (Some (1.0, 1.0)) (Graph.coord g 1)
+
+(* ---- Traverse ---- *)
+
+let test_bfs_dist () =
+  let g = fixture () in
+  let dist = Traverse.bfs_dist g 0 in
+  Alcotest.(check int) "self" 0 dist.(0);
+  Alcotest.(check int) "one hop" 1 dist.(1);
+  Alcotest.(check int) "to 5" 3 dist.(5)
+
+let test_bfs_respects_broken_vertex () =
+  let g = fixture () in
+  (* Break vertices 1 and 4: 0 and 2 disconnect. *)
+  let vertex_ok v = v <> 1 && v <> 4 in
+  let dist = Traverse.bfs_dist ~vertex_ok g 0 in
+  Alcotest.(check bool) "2 unreachable" true (dist.(2) = max_int);
+  Alcotest.(check int) "3 reachable" 1 dist.(3)
+
+let test_bfs_respects_broken_edge () =
+  let g = fixture () in
+  let e01 = Option.get (Graph.find_edge g 0 1) in
+  let e03 = Option.get (Graph.find_edge g 0 3) in
+  let edge_ok e = e <> e01 && e <> e03 in
+  Alcotest.(check bool) "isolated" false (Traverse.reachable ~edge_ok g 0 5)
+
+let test_bfs_path_chains () =
+  let g = fixture () in
+  match Traverse.bfs_path g 0 5 with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    Alcotest.(check int) "hops" 3 (List.length p);
+    let vs = Paths.vertices_of g 0 p in
+    Alcotest.(check int) "ends at 5" 5 (List.nth vs (List.length vs - 1))
+
+let test_components () =
+  let g = Graph.make ~n:5 ~edges:[ (0, 1, 1.0); (2, 3, 1.0) ] () in
+  let comps = Traverse.components g in
+  Alcotest.(check int) "three comps" 3 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2; 2 ] sizes
+
+let test_giant_component () =
+  let g = Graph.make ~n:5 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0) ] () in
+  Alcotest.(check int) "giant size" 3 (List.length (Traverse.giant_component g))
+
+let test_is_connected () =
+  Alcotest.(check bool) "fixture" true (Traverse.is_connected (fixture ()));
+  let g = Graph.make ~n:3 ~edges:[ (0, 1, 1.0) ] () in
+  Alcotest.(check bool) "disconnected" false (Traverse.is_connected g)
+
+(* ---- Dijkstra ---- *)
+
+let test_dijkstra_unit_lengths () =
+  let g = fixture () in
+  let dist = Dijkstra.distances ~length:unit_len g 0 in
+  Alcotest.(check (float 1e-9)) "to 5" 3.0 dist.(5)
+
+let test_dijkstra_weighted () =
+  let g = fixture () in
+  (* Make edge 1-4 very long: the path 0-1-4 should avoid the chord. *)
+  let e14 = Option.get (Graph.find_edge g 1 4) in
+  let length e = if e = e14 then 100.0 else 1.0 in
+  let dist = Dijkstra.distances ~length g 1 in
+  Alcotest.(check (float 1e-9)) "1 to 4 around" 3.0 dist.(4)
+
+let test_dijkstra_path_endpoints () =
+  let g = fixture () in
+  match Dijkstra.shortest_path ~length:unit_len g 3 2 with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+    let vs = Paths.vertices_of g 3 p in
+    Alcotest.(check int) "starts" 3 (List.hd vs);
+    Alcotest.(check int) "ends" 2 (List.nth vs (List.length vs - 1))
+
+let test_dijkstra_unreachable () =
+  let g = Graph.make ~n:3 ~edges:[ (0, 1, 1.0) ] () in
+  Alcotest.(check bool) "none" true
+    (Dijkstra.shortest_path ~length:unit_len g 0 2 = None)
+
+let test_dijkstra_negative_length_rejected () =
+  let g = fixture () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dijkstra: negative edge length") (fun () ->
+      ignore (Dijkstra.distances ~length:(fun _ -> -1.0) g 0))
+
+let dijkstra_matches_bfs_prop =
+  QCheck.Test.make ~name:"dijkstra with unit lengths = bfs hops" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (seed, _) ->
+      let rng = Rng.create seed in
+      let g = Generate.erdos_renyi ~rng ~n:20 ~p:0.2 ~capacity:1.0 in
+      let bfs = Traverse.bfs_dist g 0 in
+      let dij = Dijkstra.distances ~length:unit_len g 0 in
+      Array.for_all2
+        (fun b d ->
+          if b = max_int then d = infinity else abs_float (d -. float_of_int b) < 1e-9)
+        bfs dij)
+
+(* ---- Maxflow ---- *)
+
+let test_maxflow_two_disjoint_paths () =
+  let g = fixture () in
+  (* 0 -> 5: disjoint paths 0-1-2-5 (10) and 0-3-4-5 (10), chord adds nothing. *)
+  let v = Maxflow.max_flow_value g ~source:0 ~sink:5 in
+  Alcotest.(check (float 1e-6)) "flow 20" 20.0 v
+
+let test_maxflow_bottleneck () =
+  let g =
+    Graph.make ~n:4
+      ~edges:[ (0, 1, 10.0); (1, 2, 2.0); (2, 3, 10.0) ] ()
+  in
+  Alcotest.(check (float 1e-6)) "bottleneck" 2.0
+    (Maxflow.max_flow_value g ~source:0 ~sink:3)
+
+let test_maxflow_disconnected () =
+  let g = Graph.make ~n:3 ~edges:[ (0, 1, 5.0) ] () in
+  Alcotest.(check (float 1e-9)) "zero" 0.0
+    (Maxflow.max_flow_value g ~source:0 ~sink:2)
+
+let test_maxflow_same_vertex () =
+  let g = fixture () in
+  Alcotest.(check (float 1e-9)) "zero" 0.0
+    (Maxflow.max_flow_value g ~source:2 ~sink:2)
+
+let test_maxflow_respects_cap_fn () =
+  let g = fixture () in
+  let cap _ = 1.0 in
+  Alcotest.(check (float 1e-6)) "uniform caps" 2.0
+    (Maxflow.max_flow_value ~cap g ~source:0 ~sink:5)
+
+let test_maxflow_respects_broken () =
+  let g = fixture () in
+  let vertex_ok v = v <> 1 in
+  Alcotest.(check (float 1e-6)) "one path left" 10.0
+    (Maxflow.max_flow_value ~vertex_ok g ~source:0 ~sink:5)
+
+let test_maxflow_conservation () =
+  let g = fixture () in
+  let { Maxflow.edge_flow; value } = Maxflow.max_flow g ~source:0 ~sink:5 in
+  (* Net flow into each internal vertex is zero; source emits [value]. *)
+  let net = Array.make (Graph.nv g) 0.0 in
+  List.iter
+    (fun e ->
+      net.(e.Graph.u) <- net.(e.Graph.u) -. edge_flow.(e.Graph.id);
+      net.(e.Graph.v) <- net.(e.Graph.v) +. edge_flow.(e.Graph.id))
+    (Graph.edges g);
+  Alcotest.(check (float 1e-6)) "source" (-.value) net.(0);
+  Alcotest.(check (float 1e-6)) "sink" value net.(5);
+  List.iter
+    (fun v ->
+      if v <> 0 && v <> 5 then
+        Alcotest.(check (float 1e-6)) "internal" 0.0 net.(v))
+    (Graph.vertices g)
+
+let test_min_cut_value_matches () =
+  let g = fixture () in
+  let side, crossing = Maxflow.min_cut g ~source:0 ~sink:5 in
+  Alcotest.(check bool) "source in side" true (List.mem 0 side);
+  Alcotest.(check bool) "sink not in side" false (List.mem 5 side);
+  let cut_cap =
+    List.fold_left (fun acc e -> acc +. Graph.capacity g e) 0.0 crossing
+  in
+  Alcotest.(check (float 1e-6)) "duality" 20.0 cut_cap
+
+let test_decompose_reconstructs_value () =
+  let g = fixture () in
+  let res = Maxflow.max_flow g ~source:0 ~sink:5 in
+  let paths = Maxflow.decompose g ~source:0 ~sink:5 res in
+  let total = List.fold_left (fun acc (_, a) -> acc +. a) 0.0 paths in
+  Alcotest.(check (float 1e-6)) "sums to value" res.Maxflow.value total;
+  List.iter
+    (fun (p, _) ->
+      let vs = Paths.vertices_of g 0 p in
+      Alcotest.(check int) "ends at sink" 5 (List.nth vs (List.length vs - 1)))
+    paths
+
+let maxflow_equals_mincut_prop =
+  QCheck.Test.make ~name:"maxflow value = min cut capacity (strong duality)"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 50) in
+      let g = Generate.erdos_renyi ~rng ~n:10 ~p:0.35 ~capacity:4.0 in
+      let n = Graph.nv g in
+      let v = Maxflow.max_flow_value g ~source:0 ~sink:(n - 1) in
+      let _, crossing = Maxflow.min_cut g ~source:0 ~sink:(n - 1) in
+      let cut_cap =
+        List.fold_left (fun acc e -> acc +. Graph.capacity g e) 0.0 crossing
+      in
+      abs_float (v -. cut_cap) < 1e-6)
+
+let maxflow_cut_duality_prop =
+  QCheck.Test.make ~name:"maxflow <= any s-t cut (random graphs)" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g = Generate.erdos_renyi ~rng ~n:12 ~p:0.3 ~capacity:5.0 in
+      if Graph.ne g = 0 then true
+      else begin
+        let v = Maxflow.max_flow_value g ~source:0 ~sink:(Graph.nv g - 1) in
+        (* Trivial cut: edges incident to the source. *)
+        let cut =
+          List.fold_left
+            (fun acc (_, e) -> acc +. Graph.capacity g e)
+            0.0 (Graph.incident g 0)
+        in
+        v <= cut +. 1e-6
+      end)
+
+let decompose_total_prop =
+  QCheck.Test.make ~name:"flow decomposition sums to the flow value"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      let g = Generate.erdos_renyi ~rng ~n:10 ~p:0.4 ~capacity:3.0 in
+      let n = Graph.nv g in
+      let res = Maxflow.max_flow g ~source:0 ~sink:(n - 1) in
+      let paths = Maxflow.decompose g ~source:0 ~sink:(n - 1) res in
+      let total = List.fold_left (fun acc (_, a) -> acc +. a) 0.0 paths in
+      abs_float (total -. res.Maxflow.value) < 1e-6)
+
+let dijkstra_triangle_prop =
+  QCheck.Test.make ~name:"dijkstra satisfies the triangle inequality"
+    ~count:20 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 99) in
+      let g = Generate.erdos_renyi ~rng ~n:12 ~p:0.3 ~capacity:1.0 in
+      let length e = 0.5 +. (float_of_int (e mod 7) /. 3.0) in
+      let d0 = Dijkstra.distances ~length g 0 in
+      List.for_all
+        (fun v ->
+          d0.(v) = infinity
+          || List.for_all
+               (fun (w, e) -> d0.(w) <= d0.(v) +. length e +. 1e-9)
+               (Graph.incident g v))
+        (Graph.vertices g))
+
+(* ---- Paths ---- *)
+
+let test_path_capacity () =
+  let g = fixture () in
+  let e01 = Option.get (Graph.find_edge g 0 1) in
+  let e14 = Option.get (Graph.find_edge g 1 4) in
+  Alcotest.(check (float 1e-9)) "bottleneck" 3.0
+    (Paths.capacity ~cap:(Graph.capacity g) [ e01; e14 ]);
+  Alcotest.(check (float 1e-9)) "empty" infinity
+    (Paths.capacity ~cap:(Graph.capacity g) [])
+
+let test_path_length () =
+  Alcotest.(check (float 1e-9)) "sum" 3.0
+    (Paths.length ~length:(fun _ -> 1.5) [ 0; 1 ])
+
+let test_shortest_bundle_covers_demand () =
+  let g = fixture () in
+  let bundle =
+    Paths.shortest_bundle ~length:unit_len ~cap:(Graph.capacity g) ~demand:15.0
+      g 0 5
+  in
+  Alcotest.(check bool) "covered" true (bundle.Paths.covered >= 15.0);
+  (* All shortest paths have 3 hops here; depending on tie-breaking the
+     bundle needs 2 or 3 of them to cover 15 units. *)
+  let np = List.length bundle.Paths.paths in
+  Alcotest.(check bool) "few paths" true (np = 2 || np = 3)
+
+let test_shortest_bundle_exhausts () =
+  let g = Graph.make ~n:2 ~edges:[ (0, 1, 4.0) ] () in
+  let bundle =
+    Paths.shortest_bundle ~length:unit_len ~cap:(Graph.capacity g) ~demand:10.0
+      g 0 1
+  in
+  Alcotest.(check (float 1e-9)) "partial" 4.0 bundle.Paths.covered
+
+let test_through_excludes_endpoints () =
+  let g = fixture () in
+  let p = Option.get (Traverse.bfs_path g 0 2) in
+  Alcotest.(check bool) "interior" true (Paths.through g 0 2 1 p);
+  Alcotest.(check bool) "endpoint i" false (Paths.through g 0 2 0 p);
+  Alcotest.(check bool) "endpoint j" false (Paths.through g 0 2 2 p)
+
+let test_is_simple () =
+  let g = fixture () in
+  let p = Option.get (Traverse.bfs_path g 0 5 ) in
+  Alcotest.(check bool) "bfs path simple" true (Paths.is_simple g 0 p)
+
+(* ---- Generators ---- *)
+
+let test_er_extremes () =
+  let rng = Rng.create 1 in
+  let empty = Generate.erdos_renyi ~rng ~n:10 ~p:0.0 ~capacity:1.0 in
+  Alcotest.(check int) "p=0 no edges" 0 (Graph.ne empty);
+  let full = Generate.erdos_renyi ~rng ~n:10 ~p:1.0 ~capacity:1.0 in
+  Alcotest.(check int) "p=1 clique" 45 (Graph.ne full)
+
+let test_er_deterministic () =
+  let g1 = Generate.erdos_renyi ~rng:(Rng.create 5) ~n:30 ~p:0.2 ~capacity:1.0 in
+  let g2 = Generate.erdos_renyi ~rng:(Rng.create 5) ~n:30 ~p:0.2 ~capacity:1.0 in
+  Alcotest.(check int) "same edges" (Graph.ne g1) (Graph.ne g2);
+  Alcotest.(check string) "same structure" (Graph.to_edge_list g1)
+    (Graph.to_edge_list g2)
+
+let test_preferential_attachment_size () =
+  let rng = Rng.create 2 in
+  let g = Generate.preferential_attachment ~rng ~n:825 ~extra_edges:194 ~capacity:22.0 in
+  Alcotest.(check int) "nv" 825 (Graph.nv g);
+  Alcotest.(check int) "ne" 1018 (Graph.ne g);
+  Alcotest.(check bool) "connected" true (Traverse.is_connected g)
+
+let test_grid_structure () =
+  let g = Generate.grid ~width:3 ~height:4 ~capacity:2.0 in
+  Alcotest.(check int) "nv" 12 (Graph.nv g);
+  Alcotest.(check int) "ne" ((2 * 4) + (3 * 3)) (Graph.ne g);
+  Alcotest.(check bool) "connected" true (Traverse.is_connected g)
+
+let test_ring_structure () =
+  let g = Generate.ring ~n:7 ~capacity:1.0 in
+  Alcotest.(check int) "ne" 7 (Graph.ne g);
+  List.iter
+    (fun v -> Alcotest.(check int) "degree 2" 2 (Graph.degree g v))
+    (Graph.vertices g)
+
+let test_complete_structure () =
+  let g = Generate.complete ~n:6 ~capacity:1.0 in
+  Alcotest.(check int) "ne" 15 (Graph.ne g)
+
+let test_largest_component_extraction () =
+  let g = Graph.make ~n:6 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 2.0) ] () in
+  let giant = Generate.largest_component g in
+  Alcotest.(check int) "nv" 3 (Graph.nv giant);
+  Alcotest.(check int) "ne" 2 (Graph.ne giant)
+
+(* ---- Metrics ---- *)
+
+let test_diameter () =
+  let g = Generate.ring ~n:8 ~capacity:1.0 in
+  Alcotest.(check int) "ring diameter" 4 (Metrics.hop_diameter g)
+
+let test_hop_distance () =
+  let g = fixture () in
+  Alcotest.(check int) "0 to 5" 3 (Metrics.hop_distance g 0 5)
+
+let test_density () =
+  let g = Generate.complete ~n:5 ~capacity:1.0 in
+  Alcotest.(check (float 1e-9)) "clique density" 1.0 (Metrics.density g)
+
+let test_betweenness_star () =
+  (* Star with 3 leaves: the hub lies on all C(3,2)=3 leaf pairs. *)
+  let g =
+    Graph.make ~n:4 ~edges:[ (0, 1, 1.0); (0, 2, 1.0); (0, 3, 1.0) ] ()
+  in
+  let b = Metrics.betweenness g in
+  Alcotest.(check (float 1e-9)) "hub" 3.0 b.(0);
+  Alcotest.(check (float 1e-9)) "leaf" 0.0 b.(1)
+
+let test_betweenness_path () =
+  (* On P5 vertex i separates i*(4-i) pairs: [0;3;4;3;0]. *)
+  let g =
+    Graph.make ~n:5
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0) ] ()
+  in
+  let b = Metrics.betweenness g in
+  Alcotest.(check (float 1e-9)) "v1" 3.0 b.(1);
+  Alcotest.(check (float 1e-9)) "v2" 4.0 b.(2);
+  Alcotest.(check (float 1e-9)) "endpoint" 0.0 b.(0)
+
+let test_betweenness_cycle_split () =
+  (* On C4 the two shortest paths between opposite vertices split the
+     credit: every vertex scores 1/2. *)
+  let g =
+    Graph.make ~n:4
+      ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 1.0) ] ()
+  in
+  let b = Metrics.betweenness g in
+  Array.iter (fun x -> Alcotest.(check (float 1e-9)) "half" 0.5 x) b
+
+let test_betweenness_clique_zero () =
+  let g = Generate.complete ~n:5 ~capacity:1.0 in
+  let b = Metrics.betweenness g in
+  Array.iter (fun x -> Alcotest.(check (float 1e-9)) "zero" 0.0 x) b
+
+let test_degree_histogram () =
+  let g = Generate.ring ~n:5 ~capacity:1.0 in
+  Alcotest.(check (list (pair int int))) "all degree 2" [ (2, 5) ]
+    (Metrics.degree_histogram g)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_graph"
+    [ ( "graph",
+        [ tc "make basic" test_make_basic;
+          tc "rejects self loop" test_make_rejects_self_loop;
+          tc "rejects bad endpoint" test_make_rejects_bad_endpoint;
+          tc "rejects negative capacity" test_make_rejects_negative_capacity;
+          tc "other_end" test_other_end;
+          tc "find_edge" test_find_edge;
+          tc "parallel edges" test_parallel_edges;
+          tc "total capacity" test_total_capacity;
+          tc "edge list roundtrip" test_edge_list_roundtrip;
+          tc "names and coords" test_names_coords ] );
+      ( "traverse",
+        [ tc "bfs dist" test_bfs_dist;
+          tc "broken vertex" test_bfs_respects_broken_vertex;
+          tc "broken edge" test_bfs_respects_broken_edge;
+          tc "bfs path chains" test_bfs_path_chains;
+          tc "components" test_components;
+          tc "giant component" test_giant_component;
+          tc "is_connected" test_is_connected ] );
+      ( "dijkstra",
+        [ tc "unit lengths" test_dijkstra_unit_lengths;
+          tc "weighted" test_dijkstra_weighted;
+          tc "path endpoints" test_dijkstra_path_endpoints;
+          tc "unreachable" test_dijkstra_unreachable;
+          tc "negative rejected" test_dijkstra_negative_length_rejected;
+          QCheck_alcotest.to_alcotest dijkstra_matches_bfs_prop;
+          QCheck_alcotest.to_alcotest dijkstra_triangle_prop ] );
+      ( "maxflow",
+        [ tc "two disjoint paths" test_maxflow_two_disjoint_paths;
+          tc "bottleneck" test_maxflow_bottleneck;
+          tc "disconnected" test_maxflow_disconnected;
+          tc "same vertex" test_maxflow_same_vertex;
+          tc "cap function" test_maxflow_respects_cap_fn;
+          tc "broken vertex" test_maxflow_respects_broken;
+          tc "conservation" test_maxflow_conservation;
+          tc "min cut duality" test_min_cut_value_matches;
+          tc "decompose" test_decompose_reconstructs_value;
+          QCheck_alcotest.to_alcotest maxflow_cut_duality_prop;
+          QCheck_alcotest.to_alcotest maxflow_equals_mincut_prop;
+          QCheck_alcotest.to_alcotest decompose_total_prop ] );
+      ( "paths",
+        [ tc "capacity" test_path_capacity;
+          tc "length" test_path_length;
+          tc "bundle covers demand" test_shortest_bundle_covers_demand;
+          tc "bundle exhausts" test_shortest_bundle_exhausts;
+          tc "through excludes endpoints" test_through_excludes_endpoints;
+          tc "is_simple" test_is_simple ] );
+      ( "generate",
+        [ tc "er extremes" test_er_extremes;
+          tc "er deterministic" test_er_deterministic;
+          tc "preferential attachment" test_preferential_attachment_size;
+          tc "grid" test_grid_structure;
+          tc "ring" test_ring_structure;
+          tc "complete" test_complete_structure;
+          tc "largest component" test_largest_component_extraction ] );
+      ( "metrics",
+        [ tc "diameter" test_diameter;
+          tc "hop distance" test_hop_distance;
+          tc "density" test_density;
+          tc "betweenness star" test_betweenness_star;
+          tc "betweenness path" test_betweenness_path;
+          tc "betweenness cycle" test_betweenness_cycle_split;
+          tc "betweenness clique" test_betweenness_clique_zero;
+          tc "degree histogram" test_degree_histogram ] ) ]

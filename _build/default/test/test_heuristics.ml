@@ -1,0 +1,526 @@
+open Netrec_graph
+open Netrec_core
+open Netrec_heuristics
+module Rng = Netrec_util.Rng
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+module Routing = Netrec_flow.Routing
+
+let path_graph ?(capacity = 10.0) n =
+  Graph.make ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1, capacity))) ()
+
+let fixture () =
+  Graph.make ~n:6
+    ~edges:
+      [ (0, 1, 10.0); (1, 2, 10.0); (0, 3, 10.0); (3, 4, 10.0); (4, 5, 10.0);
+        (2, 5, 10.0); (1, 4, 3.0) ]
+    ()
+
+let demand ?(amount = 5.0) src dst = Commodity.make ~src ~dst ~amount
+
+let make_inst ?vertex_cost ?edge_cost g demands failure =
+  Instance.make ?vertex_cost ?edge_cost ~graph:g ~demands ~failure ()
+
+let satisfied inst sol = Evaluate.satisfied_fraction inst sol
+
+(* ---- SRT ---- *)
+
+let test_srt_repairs_unique_path () =
+  let g = path_graph 4 in
+  let inst = make_inst g [ demand 0 3 ] (Failure.complete g) in
+  let sol = Srt.solve inst in
+  Alcotest.(check int) "vertices" 4 (Instance.vertex_repairs sol);
+  Alcotest.(check int) "edges" 3 (Instance.edge_repairs sol);
+  Alcotest.(check (float 1e-6)) "served" 1.0 (satisfied inst sol)
+
+let test_srt_shares_saturated_path () =
+  (* Two demands of 6 between the same far endpoints on a path with
+     capacity 10: SRT treats them independently against nominal caps and
+     repairs the single shortest path only -> 12 > 10 loses demand. *)
+  let g = path_graph ~capacity:10.0 4 in
+  let inst =
+    make_inst g [ demand ~amount:6.0 0 3; demand ~amount:6.0 0 3 ]
+      (Failure.complete g)
+  in
+  let sol = Srt.solve inst in
+  Alcotest.(check int) "one corridor" 3 (Instance.edge_repairs sol);
+  Alcotest.(check bool) "demand loss" true (satisfied inst sol < 1.0 -. 1e-6)
+
+let test_srt_repairs_isolated_endpoints () =
+  let g = path_graph 3 in
+  let failure = Failure.of_lists g ~vertices:[ 0; 2 ] ~edges:[] in
+  let inst = make_inst g [ demand 0 2 ] failure in
+  let sol = Srt.solve inst in
+  Alcotest.(check bool) "endpoints repaired" true
+    (List.mem 0 sol.Instance.repaired_vertices
+    && List.mem 2 sol.Instance.repaired_vertices)
+
+let test_srt_nothing_broken () =
+  let g = fixture () in
+  let inst = make_inst g [ demand 0 5 ] (Failure.none g) in
+  let sol = Srt.solve inst in
+  Alcotest.(check int) "no repairs" 0 (Instance.total_repairs sol)
+
+let test_srt_residual_avoids_loss () =
+  (* The saturated-shared-path scenario where plain SRT loses demand:
+     SRT-R routes the second demand over residual capacities and repairs
+     a second corridor if one exists. *)
+  let g = fixture () in
+  let inst =
+    make_inst g
+      [ demand ~amount:10.0 0 5; demand ~amount:10.0 0 5 ]
+      (Failure.complete g)
+  in
+  let plain = Srt.solve inst in
+  let residual = Srt.solve_residual inst in
+  Alcotest.(check (float 1e-6)) "SRT-R serves all" 1.0 (satisfied inst residual);
+  Alcotest.(check bool) "SRT-R repairs at least as much" true
+    (Instance.total_repairs residual >= Instance.total_repairs plain);
+  Alcotest.(check bool) "routing valid" true (Instance.valid inst residual)
+
+let test_srt_residual_commits_routing () =
+  let g = path_graph 4 in
+  let inst = make_inst g [ demand ~amount:5.0 0 3 ] (Failure.complete g) in
+  let sol = Srt.solve_residual inst in
+  Alcotest.(check (float 1e-6)) "routes everything" 5.0
+    (Netrec_flow.Routing.total_routed sol.Instance.routing)
+
+(* ---- Path_enum ---- *)
+
+let test_path_enum_counts_cycle () =
+  (* On a 4-cycle there are exactly 2 simple paths between opposite
+     vertices. *)
+  let g =
+    Graph.make ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 1.0) ] ()
+  in
+  let { Path_enum.paths; truncated } =
+    Path_enum.enumerate g [ demand 0 2 ]
+  in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  Alcotest.(check bool) "complete" false truncated
+
+let test_path_enum_respects_cap () =
+  let g = Netrec_graph.Generate.complete ~n:7 ~capacity:1.0 in
+  let { Path_enum.paths; truncated } =
+    Path_enum.enumerate ~max_per_pair:10 g [ demand 0 6 ]
+  in
+  Alcotest.(check bool) "truncated" true truncated;
+  Alcotest.(check bool) "capped" true (List.length paths <= 10)
+
+let test_path_enum_max_hops () =
+  let g = path_graph 5 in
+  let { Path_enum.paths; _ } =
+    Path_enum.enumerate ~max_hops:2 g [ demand 0 4 ]
+  in
+  Alcotest.(check int) "too far" 0 (List.length paths)
+
+let test_path_enum_paths_are_simple () =
+  let g = fixture () in
+  let { Path_enum.paths; _ } = Path_enum.enumerate g [ demand 0 5 ] in
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "simple" true (Paths.is_simple g 0 p))
+    paths
+
+(* ---- Greedy ---- *)
+
+let test_grd_com_single_demand () =
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:10.0 0 5 ] (Failure.complete g) in
+  let sol = Greedy.grd_com inst in
+  Alcotest.(check (float 1e-6)) "served" 1.0 (satisfied inst sol);
+  Alcotest.(check bool) "has routing" true (sol.Instance.routing <> []);
+  Alcotest.(check bool) "valid" true (Instance.valid inst sol)
+
+let test_grd_nc_no_loss_property () =
+  (* GRD-NC stops only when the full demand is routable: no loss. *)
+  let g = fixture () in
+  let inst =
+    make_inst g [ demand ~amount:10.0 0 5; demand ~amount:8.0 2 3 ]
+      (Failure.complete g)
+  in
+  let sol = Greedy.grd_nc inst in
+  Alcotest.(check (float 1e-6)) "served" 1.0 (satisfied inst sol)
+
+let test_grd_nc_already_routable () =
+  let g = fixture () in
+  let inst = make_inst g [ demand 0 5 ] (Failure.none g) in
+  let sol = Greedy.grd_nc inst in
+  Alcotest.(check int) "no repairs" 0 (Instance.total_repairs sol)
+
+let test_grd_com_not_more_than_nc () =
+  (* The commitment variant repairs at most as much on this fixture. *)
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:10.0 0 5 ] (Failure.complete g) in
+  let com = Greedy.grd_com inst and nc = Greedy.grd_nc inst in
+  Alcotest.(check bool) "com <= nc" true
+    (Instance.total_repairs com <= Instance.total_repairs nc)
+
+(* ---- Postpass ---- *)
+
+let test_postpass_drops_redundant () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  (* Start from repairing everything; pruning must keep only the path. *)
+  let pruned = Postpass.prune inst (Instance.repair_all inst) in
+  Alcotest.(check int) "minimal" 5 (Instance.total_repairs pruned);
+  Alcotest.(check (float 1e-6)) "still feasible" 1.0 (satisfied inst pruned)
+
+let test_postpass_keeps_needed () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let minimal =
+    { Instance.repaired_vertices = [ 0; 1; 2 ];
+      repaired_edges = [ 0; 1 ];
+      routing = Routing.empty }
+  in
+  let pruned = Postpass.prune inst minimal in
+  Alcotest.(check int) "unchanged" 5 (Instance.total_repairs pruned)
+
+let test_postpass_infeasible_input_unchanged () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let bad =
+    { Instance.repaired_vertices = [ 0 ];
+      repaired_edges = [];
+      routing = Routing.empty }
+  in
+  let out = Postpass.prune inst bad in
+  Alcotest.(check int) "unchanged" 1 (Instance.total_repairs out)
+
+(* ---- Opt (MILP) ---- *)
+
+let test_opt_path_exact () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let r = Opt.solve ~node_limit:200 inst in
+  Alcotest.(check bool) "proved" true r.Opt.proved;
+  Alcotest.(check int) "3 vertices + 2 edges" 5
+    (Instance.total_repairs r.Opt.solution);
+  Alcotest.(check (float 1e-6)) "served" 1.0 (satisfied inst r.Opt.solution)
+
+let test_opt_picks_cheap_route () =
+  (* Two disjoint 2-hop routes, one with an expensive relay: OPT takes
+     the cheap one. *)
+  let g =
+    Graph.make ~n:4 ~edges:[ (0, 1, 10.0); (1, 3, 10.0); (0, 2, 10.0); (2, 3, 10.0) ] ()
+  in
+  let vertex_cost = [| 1.0; 10.0; 1.0; 1.0 |] in
+  let inst = make_inst ~vertex_cost g [ demand 0 3 ] (Failure.complete g) in
+  let r = Opt.solve ~node_limit:500 inst in
+  Alcotest.(check bool) "avoids relay 1" false
+    (List.mem 1 r.Opt.solution.Instance.repaired_vertices);
+  Alcotest.(check (float 1e-6)) "cost" 5.0 r.Opt.objective
+
+let test_opt_no_worse_than_incumbent () =
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:10.0 0 5 ] (Failure.complete g) in
+  let isp, _ = Isp.solve inst in
+  let r = Opt.solve ~node_limit:50 ~incumbent:isp inst in
+  Alcotest.(check bool) "not worse" true
+    (Instance.total_repairs r.Opt.solution <= Instance.total_repairs isp)
+
+let test_opt_proxy_on_oversize () =
+  let g = fixture () in
+  let inst = make_inst g [ demand 0 5 ] (Failure.complete g) in
+  let r = Opt.solve ~var_budget:2 inst in
+  Alcotest.(check bool) "proxy not proved" false r.Opt.proved;
+  Alcotest.(check int) "no nodes" 0 r.Opt.nodes;
+  Alcotest.(check (float 1e-6)) "still feasible" 1.0
+    (satisfied inst r.Opt.solution)
+
+let test_opt_partial_failure () =
+  (* Only one edge of the working path is broken; OPT repairs exactly
+     what is needed. *)
+  let g = path_graph 4 in
+  let failure = Failure.of_lists g ~vertices:[] ~edges:[ 1 ] in
+  let inst = make_inst g [ demand 0 3 ] failure in
+  let r = Opt.solve ~node_limit:100 inst in
+  Alcotest.(check int) "one edge" 1 (Instance.total_repairs r.Opt.solution)
+
+let opt_bounded_by_isp_prop =
+  QCheck.Test.make ~name:"opt never worse than isp" ~count:8 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      let g =
+        Netrec_graph.Generate.erdos_renyi ~rng ~n:10 ~p:0.35 ~capacity:8.0
+      in
+      if not (Traverse.is_connected g) then true
+      else begin
+        let inst =
+          make_inst g
+            [ Commodity.make ~src:0 ~dst:(Graph.nv g - 1) ~amount:4.0 ]
+            (Failure.complete g)
+        in
+        let isp, _ = Isp.solve inst in
+        let r = Opt.solve ~node_limit:60 ~incumbent:isp inst in
+        Instance.total_repairs r.Opt.solution <= Instance.total_repairs isp
+        && satisfied inst r.Opt.solution >= 1.0 -. 1e-6
+      end)
+
+(* ---- Mcf_heuristic ---- *)
+
+let test_mcf_orders () =
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:10.0 0 5 ] (Failure.complete g) in
+  match Mcf_heuristic.solve inst with
+  | Some r ->
+    let mcb = Instance.total_repairs r.Mcf_heuristic.mcb in
+    let mcw = Instance.total_repairs r.Mcf_heuristic.mcw in
+    let sup = Instance.total_repairs r.Mcf_heuristic.support in
+    Alcotest.(check bool) "mcb <= support" true (mcb <= sup);
+    Alcotest.(check bool) "support <= mcw" true (sup <= mcw);
+    Alcotest.(check bool) "positive objective" true
+      (r.Mcf_heuristic.lp_objective > 0.0)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_mcf_infeasible () =
+  let g = path_graph ~capacity:1.0 3 in
+  let inst = make_inst g [ demand ~amount:5.0 0 2 ] (Failure.complete g) in
+  Alcotest.(check bool) "none" true (Mcf_heuristic.solve inst = None)
+
+let test_mcf_mcb_feasible () =
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:10.0 0 5 ] (Failure.complete g) in
+  match Mcf_heuristic.solve inst with
+  | Some r ->
+    Alcotest.(check (float 1e-6)) "mcb serves all" 1.0
+      (satisfied inst r.Mcf_heuristic.mcb)
+  | None -> Alcotest.fail "expected a solution"
+
+(* ---- Steiner ---- *)
+
+let test_steiner_forest_single_pair () =
+  let g = path_graph 4 in
+  let f = Steiner.forest g ~weight:(fun _ -> 1.0) ~pairs:[ (0, 3) ] in
+  Alcotest.(check int) "whole path" 3 (List.length f)
+
+let test_steiner_forest_two_pairs_disjoint () =
+  let g = path_graph 6 in
+  (* Pairs (0,1) and (4,5): two disjoint single edges. *)
+  let f = Steiner.forest g ~weight:(fun _ -> 1.0) ~pairs:[ (0, 1); (4, 5) ] in
+  Alcotest.(check int) "two edges" 2 (List.length f)
+
+let test_steiner_forest_connects () =
+  let rng = Rng.create 3 in
+  let g = Netrec_graph.Generate.erdos_renyi ~rng ~n:20 ~p:0.2 ~capacity:1.0 in
+  let pairs = [ (0, 19); (1, 18) ] in
+  let connected_pairs =
+    List.filter (fun (s, t) -> Traverse.reachable g s t) pairs
+  in
+  let f = Steiner.forest g ~weight:(fun _ -> 1.0) ~pairs in
+  let in_forest = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace in_forest e ()) f;
+  List.iter
+    (fun (s, t) ->
+      Alcotest.(check bool) "pair connected in forest" true
+        (Traverse.reachable ~edge_ok:(Hashtbl.mem in_forest) g s t))
+    connected_pairs
+
+let test_steiner_forest_ignores_disconnected () =
+  let g = Graph.make ~n:4 ~edges:[ (0, 1, 1.0) ] () in
+  let f = Steiner.forest g ~weight:(fun _ -> 1.0) ~pairs:[ (2, 3) ] in
+  Alcotest.(check int) "empty" 0 (List.length f)
+
+let test_steiner_recovery_connectivity () =
+  let g = fixture () in
+  let inst = make_inst g [ demand ~amount:1.0 0 5 ] (Failure.complete g) in
+  let sol = Steiner.recovery inst in
+  Alcotest.(check bool) "valid" true (Instance.valid inst sol);
+  (* With a 1-unit demand, connectivity implies full service. *)
+  Alcotest.(check (float 1e-6)) "served" 1.0 (satisfied inst sol)
+
+let steiner_2approx_prop =
+  QCheck.Test.make ~name:"GW forest within 2x of DP optimum" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      let g =
+        Netrec_graph.Generate.erdos_renyi ~rng ~n:16 ~p:0.25 ~capacity:1.0
+      in
+      if not (Traverse.is_connected g) then true
+      else begin
+        let pairs = [ (0, 15); (1, 14) ] in
+        let f = Steiner.forest g ~weight:(fun _ -> 1.0) ~pairs in
+        (* Compare edge counts against the exact Steiner forest using the
+           DP (via optimal_total_repairs = 2E* + #groups). *)
+        match Exact_forest.optimal_total_repairs g ~pairs with
+        | None -> true
+        | Some total ->
+          (* total = 2 E* + groups, groups in {1,2} -> E* >= (total-2)/2 *)
+          let estar_min = (total - 2) / 2 in
+          List.length f <= max 1 (2 * max 1 estar_min) + 2
+      end)
+
+(* ---- Exact_forest ---- *)
+
+let test_exact_forest_path () =
+  let g = path_graph 5 in
+  Alcotest.(check (option int)) "tree hops"
+    (Some 4)
+    (Exact_forest.steiner_tree_hops g ~terminals:[ 0; 4 ]);
+  Alcotest.(check (option int)) "repairs = 2*4+1"
+    (Some 9)
+    (Exact_forest.optimal_total_repairs g ~pairs:[ (0, 4) ])
+
+let test_exact_forest_star () =
+  (* Star with 3 leaves: spanning all three terminals needs all 3 edges. *)
+  let g =
+    Graph.make ~n:4 ~edges:[ (0, 1, 1.0); (0, 2, 1.0); (0, 3, 1.0) ] ()
+  in
+  Alcotest.(check (option int)) "steiner point used"
+    (Some 3)
+    (Exact_forest.steiner_tree_hops g ~terminals:[ 1; 2; 3 ])
+
+let test_exact_forest_partition_beats_tree () =
+  (* Two far-apart pairs on a long path: separate components win. *)
+  let g = path_graph 10 in
+  (* pairs (0,1) and (8,9): optimal = two single-edge trees = 2*(2*1+1)=6,
+     while one tree spanning all four costs 2*9+1 = 19. *)
+  Alcotest.(check (option int)) "forest splits"
+    (Some 6)
+    (Exact_forest.optimal_total_repairs g ~pairs:[ (0, 1); (8, 9) ])
+
+let test_exact_forest_shared_endpoint_merged () =
+  let g = path_graph 5 in
+  (* (0,2) and (2,4) share vertex 2: single component, tree edges 4. *)
+  Alcotest.(check (option int)) "merged"
+    (Some 9)
+    (Exact_forest.optimal_total_repairs g ~pairs:[ (0, 2); (2, 4) ])
+
+let test_exact_forest_disconnected () =
+  let g = Graph.make ~n:4 ~edges:[ (0, 1, 1.0) ] () in
+  Alcotest.(check (option int)) "none" None
+    (Exact_forest.optimal_total_repairs g ~pairs:[ (2, 3) ])
+
+let test_exact_forest_clique_trivial () =
+  (* The paper's p=1 observation: on a clique with 5 disjoint unit pairs
+     every algorithm finds the trivial solution of 15 repairs
+     (2 endpoints + 1 edge per pair). *)
+  let g = Netrec_graph.Generate.complete ~n:12 ~capacity:1000.0 in
+  let pairs = [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9) ] in
+  Alcotest.(check (option int)) "trivial 15" (Some 15)
+    (Exact_forest.optimal_total_repairs g ~pairs)
+
+let test_opt_nothing_broken () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let r = Opt.solve ~node_limit:50 inst in
+  Alcotest.(check (float 1e-9)) "zero cost" 0.0 r.Opt.objective;
+  Alcotest.(check int) "no repairs" 0 (Instance.total_repairs r.Opt.solution)
+
+let test_greedy_nothing_broken () =
+  let g = fixture () in
+  let inst = make_inst g [ demand 0 5 ] (Failure.none g) in
+  Alcotest.(check int) "grd-com idle" 0
+    (Instance.total_repairs (Greedy.grd_com inst));
+  Alcotest.(check int) "grd-nc idle" 0
+    (Instance.total_repairs (Greedy.grd_nc inst))
+
+let test_mcf_partial_failure_minimal () =
+  (* Only one edge of the unique path is broken: the relaxation's support
+     must be exactly that edge (plus no vertices). *)
+  let g = path_graph 4 in
+  let failure = Failure.of_lists g ~vertices:[] ~edges:[ 1 ] in
+  let inst = make_inst g [ demand ~amount:5.0 0 3 ] failure in
+  match Mcf_heuristic.solve inst with
+  | Some r ->
+    Alcotest.(check int) "one repair" 1
+      (Instance.total_repairs r.Mcf_heuristic.support);
+    Alcotest.(check int) "mcb same" 1 (Instance.total_repairs r.Mcf_heuristic.mcb)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_postpass_prunes_steiner_extra () =
+  (* Give the postpass a solution with one obviously useless repair. *)
+  let g = fixture () in
+  let inst =
+    make_inst g [ demand ~amount:5.0 0 2 ]
+      (Failure.of_lists g ~vertices:[ 1; 4 ] ~edges:[])
+  in
+  (* Repairing both 1 and 4 is overkill: 0-1-2 works with just vertex 1. *)
+  let fat =
+    { Instance.repaired_vertices = [ 1; 4 ];
+      repaired_edges = [];
+      routing = Netrec_flow.Routing.empty }
+  in
+  let slim = Postpass.prune inst fat in
+  Alcotest.(check int) "one vertex suffices" 1 (Instance.total_repairs slim)
+
+let test_exact_forest_matches_milp () =
+  (* Cross-check the DP against the MILP on small connectivity-only
+     instances. *)
+  let rng = Rng.create 5 in
+  for _ = 1 to 3 do
+    let g =
+      Netrec_graph.Generate.erdos_renyi ~rng:(Rng.split rng) ~n:9 ~p:0.35
+        ~capacity:100.0
+    in
+    if Traverse.is_connected g then begin
+      let pairs = [ (0, 8); (1, 7) ] in
+      let demands =
+        List.map (fun (s, t) -> Commodity.make ~src:s ~dst:t ~amount:1.0) pairs
+      in
+      let inst = make_inst g demands (Failure.complete g) in
+      let milp = Opt.solve ~node_limit:4000 inst in
+      let dp = Exact_forest.optimal_total_repairs g ~pairs in
+      if milp.Opt.proved then
+        Alcotest.(check (option int))
+          "dp = milp"
+          (Some (Instance.total_repairs milp.Opt.solution))
+          dp
+    end
+  done
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_heuristics"
+    [ ( "srt",
+        [ tc "unique path" test_srt_repairs_unique_path;
+          tc "saturated shared path" test_srt_shares_saturated_path;
+          tc "isolated endpoints" test_srt_repairs_isolated_endpoints;
+          tc "nothing broken" test_srt_nothing_broken;
+          tc "residual avoids loss" test_srt_residual_avoids_loss;
+          tc "residual commits routing" test_srt_residual_commits_routing ] );
+      ( "path_enum",
+        [ tc "cycle counts" test_path_enum_counts_cycle;
+          tc "respects cap" test_path_enum_respects_cap;
+          tc "max hops" test_path_enum_max_hops;
+          tc "paths simple" test_path_enum_paths_are_simple ] );
+      ( "greedy",
+        [ tc "grd-com single" test_grd_com_single_demand;
+          tc "grd-nc no loss" test_grd_nc_no_loss_property;
+          tc "grd-nc already routable" test_grd_nc_already_routable;
+          tc "com <= nc" test_grd_com_not_more_than_nc;
+          tc "nothing broken" test_greedy_nothing_broken ] );
+      ( "postpass",
+        [ tc "drops redundant" test_postpass_drops_redundant;
+          tc "keeps needed" test_postpass_keeps_needed;
+          tc "infeasible unchanged" test_postpass_infeasible_input_unchanged;
+          tc "prunes extra vertex" test_postpass_prunes_steiner_extra ] );
+      ( "opt",
+        [ tc "path exact" test_opt_path_exact;
+          tc "picks cheap route" test_opt_picks_cheap_route;
+          tc "no worse than incumbent" test_opt_no_worse_than_incumbent;
+          tc "proxy on oversize" test_opt_proxy_on_oversize;
+          tc "partial failure" test_opt_partial_failure;
+          tc "nothing broken" test_opt_nothing_broken;
+          QCheck_alcotest.to_alcotest opt_bounded_by_isp_prop ] );
+      ( "mcf_heuristic",
+        [ tc "orders" test_mcf_orders;
+          tc "infeasible" test_mcf_infeasible;
+          tc "mcb feasible" test_mcf_mcb_feasible;
+          tc "partial failure minimal" test_mcf_partial_failure_minimal ] );
+      ( "steiner",
+        [ tc "single pair" test_steiner_forest_single_pair;
+          tc "two pairs disjoint" test_steiner_forest_two_pairs_disjoint;
+          tc "connects" test_steiner_forest_connects;
+          tc "ignores disconnected" test_steiner_forest_ignores_disconnected;
+          tc "recovery connectivity" test_steiner_recovery_connectivity;
+          QCheck_alcotest.to_alcotest steiner_2approx_prop ] );
+      ( "exact_forest",
+        [ tc "path" test_exact_forest_path;
+          tc "star" test_exact_forest_star;
+          tc "partition beats tree" test_exact_forest_partition_beats_tree;
+          tc "shared endpoint merged" test_exact_forest_shared_endpoint_merged;
+          tc "disconnected" test_exact_forest_disconnected;
+          tc "clique trivial" test_exact_forest_clique_trivial;
+          tc "matches milp" test_exact_forest_matches_milp ] ) ]

@@ -1,0 +1,354 @@
+open Netrec_lp
+
+let check_obj = Alcotest.(check (float 1e-6))
+
+let solve_simple () =
+  (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12 *)
+  let p = Lp.create ~sense:Lp.Maximize () in
+  let x = Lp.add_var p ~obj:3.0 () in
+  let y = Lp.add_var p ~obj:2.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Le 4.0;
+  Lp.add_constraint p [ (x, 1.0); (y, 3.0) ] Lp.Le 6.0;
+  (p, x, y)
+
+let test_lp_maximize () =
+  let p, x, y = solve_simple () in
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "objective" 12.0 sol.Lp.objective;
+  check_obj "x" 4.0 sol.Lp.values.(x);
+  check_obj "y" 0.0 sol.Lp.values.(y)
+
+let test_lp_minimize () =
+  (* min 2x + 3y s.t. x + y >= 10, x <= 6 -> x=6, y=4, obj=24 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:2.0 ~ub:6.0 () in
+  let y = Lp.add_var p ~obj:3.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Ge 10.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "objective" 24.0 sol.Lp.objective;
+  check_obj "x" 6.0 sol.Lp.values.(x);
+  check_obj "y" 4.0 sol.Lp.values.(y)
+
+let test_lp_equality () =
+  (* min x + y s.t. x + 2y = 8, x - y = 2 -> x=4, y=2 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 2.0) ] Lp.Eq 8.0;
+  Lp.add_constraint p [ (x, 1.0); (y, -1.0) ] Lp.Eq 2.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "x" 4.0 sol.Lp.values.(x);
+  check_obj "y" 2.0 sol.Lp.values.(y)
+
+let test_lp_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Ge 5.0;
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Le 3.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "infeasible" true (sol.Lp.status = Lp.Infeasible)
+
+let test_lp_unbounded () =
+  let p = Lp.create ~sense:Lp.Maximize () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Ge 0.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "unbounded" true (sol.Lp.status = Lp.Unbounded)
+
+let test_lp_fixed_variable () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:1.0 () in
+  Lp.fix p x 3.0;
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Ge 5.0;
+  let sol = Lp.solve p in
+  check_obj "x fixed" 3.0 sol.Lp.values.(x);
+  check_obj "y fills" 2.0 sol.Lp.values.(y);
+  check_obj "obj" 5.0 sol.Lp.objective
+
+let test_lp_shifted_lower_bound () =
+  (* min x s.t. x >= implicit lb of 2 -> obj 2 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:2.0 ~obj:1.0 () in
+  let sol = Lp.solve p in
+  check_obj "lb respected" 2.0 sol.Lp.values.(x)
+
+let test_lp_duplicate_terms_merged () =
+  (* x + x <= 4 means 2x <= 4. *)
+  let p = Lp.create ~sense:Lp.Maximize () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, 1.0); (x, 1.0) ] Lp.Le 4.0;
+  let sol = Lp.solve p in
+  check_obj "merged" 2.0 sol.Lp.values.(x)
+
+let test_lp_degenerate () =
+  (* A classic degenerate LP; must terminate and find the optimum. *)
+  let p = Lp.create ~sense:Lp.Maximize () in
+  let x = Lp.add_var p ~obj:10.0 () in
+  let y = Lp.add_var p ~obj:(-57.0) () in
+  let z = Lp.add_var p ~obj:(-9.0) () in
+  let w = Lp.add_var p ~obj:(-24.0) () in
+  Lp.add_constraint p [ (x, 0.5); (y, -5.5); (z, -2.5); (w, 9.0) ] Lp.Le 0.0;
+  Lp.add_constraint p [ (x, 0.5); (y, -1.5); (z, -0.5); (w, 1.0) ] Lp.Le 0.0;
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Le 1.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "objective" 1.0 sol.Lp.objective
+
+let test_lp_negative_rhs () =
+  (* -x <= -3  <=>  x >= 3 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, -1.0) ] Lp.Le (-3.0);
+  let sol = Lp.solve p in
+  check_obj "x" 3.0 sol.Lp.values.(x)
+
+let test_lp_copy_independent () =
+  let p, x, _ = solve_simple () in
+  let q = Lp.copy p in
+  Lp.fix q x 0.0;
+  let sol_p = Lp.solve p in
+  let sol_q = Lp.solve q in
+  check_obj "p unchanged" 12.0 sol_p.Lp.objective;
+  check_obj "q constrained" 4.0 sol_q.Lp.objective
+
+let test_lp_var_name () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~name:"flow" () in
+  let y = Lp.add_var p () in
+  Alcotest.(check string) "named" "flow" (Lp.var_name p x);
+  Alcotest.(check string) "default" "x1" (Lp.var_name p y)
+
+(* Feasibility-only LP mimicking the routability system (2): a tiny
+   multicommodity instance on a 4-cycle. *)
+let test_lp_mcf_feasibility () =
+  let p = Lp.create () in
+  (* Two commodities on a 4-cycle 0-1-2-3-0, all capacities 1;
+     demands: (0,2) of 1 and (1,3) of 1.  Feasible: route each along
+     opposite sides. *)
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let nv = 4 in
+  let commodities = [ (0, 2, 1.0); (1, 3, 1.0) ] in
+  let fvar = Hashtbl.create 16 in
+  List.iteri
+    (fun h _ ->
+      List.iteri
+        (fun e _ ->
+          Hashtbl.replace fvar (h, e, true) (Lp.add_var p ());
+          Hashtbl.replace fvar (h, e, false) (Lp.add_var p ()))
+        edges)
+    commodities;
+  (* capacity: sum over commodities of both directions <= 1 *)
+  List.iteri
+    (fun e _ ->
+      let terms =
+        List.concat
+          (List.mapi
+             (fun h _ ->
+               [ (Hashtbl.find fvar (h, e, true), 1.0);
+                 (Hashtbl.find fvar (h, e, false), 1.0) ])
+             commodities)
+      in
+      Lp.add_constraint p terms Lp.Le 1.0)
+    edges;
+  (* conservation *)
+  List.iteri
+    (fun h (s, t, d) ->
+      for v = 0 to nv - 1 do
+        let terms = ref [] in
+        List.iteri
+          (fun e (u, w) ->
+            (* forward = u->w *)
+            if u = v then begin
+              terms := (Hashtbl.find fvar (h, e, true), 1.0) :: !terms;
+              terms := (Hashtbl.find fvar (h, e, false), -1.0) :: !terms
+            end;
+            if w = v then begin
+              terms := (Hashtbl.find fvar (h, e, true), -1.0) :: !terms;
+              terms := (Hashtbl.find fvar (h, e, false), 1.0) :: !terms
+            end)
+          edges;
+        let b = if v = s then d else if v = t then -.d else 0.0 in
+        Lp.add_constraint p !terms Lp.Eq b
+      done)
+    commodities;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "routable" true (sol.Lp.status = Lp.Optimal)
+
+(* ---- MILP ---- *)
+
+let test_milp_knapsack () =
+  (* max 10a + 6b + 4c s.t. a+b+c <= 2 binaries -> 16 *)
+  let p = Lp.create () in
+  (* Milp minimizes: negate. *)
+  let a = Lp.add_var p ~obj:(-10.0) ~ub:1.0 () in
+  let b = Lp.add_var p ~obj:(-6.0) ~ub:1.0 () in
+  let c = Lp.add_var p ~obj:(-4.0) ~ub:1.0 () in
+  Lp.add_constraint p [ (a, 1.0); (b, 1.0); (c, 1.0) ] Lp.Le 2.0;
+  let r = Milp.solve ~binary:[ a; b; c ] p in
+  Alcotest.(check bool) "proved" true r.Milp.proved;
+  check_obj "objective" (-16.0) r.Milp.objective;
+  check_obj "a" 1.0 r.Milp.values.(a);
+  check_obj "b" 1.0 r.Milp.values.(b);
+  check_obj "c" 0.0 r.Milp.values.(c)
+
+let test_milp_forces_integrality () =
+  (* LP relaxation would take x = 2.5; MILP must choose 2 or 3.
+     min |...| via: min y s.t. 5x >= 12, x binaryish small int.
+     Use: min x1+x2+x3+x4+x5 s.t. sum of 2*x_i >= 5, x binary -> 3 vars. *)
+  let p = Lp.create () in
+  let vars = List.init 5 (fun _ -> Lp.add_var p ~obj:1.0 ~ub:1.0 ()) in
+  Lp.add_constraint p (List.map (fun v -> (v, 2.0)) vars) Lp.Ge 5.0;
+  let r = Milp.solve ~integral_objective:true ~binary:vars p in
+  check_obj "ceil(2.5)" 3.0 r.Milp.objective
+
+let test_milp_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Ge 2.0;
+  let r = Milp.solve ~binary:[ x ] p in
+  Alcotest.(check bool) "infeasible" true (r.Milp.status = `Infeasible)
+
+let test_milp_respects_incumbent () =
+  (* Incumbent equal to the optimum: solver must not return anything worse. *)
+  let p = Lp.create () in
+  let a = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  let b = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  Lp.add_constraint p [ (a, 1.0); (b, 1.0) ] Lp.Ge 1.0;
+  let inc = ([| 1.0; 0.0 |], 1.0) in
+  let r = Milp.solve ~incumbent:inc ~binary:[ a; b ] p in
+  check_obj "optimal stays 1" 1.0 r.Milp.objective
+
+let test_milp_node_limit_feasible () =
+  let p = Lp.create () in
+  (* Fractional LP relaxation (optimum 2.5) forces branching, but the node
+     limit of 1 stops the search after the root. *)
+  let vars = List.init 12 (fun _ -> Lp.add_var p ~obj:1.0 ~ub:1.0 ()) in
+  Lp.add_constraint p (List.map (fun v -> (v, 2.0)) vars) Lp.Ge 5.0;
+  let r =
+    Milp.solve ~node_limit:1
+      ~incumbent:(Array.make 12 1.0, 12.0)
+      ~binary:vars p
+  in
+  Alcotest.(check bool) "not proved" false r.Milp.proved;
+  Alcotest.(check bool) "keeps incumbent" true (r.Milp.objective <= 12.0 +. 1e-9)
+
+let test_milp_binary_assignment () =
+  (* Covering: pick min vertices covering edges of a triangle = 2. *)
+  let p = Lp.create () in
+  let a = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  let b = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  let c = Lp.add_var p ~obj:1.0 ~ub:1.0 () in
+  Lp.add_constraint p [ (a, 1.0); (b, 1.0) ] Lp.Ge 1.0;
+  Lp.add_constraint p [ (b, 1.0); (c, 1.0) ] Lp.Ge 1.0;
+  Lp.add_constraint p [ (a, 1.0); (c, 1.0) ] Lp.Ge 1.0;
+  let r = Milp.solve ~integral_objective:true ~binary:[ a; b; c ] p in
+  check_obj "vertex cover of triangle" 2.0 r.Milp.objective
+
+let test_lp_iteration_limit () =
+  let p = Lp.create ~sense:Lp.Maximize () in
+  let vars = List.init 8 (fun _ -> Lp.add_var p ~obj:1.0 ()) in
+  List.iteri
+    (fun i v ->
+      Lp.add_constraint p [ (v, 1.0) ] Lp.Le (float_of_int (i + 1)))
+    vars;
+  let sol = Lp.solve ~max_pivots:1 p in
+  Alcotest.(check bool) "hit limit" true (sol.Lp.status = Lp.Iteration_limit)
+
+let test_lp_redundant_rows () =
+  (* The same equality twice: phase 1 must cope with the redundancy. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:1.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Eq 4.0;
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Eq 4.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "objective" 4.0 sol.Lp.objective
+
+let test_lp_rejects_bad_bounds () =
+  let p = Lp.create () in
+  Alcotest.check_raises "lb > ub" (Invalid_argument "Lp.add_var: lb > ub")
+    (fun () -> ignore (Lp.add_var p ~lb:2.0 ~ub:1.0 ()))
+
+let test_lp_zero_rhs_equality () =
+  (* x - y = 0, x + y = 6 -> x = y = 3 *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:1.0 () in
+  let y = Lp.add_var p () in
+  Lp.add_constraint p [ (x, 1.0); (y, -1.0) ] Lp.Eq 0.0;
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Eq 6.0;
+  let sol = Lp.solve p in
+  check_obj "x" 3.0 sol.Lp.values.(x);
+  check_obj "y" 3.0 sol.Lp.values.(y)
+
+let simplex_random_feasible_prop =
+  (* Random feasible bounded LPs: simplex must report Optimal and satisfy
+     every constraint at the returned point. *)
+  QCheck.Test.make ~name:"simplex finds feasible optimum" ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netrec_util.Rng.create seed in
+      let n = 3 + Netrec_util.Rng.int rng 4 in
+      let m = 2 + Netrec_util.Rng.int rng 4 in
+      let p = Lp.create () in
+      let vars =
+        List.init n (fun _ ->
+            Lp.add_var p ~obj:(Netrec_util.Rng.float rng 5.0) ())
+      in
+      (* Constraints a.x <= b with a >= 0 and b > 0 keep 0 feasible and the
+         problem bounded below at 0 (min of nonneg costs). *)
+      let rows =
+        List.init m (fun _ ->
+            let terms =
+              List.map (fun v -> (v, Netrec_util.Rng.float rng 3.0)) vars
+            in
+            let rhs = 1.0 +. Netrec_util.Rng.float rng 10.0 in
+            Lp.add_constraint p terms Lp.Le rhs;
+            (terms, rhs))
+      in
+      let sol = Lp.solve p in
+      sol.Lp.status = Lp.Optimal
+      && List.for_all
+           (fun (terms, rhs) ->
+             let lhs =
+               List.fold_left
+                 (fun acc (v, c) -> acc +. (c *. sol.Lp.values.(v)))
+                 0.0 terms
+             in
+             lhs <= rhs +. 1e-6)
+           rows
+      && Array.for_all (fun x -> x >= -1e-9) sol.Lp.values)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_lp"
+    [ ( "lp",
+        [ tc "maximize" test_lp_maximize;
+          tc "minimize" test_lp_minimize;
+          tc "equality" test_lp_equality;
+          tc "infeasible" test_lp_infeasible;
+          tc "unbounded" test_lp_unbounded;
+          tc "fixed variable" test_lp_fixed_variable;
+          tc "shifted lower bound" test_lp_shifted_lower_bound;
+          tc "duplicate terms" test_lp_duplicate_terms_merged;
+          tc "degenerate" test_lp_degenerate;
+          tc "negative rhs" test_lp_negative_rhs;
+          tc "copy independent" test_lp_copy_independent;
+          tc "var name" test_lp_var_name;
+          tc "mcf feasibility" test_lp_mcf_feasibility;
+          tc "iteration limit" test_lp_iteration_limit;
+          tc "redundant rows" test_lp_redundant_rows;
+          tc "rejects bad bounds" test_lp_rejects_bad_bounds;
+          tc "zero rhs equality" test_lp_zero_rhs_equality;
+          QCheck_alcotest.to_alcotest simplex_random_feasible_prop ] );
+      ( "milp",
+        [ tc "knapsack" test_milp_knapsack;
+          tc "forces integrality" test_milp_forces_integrality;
+          tc "infeasible" test_milp_infeasible;
+          tc "respects incumbent" test_milp_respects_incumbent;
+          tc "node limit" test_milp_node_limit_feasible;
+          tc "vertex cover" test_milp_binary_assignment ] ) ]

@@ -1,0 +1,199 @@
+open Netrec_graph
+open Netrec_topo
+module Rng = Netrec_util.Rng
+module Commodity = Netrec_flow.Commodity
+
+(* ---- Bell-Canada ---- *)
+
+let test_bc_size () =
+  let g = Bell_canada.graph () in
+  Alcotest.(check int) "nodes" 48 (Graph.nv g);
+  Alcotest.(check int) "edges" 64 (Graph.ne g)
+
+let test_bc_connected () =
+  Alcotest.(check bool) "connected" true
+    (Traverse.is_connected (Bell_canada.graph ()))
+
+let test_bc_capacity_plan () =
+  let g = Bell_canada.graph () in
+  let count c =
+    Graph.fold_edges
+      (fun e acc -> if abs_float (e.Graph.capacity -. c) < 1e-9 then acc + 1 else acc)
+      g 0
+  in
+  Alcotest.(check int) "backbone 50" 9 (count 50.0);
+  Alcotest.(check int) "backbone 30" 16 (count 30.0);
+  Alcotest.(check int) "access 20" (64 - 9 - 16) (count 20.0)
+
+let test_bc_backbone_lists_match () =
+  let g = Bell_canada.graph () in
+  List.iter
+    (fun (u, v) ->
+      match Graph.find_edge g u v with
+      | Some e ->
+        Alcotest.(check (float 1e-9)) "cap 50" 50.0 (Graph.capacity g e)
+      | None -> Alcotest.failf "missing backbone50 edge %d-%d" u v)
+    Bell_canada.backbone50;
+  List.iter
+    (fun (u, v) ->
+      match Graph.find_edge g u v with
+      | Some e ->
+        Alcotest.(check (float 1e-9)) "cap 30" 30.0 (Graph.capacity g e)
+      | None -> Alcotest.failf "missing backbone30 edge %d-%d" u v)
+    Bell_canada.backbone30
+
+let test_bc_has_coords_and_names () =
+  let g = Bell_canada.graph () in
+  Alcotest.(check bool) "coords" true (Graph.has_coords g);
+  Alcotest.(check string) "a name" "Vancouver" (Graph.name g 1)
+
+let test_bc_west_east_cut_capacity () =
+  (* The design invariant behind the paper's demand intensities: the
+     west-east cuts between major hubs carry at least the two backbones'
+     80 units, so 4 pairs x 18 units (Fig. 5's sweep) can cross. *)
+  let g = Bell_canada.graph () in
+  let v = Maxflow.max_flow_value g ~source:1 ~sink:29 in
+  Alcotest.(check bool) "Vancouver->Montreal >= 80" true (v >= 80.0 -. 1e-6)
+
+let test_bc_supports_paper_demands () =
+  (* 4 pairs x 18 units (the top of Fig. 5's sweep) must be routable on
+     the intact network for most far-apart draws; require that a
+     majority of seeds give a feasible instance, matching the paper's
+     setting where every generated instance is solvable. *)
+  let g = Bell_canada.graph () in
+  let feasible seed =
+    let rng = Rng.create seed in
+    let demands = Demand_gen.far_pairs ~rng ~count:4 ~amount:18.0 g in
+    match
+      Netrec_flow.Oracle.routable ~cap:(Graph.capacity g) g demands
+    with
+    | Netrec_flow.Oracle.Routable _ -> 1
+    | Netrec_flow.Oracle.Unroutable | Netrec_flow.Oracle.Unknown -> 0
+  in
+  let ok = List.fold_left ( + ) 0 (List.init 10 (fun s -> feasible (s + 1))) in
+  Alcotest.(check bool) "mostly feasible" true (ok >= 6)
+
+(* ---- Demand generation ---- *)
+
+let test_far_pairs_distance () =
+  let g = Bell_canada.graph () in
+  let diameter = Metrics.hop_diameter g in
+  let rng = Rng.create 4 in
+  let demands = Demand_gen.far_pairs ~rng ~count:6 ~amount:5.0 g in
+  Alcotest.(check int) "count" 6 (List.length demands);
+  List.iter
+    (fun d ->
+      let dist = Metrics.hop_distance g d.Commodity.src d.Commodity.dst in
+      Alcotest.(check bool) "far apart" true (dist >= (diameter + 1) / 2))
+    demands
+
+let test_far_pairs_amount () =
+  let g = Bell_canada.graph () in
+  let rng = Rng.create 4 in
+  let demands = Demand_gen.far_pairs ~rng ~count:3 ~amount:7.5 g in
+  List.iter
+    (fun d -> Alcotest.(check (float 1e-9)) "amount" 7.5 d.Commodity.amount)
+    demands
+
+let test_far_pairs_deterministic () =
+  let g = Bell_canada.graph () in
+  let d1 = Demand_gen.far_pairs ~rng:(Rng.create 9) ~count:4 ~amount:1.0 g in
+  let d2 = Demand_gen.far_pairs ~rng:(Rng.create 9) ~count:4 ~amount:1.0 g in
+  Alcotest.(check bool) "same demands" true (d1 = d2)
+
+let test_distinct_endpoints () =
+  let g = Caida.graph () in
+  let rng = Rng.create 2 in
+  let demands =
+    Demand_gen.distinct_endpoint_pairs ~rng ~count:7 ~amount:22.0 g
+  in
+  Alcotest.(check int) "count" 7 (List.length demands);
+  let eps = Commodity.endpoints demands in
+  Alcotest.(check int) "all distinct" 14 (List.length eps)
+
+let test_far_pairs_clique_fallback () =
+  (* A clique has diameter 1; the generator must still return pairs. *)
+  let g = Generate.complete ~n:6 ~capacity:1.0 in
+  let rng = Rng.create 1 in
+  let demands = Demand_gen.far_pairs ~rng ~count:3 ~amount:1.0 g in
+  Alcotest.(check int) "count" 3 (List.length demands)
+
+let test_far_pairs_too_small_graph () =
+  let g = Graph.make ~n:1 ~edges:[] () in
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Demand_gen: graph too small") (fun () ->
+      ignore (Demand_gen.far_pairs ~rng:(Rng.create 1) ~count:1 ~amount:1.0 g))
+
+(* ---- CAIDA ---- *)
+
+let test_caida_size () =
+  let g = Caida.graph () in
+  Alcotest.(check int) "nodes" Caida.nodes (Graph.nv g);
+  Alcotest.(check int) "edges" Caida.edges (Graph.ne g)
+
+let test_caida_connected () =
+  Alcotest.(check bool) "connected" true (Traverse.is_connected (Caida.graph ()))
+
+let test_caida_deterministic () =
+  let g1 = Caida.graph () and g2 = Caida.graph () in
+  Alcotest.(check string) "same topology" (Graph.to_edge_list g1)
+    (Graph.to_edge_list g2)
+
+let test_caida_heavy_tail () =
+  (* Preferential attachment must produce a hub far above the mean
+     degree, like the real AS28717 router graph. *)
+  let g = Caida.graph () in
+  Alcotest.(check bool) "hub exists" true (Graph.max_degree g >= 20)
+
+let test_caida_capacity () =
+  let g = Caida.graph ~capacity:30.0 () in
+  Graph.fold_edges
+    (fun e () ->
+      Alcotest.(check (float 1e-9)) "uniform caps" 30.0 e.Graph.capacity)
+    g ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_topo"
+    [ ( "bell_canada",
+        [ tc "size" test_bc_size;
+          tc "connected" test_bc_connected;
+          tc "capacity plan" test_bc_capacity_plan;
+          tc "backbone lists" test_bc_backbone_lists_match;
+          tc "coords and names" test_bc_has_coords_and_names;
+          tc "west-east cut" test_bc_west_east_cut_capacity;
+          tc "supports paper demands" test_bc_supports_paper_demands ] );
+      ( "demand_gen",
+        [ tc "far pairs distance" test_far_pairs_distance;
+          tc "far pairs amount" test_far_pairs_amount;
+          tc "deterministic" test_far_pairs_deterministic;
+          tc "distinct endpoints" test_distinct_endpoints;
+          tc "clique fallback" test_far_pairs_clique_fallback;
+          tc "too small graph" test_far_pairs_too_small_graph ] );
+      ( "abilene",
+        [ tc "size" (fun () ->
+              let g = Abilene.graph () in
+              Alcotest.(check int) "nv" 11 (Graph.nv g);
+              Alcotest.(check int) "ne" 14 (Graph.ne g));
+          tc "connected" (fun () ->
+              Alcotest.(check bool) "connected" true
+                (Traverse.is_connected (Abilene.graph ())));
+          tc "embedded" (fun () ->
+              Alcotest.(check bool) "coords" true
+                (Graph.has_coords (Abilene.graph ())));
+          tc "biconnected enough" (fun () ->
+              (* The real Abilene survives any single node loss for the
+                 coast-to-coast pair. *)
+              let g = Abilene.graph () in
+              List.iter
+                (fun dead ->
+                  if dead <> 0 && dead <> 10 then
+                    Alcotest.(check bool) "alternative path" true
+                      (Traverse.reachable ~vertex_ok:(fun v -> v <> dead) g 0 10))
+                (Graph.vertices g)) ] );
+      ( "caida",
+        [ tc "size" test_caida_size;
+          tc "connected" test_caida_connected;
+          tc "deterministic" test_caida_deterministic;
+          tc "heavy tail" test_caida_heavy_tail;
+          tc "capacity" test_caida_capacity ] ) ]

@@ -1,0 +1,266 @@
+open Netrec_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 5.0 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 5.0)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 9 in
+  Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.0)
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.3" true (abs_float (freq -. 0.3) < 0.03)
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  Alcotest.(check bool) "distinct" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.03);
+  Alcotest.(check bool) "sd ~ 1" true (abs_float (sd -. 1.0) < 0.03)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 17 in
+  let s = Rng.sample rng 5 (List.init 20 (fun i -> i)) in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s))
+
+let test_rng_sample_overask () =
+  let rng = Rng.create 17 in
+  let s = Rng.sample rng 10 [ 1; 2; 3 ] in
+  Alcotest.(check int) "clamped" 3 (List.length s)
+
+(* ---- Num ---- *)
+
+let test_num_approx_eq () =
+  Alcotest.(check bool) "equal" true (Num.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not equal" false (Num.approx_eq 1.0 1.1)
+
+let test_num_leq_geq () =
+  Alcotest.(check bool) "leq tolerant" true (Num.leq (1.0 +. 1e-9) 1.0);
+  Alcotest.(check bool) "geq tolerant" true (Num.geq (1.0 -. 1e-9) 1.0);
+  Alcotest.(check bool) "leq strict fail" false (Num.leq 2.0 1.0)
+
+let test_num_clamp () =
+  check_float "below" 0.0 (Num.clamp 0.0 1.0 (-5.0));
+  check_float "above" 1.0 (Num.clamp 0.0 1.0 5.0);
+  check_float "inside" 0.5 (Num.clamp 0.0 1.0 0.5)
+
+let test_num_fsum () =
+  let a = Array.make 1000 0.1 in
+  Alcotest.(check (float 1e-10)) "compensated" 100.0 (Num.fsum a)
+
+(* ---- Stats ---- *)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Stats.mean [])
+
+let test_stats_variance () =
+  check_float "variance" 2.0 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  check_float "singleton" 0.0 (Stats.variance [ 7.0 ])
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_order () =
+  let h = Pqueue.create () in
+  List.iter (fun (p, x) -> Pqueue.push h p x)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let pop () = match Pqueue.pop h with Some (_, x) -> x | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty h)
+
+let test_pqueue_peek () =
+  let h = Pqueue.create () in
+  Pqueue.push h 2.0 20;
+  Pqueue.push h 1.0 10;
+  (match Pqueue.peek h with
+  | Some (p, x) ->
+    check_float "prio" 1.0 p;
+    Alcotest.(check int) "elt" 10 x
+  | None -> Alcotest.fail "expected element");
+  Alcotest.(check int) "size unchanged" 2 (Pqueue.size h)
+
+let test_pqueue_clear () =
+  let h = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push h (float_of_int i) i
+  done;
+  Pqueue.clear h;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop none" None (Pqueue.pop h)
+
+let test_pqueue_grow () =
+  let h = Pqueue.create () in
+  for i = 1000 downto 1 do
+    Pqueue.push h (float_of_int i) i
+  done;
+  let rec drain last n =
+    match Pqueue.pop h with
+    | None -> n
+    | Some (p, _) ->
+      Alcotest.(check bool) "non-decreasing" true (p >= last);
+      drain p (n + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+let pqueue_sorted_prop =
+  QCheck.Test.make ~name:"pqueue pops in sorted order" ~count:100
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Pqueue.create () in
+      List.iter (fun x -> Pqueue.push h x x) xs;
+      let rec drain acc =
+        match Pqueue.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare xs)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  let xa = Rng.int64 a in
+  let xb = Rng.int64 b in
+  Alcotest.(check int64) "same next draw" xa xb;
+  ignore (Rng.int64 a);
+  (* diverge after unequal number of draws *)
+  Alcotest.(check bool) "now diverged" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_pick () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    let x = Rng.pick rng [ 10; 20; 30 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 10; 20; 30 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick rng ([] : int list)))
+
+let test_stats_confidence () =
+  Alcotest.(check (float 1e-9)) "degenerate" 0.0 (Stats.confidence95 [ 1.0 ]);
+  let ci = Stats.confidence95 [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check bool) "positive" true (ci > 0.0)
+
+(* ---- Table ---- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length rendered > 0 && rendered.[0] = 'T')
+
+let test_table_arity () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "1" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"T" ~columns:[ "x"; "y" ] in
+  Table.add_float_row t [ 1.0; 2.5 ];
+  Alcotest.(check string) "csv" "x,y\n1.00,2.50" (Table.to_csv t)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_util"
+    [ ( "rng",
+        [ tc "deterministic" test_rng_deterministic;
+          tc "seeds differ" test_rng_seeds_differ;
+          tc "int range" test_rng_int_range;
+          tc "int rejects nonpositive" test_rng_int_rejects_nonpositive;
+          tc "float range" test_rng_float_range;
+          tc "bernoulli extremes" test_rng_bernoulli_extremes;
+          tc "bernoulli frequency" test_rng_bernoulli_frequency;
+          tc "split independent" test_rng_split_independent;
+          tc "gaussian moments" test_rng_gaussian_moments;
+          tc "shuffle permutation" test_rng_shuffle_permutation;
+          tc "sample distinct" test_rng_sample_distinct;
+          tc "sample overask" test_rng_sample_overask;
+          tc "copy independent" test_rng_copy_independent;
+          tc "pick" test_rng_pick ] );
+      ( "num",
+        [ tc "approx_eq" test_num_approx_eq;
+          tc "leq/geq" test_num_leq_geq;
+          tc "clamp" test_num_clamp;
+          tc "fsum" test_num_fsum ] );
+      ( "stats",
+        [ tc "mean" test_stats_mean;
+          tc "variance" test_stats_variance;
+          tc "median" test_stats_median;
+          tc "min_max" test_stats_min_max;
+          tc "confidence95" test_stats_confidence ] );
+      ( "pqueue",
+        [ tc "order" test_pqueue_order;
+          tc "peek" test_pqueue_peek;
+          tc "clear" test_pqueue_clear;
+          tc "grow" test_pqueue_grow;
+          QCheck_alcotest.to_alcotest pqueue_sorted_prop ] );
+      ( "table",
+        [ tc "render" test_table_render;
+          tc "arity" test_table_arity;
+          tc "csv" test_table_csv ] ) ]
