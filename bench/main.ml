@@ -13,6 +13,7 @@
 module G = Netrec_graph.Graph
 module Rng = Netrec_util.Rng
 module Table = Netrec_util.Table
+module Obs = Netrec_obs.Obs
 module Failure = Netrec_disrupt.Failure
 module Instance = Netrec_core.Instance
 module E = Netrec_experiments
@@ -87,6 +88,7 @@ let micro_benchmarks () =
   in
   let clock = Toolkit.Instance.monotonic_clock in
   print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ clock ] test in
@@ -98,10 +100,13 @@ let micro_benchmarks () =
             | Some (v :: _) -> v
             | Some [] | None -> nan
           in
-          Printf.printf "  %-28s %12.3f ms/run\n%!" name (ns /. 1e6))
+          let ms = ns /. 1e6 in
+          Printf.printf "  %-28s %12.3f ms/run\n%!" name ms;
+          collected := (name, ms) :: !collected)
         analyzed)
     tests;
-  print_newline ()
+  print_newline ();
+  List.rev !collected
 
 (* ---- figure regeneration ---- *)
 
@@ -139,22 +144,54 @@ let all_figures = [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "ablation" ]
 let run_all s =
   List.iter
     (fun fig ->
-      let t0 = Unix.gettimeofday () in
-      run_figure s fig;
-      Printf.printf "(%s regenerated in %.1f s)\n\n%!" fig
-        (Unix.gettimeofday () -. t0))
+      let (), secs = Obs.timed ("bench." ^ fig) (fun () -> run_figure s fig) in
+      Printf.printf "(%s regenerated in %.1f s)\n\n%!" fig secs)
     all_figures
 
+(* Machine-readable run record: micro-benchmark estimates plus the full
+   counter/gauge/span snapshot of the figure regeneration. *)
+let write_bench_metrics ~mode ~benchmarks =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/1\",";
+  Printf.bprintf buf "\"mode\":\"%s\",\"benchmarks\":{" mode;
+  List.iteri
+    (fun i (name, ms) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\":%.6f" name ms)
+    benchmarks;
+  Buffer.add_string buf "},\"metrics\":";
+  Buffer.add_string buf (Obs.metrics_json ());
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_metrics.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_metrics.json\n%!"
+
 let () =
+  (* Micro-benchmarks run with the collector disabled so the estimates
+     reflect production cost; figure regeneration runs with it on so the
+     run record captures solver work counters. *)
   match Array.to_list Sys.argv with
   | [] | [ _ ] ->
-    micro_benchmarks ();
-    run_all default
+    let benchmarks = micro_benchmarks () in
+    Obs.set_enabled true;
+    run_all default;
+    write_bench_metrics ~mode:"default" ~benchmarks
   | [ _; "quick" ] ->
-    micro_benchmarks ();
-    run_all quick
-  | [ _; "bench" ] -> micro_benchmarks ()
-  | [ _; "figures" ] -> run_all default
+    let benchmarks = micro_benchmarks () in
+    Obs.set_enabled true;
+    run_all quick;
+    write_bench_metrics ~mode:"quick" ~benchmarks
+  | [ _; "bench" ] ->
+    let benchmarks = micro_benchmarks () in
+    write_bench_metrics ~mode:"bench" ~benchmarks
+  | [ _; "figures" ] ->
+    Obs.set_enabled true;
+    run_all default;
+    write_bench_metrics ~mode:"figures" ~benchmarks:[]
   | _ :: figs ->
     let s = if List.mem "quick" figs then quick else default in
-    List.iter (fun f -> if f <> "quick" then run_figure s f) figs
+    let figs = List.filter (fun f -> f <> "quick") figs in
+    Obs.set_enabled true;
+    List.iter (run_figure s) figs;
+    write_bench_metrics ~mode:(String.concat "+" figs) ~benchmarks:[]

@@ -14,6 +14,8 @@
 open Cmdliner
 module G = Netrec_graph.Graph
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
+module Isp = Netrec_core.Isp
 module Failure = Netrec_disrupt.Failure
 module Models = Netrec_disrupt.Models
 module Commodity = Netrec_flow.Commodity
@@ -62,6 +64,59 @@ let fail_p_arg =
   let doc = "Element failure probability of the uniform disruption." in
   Arg.(value & opt float 0.5 & info [ "fail-p" ] ~doc)
 
+(* ---- observability options (plan and experiment) ---- *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of all recorded spans to $(docv) \
+     (open in about:tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write collected counters, gauges and span timings to $(docv) as JSON \
+     Lines (one metric object per line)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Print the full span/counter/gauge summary tables after the run." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+(* Counters worth a one-line footer even without --verbose: the solver
+   effort measures the paper reports next to wall time. *)
+let work_counters =
+  [ "isp.iterations"; "simplex.pivots"; "simplex.solves"; "milp.nodes";
+    "dijkstra.calls"; "maxflow.calls"; "maxflow.augmentations" ]
+
+let print_work_footer () =
+  let parts =
+    List.filter_map
+      (fun k ->
+        match Obs.counter_value k with
+        | 0 -> None
+        | v -> Some (Printf.sprintf "%s=%d" k v))
+      work_counters
+  in
+  if parts <> [] then Printf.printf "work: %s\n" (String.concat "  " parts)
+
+let export_observability ~verbose ~trace_file ~metrics_file =
+  if verbose then begin
+    print_newline ();
+    Obs.print_summary ()
+  end;
+  (match metrics_file with
+  | Some path ->
+    Obs.write_jsonl path;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  match trace_file with
+  | Some path ->
+    Obs.write_chrome_trace path;
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
 let build_topology name ~er_p ~seed =
   match name with
   | "bell-canada" -> Netrec_topo.Bell_canada.graph ()
@@ -86,7 +141,7 @@ let build_failure name ~variance ~fail_p ~rng g =
 
 (* ---- plan command ---- *)
 
-let describe_solution g inst name sol seconds =
+let describe_solution g inst name sol seconds ~footer =
   let report = Evaluate.assess inst sol in
   Printf.printf "== %s ==\n" name;
   Printf.printf "repairs: %d nodes + %d edges = %d (cost %.1f)\n"
@@ -95,6 +150,7 @@ let describe_solution g inst name sol seconds =
   Printf.printf "satisfied demand: %.1f%%   runtime: %.3f s\n"
     (100.0 *. report.Evaluate.satisfied_fraction)
     seconds;
+  List.iter print_endline footer;
   if sol.Instance.repaired_vertices <> [] then begin
     let names = List.map (G.name g) sol.Instance.repaired_vertices in
     Printf.printf "repair nodes: %s\n" (String.concat ", " names)
@@ -109,19 +165,40 @@ let describe_solution g inst name sol seconds =
   end;
   print_newline ()
 
+(* Each algorithm returns its solution plus footer lines surfacing the
+   solver-internal work counters of its run report. *)
+let isp_entry inst () =
+  let sol, st = Isp.solve inst in
+  ( sol,
+    [ Printf.sprintf
+        "isp: %d iterations, %d splits, %d prunes, %d direct edge repairs, \
+         %d endpoint repairs, %d fallback paths"
+        st.Isp.iterations st.Isp.splits st.Isp.prunes
+        st.Isp.direct_edge_repairs st.Isp.endpoint_repairs
+        st.Isp.fallback_paths ] )
+
+let opt_entry inst () =
+  let r = H.Opt.solve inst in
+  ( r.H.Opt.solution,
+    [ Printf.sprintf "opt: %d b&b nodes explored, objective %.1f (%s)"
+        r.H.Opt.nodes r.H.Opt.objective
+        (if r.H.Opt.proved then "proved optimal" else "bound not proved") ] )
+
+let plain sol = (sol, [])
+
 let run_algorithm inst = function
-  | "isp" -> [ ("ISP", (fun () -> fst (Netrec_core.Isp.solve inst))) ]
-  | "srt" -> [ ("SRT", fun () -> H.Srt.solve inst) ]
-  | "grd-com" -> [ ("GRD-COM", fun () -> H.Greedy.grd_com inst) ]
-  | "grd-nc" -> [ ("GRD-NC", fun () -> H.Greedy.grd_nc inst) ]
-  | "steiner" -> [ ("Steiner", fun () -> H.Steiner.recovery inst) ]
-  | "opt" -> [ ("OPT", fun () -> (H.Opt.solve inst).H.Opt.solution) ]
+  | "isp" -> [ ("ISP", isp_entry inst) ]
+  | "srt" -> [ ("SRT", fun () -> plain (H.Srt.solve inst)) ]
+  | "grd-com" -> [ ("GRD-COM", fun () -> plain (H.Greedy.grd_com inst)) ]
+  | "grd-nc" -> [ ("GRD-NC", fun () -> plain (H.Greedy.grd_nc inst)) ]
+  | "steiner" -> [ ("Steiner", fun () -> plain (H.Steiner.recovery inst)) ]
+  | "opt" -> [ ("OPT", opt_entry inst) ]
   | "all" ->
-    [ ("ISP", (fun () -> fst (Netrec_core.Isp.solve inst)));
-      ("SRT", fun () -> H.Srt.solve inst);
-      ("GRD-COM", fun () -> H.Greedy.grd_com inst);
-      ("GRD-NC", fun () -> H.Greedy.grd_nc inst);
-      ("OPT", fun () -> (H.Opt.solve inst).H.Opt.solution) ]
+    [ ("ISP", isp_entry inst);
+      ("SRT", fun () -> plain (H.Srt.solve inst));
+      ("GRD-COM", fun () -> plain (H.Greedy.grd_com inst));
+      ("GRD-NC", fun () -> plain (H.Greedy.grd_nc inst));
+      ("OPT", opt_entry inst) ]
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
 let dot_arg =
@@ -140,8 +217,9 @@ let load_arg =
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
 
 let plan topology er_p seed pairs amount algorithm disruption variance fail_p
-    dot_file save_file load_file =
+    dot_file save_file load_file trace_file metrics_file verbose =
   try
+    Obs.set_enabled true;
     let inst =
       match load_file with
       | Some path -> Netrec_core.Serialize.load path
@@ -177,11 +255,14 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
     let last = ref None in
     List.iter
       (fun (name, algo) ->
-        let t0 = Unix.gettimeofday () in
-        let sol = algo () in
+        let (sol, footer), seconds =
+          Obs.timed ("plan." ^ String.lowercase_ascii name) algo
+        in
         last := Some sol;
-        describe_solution g inst name sol (Unix.gettimeofday () -. t0))
+        describe_solution g inst name sol seconds ~footer)
       (run_algorithm inst algorithm);
+    print_work_footer ();
+    export_observability ~verbose ~trace_file ~metrics_file;
     (match (dot_file, !last) with
     | Some path, Some sol ->
       let oc = open_out path in
@@ -195,7 +276,7 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
       Printf.printf "wrote %s\n" path
     | None, _ -> ());
     0
-  with Failure msg ->
+  with Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -206,7 +287,8 @@ let plan_cmd =
     Term.(
       const plan $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
       $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
-      $ fail_p_arg $ dot_arg $ save_arg $ load_arg)
+      $ fail_p_arg $ dot_arg $ save_arg $ load_arg $ trace_arg
+      $ metrics_arg $ verbose_arg)
 
 (* ---- experiment command ---- *)
 
@@ -222,24 +304,32 @@ let figure_arg =
   let doc = "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 or all." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
 
-let experiment figure runs opt_nodes =
+let experiment figure runs opt_nodes trace_file metrics_file verbose =
+  Obs.set_enabled true;
   let print = List.iter Netrec_util.Table.print in
-  let one = function
-    | "fig3" -> print (E.Fig3.run ~runs ~opt_nodes ())
-    | "fig4" -> print (E.Fig4.run ~runs ~opt_nodes ())
-    | "fig5" -> print (E.Fig5.run ~runs ~opt_nodes ())
-    | "fig6" -> print (E.Fig6.run ~runs ~opt_nodes ())
-    | "fig7" -> print (E.Fig7.run ~runs ())
-    | "fig9" -> print (E.Fig9.run ~runs ())
-    | other -> failwith (Printf.sprintf "unknown figure %S" other)
+  let one name =
+    let tables =
+      Obs.span ("experiment." ^ name) @@ fun () ->
+      match name with
+      | "fig3" -> E.Fig3.run ~runs ~opt_nodes ()
+      | "fig4" -> E.Fig4.run ~runs ~opt_nodes ()
+      | "fig5" -> E.Fig5.run ~runs ~opt_nodes ()
+      | "fig6" -> E.Fig6.run ~runs ~opt_nodes ()
+      | "fig7" -> E.Fig7.run ~runs ()
+      | "fig9" -> E.Fig9.run ~runs ()
+      | other -> failwith (Printf.sprintf "unknown figure %S" other)
+    in
+    print tables
   in
   try
     (match figure with
     | "all" ->
       List.iter one [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9" ]
     | f -> one f);
+    print_work_footer ();
+    export_observability ~verbose ~trace_file ~metrics_file;
     0
-  with Failure msg ->
+  with Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -247,7 +337,9 @@ let experiment_cmd =
   let doc = "regenerate the paper's evaluation tables" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(const experiment $ figure_arg $ runs_arg $ opt_nodes_arg)
+    Term.(
+      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ trace_arg
+      $ metrics_arg $ verbose_arg)
 
 (* ---- schedule command ---- *)
 

@@ -1,4 +1,5 @@
 module Failure = Netrec_disrupt.Failure
+module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
 module Oracle = Netrec_flow.Oracle
@@ -100,6 +101,7 @@ let repair_edge st e =
 (* ---- oracles ---- *)
 
 let termination_check st =
+  Obs.span "isp.oracle" @@ fun () ->
   Oracle.routable
     ~vertex_ok:(working_vertex st)
     ~edge_ok:(fun e -> working_edge st e)
@@ -130,9 +132,11 @@ let commit_prune st h (pr : Bubble.prune) =
           { d with Commodity.amount = d.Commodity.amount -. pr.Bubble.amount }
         else d)
       st.demands;
-  st.prunes <- st.prunes + 1
+  st.prunes <- st.prunes + 1;
+  Obs.count "isp.prunes"
 
 let prune_pass st =
+  Obs.span "isp.prune_pass" @@ fun () ->
   let rec fixpoint () =
     let progress = ref false in
     List.iter
@@ -197,6 +201,7 @@ let direct_repairs st =
                 m "direct repair of edge %d for %a" chosen Commodity.pp h);
             repair_edge st chosen;
             st.direct_edge_repairs <- st.direct_edge_repairs + 1;
+            Obs.count "isp.direct_edge_repairs";
             progress := true
           end
         end
@@ -296,6 +301,7 @@ let rank_contributors st cent v =
    first split with a meaningful dx.  Returns false when no split is
    possible anywhere (the caller then falls back). *)
 let split_step st =
+  Obs.span "isp.split_step" @@ fun () ->
   let g = st.inst.Instance.graph in
   let cent =
     Centrality.compute ~length:(length_metric st)
@@ -326,6 +332,7 @@ let split_step st =
         repair_vertex st v;
         st.demands <- Commodity.normalize (apply_split h v dx st.demands);
         st.splits <- st.splits + 1;
+        Obs.count "isp.splits";
         true
       | None -> try_vertices (tried + 1) rest)
   in
@@ -349,11 +356,13 @@ let fallback_repair_path st h =
         repair_vertex st v)
       p;
     st.fallback_paths <- st.fallback_paths + 1;
+    Obs.count "isp.fallback_paths";
     true
 
 (* ---- finishing: final routing over the repaired network ---- *)
 
 let final_solution st =
+  Obs.span "isp.final_route" @@ fun () ->
   let inst = st.inst in
   let g = inst.Instance.graph in
   let repaired_vertices =
@@ -385,8 +394,7 @@ let final_solution st =
   in
   { sol0 with Instance.routing }
 
-let solve ?(config = default_config) inst =
-  let t0 = Unix.gettimeofday () in
+let solve_body ~config inst =
   let g = inst.Instance.graph in
   let st =
     { inst;
@@ -423,8 +431,13 @@ let solve ?(config = default_config) inst =
   let finished = ref false in
   while not !finished do
     incr iters;
+    Obs.count "isp.iterations";
+    Obs.span "isp.iteration" @@ fun () ->
     Log.debug (fun m ->
         m "iteration %d: %d live demand(s)" !iters (List.length st.demands));
+    if Obs.enabled () then
+      Obs.gauge "isp.residual_demand"
+        (List.fold_left (fun a d -> a +. d.Commodity.amount) 0.0 st.demands);
     st.demands <- Commodity.normalize st.demands;
     if st.demands = [] then finished := true
     else begin
@@ -474,6 +487,12 @@ let solve ?(config = default_config) inst =
       direct_edge_repairs = st.direct_edge_repairs;
       endpoint_repairs = st.endpoint_repairs;
       fallback_paths = st.fallback_paths;
-      wall_seconds = Unix.gettimeofday () -. t0 }
+      wall_seconds = 0.0 }
   in
   (sol, stats)
+
+let solve ?(config = default_config) inst =
+  let (sol, stats), wall =
+    Obs.timed "isp.solve" (fun () -> solve_body ~config inst)
+  in
+  (sol, { stats with wall_seconds = wall })

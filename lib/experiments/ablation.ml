@@ -49,9 +49,13 @@ let run ?(runs = 3) ?(seed = 42) () =
         in
         let plain = Schedule.in_order inst solver_order in
         auc_solver := plain.Schedule.auc :: !auc_solver;
-        srt_m := measure inst (fun () -> Netrec_heuristics.Srt.solve inst) :: !srt_m;
+        srt_m :=
+          measure ~label:"ablation.srt" inst (fun () ->
+              Netrec_heuristics.Srt.solve inst)
+          :: !srt_m;
         srtr_m :=
-          measure inst (fun () -> Netrec_heuristics.Srt.solve_residual inst)
+          measure ~label:"ablation.srt_residual" inst (fun () ->
+              Netrec_heuristics.Srt.solve_residual inst)
           :: !srtr_m
       done;
       let mean = Netrec_util.Stats.mean in

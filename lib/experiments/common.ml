@@ -4,6 +4,7 @@ module Failure = Netrec_disrupt.Failure
 module Demand_gen = Netrec_topo.Demand_gen
 module Commodity = Netrec_flow.Commodity
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
 
 type measurement = {
   repairs_v : float;
@@ -21,10 +22,8 @@ let measure_precomputed inst sol ~seconds =
     satisfied = report.Evaluate.satisfied_fraction;
     seconds }
 
-let measure inst algorithm =
-  let t0 = Unix.gettimeofday () in
-  let sol = algorithm () in
-  let seconds = Unix.gettimeofday () -. t0 in
+let measure ?(label = "measure") inst algorithm =
+  let sol, seconds = Obs.timed label algorithm in
   measure_precomputed inst sol ~seconds
 
 let average = function

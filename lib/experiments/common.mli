@@ -18,8 +18,10 @@ type measurement = {
 }
 
 val measure :
-  Instance.t -> (unit -> Instance.solution) -> measurement
-(** Run an algorithm, time it, and assess the solution. *)
+  ?label:string -> Instance.t -> (unit -> Instance.solution) -> measurement
+(** Run an algorithm, time it via [Netrec_obs.Obs.timed] (so the tracing
+    collector sees the same number the figure table reports), and assess
+    the solution.  [label] names the span (default ["measure"]). *)
 
 val measure_precomputed :
   Instance.t -> Instance.solution -> seconds:float -> measurement

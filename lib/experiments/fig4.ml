@@ -1,5 +1,6 @@
 module Table = Netrec_util.Table
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
 module Instance = Netrec_core.Instance
 module H = Netrec_heuristics
 open Common
@@ -35,13 +36,15 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
     for _ = 1 to runs do
       let rng = Rng.split master in
       let inst = complete_instance ~rng ~count:pairs ~amount:10.0 g in
-      let t0 = Unix.gettimeofday () in
-      let isp_sol, _ = Netrec_core.Isp.solve inst in
-      let isp_secs = Unix.gettimeofday () -. t0 in
+      let (isp_sol, _), isp_secs =
+        Obs.timed "fig4.isp" (fun () -> Netrec_core.Isp.solve inst)
+      in
       push "ISP" (measure_precomputed inst isp_sol ~seconds:isp_secs);
-      push "SRT" (measure inst (fun () -> H.Srt.solve inst));
-      push "GRD-COM" (measure inst (fun () -> H.Greedy.grd_com inst));
-      push "GRD-NC" (measure inst (fun () -> H.Greedy.grd_nc inst));
+      push "SRT" (measure ~label:"fig4.srt" inst (fun () -> H.Srt.solve inst));
+      push "GRD-COM"
+        (measure ~label:"fig4.grd_com" inst (fun () -> H.Greedy.grd_com inst));
+      push "GRD-NC"
+        (measure ~label:"fig4.grd_nc" inst (fun () -> H.Greedy.grd_nc inst));
       let warm = best_incumbent inst isp_sol in
       let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
       push "OPT"

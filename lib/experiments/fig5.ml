@@ -1,5 +1,6 @@
 module Table = Netrec_util.Table
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
 module Instance = Netrec_core.Instance
 module Failure = Netrec_disrupt.Failure
 module H = Netrec_heuristics
@@ -39,14 +40,16 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 5) () =
         let inst =
           Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
         in
-        let t0 = Unix.gettimeofday () in
-        let isp_sol, _ = Netrec_core.Isp.solve inst in
-        push amount "ISP"
-          (measure_precomputed inst isp_sol
-             ~seconds:(Unix.gettimeofday () -. t0));
-        push amount "SRT" (measure inst (fun () -> H.Srt.solve inst));
-        push amount "GRD-COM" (measure inst (fun () -> H.Greedy.grd_com inst));
-        push amount "GRD-NC" (measure inst (fun () -> H.Greedy.grd_nc inst));
+        let (isp_sol, _), isp_secs =
+          Obs.timed "fig5.isp" (fun () -> Netrec_core.Isp.solve inst)
+        in
+        push amount "ISP" (measure_precomputed inst isp_sol ~seconds:isp_secs);
+        push amount "SRT"
+          (measure ~label:"fig5.srt" inst (fun () -> H.Srt.solve inst));
+        push amount "GRD-COM"
+          (measure ~label:"fig5.grd_com" inst (fun () -> H.Greedy.grd_com inst));
+        push amount "GRD-NC"
+          (measure ~label:"fig5.grd_nc" inst (fun () -> H.Greedy.grd_nc inst));
         let warm = best_incumbent inst isp_sol in
         let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
         push amount "OPT"

@@ -1,5 +1,6 @@
 module Table = Netrec_util.Table
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
 module Instance = Netrec_core.Instance
 module Failure = Netrec_disrupt.Failure
 module Models = Netrec_disrupt.Models
@@ -38,14 +39,17 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 6) () =
         let bv, be = Failure.counts failure in
         let prev = Option.value ~default:[] (Hashtbl.find_opt all_acc variance) in
         Hashtbl.replace all_acc variance (float_of_int (bv + be) :: prev);
-        let t0 = Unix.gettimeofday () in
-        let isp_sol, _ = Netrec_core.Isp.solve inst in
+        let (isp_sol, _), isp_secs =
+          Obs.timed "fig6.isp" (fun () -> Netrec_core.Isp.solve inst)
+        in
         push variance "ISP"
-          (measure_precomputed inst isp_sol
-             ~seconds:(Unix.gettimeofday () -. t0));
-        push variance "SRT" (measure inst (fun () -> H.Srt.solve inst));
-        push variance "GRD-COM" (measure inst (fun () -> H.Greedy.grd_com inst));
-        push variance "GRD-NC" (measure inst (fun () -> H.Greedy.grd_nc inst));
+          (measure_precomputed inst isp_sol ~seconds:isp_secs);
+        push variance "SRT"
+          (measure ~label:"fig6.srt" inst (fun () -> H.Srt.solve inst));
+        push variance "GRD-COM"
+          (measure ~label:"fig6.grd_com" inst (fun () -> H.Greedy.grd_com inst));
+        push variance "GRD-NC"
+          (measure ~label:"fig6.grd_nc" inst (fun () -> H.Greedy.grd_nc inst));
         let warm = best_incumbent inst isp_sol in
         let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
         push variance "OPT"

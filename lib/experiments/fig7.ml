@@ -1,5 +1,6 @@
 module Table = Netrec_util.Table
 module Rng = Netrec_util.Rng
+module Obs = Netrec_obs.Obs
 module Instance = Netrec_core.Instance
 module Failure = Netrec_disrupt.Failure
 module Commodity = Netrec_flow.Commodity
@@ -42,33 +43,40 @@ let run ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
         let inst =
           Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
         in
-        let isp = measure inst (fun () -> fst (Netrec_core.Isp.solve inst)) in
+        let isp =
+          measure ~label:"fig7.isp" inst (fun () ->
+              fst (Netrec_core.Isp.solve inst))
+        in
         isps := isp.repairs_total :: !isps;
         isp_ts := isp.seconds :: !isp_ts;
-        let srt = measure inst (fun () -> H.Srt.solve inst) in
+        let srt = measure ~label:"fig7.srt" inst (fun () -> H.Srt.solve inst) in
         srts := srt.repairs_total :: !srts;
         srt_ts := srt.seconds :: !srt_ts;
         let pairs =
           List.map (fun d -> (d.Commodity.src, d.Commodity.dst)) demands
         in
-        let t0 = Unix.gettimeofday () in
-        (match H.Exact_forest.optimal_total_repairs g ~pairs with
+        let forest, forest_secs =
+          Obs.timed "fig7.exact_forest" (fun () ->
+              H.Exact_forest.optimal_total_repairs g ~pairs)
+        in
+        (match forest with
         | Some repairs -> opts := float_of_int repairs :: !opts
         | None -> ());
-        opt_ts := (Unix.gettimeofday () -. t0) :: !opt_ts;
+        opt_ts := forest_secs :: !opt_ts;
         (* MILP timing on the sparsest instances only, and only the first
            run of the sweep: even the root LP relaxation takes minutes at
            this size, which is precisely the paper's point about OPT's
            scalability (their Gurobi runs reached ~27 hours at p=0.9). *)
         if p <= milp_p_max +. 1e-9 && !milp_ts = [] then begin
-          let t0 = Unix.gettimeofday () in
-          let warm = H.Postpass.prune inst (fst (Netrec_core.Isp.solve inst)) in
-          let r =
-            H.Opt.solve ~node_limit:milp_nodes ~var_budget:6000 ~incumbent:warm
-              inst
+          let _, milp_secs =
+            Obs.timed "fig7.milp" (fun () ->
+                let warm =
+                  H.Postpass.prune inst (fst (Netrec_core.Isp.solve inst))
+                in
+                H.Opt.solve ~node_limit:milp_nodes ~var_budget:6000
+                  ~incumbent:warm inst)
           in
-          ignore r;
-          milp_ts := (Unix.gettimeofday () -. t0) :: !milp_ts
+          milp_ts := milp_secs :: !milp_ts
         end
       done;
       let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in

@@ -43,7 +43,7 @@ let run ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
       let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
       isps := isp.repairs_total :: !isps;
       isp_sats := isp.satisfied :: !isp_sats;
-      let srt = measure inst (fun () -> H.Srt.solve inst) in
+      let srt = measure ~label:"fig9.srt" inst (fun () -> H.Srt.solve inst) in
       srts := srt.repairs_total :: !srts;
       srt_sats := srt.satisfied :: !srt_sats;
       let pruned = H.Postpass.prune inst isp_sol in

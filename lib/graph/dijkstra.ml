@@ -1,8 +1,10 @@
 module Pqueue = Netrec_util.Pqueue
+module Obs = Netrec_obs.Obs
 
 let all _ = true
 
 let run ?(vertex_ok = all) ?(edge_ok = all) ~length g src =
+  Obs.count "dijkstra.calls";
   let n = Graph.nv g in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
   let dist = Array.make n infinity in
@@ -16,6 +18,7 @@ let run ?(vertex_ok = all) ?(edge_ok = all) ~length g src =
       | None -> ()
       | Some (d, u) ->
         if d <= dist.(u) then begin
+          Obs.count "dijkstra.settled";
           let relax (w, e) =
             if vertex_ok w && edge_ok e then begin
               let len = length e in

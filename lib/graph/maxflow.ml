@@ -1,3 +1,5 @@
+module Obs = Netrec_obs.Obs
+
 type result = { value : float; edge_flow : float array }
 
 let all _ = true
@@ -9,6 +11,7 @@ let all _ = true
 let flow_eps = 1e-9
 
 let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
+  Obs.count "maxflow.calls";
   let n = Graph.nv g and m = Graph.ne g in
   if source < 0 || source >= n || sink < 0 || sink >= n then
     invalid_arg "Maxflow: vertex out of range";
@@ -96,12 +99,14 @@ let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
   let value = ref 0.0 in
   if source <> sink then begin
     while build_levels () do
+      Obs.count "maxflow.phases";
       for v = 0 to n - 1 do
         iter.(v) <- arcs_from.(v)
       done;
       let rec drain () =
         let got = push source infinity in
         if got > flow_eps then begin
+          Obs.count "maxflow.augmentations";
           value := !value +. got;
           drain ()
         end

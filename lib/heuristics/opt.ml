@@ -1,5 +1,6 @@
 module Lp = Netrec_lp.Lp
 module Milp = Netrec_lp.Milp
+module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
 module Failure = Netrec_disrupt.Failure
@@ -154,36 +155,33 @@ let integral_costs inst =
   Array.for_all integral inst.Instance.vertex_cost
   && Array.for_all integral inst.Instance.edge_cost
 
-let solve ?(node_limit = 3000) ?(var_budget = 6000) ?incumbent inst =
-  let t0 = Unix.gettimeofday () in
+let solve_body ~node_limit ~var_budget ~incumbent inst =
   let g = inst.Instance.graph in
   let nh = List.length inst.Instance.demands in
   let warm =
     match incumbent with
     | Some s -> s
     | None ->
+      Obs.span "opt.warm_start" @@ fun () ->
       let isp, _ = Isp.solve inst in
       Postpass.prune inst isp
   in
   let warm_cost = Instance.repair_cost inst warm in
   let finish solution objective proved nodes =
-    { solution;
-      objective;
-      proved;
-      nodes;
-      wall_seconds = Unix.gettimeofday () -. t0 }
+    { solution; objective; proved; nodes; wall_seconds = 0.0 }
   in
   if 2 * nh * Graph.ne g > var_budget then
     (* Documented OPT-proxy path for oversize instances. *)
     finish warm warm_cost false 0
   else begin
-    let model = build inst in
+    let model = Obs.span "opt.model_build" (fun () -> build inst) in
     let binary =
       Hashtbl.fold (fun _ v acc -> v :: acc) model.delta_v []
       @ Hashtbl.fold (fun _ v acc -> v :: acc) model.delta_e []
     in
     let dummy_incumbent = (Array.make (Lp.nvars model.lp) 0.0, warm_cost) in
     let r =
+      Obs.span "opt.branch_and_bound" @@ fun () ->
       Milp.solve ~node_limit ~integral_objective:(integral_costs inst)
         ~incumbent:dummy_incumbent ~binary model.lp
     in
@@ -199,3 +197,10 @@ let solve ?(node_limit = 3000) ?(var_budget = 6000) ?incumbent inst =
          fully repaired network; fall back to the warm start. *)
       finish warm warm_cost false r.Milp.nodes
   end
+
+let solve ?(node_limit = 3000) ?(var_budget = 6000) ?incumbent inst =
+  let r, wall =
+    Obs.timed "opt.solve" (fun () ->
+        solve_body ~node_limit ~var_budget ~incumbent inst)
+  in
+  { r with wall_seconds = wall }

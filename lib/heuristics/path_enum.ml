@@ -1,4 +1,5 @@
 module Commodity = Netrec_flow.Commodity
+module Obs = Netrec_obs.Obs
 
 type t = {
   paths : (Commodity.t * Paths.path) list;
@@ -6,6 +7,7 @@ type t = {
 }
 
 let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
+  Obs.count "path_enum.calls";
   let max_hops = Option.value ~default:(Graph.nv g - 1) max_hops in
   let truncated = ref false in
   let enumerate_pair d =
@@ -37,4 +39,6 @@ let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
     List.rev_map (fun p -> (d, p)) !acc
   in
   let paths = List.concat_map enumerate_pair demands in
+  Obs.count ~n:(List.length paths) "path_enum.paths";
+  if !truncated then Obs.count "path_enum.truncations";
   { paths; truncated = !truncated }

@@ -82,7 +82,12 @@ let copy p =
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
-type solution = { status : status; objective : float; values : float array }
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  pivots : int;
+}
 
 (* Translation to standard form: every free-ish variable is shifted by its
    (finite) lower bound so shifted variables satisfy y >= 0; fixed
@@ -155,4 +160,4 @@ let solve ?max_pivots p =
     | Optimal -> (sign *. out.Simplex.objective) +. !obj_const
     | _ -> 0.0
   in
-  { status; objective; values }
+  { status; objective; values; pivots = out.Simplex.pivots }

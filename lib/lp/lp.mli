@@ -69,6 +69,7 @@ type solution = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
   values : float array;  (** one entry per variable, in {!var} order *)
+  pivots : int;  (** simplex pivots consumed by this solve *)
 }
 
 val solve : ?max_pivots:int -> problem -> solution

@@ -1,8 +1,11 @@
+module Obs = Netrec_obs.Obs
+
 type result = {
   status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
   objective : float;
   values : float array;
   nodes : int;
+  pivots : int;
   proved : bool;
 }
 
@@ -22,6 +25,7 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
     best_obj := obj
   | None -> ());
   let nodes = ref 0 in
+  let pivots = ref 0 in
   let truncated = ref false in
   (* Depth-first stack of nodes; a node is the list of (var, value)
      fixings accumulated along the branch. *)
@@ -37,9 +41,11 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
     | fixings :: rest ->
       stack := rest;
       incr nodes;
+      Obs.count "milp.nodes";
       let node_p = Lp.copy root in
       List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
       let sol = Lp.solve ?max_pivots node_p in
+      pivots := !pivots + sol.Lp.pivots;
       (match sol.Lp.status with
       | Lp.Infeasible -> ()
       | Lp.Unbounded | Lp.Iteration_limit -> truncated := true
@@ -60,6 +66,7 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
             binary;
           if !branch_var < 0 then begin
             (* Integral solution: new incumbent. *)
+            Obs.count "milp.incumbents";
             best_obj := sol.Lp.objective;
             best_values := Some (Array.copy sol.Lp.values)
           end
@@ -82,6 +89,7 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
       objective = !best_obj;
       values;
       nodes = !nodes;
+      pivots = !pivots;
       proved }
   | None ->
     if proved then
@@ -89,10 +97,12 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
         objective = infinity;
         values = Array.make (Lp.nvars p) 0.0;
         nodes = !nodes;
+        pivots = !pivots;
         proved }
     else
       { status = `Unknown;
         objective = infinity;
         values = Array.make (Lp.nvars p) 0.0;
         nodes = !nodes;
+        pivots = !pivots;
         proved }

@@ -19,6 +19,7 @@ type result = {
   objective : float;  (** incumbent objective (meaningful unless [`Unknown]/[`Infeasible]) *)
   values : float array;  (** incumbent variable values *)
   nodes : int;  (** branch-and-bound nodes explored *)
+  pivots : int;  (** simplex pivots consumed across all node relaxations *)
   proved : bool;  (** whether optimality was proved *)
 }
 

@@ -1,3 +1,5 @@
+module Obs = Netrec_obs.Obs
+
 type relation = Le | Ge | Eq
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -7,7 +9,12 @@ type std = {
   costs : float array;
 }
 
-type outcome = { status : status; objective : float; values : float array }
+type outcome = {
+  status : status;
+  objective : float;
+  values : float array;
+  pivots : int;
+}
 
 let eps = 1e-9
 let pivot_eps = 1e-7
@@ -33,6 +40,7 @@ type tableau = {
 let nz_scratch = ref [||]
 
 let pivot tab ~row ~col =
+  Obs.count "simplex.pivots";
   let { t; obj; width; m; _ } = tab in
   let prow = t.(row) in
   let piv = prow.(col) in
@@ -153,6 +161,7 @@ let optimize tab ~allowed ~budget =
   loop ()
 
 let solve_std ~max_pivots { ncols; rows; costs } =
+  Obs.count "simplex.solves";
   if Array.length costs <> ncols then
     invalid_arg "Simplex.solve_std: costs arity";
   List.iter
@@ -228,8 +237,15 @@ let solve_std ~max_pivots { ncols; rows; costs } =
       done
     end
   done;
+  let extra_pivots = ref 0 in
+  let pivots_used () = max_pivots - !budget + !extra_pivots in
   let phase1 = optimize tab ~allowed:(fun _ -> true) ~budget in
-  let fail status = { status; objective = 0.0; values = Array.make ncols 0.0 } in
+  let fail status =
+    { status;
+      objective = 0.0;
+      values = Array.make ncols 0.0;
+      pivots = pivots_used () }
+  in
   match phase1 with
   | `Limit -> fail Iteration_limit
   | `Unbounded -> fail Infeasible (* phase 1 is bounded below by 0 *)
@@ -245,7 +261,10 @@ let solve_std ~max_pivots { ncols; rows; costs } =
           for j = 0 to ncols + nslack - 1 do
             if !found < 0 && abs_float t.(i).(j) > pivot_eps then found := j
           done;
-          if !found >= 0 then pivot tab ~row:i ~col:!found
+          if !found >= 0 then begin
+            incr extra_pivots;
+            pivot tab ~row:i ~col:!found
+          end
         end
       done;
       (* ---- Phase 2: original objective. ---- *)
@@ -274,5 +293,8 @@ let solve_std ~max_pivots { ncols; rows; costs } =
           let b = basis.(i) in
           if b < ncols then values.(b) <- t.(i).(width)
         done;
-        { status = Optimal; objective = -.tab.obj.(width); values }
+        { status = Optimal;
+          objective = -.tab.obj.(width);
+          values;
+          pivots = pivots_used () }
     end

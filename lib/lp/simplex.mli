@@ -21,6 +21,10 @@ type outcome = {
   status : status;
   objective : float;
   values : float array;  (** length [ncols]; zeros unless [Optimal] *)
+  pivots : int;
+      (** pivot operations consumed by this solve (both phases plus any
+          drive-out of basic artificials); also accumulated on the global
+          ["simplex.pivots"] counter of {!Netrec_obs.Obs} *)
 }
 
 val solve_std : max_pivots:int -> std -> outcome

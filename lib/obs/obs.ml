@@ -1,0 +1,309 @@
+module Table = Netrec_util.Table
+
+(* All state is global and thread-unsafe by design: the solvers are
+   single-threaded and the disabled-mode cost must stay at one load and
+   one branch. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let now () = Unix.gettimeofday ()
+
+(* ---- counters ---- *)
+
+type counter = { mutable n : int }
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let count ?(n = 1) name =
+  if !enabled_flag then
+    match Hashtbl.find_opt counters_tbl name with
+    | Some c -> c.n <- c.n + n
+    | None -> Hashtbl.replace counters_tbl name { n }
+
+let counter_value name =
+  match Hashtbl.find_opt counters_tbl name with Some c -> c.n | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters_tbl []
+  |> List.sort compare
+
+(* ---- gauges ---- *)
+
+type gauge_stat = { last : float; min : float; max : float; samples : int }
+
+type gauge_cell = {
+  mutable last : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable samples : int;
+}
+
+let gauges_tbl : (string, gauge_cell) Hashtbl.t = Hashtbl.create 32
+
+let gauge name v =
+  if !enabled_flag then
+    match Hashtbl.find_opt gauges_tbl name with
+    | Some g ->
+      g.last <- v;
+      if v < g.lo then g.lo <- v;
+      if v > g.hi then g.hi <- v;
+      g.samples <- g.samples + 1
+    | None -> Hashtbl.replace gauges_tbl name { last = v; lo = v; hi = v; samples = 1 }
+
+let gauges () =
+  Hashtbl.fold
+    (fun name g acc ->
+      (name, { last = g.last; min = g.lo; max = g.hi; samples = g.samples })
+      :: acc)
+    gauges_tbl []
+  |> List.sort compare
+
+(* ---- spans ---- *)
+
+type span_stat = { path : string; calls : int; total_s : float; self_s : float }
+
+type agg = { mutable calls : int; mutable total : float; mutable self : float }
+
+type frame = { path : string; t0 : float; mutable child : float }
+
+type event = { epath : string; ets : float; edur : float }
+
+let spans_tbl : (string, agg) Hashtbl.t = Hashtbl.create 64
+let stack : frame list ref = ref []
+let epoch = ref (now ())
+
+(* Individual intervals feed the Chrome-trace export only; aggregates in
+   [spans_tbl] are never dropped.  The cap bounds memory on long runs
+   (e.g. full bench sweeps). *)
+let max_events = 1_000_000
+let events : event list ref = ref []
+let n_events = ref 0
+let dropped = ref 0
+
+let events_dropped () = !dropped
+
+let record_event path t0 dur =
+  if !n_events < max_events then begin
+    events := { epath = path; ets = t0 -. !epoch; edur = dur } :: !events;
+    incr n_events
+  end
+  else incr dropped
+
+(* Shared body of [span] and [timed] in enabled mode. *)
+let span_enabled name f =
+  let parent = match !stack with [] -> None | fr :: _ -> Some fr in
+  let path =
+    match parent with None -> name | Some fr -> fr.path ^ "/" ^ name
+  in
+  let fr = { path; t0 = now (); child = 0.0 } in
+  stack := fr :: !stack;
+  let finish () =
+    let dur = now () -. fr.t0 in
+    (match !stack with _ :: rest -> stack := rest | [] -> ());
+    (match parent with Some p -> p.child <- p.child +. dur | None -> ());
+    (match Hashtbl.find_opt spans_tbl path with
+    | Some a ->
+      a.calls <- a.calls + 1;
+      a.total <- a.total +. dur;
+      a.self <- a.self +. (dur -. fr.child)
+    | None ->
+      Hashtbl.replace spans_tbl path
+        { calls = 1; total = dur; self = dur -. fr.child });
+    record_event path fr.t0 dur;
+    dur
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let span name f = if not !enabled_flag then f () else fst (span_enabled name f)
+
+let timed name f =
+  if not !enabled_flag then begin
+    let t0 = now () in
+    let v = f () in
+    (v, now () -. t0)
+  end
+  else span_enabled name f
+
+let span_stats () =
+  Hashtbl.fold
+    (fun path a acc ->
+      { path; calls = a.calls; total_s = a.total; self_s = a.self } :: acc)
+    spans_tbl []
+  |> List.sort (fun a b -> compare (b.total_s, a.path) (a.total_s, b.path))
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset gauges_tbl;
+  Hashtbl.reset spans_tbl;
+  stack := [];
+  events := [];
+  n_events := 0;
+  dropped := 0;
+  epoch := now ()
+
+(* ---- exporters ---- *)
+
+let leaf path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON floats: %.9g never yields inf/nan here (all inputs are finite
+   durations/samples) and stays a valid JSON number. *)
+let json_float v = Printf.sprintf "%.9g" v
+
+let summary_tables () =
+  let tables = ref [] in
+  let spans = span_stats () in
+  if spans <> [] then begin
+    let t =
+      Table.create ~title:"Spans (wall time by nesting path)"
+        ~columns:[ "path"; "calls"; "total ms"; "self ms"; "mean ms" ]
+    in
+    List.iter
+      (fun (s : span_stat) ->
+        Table.add_row t
+          [ s.path;
+            string_of_int s.calls;
+            Printf.sprintf "%.3f" (1e3 *. s.total_s);
+            Printf.sprintf "%.3f" (1e3 *. s.self_s);
+            Printf.sprintf "%.4f" (1e3 *. s.total_s /. float_of_int s.calls) ])
+      spans;
+    tables := t :: !tables
+  end;
+  let cs = counters () in
+  if cs <> [] then begin
+    let t = Table.create ~title:"Counters" ~columns:[ "name"; "value" ] in
+    List.iter (fun (name, v) -> Table.add_row t [ name; string_of_int v ]) cs;
+    tables := t :: !tables
+  end;
+  let gs = gauges () in
+  if gs <> [] then begin
+    let t =
+      Table.create ~title:"Gauges"
+        ~columns:[ "name"; "last"; "min"; "max"; "samples" ]
+    in
+    List.iter
+      (fun (name, (g : gauge_stat)) ->
+        Table.add_row t
+          [ name;
+            json_float g.last;
+            json_float g.min;
+            json_float g.max;
+            string_of_int g.samples ])
+      gs;
+    tables := t :: !tables
+  end;
+  List.rev !tables
+
+let print_summary () = List.iter Table.print (summary_tables ())
+
+let jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+           (json_escape name) v))
+    (counters ());
+  List.iter
+    (fun (name, (g : gauge_stat)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"gauge\",\"name\":\"%s\",\"last\":%s,\"min\":%s,\"max\":%s,\"samples\":%d}\n"
+           (json_escape name) (json_float g.last) (json_float g.min)
+           (json_float g.max) g.samples))
+    (gauges ());
+  List.iter
+    (fun (s : span_stat) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"span\",\"name\":\"%s\",\"path\":\"%s\",\"calls\":%d,\"total_s\":%s,\"self_s\":%s}\n"
+           (json_escape (leaf s.path))
+           (json_escape s.path) s.calls (json_float s.total_s)
+           (json_float s.self_s)))
+    (span_stats ());
+  if !dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "{\"type\":\"meta\",\"events_dropped\":%d}\n" !dropped);
+  Buffer.contents buf
+
+let metrics_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (counters ());
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (name, (g : gauge_stat)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"last\":%s,\"min\":%s,\"max\":%s,\"samples\":%d}"
+           (json_escape name) (json_float g.last) (json_float g.min)
+           (json_float g.max) g.samples))
+    (gauges ());
+  Buffer.add_string buf "},\"spans\":[";
+  List.iteri
+    (fun i (s : span_stat) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"path\":\"%s\",\"calls\":%d,\"total_s\":%s,\"self_s\":%s}"
+           (json_escape s.path) s.calls (json_float s.total_s)
+           (json_float s.self_s)))
+    (span_stats ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let chrome_trace () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  (* The event list is newest-first; emission order is irrelevant to the
+     trace viewers, which sort by [ts]. *)
+  List.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"netrec\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1}"
+           (json_escape (leaf e.epath))
+           (json_float (1e6 *. e.ets))
+           (json_float (1e6 *. e.edur))))
+    !events;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_jsonl path = write_file path (jsonl ())
+let write_chrome_trace path = write_file path (chrome_trace ())

@@ -1,0 +1,108 @@
+(** Structured tracing, counters and run reports for the solver stack.
+
+    A single global, deliberately thread-unsafe collector records three
+    kinds of telemetry:
+
+    - {b spans}: hierarchical wall-clock timers.  [span "isp.iteration" f]
+      runs [f], attributing its duration to the path formed by the
+      currently open spans (["isp.solve/isp.iteration"]).  Per-path call
+      counts, total and self (total minus children) time are aggregated,
+      and every individual interval is kept for the Chrome-trace export
+      (up to a fixed buffer; see {!events_dropped}).
+    - {b counters}: monotonically increasing integers
+      ([count "simplex.pivots"]).
+    - {b gauges}: last/min/max of a sampled float
+      ([gauge "isp.residual_demand" 12.5]).
+
+    When the collector is disabled (the default) every recording entry
+    point is a single flag check with no allocation, so instrumentation
+    can stay in hot paths (simplex pivots, Dinic phases) permanently.
+
+    Exporters: an aligned text summary (reusing {!Netrec_util.Table}),
+    a JSONL metrics dump (one metric object per line), and Chrome
+    [trace_event] JSON loadable in [about:tracing] / Perfetto. *)
+
+val enabled : unit -> bool
+(** Whether the collector is currently recording. *)
+
+val set_enabled : bool -> unit
+(** Turn the collector on or off.  Turning it off does not clear
+    already-collected data. *)
+
+val reset : unit -> unit
+(** Drop all collected spans, counters, gauges and trace events, close
+    any dangling span stack, and restart the trace clock. *)
+
+(** {1 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] under [name], nested below the innermost
+    open span.  Disabled mode: tail-calls [f] after one flag check.
+    Exceptions propagate; the span is closed either way. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** [timed name f] is [span name f] but additionally returns the
+    measured wall-clock seconds, {e also when the collector is
+    disabled} — the drop-in replacement for hand-rolled
+    [Unix.gettimeofday] pairs, guaranteeing that reported tables and
+    exported traces carry identical numbers. *)
+
+val count : ?n:int -> string -> unit
+(** [count name] adds [n] (default 1) to counter [name]. *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] records a sample of gauge [name]. *)
+
+(** {1 Inspection} *)
+
+type span_stat = {
+  path : string;  (** ["parent/child"] nesting path *)
+  calls : int;
+  total_s : float;  (** cumulative wall seconds *)
+  self_s : float;  (** [total_s] minus time spent in child spans *)
+}
+
+val span_stats : unit -> span_stat list
+(** Aggregated spans, sorted by decreasing [total_s]. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+type gauge_stat = { last : float; min : float; max : float; samples : int }
+
+val gauges : unit -> (string * gauge_stat) list
+(** All gauges, sorted by name. *)
+
+val counter_value : string -> int
+(** Current value of a counter (0 when never incremented). *)
+
+val events_dropped : unit -> int
+(** Trace intervals discarded because the event buffer was full
+    (aggregates are never dropped). *)
+
+(** {1 Exporters} *)
+
+val summary_tables : unit -> Netrec_util.Table.t list
+(** Span / counter / gauge summaries as printable tables; empty tables
+    are omitted. *)
+
+val print_summary : unit -> unit
+(** [Table.print] every table of {!summary_tables}. *)
+
+val jsonl : unit -> string
+(** One JSON object per line: [{"type":"counter",...}],
+    [{"type":"gauge",...}], [{"type":"span",...}]. *)
+
+val metrics_json : unit -> string
+(** A single JSON object [{"counters":{..},"gauges":{..},"spans":[..]}]
+    — the payload embedded in the benchmark's [BENCH_metrics.json]. *)
+
+val chrome_trace : unit -> string
+(** Chrome [trace_event] JSON (complete ["ph":"X"] events, microsecond
+    timestamps relative to the last {!reset}). *)
+
+val write_jsonl : string -> unit
+(** Write {!jsonl} to a file. *)
+
+val write_chrome_trace : string -> unit
+(** Write {!chrome_trace} to a file. *)

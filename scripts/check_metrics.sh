@@ -1,0 +1,51 @@
+#!/bin/sh
+# Run the bench harness and validate the BENCH_metrics.json it emits.
+#
+#   scripts/check_metrics.sh            # full quick mode (micro + all figures)
+#   scripts/check_metrics.sh fig4 quick # any bench/main.exe arguments
+#
+# Checks that the file exists, parses as JSON, and contains the solver
+# work counters the run report is expected to carry.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+
+if [ "$#" -eq 0 ]; then
+  set -- quick
+fi
+./_build/default/bench/main.exe "$@"
+
+METRICS=BENCH_metrics.json
+if [ ! -s "$METRICS" ]; then
+  echo "FAIL: $METRICS missing or empty" >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$METRICS" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("schema") != "netrec-bench-metrics/1":
+    sys.exit("FAIL: unexpected schema %r" % doc.get("schema"))
+counters = doc.get("metrics", {}).get("counters", {})
+missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls")
+           if counters.get(k, 0) <= 0]
+if missing:
+    sys.exit("FAIL: missing or zero counters: %s" % ", ".join(missing))
+print("OK: %s valid (%d counters, %d benchmarks)"
+      % (sys.argv[1], len(counters), len(doc.get("benchmarks", {}))))
+EOF
+else
+  # No python3: fall back to grepping for the required keys.
+  for key in '"schema":"netrec-bench-metrics/1"' '"isp.iterations"' \
+             '"simplex.pivots"' '"dijkstra.calls"'; do
+    if ! grep -q "$key" "$METRICS"; then
+      echo "FAIL: $key not found in $METRICS" >&2
+      exit 1
+    fi
+  done
+  echo "OK: $METRICS contains the required keys (python3 unavailable)"
+fi

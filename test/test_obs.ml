@@ -1,0 +1,202 @@
+module Obs = Netrec_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Every test owns the global collector: start from a clean, enabled
+   state and leave the collector disabled for whoever runs next. *)
+let with_collector f () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let find_span path =
+  List.find_opt (fun (s : Obs.span_stat) -> s.Obs.path = path) (Obs.span_stats ())
+
+let get_span path =
+  match find_span path with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" path
+
+(* ---- disabled mode ---- *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Obs.count "c";
+  Obs.gauge "g" 1.0;
+  check_int "span returns value" 7 (Obs.span "s" (fun () -> 7));
+  check_bool "no counters" true (Obs.counters () = []);
+  check_bool "no gauges" true (Obs.gauges () = []);
+  check_bool "no spans" true (Obs.span_stats () = []);
+  (* timed still measures, so figure tables keep working untraced *)
+  let v, secs = Obs.timed "t" (fun () -> 11) in
+  check_int "timed value" 11 v;
+  check_bool "timed seconds >= 0" true (secs >= 0.0);
+  check_bool "timed records nothing" true (Obs.span_stats () = [])
+
+(* ---- counters ---- *)
+
+let test_counter_accumulation =
+  with_collector @@ fun () ->
+  Obs.count "simplex.pivots";
+  Obs.count "simplex.pivots";
+  Obs.count ~n:40 "simplex.pivots";
+  Obs.count "dijkstra.calls";
+  check_int "accumulated" 42 (Obs.counter_value "simplex.pivots");
+  check_int "independent" 1 (Obs.counter_value "dijkstra.calls");
+  check_int "unknown is 0" 0 (Obs.counter_value "no.such");
+  check_bool "sorted by name" true
+    (Obs.counters ()
+    = [ ("dijkstra.calls", 1); ("simplex.pivots", 42) ])
+
+(* ---- spans ---- *)
+
+let test_span_nesting =
+  with_collector @@ fun () ->
+  let inner () = Obs.span "b" (fun () -> Unix.sleepf 0.002) in
+  Obs.span "a" (fun () ->
+      inner ();
+      inner ());
+  Obs.span "a" (fun () -> ());
+  let a = get_span "a" and b = get_span "a/b" in
+  check_int "outer calls" 2 a.Obs.calls;
+  check_int "inner calls under parent path" 2 b.Obs.calls;
+  check_bool "no toplevel b" true (find_span "b" = None);
+  check_bool "parent covers child" true (a.Obs.total_s >= b.Obs.total_s);
+  check_bool "self excludes child time" true
+    (a.Obs.self_s <= a.Obs.total_s -. b.Obs.total_s +. 1e-6)
+
+let test_timing_monotonic =
+  with_collector @@ fun () ->
+  let _, s1 = Obs.timed "work" (fun () -> Unix.sleepf 0.001) in
+  check_bool "measured at least the sleep" true (s1 >= 0.001);
+  let t1 = (get_span "work").Obs.total_s in
+  let _, _ = Obs.timed "work" (fun () -> Unix.sleepf 0.001) in
+  let w = get_span "work" in
+  check_int "calls accumulate" 2 w.Obs.calls;
+  check_bool "total never decreases" true (w.Obs.total_s >= t1)
+
+let test_span_exception_safe =
+  with_collector @@ fun () ->
+  (try Obs.span "outer" (fun () -> Obs.span "boom" (fun () -> failwith "x"))
+   with Failure _ -> ());
+  check_int "raising span recorded" 1 (get_span "outer/boom").Obs.calls;
+  (* the stack was unwound: new spans open at the top level again *)
+  Obs.span "after" (fun () -> ());
+  check_bool "stack consistent after raise" true (find_span "after" <> None)
+
+(* ---- gauges ---- *)
+
+let test_gauge_stats =
+  with_collector @@ fun () ->
+  List.iter (Obs.gauge "residual") [ 5.0; 9.0; 2.0 ];
+  match List.assoc_opt "residual" (Obs.gauges ()) with
+  | None -> Alcotest.fail "gauge not recorded"
+  | Some g ->
+    check_int "samples" 3 g.Obs.samples;
+    Alcotest.(check (float 1e-9)) "last" 2.0 g.Obs.last;
+    Alcotest.(check (float 1e-9)) "min" 2.0 g.Obs.min;
+    Alcotest.(check (float 1e-9)) "max" 9.0 g.Obs.max
+
+(* ---- exporters ---- *)
+
+let record_some_everything () =
+  Obs.count ~n:3 "isp.iterations";
+  Obs.gauge "isp.residual_demand" 1.5;
+  Obs.span "isp.solve" (fun () -> Obs.span "isp.iteration" (fun () -> ()))
+
+let test_jsonl_well_formed =
+  with_collector @@ fun () ->
+  record_some_everything ();
+  let lines =
+    String.split_on_char '\n' (Obs.jsonl ())
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_bool "has lines" true (List.length lines >= 4);
+  List.iter
+    (fun l ->
+      check_bool "line is a JSON object" true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      check_bool "line is typed" true
+        (List.exists
+           (fun t ->
+             let tag = Printf.sprintf "{\"type\":\"%s\"" t in
+             String.length l >= String.length tag
+             && String.sub l 0 (String.length tag) = tag)
+           [ "counter"; "gauge"; "span"; "meta" ]))
+    lines;
+  let doc = Obs.jsonl () in
+  List.iter
+    (fun n -> check_bool n true (contains doc n))
+    [ "\"isp.iterations\""; "\"isp.residual_demand\"";
+      "\"isp.solve/isp.iteration\"" ]
+
+let test_metrics_json_shape =
+  with_collector @@ fun () ->
+  record_some_everything ();
+  let doc = Obs.metrics_json () in
+  check_bool "object" true (doc.[0] = '{' && doc.[String.length doc - 1] = '}');
+  List.iter
+    (fun n -> check_bool n true (contains doc n))
+    [ "\"counters\""; "\"gauges\""; "\"spans\"";
+      "\"isp.iterations\":3" ]
+
+let test_chrome_trace_well_formed =
+  with_collector @@ fun () ->
+  record_some_everything ();
+  let doc = Obs.chrome_trace () in
+  List.iter
+    (fun n -> check_bool n true (contains doc n))
+    [ "\"traceEvents\""; "\"ph\":\"X\""; "\"ts\":"; "\"dur\":";
+      "\"isp.iteration\"" ];
+  let path = Filename.temp_file "netrec_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_chrome_trace path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let round_trip = really_input_string ic len in
+      close_in ic;
+      check_bool "file round-trips" true (String.trim round_trip = String.trim doc))
+
+let test_reset_clears =
+  with_collector @@ fun () ->
+  record_some_everything ();
+  check_bool "recorded" true (Obs.counters () <> []);
+  Obs.reset ();
+  check_bool "counters cleared" true (Obs.counters () = []);
+  check_bool "gauges cleared" true (Obs.gauges () = []);
+  check_bool "spans cleared" true (Obs.span_stats () = []);
+  check_int "no drops" 0 (Obs.events_dropped ())
+
+let () =
+  Alcotest.run "netrec_obs"
+    [ ( "obs",
+        [ Alcotest.test_case "disabled mode records nothing" `Quick
+            test_disabled_noop;
+          Alcotest.test_case "counter accumulation" `Quick
+            test_counter_accumulation;
+          Alcotest.test_case "span nesting paths" `Quick test_span_nesting;
+          Alcotest.test_case "timing monotonicity" `Quick test_timing_monotonic;
+          Alcotest.test_case "span exception safety" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "gauge last/min/max" `Quick test_gauge_stats;
+          Alcotest.test_case "jsonl well-formedness" `Quick
+            test_jsonl_well_formed;
+          Alcotest.test_case "metrics_json shape" `Quick
+            test_metrics_json_shape;
+          Alcotest.test_case "chrome trace well-formedness" `Quick
+            test_chrome_trace_well_formed;
+          Alcotest.test_case "reset clears everything" `Quick
+            test_reset_clears ] ) ]
