@@ -23,6 +23,8 @@ module Instance = Netrec_core.Instance
 module Evaluate = Netrec_core.Evaluate
 module H = Netrec_heuristics
 module E = Netrec_experiments
+module Budget = Netrec_resilience.Budget
+module Chain = Netrec_resilience.Chain
 
 (* ---- shared options ---- *)
 
@@ -48,7 +50,8 @@ let amount_arg =
 
 let algorithm_arg =
   let doc =
-    "Recovery algorithm: isp, srt, grd-com, grd-nc, opt, steiner or all."
+    "Recovery algorithm: isp, srt, grd-com, grd-nc, opt, steiner, fallback \
+     or all."
   in
   Arg.(value & opt string "isp" & info [ "algorithm"; "g" ] ~doc)
 
@@ -63,6 +66,21 @@ let variance_arg =
 let fail_p_arg =
   let doc = "Element failure probability of the uniform disruption." in
   Arg.(value & opt float 0.5 & info [ "fail-p" ] ~doc)
+
+let deadline_arg =
+  let doc =
+    "Overall wall-clock budget in seconds.  Solvers are anytime: when the \
+     deadline trips they return their best feasible solution so far and \
+     the output notes why it is degraded."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Solve with the OPT -> MCF -> ISP -> SRT fallback chain (per-stage \
+     budget slices of --deadline) and print per-stage provenance."
+  in
+  Arg.(value & flag & info [ "fallback" ] ~doc)
 
 (* ---- observability options (plan and experiment) ---- *)
 
@@ -167,38 +185,49 @@ let describe_solution g inst name sol seconds ~footer =
 
 (* Each algorithm returns its solution plus footer lines surfacing the
    solver-internal work counters of its run report. *)
-let isp_entry inst () =
-  let sol, st = Isp.solve inst in
-  ( sol,
-    [ Printf.sprintf
-        "isp: %d iterations, %d splits, %d prunes, %d direct edge repairs, \
-         %d endpoint repairs, %d fallback paths"
-        st.Isp.iterations st.Isp.splits st.Isp.prunes
-        st.Isp.direct_edge_repairs st.Isp.endpoint_repairs
-        st.Isp.fallback_paths ] )
+let limited_note = function
+  | None -> []
+  | Some r -> [ "budget: degraded (" ^ Budget.reason_to_string r ^ ")" ]
 
-let opt_entry inst () =
-  let r = H.Opt.solve inst in
+let isp_entry ~budget inst () =
+  let sol, st = Isp.solve ~budget inst in
+  ( sol,
+    Printf.sprintf
+      "isp: %d iterations, %d splits, %d prunes, %d direct edge repairs, \
+       %d endpoint repairs, %d fallback paths"
+      st.Isp.iterations st.Isp.splits st.Isp.prunes
+      st.Isp.direct_edge_repairs st.Isp.endpoint_repairs st.Isp.fallback_paths
+    :: limited_note st.Isp.limited )
+
+let opt_entry ~budget inst () =
+  let r = H.Opt.solve ~budget inst in
   ( r.H.Opt.solution,
-    [ Printf.sprintf "opt: %d b&b nodes explored, objective %.1f (%s)"
-        r.H.Opt.nodes r.H.Opt.objective
-        (if r.H.Opt.proved then "proved optimal" else "bound not proved") ] )
+    Printf.sprintf "opt: %d b&b nodes explored, objective %.1f (%s)"
+      r.H.Opt.nodes r.H.Opt.objective
+      (if r.H.Opt.proved then "proved optimal" else "bound not proved")
+    :: limited_note r.H.Opt.limited )
+
+let fallback_entry ~budget inst () =
+  match H.Fallback.solve ~budget inst with
+  | Some outcome -> (outcome.Chain.value, Chain.describe outcome)
+  | None -> failwith "fallback chain produced no answer"
 
 let plain sol = (sol, [])
 
-let run_algorithm inst = function
-  | "isp" -> [ ("ISP", isp_entry inst) ]
+let run_algorithm ~budget inst = function
+  | "isp" -> [ ("ISP", isp_entry ~budget inst) ]
   | "srt" -> [ ("SRT", fun () -> plain (H.Srt.solve inst)) ]
   | "grd-com" -> [ ("GRD-COM", fun () -> plain (H.Greedy.grd_com inst)) ]
   | "grd-nc" -> [ ("GRD-NC", fun () -> plain (H.Greedy.grd_nc inst)) ]
   | "steiner" -> [ ("Steiner", fun () -> plain (H.Steiner.recovery inst)) ]
-  | "opt" -> [ ("OPT", opt_entry inst) ]
+  | "opt" -> [ ("OPT", opt_entry ~budget inst) ]
+  | "fallback" -> [ ("FALLBACK", fallback_entry ~budget inst) ]
   | "all" ->
-    [ ("ISP", isp_entry inst);
+    [ ("ISP", isp_entry ~budget inst);
       ("SRT", fun () -> plain (H.Srt.solve inst));
       ("GRD-COM", fun () -> plain (H.Greedy.grd_com inst));
       ("GRD-NC", fun () -> plain (H.Greedy.grd_nc inst));
-      ("OPT", opt_entry inst) ]
+      ("OPT", opt_entry ~budget inst) ]
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
 let dot_arg =
@@ -217,9 +246,11 @@ let load_arg =
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
 
 let plan topology er_p seed pairs amount algorithm disruption variance fail_p
-    dot_file save_file load_file trace_file metrics_file verbose =
+    deadline fallback dot_file save_file load_file trace_file metrics_file
+    verbose =
   try
     Obs.set_enabled true;
+    let algorithm = if fallback then "fallback" else algorithm in
     let inst =
       match load_file with
       | Some path -> Netrec_core.Serialize.load path
@@ -252,6 +283,13 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
           d.Commodity.amount)
       demands;
     print_newline ();
+    (* The deadline clock starts here — instance generation and printing
+       above are not the solvers' problem. *)
+    let budget =
+      match deadline with
+      | Some d -> Budget.create ~deadline_s:d ()
+      | None -> Budget.unlimited
+    in
     let last = ref None in
     List.iter
       (fun (name, algo) ->
@@ -260,7 +298,7 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
         in
         last := Some sol;
         describe_solution g inst name sol seconds ~footer)
-      (run_algorithm inst algorithm);
+      (run_algorithm ~budget inst algorithm);
     print_work_footer ();
     export_observability ~verbose ~trace_file ~metrics_file;
     (match (dot_file, !last) with
@@ -276,8 +314,12 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
       Printf.printf "wrote %s\n" path
     | None, _ -> ());
     0
-  with Failure msg | Sys_error msg ->
+  with
+  | Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
+    1
+  | Netrec_core.Serialize.Parse_error { line; msg } ->
+    Printf.eprintf "error: line %d: %s\n" line msg;
     1
 
 let plan_cmd =
@@ -287,8 +329,8 @@ let plan_cmd =
     Term.(
       const plan $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
       $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
-      $ fail_p_arg $ dot_arg $ save_arg $ load_arg $ trace_arg
-      $ metrics_arg $ verbose_arg)
+      $ fail_p_arg $ deadline_arg $ fallback_arg $ dot_arg $ save_arg
+      $ load_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 (* ---- experiment command ---- *)
 
@@ -304,28 +346,43 @@ let figure_arg =
   let doc = "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 or all." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
 
-let experiment figure runs opt_nodes trace_file metrics_file verbose =
+let journal_file_arg =
+  let doc =
+    "Record every per-(point, run) measurement in $(docv) as it completes \
+     (append-only JSONL).  Re-running with the same file resumes an \
+     interrupted sweep, replaying recorded cells instead of recomputing \
+     them — see EXPERIMENTS.md."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let experiment figure runs opt_nodes journal_file trace_file metrics_file
+    verbose =
   Obs.set_enabled true;
   let print = List.iter Netrec_util.Table.print in
-  let one name =
+  let one ?journal name =
     let tables =
       Obs.span ("experiment." ^ name) @@ fun () ->
       match name with
-      | "fig3" -> E.Fig3.run ~runs ~opt_nodes ()
-      | "fig4" -> E.Fig4.run ~runs ~opt_nodes ()
-      | "fig5" -> E.Fig5.run ~runs ~opt_nodes ()
-      | "fig6" -> E.Fig6.run ~runs ~opt_nodes ()
-      | "fig7" -> E.Fig7.run ~runs ()
-      | "fig9" -> E.Fig9.run ~runs ()
+      | "fig3" -> E.Fig3.run ?journal ~runs ~opt_nodes ()
+      | "fig4" -> E.Fig4.run ?journal ~runs ~opt_nodes ()
+      | "fig5" -> E.Fig5.run ?journal ~runs ~opt_nodes ()
+      | "fig6" -> E.Fig6.run ?journal ~runs ~opt_nodes ()
+      | "fig7" -> E.Fig7.run ?journal ~runs ()
+      | "fig9" -> E.Fig9.run ?journal ~runs ()
       | other -> failwith (Printf.sprintf "unknown figure %S" other)
     in
     print tables
   in
   try
-    (match figure with
-    | "all" ->
-      List.iter one [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9" ]
-    | f -> one f);
+    let journal = Option.map E.Journal.create journal_file in
+    Fun.protect
+      ~finally:(fun () -> Option.iter E.Journal.close journal)
+      (fun () ->
+        match figure with
+        | "all" ->
+          List.iter (one ?journal)
+            [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9" ]
+        | f -> one ?journal f);
     print_work_footer ();
     export_observability ~verbose ~trace_file ~metrics_file;
     0
@@ -338,8 +395,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
-      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ trace_arg
-      $ metrics_arg $ verbose_arg)
+      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg
+      $ journal_file_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 (* ---- schedule command ---- *)
 

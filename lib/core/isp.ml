@@ -5,6 +5,7 @@ module Routing = Netrec_flow.Routing
 module Oracle = Netrec_flow.Oracle
 module Mcf_lp = Netrec_flow.Mcf_lp
 module Route_greedy = Netrec_flow.Route_greedy
+module Budget = Netrec_resilience.Budget
 
 let log_src = Logs.Src.create "netrec.isp" ~doc:"ISP algorithm trace"
 
@@ -37,11 +38,13 @@ type stats = {
   endpoint_repairs : int;
   fallback_paths : int;
   wall_seconds : float;
+  limited : Budget.reason option;
 }
 
 type state = {
   inst : Instance.t;
   cfg : config;
+  budget : Budget.t;
   resid : float array;  (* residual capacities c^(n) *)
   broken_v : bool array;  (* V_B^(n): still broken, not listed for repair *)
   broken_e : bool array;
@@ -102,7 +105,7 @@ let repair_edge st e =
 
 let termination_check st =
   Obs.span "isp.oracle" @@ fun () ->
-  Oracle.routable
+  Oracle.routable ~budget:st.budget
     ~vertex_ok:(working_vertex st)
     ~edge_ok:(fun e -> working_edge st e)
     ~lp_var_budget:st.cfg.lp_var_budget ~gk_eps:st.cfg.gk_eps
@@ -243,7 +246,7 @@ let max_split_amount st h v =
         (Commodity.make ~src:v ~dst:h.Commodity.dst ~amount:0.0, 1.0) ]
   in
   match
-    Mcf_lp.max_scale ~var_budget:st.cfg.lp_var_budget
+    Mcf_lp.max_scale ~budget:st.budget ~var_budget:st.cfg.lp_var_budget
       ~cap:(fun e -> st.resid.(e))
       ~tmax:d g param
   with
@@ -380,7 +383,7 @@ let final_solution st =
   let edge_ok = Instance.repaired_edge_ok inst sol0 in
   let routing =
     match
-      Oracle.routable ~vertex_ok ~edge_ok
+      Oracle.routable ~budget:st.budget ~vertex_ok ~edge_ok
         ~lp_var_budget:st.cfg.lp_var_budget ~gk_eps:st.cfg.gk_eps
         ~cap:(Graph.capacity g) g inst.Instance.demands
     with
@@ -388,17 +391,18 @@ let final_solution st =
     | Oracle.Unroutable | Oracle.Unknown ->
       (* Oracle incompleteness or a genuinely infeasible instance: report
          the best routing we can find. *)
-      Oracle.max_satisfiable ~vertex_ok ~edge_ok
+      Oracle.max_satisfiable ~budget:st.budget ~vertex_ok ~edge_ok
         ~lp_var_budget:st.cfg.lp_var_budget ~cap:(Graph.capacity g) g
         inst.Instance.demands
   in
   { sol0 with Instance.routing }
 
-let solve_body ~config inst =
+let solve_body ~config ~budget inst =
   let g = inst.Instance.graph in
   let st =
     { inst;
       cfg = config;
+      budget;
       resid = Array.init (Graph.ne g) (Graph.capacity g);
       broken_v = Array.copy inst.Instance.failure.Failure.broken_vertices;
       broken_e = Array.copy inst.Instance.failure.Failure.broken_edges;
@@ -429,6 +433,20 @@ let solve_body ~config inst =
   in
   let iters = ref 0 in
   let finished = ref false in
+  let limited = ref None in
+  (* Finish every remaining demand by repairing its cheapest full-graph
+     path, then stop: the safety net for the iteration cap and the
+     landing path when the cooperative budget trips mid-loop — the
+     returned solution stays feasible, just not as cheap. *)
+  let finish_by_fallback reason =
+    List.iter
+      (fun h ->
+        if h.Commodity.amount > eps then ignore (fallback_repair_path st h))
+      st.demands;
+    limited := Some reason;
+    Obs.count "isp.budget_fallbacks";
+    finished := true
+  in
   while not !finished do
     incr iters;
     Obs.count "isp.iterations";
@@ -439,20 +457,18 @@ let solve_body ~config inst =
       Obs.gauge "isp.residual_demand"
         (List.fold_left (fun a d -> a +. d.Commodity.amount) 0.0 st.demands);
     st.demands <- Commodity.normalize st.demands;
+    Budget.spend budget;
     if st.demands = [] then finished := true
-    else begin
+    else
+      match Budget.check budget with
+      | Some reason -> finish_by_fallback reason
+      | None -> (
       match termination_check st with
       | Oracle.Routable _ -> finished := true
       | Oracle.Unroutable | Oracle.Unknown ->
-        if !iters > max_iters then begin
-          (* Safety net: finish every remaining demand by repairing its
-             cheapest full-graph path, then stop. *)
-          List.iter
-            (fun h ->
-              if h.Commodity.amount > eps then ignore (fallback_repair_path st h))
-            st.demands;
-          finished := true
-        end
+        if !iters > max_iters then
+          finish_by_fallback
+            (Budget.Work { spent = !iters; cap = max_iters })
         else begin
           prune_pass st;
           if st.demands <> [] then begin
@@ -476,8 +492,7 @@ let solve_body ~config inst =
                       List.filter (fun d -> not (d == h)) st.demands
               end
           end
-        end
-    end
+        end)
   done;
   let sol = final_solution st in
   let stats =
@@ -487,12 +502,13 @@ let solve_body ~config inst =
       direct_edge_repairs = st.direct_edge_repairs;
       endpoint_repairs = st.endpoint_repairs;
       fallback_paths = st.fallback_paths;
-      wall_seconds = 0.0 }
+      wall_seconds = 0.0;
+      limited = !limited }
   in
   (sol, stats)
 
-let solve ?(config = default_config) inst =
+let solve ?(config = default_config) ?(budget = Budget.unlimited) inst =
   let (sol, stats), wall =
-    Obs.timed "isp.solve" (fun () -> solve_body ~config inst)
+    Obs.timed "isp.solve" (fun () -> solve_body ~config ~budget inst)
   in
   (sol, { stats with wall_seconds = wall })

@@ -58,10 +58,23 @@ type stats = {
       (** demands finished by the shortest-repair-path fallback; 0 in
           normal operation *)
   wall_seconds : float;
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] when the loop was cut short — by the cooperative
+          budget (deadline/work cap) or the iteration cap (as a [Work]
+          reason).  The solution is still feasible: remaining demands
+          were finished by the shortest-repair-path fallback, so the
+          result is anytime-degraded (costlier), not broken. *)
 }
 
-val solve : ?config:config -> Instance.t -> Instance.solution * stats
+val solve :
+  ?config:config ->
+  ?budget:Netrec_resilience.Budget.t ->
+  Instance.t ->
+  Instance.solution * stats
 (** Run ISP.  The returned solution always carries an explicit routing
     for the instance's original demands over the repaired network when
     one exists (ISP's no-demand-loss property); its repair lists contain
-    only originally broken elements. *)
+    only originally broken elements.  [budget] (default unlimited) is
+    spent once per iteration and threaded into the inner LP oracles; when
+    it trips, remaining demands are finished by the repair-path fallback
+    and [stats.limited] records the reason. *)

@@ -35,69 +35,115 @@ let to_string inst =
   Array.iter (fun c -> line "%.12g" c) inst.Instance.edge_cost;
   Buffer.contents buf
 
+type parse_error = { line : int; msg : string }
+
+exception Parse_error of parse_error
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+      Some (Printf.sprintf "Serialize.Parse_error (line %d: %s)" line msg)
+    | _ -> None)
+
 type section = {
-  mutable edges : (int * int * float) list;  (* reversed *)
+  (* Every record carries the 1-based line it came from so range checks
+     performed after the whole file is read still point at the culprit. *)
+  mutable edges : (int * int * int * float) list;  (* reversed; (line,u,v,c) *)
   mutable coords : (float * float) list;
   mutable names : string list;
-  mutable demands : (int * int * float) list;
-  mutable broken_v : int list;
-  mutable broken_e : int list;
+  mutable demands : (int * int * int * float) list;  (* (line,s,t,a) *)
+  mutable broken_v : (int * int) list;  (* (line, id) *)
+  mutable broken_e : (int * int) list;
   mutable vcosts : float list;
   mutable ecosts : float list;
 }
 
-let of_string text =
+let parse text =
   let acc =
     { edges = []; coords = []; names = []; demands = []; broken_v = [];
       broken_e = []; vcosts = []; ecosts = [] }
   in
   let current = ref "" in
-  let fail fmt = Printf.ksprintf failwith fmt in
-  let parse_floats line n =
-    match
-      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-    with
-    | parts when List.length parts = n -> (
-      try List.map float_of_string parts
-      with _ -> fail "Serialize: bad numeric line %S" line)
-    | _ -> fail "Serialize: expected %d fields in %S" n line
+  (* Line of each section header, for arity errors spanning a section. *)
+  let header_line = Hashtbl.create 8 in
+  let err line fmt =
+    Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+  in
+  let section_err section fmt =
+    err (Option.value ~default:0 (Hashtbl.find_opt header_line section)) fmt
+  in
+  let int_field ln what s =
+    match int_of_string_opt s with
+    | Some i when i >= 0 -> i
+    | Some i -> err ln "negative %s %d" what i
+    | None -> err ln "bad %s %S (expected a non-negative integer)" what s
+  in
+  let float_field ln what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> err ln "bad %s %S (expected a number)" what s
   in
   String.split_on_char '\n' text
-  |> List.iter (fun raw ->
+  |> List.iteri (fun i raw ->
+         let ln = i + 1 in
          let line = String.trim raw in
          if line = "" || line.[0] = '#' then ()
-         else if line.[0] = '[' then current := line
+         else if line.[0] = '[' then begin
+           current := line;
+           if not (Hashtbl.mem header_line line) then
+             Hashtbl.replace header_line line ln
+         end
          else
+           let parts =
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           in
+           let arity section want =
+             err ln "expected %s in %s, got %d field(s)" want section
+               (List.length parts)
+           in
            match !current with
            | "[graph]" -> (
-             match parse_floats line 3 with
+             match parts with
              | [ u; v; c ] ->
-               acc.edges <- (int_of_float u, int_of_float v, c) :: acc.edges
-             | _ -> assert false)
+               let u = int_field ln "vertex id" u in
+               let v = int_field ln "vertex id" v in
+               let c = float_field ln "capacity" c in
+               if c < 0.0 then err ln "negative capacity %g" c;
+               acc.edges <- (ln, u, v, c) :: acc.edges
+             | _ -> arity "[graph]" "3 fields (u v capacity)")
            | "[coords]" -> (
-             match parse_floats line 2 with
-             | [ x; y ] -> acc.coords <- (x, y) :: acc.coords
-             | _ -> assert false)
+             match parts with
+             | [ x; y ] ->
+               acc.coords <-
+                 (float_field ln "coordinate" x, float_field ln "coordinate" y)
+                 :: acc.coords
+             | _ -> arity "[coords]" "2 fields (x y)")
            | "[names]" -> acc.names <- line :: acc.names
            | "[demands]" -> (
-             match parse_floats line 3 with
+             match parts with
              | [ s; t; a ] ->
-               acc.demands <- (int_of_float s, int_of_float t, a) :: acc.demands
-             | _ -> assert false)
+               let s = int_field ln "vertex id" s in
+               let t = int_field ln "vertex id" t in
+               let a = float_field ln "demand amount" a in
+               if a < 0.0 then err ln "negative demand amount %g" a;
+               acc.demands <- (ln, s, t, a) :: acc.demands
+             | _ -> arity "[demands]" "3 fields (src dst amount)")
            | "[broken_vertices]" ->
-             acc.broken_v <- int_of_string line :: acc.broken_v
+             acc.broken_v <- (ln, int_field ln "vertex id" line) :: acc.broken_v
            | "[broken_edges]" ->
-             acc.broken_e <- int_of_string line :: acc.broken_e
-           | "[vertex_costs]" -> acc.vcosts <- float_of_string line :: acc.vcosts
-           | "[edge_costs]" -> acc.ecosts <- float_of_string line :: acc.ecosts
-           | "" -> fail "Serialize: content before any section: %S" line
-           | s -> fail "Serialize: unknown section %s" s);
+             acc.broken_e <- (ln, int_field ln "edge id" line) :: acc.broken_e
+           | "[vertex_costs]" ->
+             acc.vcosts <- float_field ln "vertex cost" line :: acc.vcosts
+           | "[edge_costs]" ->
+             acc.ecosts <- float_field ln "edge cost" line :: acc.ecosts
+           | "" -> err ln "content before any section: %S" line
+           | s -> err (Hashtbl.find header_line s) "unknown section %s" s);
   let edges = List.rev acc.edges in
-  if edges = [] then fail "Serialize: no [graph] section";
+  if edges = [] then err 0 "no [graph] section";
   (* Vertex count: largest endpoint, or the [names]/[coords] length when
      given (covers isolated trailing vertices). *)
   let n =
-    List.fold_left (fun m (u, v, _) -> max m (max u v + 1)) 0 edges
+    List.fold_left (fun m (_, u, v, _) -> max m (max u v + 1)) 0 edges
     |> max (List.length acc.names)
     |> max (List.length acc.coords)
   in
@@ -105,37 +151,73 @@ let of_string text =
     match List.rev acc.names with
     | [] -> None
     | ns when List.length ns = n -> Some (Array.of_list ns)
-    | _ -> fail "Serialize: [names] arity mismatch"
+    | ns ->
+      section_err "[names]" "[names] arity mismatch (%d names, %d vertices)"
+        (List.length ns) n
   in
   let coords =
     match List.rev acc.coords with
     | [] -> None
     | cs when List.length cs = n -> Some (Array.of_list cs)
-    | _ -> fail "Serialize: [coords] arity mismatch"
+    | cs ->
+      section_err "[coords]" "[coords] arity mismatch (%d coords, %d vertices)"
+        (List.length cs) n
   in
-  let graph = Graph.make ?names ?coords ~n ~edges () in
+  let graph =
+    try Graph.make ?names ?coords ~n ~edges:(List.map (fun (_, u, v, c) -> (u, v, c)) edges) ()
+    with Invalid_argument m | Failure m -> section_err "[graph]" "%s" m
+  in
+  List.iter
+    (fun (ln, id) ->
+      if id >= n then
+        err ln "broken vertex id %d out of range (graph has %d vertices)" id n)
+    acc.broken_v;
+  List.iter
+    (fun (ln, id) ->
+      if id >= Graph.ne graph then
+        err ln "broken edge id %d out of range (graph has %d edges)" id
+          (Graph.ne graph))
+    acc.broken_e;
   let failure =
-    Failure.of_lists graph ~vertices:acc.broken_v ~edges:acc.broken_e
+    Failure.of_lists graph ~vertices:(List.map snd acc.broken_v)
+      ~edges:(List.map snd acc.broken_e)
   in
   let demands =
     (* acc.demands is reversed; rev_map restores input order. *)
     List.rev_map
-      (fun (s, t, a) -> Commodity.make ~src:s ~dst:t ~amount:a)
+      (fun (ln, s, t, a) ->
+        if s >= n || t >= n then
+          err ln "demand endpoint out of range (graph has %d vertices)" n;
+        Commodity.make ~src:s ~dst:t ~amount:a)
       acc.demands
   in
   let vertex_cost =
     match List.rev acc.vcosts with
     | [] -> None
     | cs when List.length cs = n -> Some (Array.of_list cs)
-    | _ -> fail "Serialize: [vertex_costs] arity mismatch"
+    | cs ->
+      section_err "[vertex_costs]"
+        "[vertex_costs] arity mismatch (%d costs, %d vertices)"
+        (List.length cs) n
   in
   let edge_cost =
     match List.rev acc.ecosts with
     | [] -> None
     | cs when List.length cs = Graph.ne graph -> Some (Array.of_list cs)
-    | _ -> fail "Serialize: [edge_costs] arity mismatch"
+    | cs ->
+      section_err "[edge_costs]"
+        "[edge_costs] arity mismatch (%d costs, %d edges)" (List.length cs)
+        (Graph.ne graph)
   in
-  Instance.make ?vertex_cost ?edge_cost ~graph ~demands ~failure ()
+  try Instance.make ?vertex_cost ?edge_cost ~graph ~demands ~failure ()
+  with Invalid_argument m | Failure m -> err 0 "%s" m
+
+let of_string_result text =
+  match parse text with
+  | inst -> Ok inst
+  | exception Parse_error e -> Error e
+
+let of_string text = parse text
 
 let save path inst =
   let oc = open_out path in

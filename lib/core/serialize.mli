@@ -20,14 +20,29 @@
 
     Sections may appear in any order; unknown sections are rejected. *)
 
+type parse_error = {
+  line : int;
+      (** 1-based line the error refers to.  Arity mismatches spanning a
+          whole section point at the section's header line; file-level
+          errors (e.g. a missing [graph] section) use 0. *)
+  msg : string;  (** human-readable description, no location prefix *)
+}
+
+exception Parse_error of parse_error
+(** Raised by {!of_string} / {!load} on malformed input.  Registered with
+    [Printexc] so uncaught copies still print the line number. *)
+
 val to_string : Instance.t -> string
 (** Serialize an instance (always writes every section). *)
 
 val of_string : string -> Instance.t
-(** Parse.  @raise Failure on malformed input. *)
+(** Parse.  @raise Parse_error on malformed input. *)
+
+val of_string_result : string -> (Instance.t, parse_error) result
+(** Non-raising variant of {!of_string}. *)
 
 val save : string -> Instance.t -> unit
 (** Write {!to_string} to a file. *)
 
 val load : string -> Instance.t
-(** Read and {!of_string} a file.  @raise Sys_error / Failure. *)
+(** Read and {!of_string} a file.  @raise Sys_error / Parse_error. *)

@@ -26,6 +26,22 @@ let measure ?(label = "measure") inst algorithm =
   let sol, seconds = Obs.timed label algorithm in
   measure_precomputed inst sol ~seconds
 
+(* Journal codec: a measurement as generic (field, value) pairs. *)
+let measurement_fields m =
+  [ ("repairs_v", m.repairs_v);
+    ("repairs_e", m.repairs_e);
+    ("repairs_total", m.repairs_total);
+    ("satisfied", m.satisfied);
+    ("seconds", m.seconds) ]
+
+let measurement_of_fields fields =
+  let get k = Option.value ~default:0.0 (List.assoc_opt k fields) in
+  { repairs_v = get "repairs_v";
+    repairs_e = get "repairs_e";
+    repairs_total = get "repairs_total";
+    satisfied = get "satisfied";
+    seconds = get "seconds" }
+
 let average = function
   | [] -> invalid_arg "Common.average: no measurements"
   | ms ->

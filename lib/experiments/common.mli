@@ -30,6 +30,12 @@ val measure_precomputed :
 val average : measurement list -> measurement
 (** Component-wise mean.  @raise Invalid_argument on []. *)
 
+val measurement_fields : measurement -> (string * float) list
+(** Encode a measurement as the generic field list {!Journal} stores. *)
+
+val measurement_of_fields : (string * float) list -> measurement
+(** Inverse of {!measurement_fields}; missing fields read as 0. *)
+
 val feasible_demands :
   rng:Netrec_util.Rng.t ->
   ?distinct:bool ->

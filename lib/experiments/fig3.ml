@@ -6,7 +6,7 @@ module H = Netrec_heuristics
 
 let amounts = [ 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0; 16.0; 18.0 ]
 
-let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
+let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let table =
@@ -20,7 +20,8 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
     Hashtbl.replace acc key (x :: prev)
   in
   (* Fixed pairs per run, intensity swept by scaling (paper §VII-A2). *)
-  for _ = 1 to runs do
+  for r = 1 to runs do
+    (* Rng-consuming generation stays outside the journal closures. *)
     let rng = Rng.split master in
     let base =
       Common.scalable_demands ~rng ~count:4
@@ -33,18 +34,34 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
         let inst =
           Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
         in
-        (match H.Mcf_heuristic.solve inst with
-        | Some r ->
-          push amount "MCW"
-            (float_of_int (Instance.total_repairs r.H.Mcf_heuristic.mcw));
-          push amount "MCB"
-            (float_of_int (Instance.total_repairs r.H.Mcf_heuristic.mcb))
-        | None -> ());
-        let isp, _ = Netrec_core.Isp.solve inst in
-        let warm = Common.best_incumbent inst isp in
-        let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
-        push amount "OPT"
-          (float_of_int (Instance.total_repairs opt.H.Opt.solution)))
+        let repairs sol =
+          [ ("repairs_total", float_of_int (Instance.total_repairs sol)) ]
+        in
+        let cells =
+          Journal.with_run journal
+            ~point:(Printf.sprintf "fig3:amount=%g" amount)
+            ~run:r
+            (fun () ->
+              let mcf_cells =
+                match H.Mcf_heuristic.solve inst with
+                | Some r ->
+                  [ ("MCW", repairs r.H.Mcf_heuristic.mcw);
+                    ("MCB", repairs r.H.Mcf_heuristic.mcb) ]
+                | None -> []
+              in
+              let isp, _ = Netrec_core.Isp.solve inst in
+              let warm = Common.best_incumbent inst isp in
+              let opt =
+                H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
+              in
+              mcf_cells @ [ ("OPT", repairs opt.H.Opt.solution) ])
+        in
+        List.iter
+          (fun (name, fields) ->
+            match List.assoc_opt "repairs_total" fields with
+            | Some x -> push amount name x
+            | None -> ())
+          cells)
       amounts
   done;
   let all_v, all_e = Failure.counts (Failure.complete g) in

@@ -6,6 +6,7 @@
     definitions) and ALL (every broken element). *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?opt_nodes:int ->
   ?seed:int ->

@@ -5,7 +5,7 @@ module Instance = Netrec_core.Instance
 module H = Netrec_heuristics
 open Common
 
-let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
+let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let edges_t =
@@ -33,23 +33,44 @@ let run ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
       let prev = Option.value ~default:[] (Hashtbl.find_opt acc name) in
       Hashtbl.replace acc name (m :: prev)
     in
-    for _ = 1 to runs do
+    for r = 1 to runs do
+      (* Anything touching the rng stays outside the journal closure so
+         a resumed sweep draws the same instances as the original. *)
       let rng = Rng.split master in
       let inst = complete_instance ~rng ~count:pairs ~amount:10.0 g in
-      let (isp_sol, _), isp_secs =
-        Obs.timed "fig4.isp" (fun () -> Netrec_core.Isp.solve inst)
+      let cells =
+        Journal.with_run journal
+          ~point:(Printf.sprintf "fig4:pairs=%d" pairs)
+          ~run:r
+          (fun () ->
+            let (isp_sol, _), isp_secs =
+              Obs.timed "fig4.isp" (fun () -> Netrec_core.Isp.solve inst)
+            in
+            let isp = measure_precomputed inst isp_sol ~seconds:isp_secs in
+            let srt =
+              measure ~label:"fig4.srt" inst (fun () -> H.Srt.solve inst)
+            in
+            let gcom =
+              measure ~label:"fig4.grd_com" inst (fun () ->
+                  H.Greedy.grd_com inst)
+            in
+            let gnc =
+              measure ~label:"fig4.grd_nc" inst (fun () -> H.Greedy.grd_nc inst)
+            in
+            let warm = best_incumbent inst isp_sol in
+            let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
+            let optm =
+              measure_precomputed inst opt.H.Opt.solution
+                ~seconds:opt.H.Opt.wall_seconds
+            in
+            List.map
+              (fun (name, m) -> (name, measurement_fields m))
+              [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom); ("GRD-NC", gnc);
+                ("OPT", optm) ])
       in
-      push "ISP" (measure_precomputed inst isp_sol ~seconds:isp_secs);
-      push "SRT" (measure ~label:"fig4.srt" inst (fun () -> H.Srt.solve inst));
-      push "GRD-COM"
-        (measure ~label:"fig4.grd_com" inst (fun () -> H.Greedy.grd_com inst));
-      push "GRD-NC"
-        (measure ~label:"fig4.grd_nc" inst (fun () -> H.Greedy.grd_nc inst));
-      let warm = best_incumbent inst isp_sol in
-      let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
-      push "OPT"
-        (measure_precomputed inst opt.H.Opt.solution
-           ~seconds:opt.H.Opt.wall_seconds)
+      List.iter
+        (fun (name, fields) -> push name (measurement_of_fields fields))
+        cells
     done;
     let avg name = average (Hashtbl.find acc name) in
     let isp = avg "ISP" and opt = avg "OPT" and srt = avg "SRT" in

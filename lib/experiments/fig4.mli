@@ -7,6 +7,7 @@
     the heuristics without a routing guarantee plus ISP. *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?opt_nodes:int ->
   ?seed:int ->

@@ -5,6 +5,7 @@
     ALL — and (b) percentage of satisfied demand — SRT, GRD-COM, ISP. *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?opt_nodes:int ->
   ?seed:int ->

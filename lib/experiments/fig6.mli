@@ -7,6 +7,7 @@
     variance) — and (b) percentage of satisfied demand. *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?opt_nodes:int ->
   ?seed:int ->

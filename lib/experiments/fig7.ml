@@ -19,7 +19,7 @@ let connected_er ~rng ~p =
   in
   attempt 50
 
-let run ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
+let run ?journal ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
   let master = Rng.create seed in
   let time_t =
     Table.create ~title:"Fig 7(a): Erdos-Renyi n=100, execution time (seconds) vs edge probability"
@@ -34,7 +34,8 @@ let run ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
       let isps = ref [] and srts = ref [] and opts = ref [] in
       let isp_ts = ref [] and srt_ts = ref [] and opt_ts = ref [] in
       let milp_ts = ref [] in
-      for _ = 1 to runs do
+      for r = 1 to runs do
+        (* Rng-consuming generation stays outside the journal closure. *)
         let rng = Rng.split master in
         let g = connected_er ~rng ~p in
         let demands =
@@ -43,41 +44,84 @@ let run ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
         let inst =
           Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
         in
-        let isp =
-          measure ~label:"fig7.isp" inst (fun () ->
-              fst (Netrec_core.Isp.solve inst))
-        in
-        isps := isp.repairs_total :: !isps;
-        isp_ts := isp.seconds :: !isp_ts;
-        let srt = measure ~label:"fig7.srt" inst (fun () -> H.Srt.solve inst) in
-        srts := srt.repairs_total :: !srts;
-        srt_ts := srt.seconds :: !srt_ts;
         let pairs =
           List.map (fun d -> (d.Commodity.src, d.Commodity.dst)) demands
         in
-        let forest, forest_secs =
-          Obs.timed "fig7.exact_forest" (fun () ->
-              H.Exact_forest.optimal_total_repairs g ~pairs)
-        in
-        (match forest with
-        | Some repairs -> opts := float_of_int repairs :: !opts
-        | None -> ());
-        opt_ts := forest_secs :: !opt_ts;
         (* MILP timing on the sparsest instances only, and only the first
            run of the sweep: even the root LP relaxation takes minutes at
            this size, which is precisely the paper's point about OPT's
-           scalability (their Gurobi runs reached ~27 hours at p=0.9). *)
-        if p <= milp_p_max +. 1e-9 && !milp_ts = [] then begin
-          let _, milp_secs =
-            Obs.timed "fig7.milp" (fun () ->
-                let warm =
-                  H.Postpass.prune inst (fst (Netrec_core.Isp.solve inst))
-                in
-                H.Opt.solve ~node_limit:milp_nodes ~var_budget:6000
-                  ~incumbent:warm inst)
-          in
-          milp_ts := milp_secs :: !milp_ts
-        end
+           scalability (their Gurobi runs reached ~27 hours at p=0.9).
+           Gated on the run index (not accumulator state) so a journal
+           replay makes the same choice. *)
+        let want_milp = p <= milp_p_max +. 1e-9 && r = 1 in
+        let cells =
+          Journal.with_run journal
+            ~point:(Printf.sprintf "fig7:p=%g" p)
+            ~run:r
+            (fun () ->
+              let isp =
+                measure ~label:"fig7.isp" inst (fun () ->
+                    fst (Netrec_core.Isp.solve inst))
+              in
+              let srt =
+                measure ~label:"fig7.srt" inst (fun () -> H.Srt.solve inst)
+              in
+              let forest, forest_secs =
+                Obs.timed "fig7.exact_forest" (fun () ->
+                    H.Exact_forest.optimal_total_repairs g ~pairs)
+              in
+              let forest_fields =
+                ("seconds", forest_secs)
+                ::
+                (match forest with
+                | Some repairs -> [ ("repairs_total", float_of_int repairs) ]
+                | None -> [])
+              in
+              let milp_cells =
+                if want_milp then begin
+                  let _, milp_secs =
+                    Obs.timed "fig7.milp" (fun () ->
+                        let warm =
+                          H.Postpass.prune inst
+                            (fst (Netrec_core.Isp.solve inst))
+                        in
+                        H.Opt.solve ~node_limit:milp_nodes ~var_budget:6000
+                          ~incumbent:warm inst)
+                  in
+                  [ ("MILP", [ ("seconds", milp_secs) ]) ]
+                end
+                else []
+              in
+              [ ("ISP", measurement_fields isp);
+                ("SRT", measurement_fields srt);
+                ("FOREST", forest_fields) ]
+              @ milp_cells)
+        in
+        List.iter
+          (fun (name, fields) ->
+            let field k = List.assoc_opt k fields in
+            match name with
+            | "ISP" ->
+              let m = measurement_of_fields fields in
+              isps := m.repairs_total :: !isps;
+              isp_ts := m.seconds :: !isp_ts
+            | "SRT" ->
+              let m = measurement_of_fields fields in
+              srts := m.repairs_total :: !srts;
+              srt_ts := m.seconds :: !srt_ts
+            | "FOREST" ->
+              (match field "repairs_total" with
+              | Some x -> opts := x :: !opts
+              | None -> ());
+              (match field "seconds" with
+              | Some s -> opt_ts := s :: !opt_ts
+              | None -> ())
+            | "MILP" ->
+              (match field "seconds" with
+              | Some s -> milp_ts := s :: !milp_ts
+              | None -> ())
+            | _ -> ())
+          cells
       done;
       let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in
       Table.add_row time_t

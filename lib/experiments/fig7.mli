@@ -15,6 +15,7 @@
     observation (see EXPERIMENTS.md). *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?seed:int ->
   ?milp_p_max:float ->

@@ -17,7 +17,7 @@ let opt_proxy inst candidates =
   | best :: _ -> Some best
   | [] -> None
 
-let run ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
+let run ?journal ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
   let g = Netrec_topo.Caida.graph () in
   let master = Rng.create seed in
   let rep_t =
@@ -31,7 +31,8 @@ let run ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
   for pairs = 1 to max_pairs do
     let isps = ref [] and opts = ref [] and srts = ref [] in
     let isp_sats = ref [] and srt_sats = ref [] in
-    for _ = 1 to runs do
+    for r = 1 to runs do
+      (* Rng-consuming generation stays outside the journal closure. *)
       let rng = Rng.split master in
       let demands =
         feasible_demands ~rng ~distinct:true ~count:pairs ~amount:22.0 g
@@ -39,18 +40,46 @@ let run ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
       let inst =
         Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
       in
-      let isp_sol, _ = Netrec_core.Isp.solve inst in
-      let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
-      isps := isp.repairs_total :: !isps;
-      isp_sats := isp.satisfied :: !isp_sats;
-      let srt = measure ~label:"fig9.srt" inst (fun () -> H.Srt.solve inst) in
-      srts := srt.repairs_total :: !srts;
-      srt_sats := srt.satisfied :: !srt_sats;
-      let pruned = H.Postpass.prune inst isp_sol in
-      let steiner = H.Steiner.recovery inst in
-      (match opt_proxy inst [ pruned; steiner; isp_sol ] with
-      | Some best -> opts := float_of_int (Instance.total_repairs best) :: !opts
-      | None -> ())
+      let cells =
+        Journal.with_run journal
+          ~point:(Printf.sprintf "fig9:pairs=%d" pairs)
+          ~run:r
+          (fun () ->
+            let isp_sol, _ = Netrec_core.Isp.solve inst in
+            let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
+            let srt =
+              measure ~label:"fig9.srt" inst (fun () -> H.Srt.solve inst)
+            in
+            let pruned = H.Postpass.prune inst isp_sol in
+            let steiner = H.Steiner.recovery inst in
+            let opt_cells =
+              match opt_proxy inst [ pruned; steiner; isp_sol ] with
+              | Some best ->
+                [ ( "OPT",
+                    [ ( "repairs_total",
+                        float_of_int (Instance.total_repairs best) ) ] ) ]
+              | None -> []
+            in
+            [ ("ISP", measurement_fields isp); ("SRT", measurement_fields srt) ]
+            @ opt_cells)
+      in
+      List.iter
+        (fun (name, fields) ->
+          match name with
+          | "ISP" ->
+            let m = measurement_of_fields fields in
+            isps := m.repairs_total :: !isps;
+            isp_sats := m.satisfied :: !isp_sats
+          | "SRT" ->
+            let m = measurement_of_fields fields in
+            srts := m.repairs_total :: !srts;
+            srt_sats := m.satisfied :: !srt_sats
+          | "OPT" ->
+            (match List.assoc_opt "repairs_total" fields with
+            | Some x -> opts := x :: !opts
+            | None -> ())
+          | _ -> ())
+        cells
     done;
     let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in
     Table.add_float_row ~decimals:1 rep_t

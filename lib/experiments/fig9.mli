@@ -10,6 +10,7 @@
     their redundancy-pruned variants (DESIGN.md §3). *)
 
 val run :
+  ?journal:Journal.t ->
   ?runs:int ->
   ?seed:int ->
   ?max_pairs:int ->

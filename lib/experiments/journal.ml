@@ -1,0 +1,282 @@
+module Obs = Netrec_obs.Obs
+
+let format_tag = "netrec-journal/1"
+
+type cells = (string * (string * float) list) list
+
+(* ---- minimal flat-JSON codec ----
+   The container ships no JSON library; the journal only needs objects
+   whose values are strings or numbers, one per line. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type jvalue = S of string | F of float
+
+let to_line fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape k));
+      match v with
+      | S s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+      | F f -> Buffer.add_string buf (Printf.sprintf "%.17g" f))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* [None] on any malformed (e.g. crash-truncated) line. *)
+let parse_line s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise_notrace Exit in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos else fail ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail ()
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents buf
+        | '\\' ->
+          if !pos + 1 >= n then fail ();
+          (match s.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | _ -> fail ());
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | 'n' | 'a' | 'i' | 'f' ->
+        true (* digits plus nan/inf spellings *)
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail ();
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail ()
+  in
+  match
+    expect '{';
+    skip_ws ();
+    if !pos < n && s.[!pos] = '}' then []
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        skip_ws ();
+        let v =
+          if !pos < n && s.[!pos] = '"' then S (parse_string ())
+          else F (parse_number ())
+        in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        if !pos < n && s.[!pos] = ',' then begin
+          incr pos;
+          go ()
+        end
+        else expect '}'
+      in
+      go ();
+      List.rev !fields
+    end
+  with
+  | fields -> Some fields
+  | exception Exit -> None
+
+(* ---- the journal ---- *)
+
+type t = {
+  oc : out_channel;
+  (* Cells seen so far, reversed, keyed by (point, run). *)
+  table : (string * int, (string * (string * float) list) list ref) Hashtbl.t;
+  done_set : (string * int, unit) Hashtbl.t;
+}
+
+let str fields k =
+  match List.assoc_opt k fields with Some (S s) -> Some s | _ -> None
+
+let num fields k =
+  match List.assoc_opt k fields with Some (F f) -> Some f | _ -> None
+
+let reserved = [ "type"; "point"; "run"; "alg" ]
+
+let load_line table done_set line =
+  match parse_line line with
+  | None -> ()
+  | Some fields -> (
+    match (str fields "type", str fields "point", num fields "run") with
+    | Some "done", Some point, Some run ->
+      Hashtbl.replace done_set (point, int_of_float run) ()
+    | Some "cell", Some point, Some run -> (
+      match str fields "alg" with
+      | None -> ()
+      | Some alg ->
+        let payload =
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | F f when not (List.mem k reserved) -> Some (k, f)
+              | _ -> None)
+            fields
+        in
+        let key = (point, int_of_float run) in
+        let cells =
+          match Hashtbl.find_opt table key with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace table key r;
+            r
+        in
+        cells := (alg, payload) :: !cells)
+    | _ -> ())
+
+let create path =
+  let table = Hashtbl.create 64 in
+  let done_set = Hashtbl.create 64 in
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+    else []
+  in
+  (match existing with
+  | [] -> ()
+  | tag :: rest ->
+    if String.trim tag <> format_tag then
+      failwith
+        (Printf.sprintf "Journal.create: %s is not a %s file (header %S)" path
+           format_tag tag);
+    List.iter (load_line table done_set) rest);
+  (* A crash can truncate the final line mid-write, leaving no trailing
+     newline; appending straight after it would corrupt the next record
+     too.  Terminate the orphan first. *)
+  let needs_newline =
+    Sys.file_exists path
+    &&
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        n > 0
+        &&
+        (seek_in ic (n - 1);
+         input_char ic <> '\n'))
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  if needs_newline then output_string oc "\n";
+  if existing = [] then begin
+    output_string oc (format_tag ^ "\n");
+    flush oc
+  end;
+  let resumed = Hashtbl.length done_set in
+  if resumed > 0 then Obs.count ~n:resumed "journal.runs_resumed";
+  { oc; table; done_set }
+
+let close j = close_out j.oc
+
+let completed j ~point ~run =
+  if not (Hashtbl.mem j.done_set (point, run)) then None
+  else
+    match Hashtbl.find_opt j.table (point, run) with
+    | None -> Some []
+    | Some cells ->
+      (* [!cells] is reversed write order; keep each algorithm's last
+         recorded value, presented in (final) write order. *)
+      let seen = Hashtbl.create 8 in
+      let deduped =
+        List.filter
+          (fun (alg, _) ->
+            if Hashtbl.mem seen alg then false
+            else begin
+              Hashtbl.replace seen alg ();
+              true
+            end)
+          !cells
+      in
+      Some (List.rev deduped)
+
+let record j ~point ~run cells =
+  List.iter
+    (fun (alg, payload) ->
+      let fields =
+        [ ("type", S "cell"); ("point", S point);
+          ("run", F (float_of_int run)); ("alg", S alg) ]
+        @ List.map (fun (k, v) -> (k, F v)) payload
+      in
+      output_string j.oc (to_line fields ^ "\n"))
+    cells;
+  output_string j.oc
+    (to_line
+       [ ("type", S "done"); ("point", S point); ("run", F (float_of_int run)) ]
+    ^ "\n");
+  flush j.oc;
+  Hashtbl.replace j.done_set (point, run) ();
+  Hashtbl.replace j.table (point, run)
+    (ref (List.rev_map (fun (alg, payload) -> (alg, payload)) cells));
+  Obs.count ~n:(List.length cells) "journal.cells_recorded"
+
+let with_run j ~point ~run f =
+  match j with
+  | None -> f ()
+  | Some j -> (
+    match completed j ~point ~run with
+    | Some cells ->
+      Obs.count ~n:(List.length cells) "journal.cells_skipped";
+      cells
+    | None ->
+      let cells = f () in
+      record j ~point ~run cells;
+      cells)

@@ -1,4 +1,5 @@
 module Lp = Netrec_lp.Lp
+module Obs = Netrec_obs.Obs
 
 type verdict =
   | Routable of Routing.t
@@ -99,8 +100,8 @@ let endpoints_ok ~vertex_ok demands =
     (fun d -> vertex_ok d.Commodity.src && vertex_ok d.Commodity.dst)
     demands
 
-let feasible ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
-    ~cap g demands =
+let feasible ?budget ?(vertex_ok = all) ?(edge_ok = all)
+    ?(var_budget = default_budget) ~cap g demands =
   let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
   if demands = [] then Routable Routing.empty
   else if not (endpoints_ok ~vertex_ok demands) then Unroutable
@@ -122,17 +123,20 @@ let feasible ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
       for h = 0 to nh - 1 do
         conservation ~extra_terms:(fun _ _ -> []) ~rhs h
       done;
-      let sol = Lp.solve skel.lp in
+      let sol = Lp.solve ?budget skel.lp in
       match sol.Lp.status with
       | Lp.Optimal ->
         Routable (routing_of_solution g skel demands sol.Lp.values)
       | Lp.Infeasible -> Unroutable
-      | Lp.Unbounded | Lp.Iteration_limit -> Undecided
+      | Lp.Iteration_limit ->
+        Obs.count "lp.iteration_limit_hits";
+        Undecided
+      | Lp.Unbounded -> Undecided
     end
   end
 
-let max_scale ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
-    ~cap ~tmax g param =
+let max_scale ?budget ?(vertex_ok = all) ?(edge_ok = all)
+    ?(var_budget = default_budget) ~cap ~tmax g param =
   let demands = List.map fst param in
   if not (endpoints_ok ~vertex_ok demands) then `Max 0.0
   else begin
@@ -167,17 +171,19 @@ let max_scale ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
       for h = 0 to nh - 1 do
         conservation ~extra_terms ~rhs h
       done;
-      let sol = Lp.solve skel.lp in
+      let sol = Lp.solve ?budget skel.lp in
       match sol.Lp.status with
       | Lp.Optimal -> `Max sol.Lp.values.(t)
       | Lp.Infeasible -> `Max 0.0
       | Lp.Unbounded -> `Max tmax
-      | Lp.Iteration_limit -> `Undecided
+      | Lp.Iteration_limit ->
+        Obs.count "lp.iteration_limit_hits";
+        `Undecided
     end
   end
 
-let max_total ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
-    ~cap g demands =
+let max_total ?budget ?(vertex_ok = all) ?(edge_ok = all)
+    ?(var_budget = default_budget) ~cap g demands =
   let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
   if demands = [] then `Routing Routing.empty
   else begin
@@ -213,7 +219,7 @@ let max_total ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
       for h = 0 to nh - 1 do
         conservation ~extra_terms ~rhs h
       done;
-      let sol = Lp.solve skel.lp in
+      let sol = Lp.solve ?budget skel.lp in
       match sol.Lp.status with
       | Lp.Optimal ->
         let routing = routing_of_solution g skel servable sol.Lp.values in
@@ -221,6 +227,9 @@ let max_total ?(vertex_ok = all) ?(edge_ok = all) ?(var_budget = default_budget)
           List.map (fun demand -> { Routing.demand; paths = [] }) dead
         in
         `Routing (routing @ unserved)
-      | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> `Undecided
+      | Lp.Iteration_limit ->
+        Obs.count "lp.iteration_limit_hits";
+        `Undecided
+      | Lp.Infeasible | Lp.Unbounded -> `Undecided
     end
   end

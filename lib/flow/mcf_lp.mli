@@ -14,6 +14,7 @@ type verdict =
   | Undecided  (** simplex hit its iteration limit *)
 
 val feasible :
+  ?budget:Netrec_resilience.Budget.t ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->
@@ -22,9 +23,11 @@ val feasible :
   Commodity.t list ->
   verdict
 (** Exact routability test: solve the feasibility system (2).  Default
-    [var_budget] is 6000 flow variables. *)
+    [var_budget] is 6000 flow variables.  [budget] (default unlimited) is
+    threaded into the simplex; exhaustion surfaces as [Undecided]. *)
 
 val max_scale :
+  ?budget:Netrec_resilience.Budget.t ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->
@@ -45,6 +48,7 @@ val max_scale :
     is infeasible territory — callers should pre-check feasibility. *)
 
 val max_total :
+  ?budget:Netrec_resilience.Budget.t ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->

@@ -22,7 +22,7 @@ let connectivity_ok ~vertex_ok ~edge_ok g demands =
       List.for_all (fun t -> dist.(t) < max_int) dsts)
     by_src true
 
-let routable ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
+let routable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
     ?(gk_eps = 0.1) ~cap g demands =
   let demands = Commodity.normalize demands in
   if demands = [] then Routable Routing.empty
@@ -35,8 +35,8 @@ let routable ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
       | Some routing -> Routable routing
       | None -> (
         match
-          Mcf_lp.feasible ~vertex_ok ~edge_ok ?var_budget:lp_var_budget ~cap g
-            demands
+          Mcf_lp.feasible ?budget ~vertex_ok ~edge_ok
+            ?var_budget:lp_var_budget ~cap g demands
         with
         | Mcf_lp.Routable routing -> Routable routing
         | Mcf_lp.Unroutable -> Unroutable
@@ -50,12 +50,12 @@ let routable ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
           else Unknown)
   end
 
-let max_satisfiable ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget ~cap g
-    demands =
+let max_satisfiable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
+    ~cap g demands =
   let edge_ok e = edge_ok e && cap e > 1e-12 in
   match
-    Mcf_lp.max_total ~vertex_ok ~edge_ok ?var_budget:lp_var_budget ~cap g
-      demands
+    Mcf_lp.max_total ?budget ~vertex_ok ~edge_ok ?var_budget:lp_var_budget
+      ~cap g demands
   with
   | `Routing r -> r
   | `Too_big | `Undecided ->

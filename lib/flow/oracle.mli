@@ -23,6 +23,7 @@ type verdict =
   | Unknown
 
 val routable :
+  ?budget:Netrec_resilience.Budget.t ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?lp_var_budget:int ->
@@ -32,9 +33,12 @@ val routable :
   Commodity.t list ->
   verdict
 (** Run the escalation chain.  [lp_var_budget] (default 6000) bounds the
-    exact-LP size; [gk_eps] (default 0.1) is the GK accuracy. *)
+    exact-LP size; [gk_eps] (default 0.1) is the GK accuracy.  [budget]
+    (default unlimited) bounds the exact-LP stage; exhaustion surfaces as
+    [Unknown]. *)
 
 val max_satisfiable :
+  ?budget:Netrec_resilience.Budget.t ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?lp_var_budget:int ->

@@ -1,0 +1,64 @@
+module Budget = Netrec_resilience.Budget
+module Anytime = Netrec_resilience.Anytime
+module Chain = Netrec_resilience.Chain
+open Netrec_core
+
+(* Candidate comparison: serving more demand dominates; repair cost
+   breaks ties.  This is what lets a degraded OPT/ISP incumbent beat a
+   complete SRT plan that loses demand. *)
+let better inst a b =
+  let sa = Evaluate.satisfied_fraction inst a in
+  let sb = Evaluate.satisfied_fraction inst b in
+  if sa > sb +. 1e-9 then true
+  else if sb > sa +. 1e-9 then false
+  else Instance.repair_cost inst a < Instance.repair_cost inst b -. 1e-9
+
+let solve ?(budget = Budget.unlimited) ?(node_limit = 3000)
+    ?(var_budget = 6000) inst =
+  (* Per-stage deadlines are fractions of whatever remains on the overall
+     budget when the chain starts; work caps are inherited via
+     [Budget.stage].  Without a deadline the stages run uncapped. *)
+  let frac f =
+    match Budget.remaining_s budget with
+    | None -> None
+    | Some r -> Some (Float.max 1e-3 (f *. r))
+  in
+  let opt_stage =
+    Chain.stage ?deadline_s:(frac 0.5) "opt" (fun b ->
+        let nh = List.length inst.Instance.demands in
+        (* Oversize instances skip straight to the heuristics: the OPT
+           proxy would just re-run ISP, which has its own stage below. *)
+        if 2 * nh * Graph.ne inst.Instance.graph > var_budget then None
+        else begin
+          let r = Opt.solve ~budget:b ~node_limit ~var_budget inst in
+          if r.Opt.proved then Some (Anytime.Complete r.Opt.solution)
+          else begin
+            let reason =
+              match r.Opt.limited with
+              | Some reason -> reason
+              | None -> Budget.Work { spent = r.Opt.nodes; cap = node_limit }
+            in
+            Some (Anytime.Partial (r.Opt.solution, reason))
+          end
+        end)
+  in
+  let mcf_stage =
+    Chain.stage ?deadline_s:(frac 0.25) "mcf" (fun b ->
+        match Mcf_heuristic.solve ~budget:b inst with
+        | None -> None
+        | Some r ->
+          let mcb = r.Mcf_heuristic.mcb in
+          if Evaluate.satisfied_fraction inst mcb >= 1.0 -. 1e-6 then
+            Some (Anytime.Complete mcb)
+          else None)
+  in
+  let isp_stage =
+    Chain.stage "isp" (fun b ->
+        let sol, stats = Isp.solve ~budget:b inst in
+        match stats.Isp.limited with
+        | None -> Some (Anytime.Complete sol)
+        | Some reason -> Some (Anytime.Partial (sol, reason)))
+  in
+  let srt_stage = Chain.stage "srt" (fun _ -> Some (Anytime.Complete (Srt.solve inst))) in
+  Chain.run ~budget ~better:(better inst)
+    [ opt_stage; mcf_stage; isp_stage; srt_stage ]

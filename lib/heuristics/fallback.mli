@@ -1,0 +1,31 @@
+(** The standard recovery fallback chain: OPT → MCF heuristic → ISP → SRT.
+
+    Each stage runs under a slice of the caller's budget (OPT gets half
+    the remaining deadline, the MCF relaxation a quarter, ISP and SRT the
+    rest), so a single [--deadline] degrades gracefully through the
+    solver hierarchy instead of letting the exact solver starve the
+    cheaper ones.  Partial (budget-tripped) answers stay in play: the
+    chain's comparator ranks candidates by satisfied demand, then repair
+    cost, so a degraded OPT/ISP incumbent that serves every demand beats
+    a complete SRT plan that loses some.
+
+    SRT always completes, so the chain returns [None] only when every
+    stage crashes — in practice never. *)
+
+open Netrec_core
+
+val better : Instance.t -> Instance.solution -> Instance.solution -> bool
+(** [better inst a b]: [a] serves strictly more demand, or ties and costs
+    strictly less.  Exposed for tests and custom chains. *)
+
+val solve :
+  ?budget:Netrec_resilience.Budget.t ->
+  ?node_limit:int ->
+  ?var_budget:int ->
+  Instance.t ->
+  Instance.solution Netrec_resilience.Chain.outcome option
+(** Run the chain.  [node_limit] (default 3000) and [var_budget]
+    (default 6000) configure the OPT stage; instances whose exact model
+    exceeds [var_budget] skip OPT entirely (its proxy path would just
+    duplicate the ISP stage).  The outcome's [attempts] record per-stage
+    provenance for the CLI. *)

@@ -1,4 +1,5 @@
 module Lp = Netrec_lp.Lp
+module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
 module Failure = Netrec_disrupt.Failure
@@ -95,15 +96,23 @@ let support_of_flow inst fvar nh values =
   in
   { Instance.repaired_vertices; repaired_edges; routing = Routing.empty }
 
-let solve ?(var_budget = 8000) inst =
+let solve ?budget ?(var_budget = 8000) inst =
   let g = inst.Instance.graph in
   let nh = List.length inst.Instance.demands in
-  if 2 * nh * Graph.ne g > var_budget then None
+  let exhausted =
+    match budget with
+    | Some b -> not (Netrec_resilience.Budget.ok b)
+    | None -> false
+  in
+  if exhausted || 2 * nh * Graph.ne g > var_budget then None
   else begin
     let lp, fvar, nh = build_flow_lp inst in
-    let sol = Lp.solve lp in
+    let sol = Lp.solve ?budget lp in
     match sol.Lp.status with
-    | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> None
+    | Lp.Iteration_limit ->
+      Obs.count "lp.iteration_limit_hits";
+      None
+    | Lp.Infeasible | Lp.Unbounded -> None
     | Lp.Optimal ->
       let lp_objective = sol.Lp.objective in
       let support = support_of_flow inst fvar nh sol.Lp.values in
@@ -143,11 +152,14 @@ let solve ?(var_budget = 8000) inst =
             Lp.add_constraint lp2 !terms Lp.Le 0.0
           end)
         g ();
-      let sol2 = Lp.solve lp2 in
+      let sol2 = Lp.solve ?budget lp2 in
       let mcw =
         match sol2.Lp.status with
         | Lp.Optimal -> support_of_flow inst fvar2 nh2 sol2.Lp.values
-        | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> support
+        | Lp.Iteration_limit ->
+          Obs.count "lp.iteration_limit_hits";
+          support
+        | Lp.Infeasible | Lp.Unbounded -> support
       in
       Some { support; mcb; mcw; lp_objective }
   end

@@ -4,6 +4,7 @@ module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
 module Failure = Netrec_disrupt.Failure
+module Budget = Netrec_resilience.Budget
 open Netrec_core
 
 type result = {
@@ -12,6 +13,7 @@ type result = {
   proved : bool;
   nodes : int;
   wall_seconds : float;
+  limited : Budget.reason option;
 }
 
 type model = {
@@ -155,7 +157,7 @@ let integral_costs inst =
   Array.for_all integral inst.Instance.vertex_cost
   && Array.for_all integral inst.Instance.edge_cost
 
-let solve_body ~node_limit ~var_budget ~incumbent inst =
+let solve_body ~budget ~node_limit ~var_budget ~incumbent inst =
   let g = inst.Instance.graph in
   let nh = List.length inst.Instance.demands in
   let warm =
@@ -163,16 +165,17 @@ let solve_body ~node_limit ~var_budget ~incumbent inst =
     | Some s -> s
     | None ->
       Obs.span "opt.warm_start" @@ fun () ->
-      let isp, _ = Isp.solve inst in
+      let isp, _ = Isp.solve ~budget inst in
       Postpass.prune inst isp
   in
   let warm_cost = Instance.repair_cost inst warm in
-  let finish solution objective proved nodes =
-    { solution; objective; proved; nodes; wall_seconds = 0.0 }
+  let finish solution objective proved nodes limited =
+    { solution; objective; proved; nodes; wall_seconds = 0.0; limited }
   in
   if 2 * nh * Graph.ne g > var_budget then
     (* Documented OPT-proxy path for oversize instances. *)
     finish warm warm_cost false 0
+      (Some (Budget.Size { size = 2 * nh * Graph.ne g; cap = var_budget }))
   else begin
     let model = Obs.span "opt.model_build" (fun () -> build inst) in
     let binary =
@@ -182,7 +185,7 @@ let solve_body ~node_limit ~var_budget ~incumbent inst =
     let dummy_incumbent = (Array.make (Lp.nvars model.lp) 0.0, warm_cost) in
     let r =
       Obs.span "opt.branch_and_bound" @@ fun () ->
-      Milp.solve ~node_limit ~integral_objective:(integral_costs inst)
+      Milp.solve ~budget ~node_limit ~integral_objective:(integral_costs inst)
         ~incumbent:dummy_incumbent ~binary model.lp
     in
     match r.Milp.status with
@@ -190,17 +193,18 @@ let solve_body ~node_limit ~var_budget ~incumbent inst =
       if r.Milp.objective < warm_cost -. 1e-6 then
         finish
           (solution_of_values inst model r.Milp.values)
-          r.Milp.objective r.Milp.proved r.Milp.nodes
-      else finish warm warm_cost r.Milp.proved r.Milp.nodes
+          r.Milp.objective r.Milp.proved r.Milp.nodes r.Milp.limited
+      else finish warm warm_cost r.Milp.proved r.Milp.nodes r.Milp.limited
     | `Infeasible | `Unknown ->
       (* The MILP can only be infeasible when the demand exceeds even the
          fully repaired network; fall back to the warm start. *)
-      finish warm warm_cost false r.Milp.nodes
+      finish warm warm_cost false r.Milp.nodes r.Milp.limited
   end
 
-let solve ?(node_limit = 3000) ?(var_budget = 6000) ?incumbent inst =
+let solve ?(budget = Budget.unlimited) ?(node_limit = 3000)
+    ?(var_budget = 6000) ?incumbent inst =
   let r, wall =
     Obs.timed "opt.solve" (fun () ->
-        solve_body ~node_limit ~var_budget ~incumbent inst)
+        solve_body ~budget ~node_limit ~var_budget ~incumbent inst)
   in
   { r with wall_seconds = wall }

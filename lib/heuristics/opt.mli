@@ -22,9 +22,15 @@ type result = {
   proved : bool;  (** true iff branch-and-bound proved optimality *)
   nodes : int;  (** B&B nodes explored (0 for the proxy path) *)
   wall_seconds : float;
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] iff [proved = false]: the cooperative budget's
+          deadline/work cap, the node limit (as [Work]) or, on the
+          OPT-proxy path, the model size that exceeded [var_budget]
+          (as [Size]) *)
 }
 
 val solve :
+  ?budget:Netrec_resilience.Budget.t ->
   ?node_limit:int ->
   ?var_budget:int ->
   ?incumbent:Instance.solution ->
@@ -32,4 +38,7 @@ val solve :
   result
 (** Solve MinR.  [node_limit] (default 3000) bounds the search;
     [var_budget] (default 6000) bounds the exact model size;
-    [incumbent] (default: ISP + postpass) seeds the upper bound. *)
+    [incumbent] (default: ISP + postpass) seeds the upper bound.
+    [budget] (default unlimited) is threaded into the warm start and
+    every branch-and-bound node; when it trips the best incumbent so far
+    is returned with [proved = false] and the reason in [limited]. *)

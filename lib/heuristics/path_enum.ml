@@ -1,12 +1,15 @@
 module Commodity = Netrec_flow.Commodity
 module Obs = Netrec_obs.Obs
+module Budget = Netrec_resilience.Budget
 
 type t = {
   paths : (Commodity.t * Paths.path) list;
   truncated : bool;
+  limited : Budget.reason option;
 }
 
-let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
+let enumerate ?(budget = Budget.unlimited) ?(max_per_pair = 20_000) ?max_hops g
+    demands =
   Obs.count "path_enum.calls";
   let max_hops = Option.value ~default:(Graph.nv g - 1) max_hops in
   let truncated = ref false in
@@ -14,9 +17,13 @@ let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
     let acc = ref [] in
     let count = ref 0 in
     let on_path = Array.make (Graph.nv g) false in
-    (* DFS over incident edges; [rev_path] holds the edges walked so far. *)
+    (* DFS over incident edges; [rev_path] holds the edges walked so far.
+       The cooperative budget is spent per DFS step, so a deadline cuts
+       the enumeration mid-pair and reports the paths found so far. *)
     let rec dfs v rev_path depth =
-      if !count < max_per_pair then begin
+      Budget.spend budget;
+      if not (Budget.ok budget) then truncated := true
+      else if !count < max_per_pair then begin
         if v = d.Commodity.dst then begin
           acc := List.rev rev_path :: !acc;
           incr count
@@ -41,4 +48,4 @@ let enumerate ?(max_per_pair = 20_000) ?max_hops g demands =
   let paths = List.concat_map enumerate_pair demands in
   Obs.count ~n:(List.length paths) "path_enum.paths";
   if !truncated then Obs.count "path_enum.truncations";
-  { paths; truncated = !truncated }
+  { paths; truncated = !truncated; limited = Budget.tripped budget }

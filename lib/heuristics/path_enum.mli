@@ -9,10 +9,14 @@
 type t = {
   paths : (Netrec_flow.Commodity.t * Paths.path) list;
       (** (owning demand, path) pairs *)
-  truncated : bool;  (** whether any cap was hit *)
+  truncated : bool;  (** whether any cap (or the budget) was hit *)
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] when the cooperative budget cut the enumeration short
+          (implies [truncated]); [None] for static caps *)
 }
 
 val enumerate :
+  ?budget:Netrec_resilience.Budget.t ->
   ?max_per_pair:int ->
   ?max_hops:int ->
   Graph.t ->
@@ -21,4 +25,6 @@ val enumerate :
 (** DFS enumeration of simple paths between each demand's endpoints on the
     full supply graph.  [max_per_pair] (default 20_000) caps the paths
     kept per demand; [max_hops] (default [nv - 1], i.e. no limit) caps
-    path length. *)
+    path length.  [budget] (default unlimited) is spent one unit per DFS
+    step — a tripped deadline or work cap stops the walk and returns the
+    paths found so far with [truncated = true]. *)

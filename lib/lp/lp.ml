@@ -87,13 +87,43 @@ type solution = {
   objective : float;
   values : float array;
   pivots : int;
+  limited : Netrec_resilience.Budget.reason option;
 }
 
 (* Translation to standard form: every free-ish variable is shifted by its
    (finite) lower bound so shifted variables satisfy y >= 0; fixed
    variables (lb = ub) are substituted as constants; finite upper bounds
    become extra [y <= ub - lb] rows.  Maximization negates the costs. *)
-let solve ?max_pivots p =
+exception Out_of_budget of Netrec_resilience.Budget.reason
+
+let solve ?budget ?max_pivots p =
+  let give_up reason =
+    { status = Iteration_limit;
+      objective = 0.0;
+      values = Array.make p.nv 0.0;
+      pivots = 0;
+      limited = Some reason }
+  in
+  (* The dense standard-form translation below allocates one row of
+     [ncols] floats per constraint — on large models that alone can
+     outlast a tight deadline, so it is checked against the budget every
+     few rows (and skipped outright when the budget is already spent). *)
+  let row_check =
+    match budget with
+    | None -> fun () -> ()
+    | Some b ->
+      let rows_done = ref 0 in
+      fun () ->
+        incr rows_done;
+        if !rows_done land 63 = 0 then
+          match Netrec_resilience.Budget.check b with
+          | Some reason -> raise (Out_of_budget reason)
+          | None -> ()
+  in
+  match Option.map Netrec_resilience.Budget.check budget with
+  | Some (Some reason) -> give_up reason
+  | Some None | None ->
+  try
   let default_budget = 50_000 + (50 * (p.nv + p.ncons)) in
   let max_pivots = Option.value ~default:default_budget max_pivots in
   let col_of = Array.make p.nv (-1) in
@@ -120,6 +150,7 @@ let solve ?max_pivots p =
     if col_of.(v) >= 0 then costs.(col_of.(v)) <- sign *. d.obj
   done;
   let translate_cons { terms; rel; rhs } =
+    row_check ();
     let coeffs = Array.make ncols 0.0 in
     let rhs = ref rhs in
     List.iter
@@ -142,7 +173,7 @@ let solve ?max_pivots p =
     end
   done;
   let std = { Simplex.ncols; rows = base_rows @ !bound_rows; costs } in
-  let out = Simplex.solve_std ~max_pivots std in
+  let out = Simplex.solve_std ?budget ~max_pivots std in
   let status =
     match out.Simplex.status with
     | Simplex.Optimal -> Optimal
@@ -160,4 +191,9 @@ let solve ?max_pivots p =
     | Optimal -> (sign *. out.Simplex.objective) +. !obj_const
     | _ -> 0.0
   in
-  { status; objective; values; pivots = out.Simplex.pivots }
+  { status;
+    objective;
+    values;
+    pivots = out.Simplex.pivots;
+    limited = out.Simplex.limited }
+  with Out_of_budget reason -> give_up reason

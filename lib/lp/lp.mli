@@ -70,8 +70,13 @@ type solution = {
   objective : float;  (** meaningful only when [status = Optimal] *)
   values : float array;  (** one entry per variable, in {!var} order *)
   pivots : int;  (** simplex pivots consumed by this solve *)
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] iff [status = Iteration_limit]: why the solve was cut
+          short (tripped cooperative budget, else the pivot cap) *)
 }
 
-val solve : ?max_pivots:int -> problem -> solution
+val solve :
+  ?budget:Netrec_resilience.Budget.t -> ?max_pivots:int -> problem -> solution
 (** Solve with the two-phase simplex.  [max_pivots] bounds total pivot
-    operations (default [50_000 + 50 * (nvars + nconstraints)]). *)
+    operations (default [50_000 + 50 * (nvars + nconstraints)]);
+    [budget] (default unlimited) is checked once per pivot. *)

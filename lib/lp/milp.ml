@@ -1,4 +1,5 @@
 module Obs = Netrec_obs.Obs
+module Budget = Netrec_resilience.Budget
 
 type result = {
   status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
@@ -7,12 +8,13 @@ type result = {
   nodes : int;
   pivots : int;
   proved : bool;
+  limited : Budget.reason option;
 }
 
 let frac x = abs_float (x -. Float.round x)
 
-let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
-    ?incumbent ~binary p =
+let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
+    ?(integral_objective = false) ?incumbent ~binary p =
   let binary = Array.of_list binary in
   (* All binaries get [0,1] bounds in the relaxation. *)
   let root = Lp.copy p in
@@ -35,20 +37,24 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
     if integral_objective then Float.round (ceil (bound -. 1e-6))
     else bound
   in
-  while !stack <> [] && !nodes < node_limit do
+  while !stack <> [] && !nodes < node_limit && Budget.ok budget do
     match !stack with
     | [] -> ()
     | fixings :: rest ->
       stack := rest;
       incr nodes;
       Obs.count "milp.nodes";
+      Budget.spend budget;
       let node_p = Lp.copy root in
       List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
-      let sol = Lp.solve ?max_pivots node_p in
+      let sol = Lp.solve ~budget ?max_pivots node_p in
       pivots := !pivots + sol.Lp.pivots;
       (match sol.Lp.status with
       | Lp.Infeasible -> ()
-      | Lp.Unbounded | Lp.Iteration_limit -> truncated := true
+      | Lp.Iteration_limit ->
+        Obs.count "lp.iteration_limit_hits";
+        truncated := true
+      | Lp.Unbounded -> truncated := true
       | Lp.Optimal ->
         let bound = tighten sol.Lp.objective in
         if bound >= !best_obj -. 1e-6 then () (* pruned by bound *)
@@ -83,6 +89,13 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
   done;
   if !stack <> [] then truncated := true;
   let proved = not !truncated in
+  let limited =
+    if proved then None
+    else
+      match Budget.tripped budget with
+      | Some r -> Some r
+      | None -> Some (Budget.Work { spent = !nodes; cap = node_limit })
+  in
   match !best_values with
   | Some values ->
     { status = (if proved then `Optimal else `Feasible);
@@ -90,7 +103,8 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
       values;
       nodes = !nodes;
       pivots = !pivots;
-      proved }
+      proved;
+      limited }
   | None ->
     if proved then
       { status = `Infeasible;
@@ -98,11 +112,13 @@ let solve ?(node_limit = 100_000) ?max_pivots ?(integral_objective = false)
         values = Array.make (Lp.nvars p) 0.0;
         nodes = !nodes;
         pivots = !pivots;
-        proved }
+        proved;
+        limited }
     else
       { status = `Unknown;
         objective = infinity;
         values = Array.make (Lp.nvars p) 0.0;
         nodes = !nodes;
         pivots = !pivots;
-        proved }
+        proved;
+        limited }

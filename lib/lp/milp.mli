@@ -21,9 +21,14 @@ type result = {
   nodes : int;  (** branch-and-bound nodes explored *)
   pivots : int;  (** simplex pivots consumed across all node relaxations *)
   proved : bool;  (** whether optimality was proved *)
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] iff [proved = false]: why the search was cut short —
+          the cooperative budget's deadline/work cap when it tripped,
+          otherwise the node limit (as a [Work] reason) *)
 }
 
 val solve :
+  ?budget:Netrec_resilience.Budget.t ->
   ?node_limit:int ->
   ?max_pivots:int ->
   ?integral_objective:bool ->
@@ -35,5 +40,8 @@ val solve :
     default [Minimize] sense) with the given variables restricted to {0,1}.  [incumbent] is an
     optional starting solution (values, objective) assumed feasible;
     [integral_objective] (default false) allows rounding LP bounds to the
-    next integer.  [node_limit] defaults to 100_000.  The problem [p] is
-    not modified. *)
+    next integer.  [node_limit] defaults to 100_000.  [budget] (default
+    unlimited) is spent one unit per branch-and-bound node and also
+    threaded into every node's LP relaxation; when it trips the best
+    incumbent so far is returned with [proved = false].  The problem [p]
+    is not modified. *)

@@ -1,4 +1,5 @@
 module Obs = Netrec_obs.Obs
+module Budget = Netrec_resilience.Budget
 
 type relation = Le | Ge | Eq
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
@@ -14,6 +15,7 @@ type outcome = {
   objective : float;
   values : float array;
   pivots : int;
+  limited : Budget.reason option;
 }
 
 let eps = 1e-9
@@ -128,12 +130,14 @@ let entering_bland tab ~allowed =
   scan 0
 
 (* Runs pivots until optimal / unbounded / budget exhausted.  Returns
-   [`Optimal], [`Unbounded] or [`Limit], consuming from [budget]. *)
-let optimize tab ~allowed ~budget =
+   [`Optimal], [`Unbounded] or [`Limit], consuming from [pivots_left]
+   and checking the cooperative [budget] (deadline / work cap) once per
+   pivot. *)
+let optimize tab ~allowed ~pivots_left ~budget =
   let stall = ref 0 in
   let last_obj = ref infinity in
   let rec loop () =
-    if !budget <= 0 then `Limit
+    if !pivots_left <= 0 || not (Budget.ok budget) then `Limit
     else begin
       let use_bland = !stall > 200 in
       let col =
@@ -145,7 +149,8 @@ let optimize tab ~allowed ~budget =
         let row = leaving_row tab ~col ~allowed in
         if row < 0 then `Unbounded
         else begin
-          decr budget;
+          decr pivots_left;
+          Budget.spend budget;
           pivot tab ~row ~col;
           let cur = -.tab.obj.(tab.width) in
           if cur < !last_obj -. eps then begin
@@ -160,10 +165,7 @@ let optimize tab ~allowed ~budget =
   in
   loop ()
 
-let solve_std ~max_pivots { ncols; rows; costs } =
-  Obs.count "simplex.solves";
-  if Array.length costs <> ncols then
-    invalid_arg "Simplex.solve_std: costs arity";
+let solve_std_body ~budget ~max_pivots { ncols; rows; costs } =
   List.iter
     (fun (coeffs, _, _) ->
       if Array.length coeffs <> ncols then
@@ -221,7 +223,7 @@ let solve_std ~max_pivots { ncols; rows; costs } =
         incr art_idx))
     norm;
   let is_artificial j = j >= ncols + nslack in
-  let budget = ref max_pivots in
+  let pivots_left = ref max_pivots in
   (* ---- Phase 1: minimize the sum of artificials. ---- *)
   let obj1 = Array.make (width + 1) 0.0 in
   for j = ncols + nslack to width - 1 do
@@ -238,13 +240,21 @@ let solve_std ~max_pivots { ncols; rows; costs } =
     end
   done;
   let extra_pivots = ref 0 in
-  let pivots_used () = max_pivots - !budget + !extra_pivots in
-  let phase1 = optimize tab ~allowed:(fun _ -> true) ~budget in
+  let pivots_used () = max_pivots - !pivots_left + !extra_pivots in
+  let phase1 = optimize tab ~allowed:(fun _ -> true) ~pivots_left ~budget in
+  (* [Iteration_limit] covers both the pivot cap and a tripped
+     cooperative budget; [limited] tells them apart. *)
+  let limit_reason () =
+    match Budget.tripped budget with
+    | Some r -> Some r
+    | None -> Some (Budget.Work { spent = pivots_used (); cap = max_pivots })
+  in
   let fail status =
     { status;
       objective = 0.0;
       values = Array.make ncols 0.0;
-      pivots = pivots_used () }
+      pivots = pivots_used ();
+      limited = (if status = Iteration_limit then limit_reason () else None) }
   in
   match phase1 with
   | `Limit -> fail Iteration_limit
@@ -283,7 +293,7 @@ let solve_std ~max_pivots { ncols; rows; costs } =
       done;
       let tab = { tab with obj = obj2 } in
       let allowed j = not (is_artificial j) in
-      let phase2 = optimize tab ~allowed ~budget in
+      let phase2 = optimize tab ~allowed ~pivots_left ~budget in
       match phase2 with
       | `Limit -> fail Iteration_limit
       | `Unbounded -> fail Unbounded
@@ -296,5 +306,20 @@ let solve_std ~max_pivots { ncols; rows; costs } =
         { status = Optimal;
           objective = -.tab.obj.(width);
           values;
-          pivots = pivots_used () }
+          pivots = pivots_used ();
+          limited = None }
     end
+
+let solve_std ?(budget = Budget.unlimited) ~max_pivots std =
+  Obs.count "simplex.solves";
+  (* An already-exhausted budget exits before the tableau is even
+     allocated — on large models the dense tableau build alone can blow
+     a deadline that has long since tripped. *)
+  match Budget.check budget with
+  | Some r ->
+    { status = Iteration_limit;
+      objective = 0.0;
+      values = Array.make std.ncols 0.0;
+      pivots = 0;
+      limited = Some r }
+  | None -> solve_std_body ~budget ~max_pivots std

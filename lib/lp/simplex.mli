@@ -25,8 +25,16 @@ type outcome = {
       (** pivot operations consumed by this solve (both phases plus any
           drive-out of basic artificials); also accumulated on the global
           ["simplex.pivots"] counter of {!Netrec_obs.Obs} *)
+  limited : Netrec_resilience.Budget.reason option;
+      (** [Some _] iff [status = Iteration_limit]: the structured reason
+          the solve was cut short — the cooperative budget's deadline or
+          work cap when it tripped, otherwise the [max_pivots] cap *)
 }
 
-val solve_std : max_pivots:int -> std -> outcome
-(** Run the two-phase simplex.  @raise Invalid_argument on arity
-    mismatches between rows/costs and [ncols]. *)
+val solve_std :
+  ?budget:Netrec_resilience.Budget.t -> max_pivots:int -> std -> outcome
+(** Run the two-phase simplex.  [budget] (default unlimited) is checked
+    once per pivot — a tripped deadline or work cap surfaces as
+    [Iteration_limit] with the reason in [limited].
+    @raise Invalid_argument on arity mismatches between rows/costs and
+    [ncols]. *)

@@ -1,0 +1,27 @@
+(** The anytime contract: a solver result that is either complete or the
+    best answer obtainable before a {!Budget} ran out.
+
+    Every budgeted solver in the stack returns its answer through (or
+    convertible to) this shape: [Partial] carries a {e usable} value —
+    an incumbent, a feasible-but-unproved plan, a truncated path set —
+    plus the structured reason the computation stopped, instead of
+    raising or silently returning a degraded answer. *)
+
+type reason = Budget.reason
+
+type 'a t =
+  | Complete of 'a  (** the solver finished on its own terms *)
+  | Partial of 'a * reason
+      (** best answer so far; computation cut short for [reason] *)
+
+val value : 'a t -> 'a
+val is_complete : 'a t -> bool
+
+val reason : 'a t -> reason option
+(** [None] for [Complete]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val of_budget : Budget.t -> 'a -> 'a t
+(** [Complete v] unless the budget has tripped, in which case
+    [Partial (v, reason)]. *)

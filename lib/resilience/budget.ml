@@ -1,0 +1,123 @@
+type clock = unit -> float
+
+type reason =
+  | Deadline of { elapsed_s : float; limit_s : float }
+  | Work of { spent : int; cap : int }
+  | Size of { size : int; cap : int }
+
+let reason_to_string = function
+  | Deadline { elapsed_s; limit_s } ->
+    Printf.sprintf "deadline %.3gs exceeded after %.3fs" limit_s elapsed_s
+  | Work { spent; cap } ->
+    Printf.sprintf "work budget exhausted (%d/%d units)" spent cap
+  | Size { size; cap } ->
+    Printf.sprintf "instance exceeds size budget (%d > %d)" size cap
+
+type t = {
+  clock : clock;
+  start : float;
+  deadline : float option;  (* absolute clock instant *)
+  work_cap : int option;
+  parent : t option;
+  mutable work : int;
+  mutable trip : reason option;
+}
+
+let default_clock = Unix.gettimeofday
+
+let unlimited =
+  { clock = default_clock;
+    start = 0.0;
+    deadline = None;
+    work_cap = None;
+    parent = None;
+    work = 0;
+    trip = None }
+
+let create ?(clock = default_clock) ?deadline_s ?work_cap () =
+  let start = clock () in
+  { clock;
+    start;
+    deadline = Option.map (fun d -> start +. d) deadline_s;
+    work_cap;
+    parent = None;
+    work = 0;
+    trip = None }
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+let stage ?deadline_s ?work_cap parent =
+  if parent == unlimited && deadline_s = None && work_cap = None then unlimited
+  else begin
+    let start = parent.clock () in
+    let deadline =
+      min_opt parent.deadline (Option.map (fun d -> start +. d) deadline_s)
+    in
+    let work_cap =
+      match (parent.work_cap, work_cap) with
+      | None, c -> c
+      | Some cap, c ->
+        let left = max 0 (cap - parent.work) in
+        Some (match c with None -> left | Some c -> min c left)
+    in
+    { clock = parent.clock;
+      start;
+      deadline;
+      work_cap;
+      parent = (if parent == unlimited then None else Some parent);
+      work = 0;
+      trip = None }
+  end
+
+let rec spend ?(n = 1) t =
+  if t != unlimited then begin
+    t.work <- t.work + n;
+    match t.parent with None -> () | Some p -> spend ~n p
+  end
+
+let elapsed_s t = t.clock () -. t.start
+let spent t = t.work
+
+let limit_s t =
+  Option.map (fun d -> d -. t.start) t.deadline
+
+let remaining_s t =
+  Option.map (fun d -> Float.max 0.0 (d -. t.clock ())) t.deadline
+
+let rec is_limited t =
+  t.deadline <> None || t.work_cap <> None
+  || match t.parent with None -> false | Some p -> is_limited p
+
+(* Re-evaluate the caps; latch and return the first violation.  The
+   parent chain is consulted too: caps inherited through [stage] already
+   bound this budget at creation time, but an ancestor may have tripped
+   since (e.g. via a sibling's spending). *)
+let rec check t =
+  match t.trip with
+  | Some _ as r -> r
+  | None ->
+    let own =
+      match t.work_cap with
+      | Some cap when t.work >= cap -> Some (Work { spent = t.work; cap })
+      | _ -> (
+        match t.deadline with
+        | Some d ->
+          let now = t.clock () in
+          if now >= d then
+            Some (Deadline { elapsed_s = now -. t.start; limit_s = d -. t.start })
+          else None
+        | None -> None)
+    in
+    let r =
+      match own with
+      | Some _ -> own
+      | None -> ( match t.parent with None -> None | Some p -> check p)
+    in
+    (match r with Some _ -> t.trip <- r | None -> ());
+    r
+
+let ok t = t == unlimited || check t = None
+let tripped t = t.trip

@@ -1,0 +1,85 @@
+(** Cooperative execution budgets: wall-clock deadlines and work-unit caps.
+
+    A budget is threaded through solver hot loops (simplex pivots,
+    branch-and-bound nodes, ISP iterations, path-enumeration DFS steps);
+    the loop calls {!ok} once per unit of work and stops cleanly when it
+    returns [false].  Exhaustion {e latches}: once a budget trips, every
+    subsequent {!ok} is [false] and {!tripped} reports the structured
+    reason, so an outer caller can distinguish "deadline blown" from
+    "work cap hit" from "model too large" without string matching.
+
+    The clock is injectable ({!create}'s [clock]), which makes deadline
+    behaviour fully deterministic under test: a fake clock advancing a
+    fixed step per call trips the deadline at an exact, reproducible
+    check count.
+
+    Budgets nest ({!stage}): a child budget receives at most the parent's
+    remaining time and work, and work spent through the child is also
+    charged to the parent — the mechanism behind per-stage budgets in
+    {!Chain}. *)
+
+type clock = unit -> float
+(** Monotonic-enough time source in seconds ([Unix.gettimeofday] by
+    default). *)
+
+(** Why an operation was cut short.  [Size] is never produced by budgets
+    themselves; solvers use it to report static model-size gates
+    ([var_budget]-style) through the same channel. *)
+type reason =
+  | Deadline of { elapsed_s : float; limit_s : float }
+      (** wall clock exceeded [limit_s] after [elapsed_s] seconds *)
+  | Work of { spent : int; cap : int }
+      (** work-unit cap hit ([spent] >= [cap]) *)
+  | Size of { size : int; cap : int }
+      (** static size gate: the model would have [size] units against a
+          cap of [cap] (reported by solvers, not by budgets) *)
+
+val reason_to_string : reason -> string
+(** One-line human-readable rendering (used by CLI provenance output). *)
+
+type t
+
+val unlimited : t
+(** The no-op budget: {!ok} is always [true].  Default for every solver
+    entry point, so unbudgeted callers pay one load and two branches per
+    check. *)
+
+val create : ?clock:clock -> ?deadline_s:float -> ?work_cap:int -> unit -> t
+(** [create ~deadline_s ~work_cap ()] starts the deadline clock now.
+    Omitted caps are absent (not infinite sentinel values). *)
+
+val stage : ?deadline_s:float -> ?work_cap:int -> t -> t
+(** [stage parent] derives a child budget for one pipeline stage: its
+    absolute deadline is the earlier of [now + deadline_s] and the
+    parent's deadline, its work cap the smaller of [work_cap] and the
+    parent's remaining work, and {!spend} on the child also charges the
+    parent.  A child of {!unlimited} with no caps is {!unlimited}. *)
+
+val spend : ?n:int -> t -> unit
+(** Charge [n] (default 1) work units to this budget and its ancestors. *)
+
+val ok : t -> bool
+(** [true] while neither cap is exceeded (and no ancestor has tripped).
+    Latches [false] permanently once exhausted. *)
+
+val check : t -> reason option
+(** [None] iff {!ok}; otherwise the (latched) exhaustion reason. *)
+
+val tripped : t -> reason option
+(** The latched exhaustion reason, without re-checking the caps. *)
+
+val spent : t -> int
+(** Work units charged so far. *)
+
+val elapsed_s : t -> float
+(** Seconds since {!create} (per this budget's clock). *)
+
+val remaining_s : t -> float option
+(** Seconds until the deadline ([None] when no deadline).  Never
+    negative. *)
+
+val limit_s : t -> float option
+(** The total deadline length in seconds, when one was set. *)
+
+val is_limited : t -> bool
+(** Whether any cap (own or inherited) applies. *)

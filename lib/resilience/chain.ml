@@ -1,0 +1,108 @@
+module Obs = Netrec_obs.Obs
+
+type verdict =
+  | Answered
+  | Degraded of Budget.reason
+  | No_answer
+  | Crashed of string
+
+type attempt = { stage : string; verdict : verdict; seconds : float }
+
+type 'a stage = {
+  name : string;
+  deadline_s : float option;
+  work_cap : int option;
+  run : Budget.t -> 'a Anytime.t option;
+}
+
+let stage ?deadline_s ?work_cap name run = { name; deadline_s; work_cap; run }
+
+type 'a outcome = {
+  value : 'a;
+  answered_by : string;
+  complete : bool;
+  attempts : attempt list;
+}
+
+let count_verdict name = function
+  | Answered -> Obs.count (Printf.sprintf "chain.%s.answered" name)
+  | Degraded _ -> Obs.count (Printf.sprintf "chain.%s.degraded" name)
+  | No_answer -> Obs.count (Printf.sprintf "chain.%s.no_answer" name)
+  | Crashed _ -> Obs.count (Printf.sprintf "chain.%s.crashed" name)
+
+let run ?(budget = Budget.unlimited) ?better stages =
+  Obs.count "chain.runs";
+  (* Timing uses the stage budget's clock so fake-clock tests see
+     deterministic durations. *)
+  let prefer a b =
+    match better with Some f -> if f a b then a else b | None -> b
+  in
+  let rec go attempts candidate = function
+    | [] -> finish attempts candidate
+    | st :: rest ->
+      let b = Budget.stage ?deadline_s:st.deadline_s ?work_cap:st.work_cap budget in
+      let t0 = Budget.elapsed_s b in
+      let result = try Ok (st.run b) with e -> Error (Printexc.to_string e) in
+      let seconds = Budget.elapsed_s b -. t0 in
+      let record verdict =
+        count_verdict st.name verdict;
+        { stage = st.name; verdict; seconds } :: attempts
+      in
+      (match result with
+      | Error msg -> go (record (Crashed msg)) candidate rest
+      | Ok None -> go (record No_answer) candidate rest
+      | Ok (Some (Anytime.Complete v)) ->
+        let attempts = record Answered in
+        (* A later (cheaper) stage completing does not automatically beat
+           an earlier stage's partial answer: a degraded OPT/ISP incumbent
+           can still serve more demand than e.g. SRT's complete one.  The
+           chain stops here, but [better] picks the winner. *)
+        let value, answered_by, complete =
+          match candidate with
+          | Some (cname, cv)
+            when (match better with Some f -> f cv v | None -> false) ->
+            (cv, cname, false)
+          | _ -> (v, st.name, true)
+        in
+        Some { value; answered_by; complete; attempts = List.rev attempts }
+      | Ok (Some (Anytime.Partial (v, reason))) ->
+        let candidate =
+          match candidate with
+          | None -> Some (st.name, v)
+          | Some (prev_name, prev) ->
+            let best = prefer v prev in
+            if best == v then Some (st.name, v) else Some (prev_name, prev)
+        in
+        go (record (Degraded reason)) candidate rest)
+  and finish attempts candidate =
+    match candidate with
+    | None ->
+      Obs.count "chain.unanswered";
+      None
+    | Some (name, v) ->
+      Obs.count "chain.partial_outcomes";
+      Some
+        { value = v;
+          answered_by = name;
+          complete = false;
+          attempts = List.rev attempts }
+  in
+  go [] None stages
+
+let describe outcome =
+  let line (a : attempt) =
+    let what =
+      match a.verdict with
+      | Answered -> "answered"
+      | Degraded r -> "degraded: " ^ Budget.reason_to_string r
+      | No_answer -> "no answer"
+      | Crashed msg -> "crashed: " ^ msg
+    in
+    Printf.sprintf "  %-8s %s (%.3fs)" a.stage what a.seconds
+  in
+  let summary =
+    Printf.sprintf "fallback chain: %s answered %s" outcome.answered_by
+      (if outcome.complete then "completely"
+       else "with a degraded (best-so-far) result")
+  in
+  summary :: List.map line outcome.attempts

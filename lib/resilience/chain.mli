@@ -1,0 +1,68 @@
+(** Fallback chains: run a sequence of increasingly cheap solver stages
+    under per-stage budgets and record which stage answered and why the
+    earlier ones degraded.
+
+    A stage returns [Some (Complete v)] (a full answer — the chain stops
+    there), [Some (Partial (v, reason))] (a usable but degraded answer —
+    kept as a candidate while later stages are tried), or [None] (no
+    answer at all).  A stage that raises is caught and recorded as
+    [Crashed]; the chain moves on.  When no stage completes, the best
+    [Partial] candidate (per [better], defaulting to first-found) is
+    returned with [complete = false].  When a stage does complete, its
+    answer is still compared (via [better]) against the partial
+    candidates collected from {e earlier, stronger} stages — a degraded
+    OPT incumbent that serves more demand beats a complete SRT plan that
+    loses some.
+
+    Each stage runs under [Budget.stage parent ?deadline_s ?work_cap], so
+    a chain given an overall deadline degrades through its stages instead
+    of letting the first one eat the whole allowance.  Per-attempt
+    verdicts and durations are recorded in execution order and surfaced
+    both in the returned {!outcome} and on [Netrec_obs] counters
+    ([chain.runs], [chain.<stage>.answered / .degraded / .no_answer /
+    .crashed]). *)
+
+type verdict =
+  | Answered  (** the stage produced a complete answer *)
+  | Degraded of Budget.reason  (** partial answer; reason recorded *)
+  | No_answer  (** the stage had nothing to offer *)
+  | Crashed of string  (** the stage raised; exception text recorded *)
+
+type attempt = {
+  stage : string;
+  verdict : verdict;
+  seconds : float;  (** wall time of the attempt, per the chain's clock *)
+}
+
+type 'a stage
+
+val stage :
+  ?deadline_s:float ->
+  ?work_cap:int ->
+  string ->
+  (Budget.t -> 'a Anytime.t option) ->
+  'a stage
+(** [stage name run] declares a chain stage.  [deadline_s] / [work_cap]
+    bound this stage's budget relative to the moment it starts (further
+    capped by the chain's overall budget). *)
+
+type 'a outcome = {
+  value : 'a;
+  answered_by : string;  (** name of the stage that produced [value] *)
+  complete : bool;  (** false when [value] came from a [Partial] *)
+  attempts : attempt list;  (** every stage tried, in execution order *)
+}
+
+val run :
+  ?budget:Budget.t ->
+  ?better:('a -> 'a -> bool) ->
+  'a stage list ->
+  'a outcome option
+(** Execute the chain.  [better a b] means "candidate [a] beats
+    candidate [b]" and selects among [Partial] values when nothing
+    completed.  [None] only when every stage returned [None] or
+    crashed. *)
+
+val describe : 'a outcome -> string list
+(** Human-readable provenance, one line per attempt plus a summary —
+    what the [recover] CLI prints under [--fallback]. *)

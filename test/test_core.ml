@@ -704,11 +704,96 @@ let test_serialize_preserves_names_coords () =
   Alcotest.(check bool) "coords kept" true (Graph.has_coords inst'.Instance.graph)
 
 let test_serialize_rejects_garbage () =
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "raises Parse_error" true
     (try
        ignore (Serialize.of_string "[nonsense]\n1 2 3\n");
        false
-     with Failure _ -> true)
+     with Serialize.Parse_error _ -> true)
+
+(* Table-driven malformed inputs: each case pins the 1-based line the
+   structured error must point at and a substring of its message.
+   Section-wide arity mismatches blame the section header; file-level
+   problems use line 0 (see serialize.mli). *)
+let malformed_cases =
+  [ ( "empty input",
+      "",
+      0, "no [graph]" );
+    ( "content before any section",
+      "0 1 5\n[graph]\n0 1 5\n",
+      1, "before any section" );
+    ( "unknown section",
+      "[graph]\n0 1 5\n[nonsense]\n1 2 3\n",
+      3, "unknown section" );
+    ( "truncated edge line",
+      "[graph]\n0 1 5\n1 2\n",
+      3, "3 fields" );
+    ( "extra edge field",
+      "[graph]\n0 1 5 9 9\n",
+      2, "3 fields" );
+    ( "non-integer vertex id",
+      "[graph]\nzero 1 5\n",
+      2, "vertex id" );
+    ( "negative vertex id",
+      "[graph]\n-1 1 5\n",
+      2, "negative vertex id" );
+    ( "negative capacity",
+      "[graph]\n0 1 -5\n",
+      2, "negative capacity" );
+    ( "bad capacity",
+      "[graph]\n0 1 lots\n",
+      2, "capacity" );
+    ( "truncated demand line",
+      "[graph]\n0 1 5\n[demands]\n0\n",
+      4, "3 fields" );
+    ( "negative demand amount",
+      "[graph]\n0 1 5\n[demands]\n0 1 -3\n",
+      4, "negative demand amount" );
+    ( "demand endpoint out of range",
+      "[graph]\n0 1 5\n[demands]\n0 7 3\n",
+      4, "out of range" );
+    ( "broken vertex out of range",
+      "[graph]\n0 1 5\n[broken_vertices]\n9\n",
+      4, "out of range" );
+    ( "broken edge out of range",
+      "[graph]\n0 1 5\n[broken_edges]\n3\n",
+      4, "out of range" );
+    ( "non-integer broken edge",
+      "[graph]\n0 1 5\n[broken_edges]\nfirst\n",
+      4, "edge id" );
+    ( "names arity mismatch",
+      "[graph]\n0 1 5\n[names]\nonly-one\n",
+      3, "arity mismatch" );
+    ( "vertex costs arity mismatch",
+      "[graph]\n0 1 5\n[vertex_costs]\n1.0\n1.0\n1.0\n",
+      3, "arity mismatch" );
+    ( "bad edge cost",
+      "[graph]\n0 1 5\n[edge_costs]\ncheap\n",
+      4, "edge cost" ) ]
+
+let test_serialize_malformed_table () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun (label, text, want_line, want_msg) ->
+      match Serialize.of_string_result text with
+      | Ok _ -> Alcotest.failf "%s: parsed successfully" label
+      | Error { Serialize.line; msg } ->
+        Alcotest.(check int) (label ^ ": line") want_line line;
+        if not (contains msg want_msg) then
+          Alcotest.failf "%s: message %S lacks %S" label msg want_msg)
+    malformed_cases
+
+let test_serialize_result_ok () =
+  let g = fixture () in
+  let inst = make_inst g [ demand 0 5 ] (Failure.complete g) in
+  match Serialize.of_string_result (Serialize.to_string inst) with
+  | Ok inst' ->
+    Alcotest.(check int) "nv" (Graph.nv g) (Graph.nv inst'.Instance.graph)
+  | Error { Serialize.line; msg } ->
+    Alcotest.failf "round-trip rejected (line %d: %s)" line msg
 
 let test_serialize_solutions_agree () =
   (* Solving the round-tripped instance gives the same repair count. *)
@@ -812,6 +897,8 @@ let () =
         [ tc "roundtrip" test_serialize_roundtrip;
           tc "names and coords" test_serialize_preserves_names_coords;
           tc "rejects garbage" test_serialize_rejects_garbage;
+          tc "malformed table" test_serialize_malformed_table;
+          tc "result ok" test_serialize_result_ok;
           tc "solutions agree" test_serialize_solutions_agree ] );
       ( "evaluate",
         [ tc "empty solution loss" test_evaluate_empty_solution_loss;

@@ -93,7 +93,7 @@ let test_path_enum_counts_cycle () =
   let g =
     Graph.make ~n:4 ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 1.0) ] ()
   in
-  let { Path_enum.paths; truncated } =
+  let { Path_enum.paths; truncated; _ } =
     Path_enum.enumerate g [ demand 0 2 ]
   in
   Alcotest.(check int) "two paths" 2 (List.length paths);
@@ -101,7 +101,7 @@ let test_path_enum_counts_cycle () =
 
 let test_path_enum_respects_cap () =
   let g = Netrec_graph.Generate.complete ~n:7 ~capacity:1.0 in
-  let { Path_enum.paths; truncated } =
+  let { Path_enum.paths; truncated; _ } =
     Path_enum.enumerate ~max_per_pair:10 g [ demand 0 6 ]
   in
   Alcotest.(check bool) "truncated" true truncated;
