@@ -110,10 +110,13 @@ let micro_benchmarks () =
 
 (* ---- figure regeneration ---- *)
 
-type settings = { runs : int; opt_nodes : int }
+type settings = { runs : int; opt_nodes : int; jobs : int }
 
-let default = { runs = 3; opt_nodes = 800 }
-let quick = { runs = 1; opt_nodes = 60 }
+(* Two domains by default: exercises the deterministic pool (and records
+   its counters in BENCH_metrics.json) while staying cheap on small
+   machines.  Tables and journal bytes are identical for any [jobs]. *)
+let default = { runs = 3; opt_nodes = 800; jobs = 2 }
+let quick = { runs = 1; opt_nodes = 60; jobs = 2 }
 
 (* Print each table and also drop it as CSV under results/ so the series
    can be re-plotted without re-running anything. *)
@@ -129,13 +132,15 @@ let emit_tables fig tables =
       close_out oc)
     tables
 
-let run_figure s = function
-  | "fig3" -> emit_tables "fig3" (E.Fig3.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
-  | "fig4" -> emit_tables "fig4" (E.Fig4.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
-  | "fig5" -> emit_tables "fig5" (E.Fig5.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
-  | "fig6" -> emit_tables "fig6" (E.Fig6.run ~runs:s.runs ~opt_nodes:s.opt_nodes ())
-  | "fig7" -> emit_tables "fig7" (E.Fig7.run ~runs:s.runs ())
-  | "fig9" -> emit_tables "fig9" (E.Fig9.run ~runs:s.runs ())
+let run_figure s fig =
+  let pool = E.Common.Pool.create ~jobs:s.jobs in
+  match fig with
+  | "fig3" -> emit_tables "fig3" (E.Fig3.run ~pool ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig4" -> emit_tables "fig4" (E.Fig4.run ~pool ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig5" -> emit_tables "fig5" (E.Fig5.run ~pool ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig6" -> emit_tables "fig6" (E.Fig6.run ~pool ~runs:s.runs ~opt_nodes:s.opt_nodes ())
+  | "fig7" -> emit_tables "fig7" (E.Fig7.run ~pool ~runs:s.runs ())
+  | "fig9" -> emit_tables "fig9" (E.Fig9.run ~pool ~runs:s.runs ())
   | "ablation" -> emit_tables "ablation" (E.Ablation.run ~runs:s.runs ())
   | other -> Printf.eprintf "unknown figure %S\n" other
 
@@ -167,31 +172,50 @@ let write_bench_metrics ~mode ~benchmarks =
   close_out oc;
   Printf.printf "wrote BENCH_metrics.json\n%!"
 
+(* [-jN] anywhere on the command line sets the pool size for figure
+   regeneration (default 2; results are identical for any N). *)
+let parse_jobs args =
+  List.fold_left
+    (fun (jobs, rest) arg ->
+      if String.length arg > 2 && String.sub arg 0 2 = "-j" then
+        match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+        | Some n when n >= 1 -> (Some n, rest)
+        | _ -> (jobs, arg :: rest)
+      else (jobs, arg :: rest))
+    (None, []) args
+  |> fun (jobs, rest) -> (jobs, List.rev rest)
+
 let () =
   (* Micro-benchmarks run with the collector disabled so the estimates
      reflect production cost; figure regeneration runs with it on so the
      run record captures solver work counters. *)
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] ->
+  let jobs, args =
+    match Array.to_list Sys.argv with
+    | [] -> (None, [])
+    | _ :: rest -> parse_jobs rest
+  in
+  let with_jobs s = match jobs with Some j -> { s with jobs = j } | None -> s in
+  match args with
+  | [] ->
     let benchmarks = micro_benchmarks () in
     Obs.set_enabled true;
-    run_all default;
+    run_all (with_jobs default);
     write_bench_metrics ~mode:"default" ~benchmarks
-  | [ _; "quick" ] ->
+  | [ "quick" ] ->
     let benchmarks = micro_benchmarks () in
     Obs.set_enabled true;
-    run_all quick;
+    run_all (with_jobs quick);
     write_bench_metrics ~mode:"quick" ~benchmarks
-  | [ _; "bench" ] ->
+  | [ "bench" ] ->
     let benchmarks = micro_benchmarks () in
     write_bench_metrics ~mode:"bench" ~benchmarks
-  | [ _; "figures" ] ->
+  | [ "figures" ] ->
     Obs.set_enabled true;
-    run_all default;
+    run_all (with_jobs default);
     write_bench_metrics ~mode:"figures" ~benchmarks:[]
-  | _ :: figs ->
+  | figs ->
     let s = if List.mem "quick" figs then quick else default in
     let figs = List.filter (fun f -> f <> "quick") figs in
     Obs.set_enabled true;
-    List.iter (run_figure s) figs;
+    List.iter (run_figure (with_jobs s)) figs;
     write_bench_metrics ~mode:(String.concat "+" figs) ~benchmarks:[]

@@ -355,20 +355,33 @@ let journal_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
 
-let experiment figure runs opt_nodes journal_file trace_file metrics_file
+let jobs_arg =
+  let doc =
+    "Evaluate experiment cells on $(docv) parallel domains.  Tables and \
+     journal bytes are identical for every value (cells are journalled \
+     in deterministic order); 0 means the runtime's recommended domain \
+     count."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let experiment figure runs opt_nodes jobs journal_file trace_file metrics_file
     verbose =
   Obs.set_enabled true;
+  let pool =
+    E.Common.Pool.create
+      ~jobs:(if jobs <= 0 then E.Common.Pool.default_jobs () else jobs)
+  in
   let print = List.iter Netrec_util.Table.print in
   let one ?journal name =
     let tables =
       Obs.span ("experiment." ^ name) @@ fun () ->
       match name with
-      | "fig3" -> E.Fig3.run ?journal ~runs ~opt_nodes ()
-      | "fig4" -> E.Fig4.run ?journal ~runs ~opt_nodes ()
-      | "fig5" -> E.Fig5.run ?journal ~runs ~opt_nodes ()
-      | "fig6" -> E.Fig6.run ?journal ~runs ~opt_nodes ()
-      | "fig7" -> E.Fig7.run ?journal ~runs ()
-      | "fig9" -> E.Fig9.run ?journal ~runs ()
+      | "fig3" -> E.Fig3.run ?journal ~pool ~runs ~opt_nodes ()
+      | "fig4" -> E.Fig4.run ?journal ~pool ~runs ~opt_nodes ()
+      | "fig5" -> E.Fig5.run ?journal ~pool ~runs ~opt_nodes ()
+      | "fig6" -> E.Fig6.run ?journal ~pool ~runs ~opt_nodes ()
+      | "fig7" -> E.Fig7.run ?journal ~pool ~runs ()
+      | "fig9" -> E.Fig9.run ?journal ~pool ~runs ()
       | other -> failwith (Printf.sprintf "unknown figure %S" other)
     in
     print tables
@@ -395,7 +408,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
-      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg
+      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ jobs_arg
       $ journal_file_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 (* ---- schedule command ---- *)

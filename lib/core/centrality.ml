@@ -1,19 +1,112 @@
 module Commodity = Netrec_flow.Commodity
+module Obs = Netrec_obs.Obs
 
 type contribution = { demand : Commodity.t; bundle : Paths.bundle }
 
 type t = { score : float array; contributions : contribution list }
 
-let compute ~length ~cap g demands =
+module Cache = struct
+  (* A bundle is a function of (src, dst, amount) and the current
+     length/cap metrics only, so that triple is the key.  An entry stays
+     exactly valid while (a) no edge of its own paths worsened (longer
+     or less residual — prunes only ever worsen) and (b) no edge
+     anywhere improved (repairs shorten lengths, so every entry is
+     suspect and the whole cache is flushed).  Exactness of (a) rests on
+     Dijkstra's vertex-id tie-break: worsening edges off a cached path
+     can only push competing paths further away, never change which
+     path wins.  See DESIGN §11 for the argument. *)
+  type key = int * int * float
+
+  type entry = {
+    bundle : Paths.bundle;
+    edges : int list;  (* distinct edge ids appearing on the paths *)
+  }
+
+  type cache = {
+    table : (key, entry) Hashtbl.t;
+    worse : (int, unit) Hashtbl.t;  (* edges worsened since last compute *)
+    mutable flush : bool;
+  }
+
+  let create () =
+    { table = Hashtbl.create 64; worse = Hashtbl.create 64; flush = false }
+
+  let note_worse c e = if not c.flush then Hashtbl.replace c.worse e ()
+
+  let note_improved c =
+    c.flush <- true;
+    Hashtbl.reset c.worse
+
+  (* Apply the invalidations accumulated since the previous compute. *)
+  let settle c =
+    if c.flush then begin
+      Hashtbl.reset c.table;
+      c.flush <- false
+    end
+    else if Hashtbl.length c.worse > 0 then begin
+      let stale =
+        Hashtbl.fold
+          (fun key entry acc ->
+            if List.exists (Hashtbl.mem c.worse) entry.edges then key :: acc
+            else acc)
+          c.table []
+      in
+      List.iter (Hashtbl.remove c.table) stale;
+      Hashtbl.reset c.worse
+    end
+
+  (* Drop entries for demands that no longer exist (splits and fully
+     pruned demands retire keys); keeps the table within O(live). *)
+  let retain c keys =
+    let keep = Hashtbl.create (List.length keys) in
+    List.iter (fun k -> Hashtbl.replace keep k ()) keys;
+    let dead =
+      Hashtbl.fold
+        (fun key _ acc -> if Hashtbl.mem keep key then acc else key :: acc)
+        c.table []
+    in
+    List.iter (Hashtbl.remove c.table) dead
+end
+
+let compute ?cache ~length ~cap g demands =
   let score = Array.make (Graph.nv g) 0.0 in
   let live = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  (* Materialise the counters even on an all-sequential run so metrics
+     consumers can rely on the keys existing. *)
+  Obs.count ~n:0 "centrality.cache_hits";
+  Obs.count ~n:0 "centrality.cache_misses";
+  (match cache with Some c -> Cache.settle c | None -> ());
+  let bundle_for demand =
+    let fresh () =
+      Paths.shortest_bundle ~length ~cap ~demand:demand.Commodity.amount g
+        demand.Commodity.src demand.Commodity.dst
+    in
+    match cache with
+    | None -> fresh ()
+    | Some c -> (
+      let key =
+        ( demand.Commodity.src,
+          demand.Commodity.dst,
+          demand.Commodity.amount )
+      in
+      match Hashtbl.find_opt c.Cache.table key with
+      | Some entry ->
+        Obs.count "centrality.cache_hits";
+        entry.Cache.bundle
+      | None ->
+        Obs.count "centrality.cache_misses";
+        let bundle = fresh () in
+        let edges =
+          List.sort_uniq compare
+            (List.concat_map (fun (p, _) -> p) bundle.Paths.paths)
+        in
+        Hashtbl.replace c.Cache.table key { Cache.bundle; edges };
+        bundle)
+  in
   let contributions =
     List.map
       (fun demand ->
-        let bundle =
-          Paths.shortest_bundle ~length ~cap ~demand:demand.Commodity.amount g
-            demand.Commodity.src demand.Commodity.dst
-        in
+        let bundle = bundle_for demand in
         let total_cap =
           List.fold_left (fun acc (_, c) -> acc +. c) 0.0 bundle.Paths.paths
         in
@@ -31,6 +124,13 @@ let compute ~length ~cap g demands =
         { demand; bundle })
       live
   in
+  (match cache with
+  | Some c ->
+    Cache.retain c
+      (List.map
+         (fun d -> (d.Commodity.src, d.Commodity.dst, d.Commodity.amount))
+         live)
+  | None -> ());
   { score; contributions }
 
 let best t =

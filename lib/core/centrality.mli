@@ -23,14 +23,46 @@ type t = {
   contributions : contribution list;  (** one per live demand, in order *)
 }
 
+(** Incremental re-evaluation support.  A bundle depends only on the
+    demand triple (src, dst, amount) and the current length/cap
+    metrics, so a solver that mutates those metrics monotonically can
+    keep bundles across iterations: it reports which edges {e worsened}
+    (residual capacity decreased, length increased — e.g. a committed
+    prune) and when anything {e improved} (a repair shortened lengths).
+    {!compute} then recomputes only the demands whose cached paths are
+    affected and reuses every other bundle verbatim — results are
+    bit-identical to a from-scratch evaluation (see DESIGN §11 for the
+    exactness argument, which relies on Dijkstra's deterministic
+    vertex-id tie-break). *)
+module Cache : sig
+  type cache
+
+  val create : unit -> cache
+  (** Fresh empty cache; use one per solver run. *)
+
+  val note_worse : cache -> Graph.edge_id -> unit
+  (** Record that an edge's length grew and/or its residual capacity
+      shrank since the last {!compute}.  Cached bundles whose paths use
+      the edge will be recomputed. *)
+
+  val note_improved : cache -> unit
+  (** Record that some element improved (a repair made lengths drop
+      somewhere).  Every cached bundle is invalidated. *)
+end
+
 val compute :
+  ?cache:Cache.cache ->
   length:(Graph.edge_id -> float) ->
   cap:(Graph.edge_id -> float) ->
   Graph.t ->
   Netrec_flow.Commodity.t list ->
   t
 (** Evaluate the metric.  Edges with non-positive residual capacity are
-    unusable; demands with zero amount are skipped. *)
+    unusable; demands with zero amount are skipped.  With [?cache],
+    bundles of demands untouched since the previous call are reused;
+    scores are re-aggregated from scratch either way, so the result is
+    independent of the cache.  Counters [centrality.cache_hits] /
+    [centrality.cache_misses] record the reuse rate. *)
 
 val best : t -> Graph.vertex option
 (** The vertex [v_BC] with the highest strictly positive centrality

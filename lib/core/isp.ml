@@ -20,6 +20,7 @@ type config = {
   lp_var_budget : int;
   gk_eps : float;
   split_candidates : int;
+  incremental_centrality : bool;
 }
 
 let default_config =
@@ -28,7 +29,8 @@ let default_config =
     max_iterations = None;
     lp_var_budget = 2500;
     gk_eps = 0.05;
-    split_candidates = 5 }
+    split_candidates = 5;
+    incremental_centrality = true }
 
 type stats = {
   iterations : int;
@@ -52,6 +54,7 @@ type state = {
   repaired_e : bool array;
   mutable demands : Commodity.t list;  (* H^(n) *)
   mutable routing : Routing.t;  (* committed by prunes *)
+  cent_cache : Centrality.Cache.cache option;
   mutable splits : int;
   mutable prunes : int;
   mutable direct_edge_repairs : int;
@@ -89,16 +92,28 @@ let length_metric st e =
 
 (* ---- repairs ---- *)
 
+(* A repair flips an element broken -> repaired, which drops its repair
+   cost out of the §IV-D metric: lengths can only get SHORTER anywhere
+   near it, so every cached centrality bundle becomes suspect.  Under the
+   Hop metric lengths are constant and repairs leave every centrality
+   input untouched, so the cache survives. *)
+let note_improvement st =
+  match (st.cent_cache, st.cfg.length_mode) with
+  | Some c, Dynamic -> Centrality.Cache.note_improved c
+  | Some _, Hop | None, _ -> ()
+
 let repair_vertex st v =
   if st.broken_v.(v) then begin
     st.broken_v.(v) <- false;
-    st.repaired_v.(v) <- true
+    st.repaired_v.(v) <- true;
+    note_improvement st
   end
 
 let repair_edge st e =
   if st.broken_e.(e) then begin
     st.broken_e.(e) <- false;
-    st.repaired_e.(e) <- true
+    st.repaired_e.(e) <- true;
+    note_improvement st
   end
 
 (* ---- oracles ---- *)
@@ -122,7 +137,15 @@ let commit_prune st h (pr : Bubble.prune) =
         (List.length pr.Bubble.paths));
   List.iter
     (fun (p, amount) ->
-      List.iter (fun e -> st.resid.(e) <- Float.max 0.0 (st.resid.(e) -. amount)) p)
+      List.iter
+        (fun e ->
+          st.resid.(e) <- Float.max 0.0 (st.resid.(e) -. amount);
+          (* Residual shrank -> the dynamic length grew: a pure
+             worsening, so only bundles using [e] need recomputing. *)
+          match st.cent_cache with
+          | Some c -> Centrality.Cache.note_worse c e
+          | None -> ())
+        p)
     pr.Bubble.paths;
   st.routing <-
     { Routing.demand = { h with Commodity.amount = pr.Bubble.amount };
@@ -307,7 +330,7 @@ let split_step st =
   Obs.span "isp.split_step" @@ fun () ->
   let g = st.inst.Instance.graph in
   let cent =
-    Centrality.compute ~length:(length_metric st)
+    Centrality.compute ?cache:st.cent_cache ~length:(length_metric st)
       ~cap:(fun e -> st.resid.(e))
       g st.demands
   in
@@ -410,6 +433,9 @@ let solve_body ~config ~budget inst =
       repaired_e = Array.make (Graph.ne g) false;
       demands = Commodity.normalize inst.Instance.demands;
       routing = Routing.empty;
+      cent_cache =
+        (if config.incremental_centrality then Some (Centrality.Cache.create ())
+         else None);
       splits = 0;
       prunes = 0;
       direct_edge_repairs = 0;

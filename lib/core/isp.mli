@@ -44,6 +44,13 @@ type config = {
   split_candidates : int;
       (** how many top-centrality vertices to try per split step
           (default 5) *)
+  incremental_centrality : bool;
+      (** reuse centrality bundles across iterations via
+          {!Centrality.Cache} (default [true]).  The result is
+          bit-identical to recomputing from scratch — prunes only worsen
+          edges they touch, repairs flush the cache — so this is purely
+          a speed knob; [false] forces the from-scratch path (used by
+          tests to cross-check the cache). *)
 }
 
 val default_config : config

@@ -90,6 +90,57 @@ let scalable_demands ~rng ?max_tries ~count ~max_amount g =
 
 let percent f = 100.0 *. f
 
+(* ---- experiment cell fan-out ---- *)
+
+module Pool = Netrec_parallel.Pool
+
+type job = {
+  point : string;
+  run : int;
+  cells : unit -> Journal.cells;
+}
+
+let run_jobs ?journal ?pool jobs =
+  let arr = Array.of_list jobs in
+  let n = Array.length arr in
+  let out = Array.make n [] in
+  let use_pool =
+    match pool with Some p when Pool.jobs p > 1 -> Some p | _ -> None
+  in
+  (match use_pool with
+  | None ->
+    Array.iteri
+      (fun i j ->
+        out.(i) <- Journal.with_run journal ~point:j.point ~run:j.run j.cells)
+      arr
+  | Some p ->
+    (* Replay pairs the journal already completed, collect the rest.
+       Pending cells are computed on the pool but consumed — and hence
+       journalled — in job order, so the journal bytes are identical to
+       a sequential run's. *)
+    let pending = ref [] in
+    Array.iteri
+      (fun i j ->
+        let done_already =
+          match journal with
+          | Some jr -> Journal.completed jr ~point:j.point ~run:j.run <> None
+          | None -> false
+        in
+        if done_already then
+          out.(i) <- Journal.with_run journal ~point:j.point ~run:j.run j.cells
+        else pending := i :: !pending)
+      arr;
+    let pending = Array.of_list (List.rev !pending) in
+    Pool.iter_ordered p
+      ~f:(fun _ i -> arr.(i).cells ())
+      ~consume:(fun k cells ->
+        let i = pending.(k) in
+        out.(i) <-
+          Journal.with_run journal ~point:arr.(i).point ~run:arr.(i).run
+            (fun () -> cells))
+      pending);
+  Array.to_list out
+
 let best_incumbent inst sol =
   let pruned = Netrec_heuristics.Postpass.prune inst sol in
   let candidates =

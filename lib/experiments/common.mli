@@ -8,6 +8,7 @@
 
 module Instance = Netrec_core.Instance
 module Failure = Netrec_disrupt.Failure
+module Pool = Netrec_parallel.Pool
 
 type measurement = {
   repairs_v : float;
@@ -77,6 +78,30 @@ val scale_demands :
 
 val percent : float -> float
 (** [percent f] is [100 * f] (for satisfied-demand columns). *)
+
+type job = {
+  point : string;  (** journal point key, e.g. ["fig6:variance=70"] *)
+  run : int;  (** journal run index *)
+  cells : unit -> Journal.cells;
+      (** the measurements of this (point, run) pair.  Must not consume
+          the random-number stream and must not touch shared mutable
+          state: it may be skipped on resume and may execute on a worker
+          domain. *)
+}
+(** One (point, run) experiment cell, self-contained and order-free. *)
+
+val run_jobs :
+  ?journal:Journal.t ->
+  ?pool:Netrec_parallel.Pool.t ->
+  job list ->
+  Journal.cells list
+(** Evaluate every job and return the cells in job order.  Pairs the
+    journal has completed are replayed; the rest are computed — on the
+    pool when one with more than one domain is given, sequentially
+    otherwise — and recorded {e in job order}, so the journal bytes do
+    not depend on the pool size.  Results (and therefore any figure
+    aggregation done over them in order) are identical for every
+    [jobs] setting. *)
 
 val best_incumbent :
   Instance.t -> Instance.solution -> Instance.solution

@@ -6,7 +6,7 @@ module H = Netrec_heuristics
 
 let amounts = [ 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0; 16.0; 18.0 ]
 
-let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
+let run ?journal ?pool ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let table =
@@ -19,51 +19,58 @@ let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 3) () =
     let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
     Hashtbl.replace acc key (x :: prev)
   in
-  (* Fixed pairs per run, intensity swept by scaling (paper §VII-A2). *)
-  for r = 1 to runs do
-    (* Rng-consuming generation stays outside the journal closures. *)
-    let rng = Rng.split master in
-    let base =
-      Common.scalable_demands ~rng ~count:4
-        ~max_amount:(List.fold_left Float.max 0.0 amounts)
-        g
-    in
-    List.iter
-      (fun amount ->
-        let demands = Common.scale_demands base amount in
-        let inst =
-          Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+  (* Fixed pairs per run, intensity swept by scaling (paper §VII-A2).
+     Rng-consuming generation happens while the jobs are built, in sweep
+     order; the job closures are rng-free. *)
+  let jobs =
+    List.concat_map
+      (fun r ->
+        let rng = Rng.split master in
+        let base =
+          Common.scalable_demands ~rng ~count:4
+            ~max_amount:(List.fold_left Float.max 0.0 amounts)
+            g
         in
-        let repairs sol =
-          [ ("repairs_total", float_of_int (Instance.total_repairs sol)) ]
-        in
-        let cells =
-          Journal.with_run journal
-            ~point:(Printf.sprintf "fig3:amount=%g" amount)
-            ~run:r
-            (fun () ->
-              let mcf_cells =
-                match H.Mcf_heuristic.solve inst with
-                | Some r ->
-                  [ ("MCW", repairs r.H.Mcf_heuristic.mcw);
-                    ("MCB", repairs r.H.Mcf_heuristic.mcb) ]
-                | None -> []
-              in
-              let isp, _ = Netrec_core.Isp.solve inst in
-              let warm = Common.best_incumbent inst isp in
-              let opt =
-                H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
-              in
-              mcf_cells @ [ ("OPT", repairs opt.H.Opt.solution) ])
-        in
-        List.iter
-          (fun (name, fields) ->
-            match List.assoc_opt "repairs_total" fields with
-            | Some x -> push amount name x
-            | None -> ())
-          cells)
-      amounts
-  done;
+        List.map
+          (fun amount ->
+            let demands = Common.scale_demands base amount in
+            let inst =
+              Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+            in
+            let repairs sol =
+              [ ("repairs_total", float_of_int (Instance.total_repairs sol)) ]
+            in
+            ( amount,
+              { Common.point = Printf.sprintf "fig3:amount=%g" amount;
+                run = r;
+                cells =
+                  (fun () ->
+                    let mcf_cells =
+                      match H.Mcf_heuristic.solve inst with
+                      | Some r ->
+                        [ ("MCW", repairs r.H.Mcf_heuristic.mcw);
+                          ("MCB", repairs r.H.Mcf_heuristic.mcb) ]
+                      | None -> []
+                    in
+                    let isp, _ = Netrec_core.Isp.solve inst in
+                    let warm = Common.best_incumbent inst isp in
+                    let opt =
+                      H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
+                    in
+                    mcf_cells @ [ ("OPT", repairs opt.H.Opt.solution) ]) } ))
+          amounts)
+      (List.init runs (fun r -> r + 1))
+  in
+  List.iter2
+    (fun (amount, _) cells ->
+      List.iter
+        (fun (name, fields) ->
+          match List.assoc_opt "repairs_total" fields with
+          | Some x -> push amount name x
+          | None -> ())
+        cells)
+    jobs
+    (Common.run_jobs ?journal ?pool (List.map snd jobs));
   let all_v, all_e = Failure.counts (Failure.complete g) in
   List.iter
     (fun amount ->

@@ -5,7 +5,8 @@ module Instance = Netrec_core.Instance
 module H = Netrec_heuristics
 open Common
 
-let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () =
+let run ?journal ?pool ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7)
+    () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let edges_t =
@@ -27,52 +28,70 @@ let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 4) ?(max_pairs = 7) () 
   let all_v, all_e =
     Netrec_disrupt.Failure.counts (Netrec_disrupt.Failure.complete g)
   in
-  for pairs = 1 to max_pairs do
-    let acc = Hashtbl.create 8 in
-    let push name m =
-      let prev = Option.value ~default:[] (Hashtbl.find_opt acc name) in
-      Hashtbl.replace acc name (m :: prev)
-    in
-    for r = 1 to runs do
-      (* Anything touching the rng stays outside the journal closure so
-         a resumed sweep draws the same instances as the original. *)
-      let rng = Rng.split master in
-      let inst = complete_instance ~rng ~count:pairs ~amount:10.0 g in
-      let cells =
-        Journal.with_run journal
-          ~point:(Printf.sprintf "fig4:pairs=%d" pairs)
-          ~run:r
-          (fun () ->
-            let (isp_sol, _), isp_secs =
-              Obs.timed "fig4.isp" (fun () -> Netrec_core.Isp.solve inst)
-            in
-            let isp = measure_precomputed inst isp_sol ~seconds:isp_secs in
-            let srt =
-              measure ~label:"fig4.srt" inst (fun () -> H.Srt.solve inst)
-            in
-            let gcom =
-              measure ~label:"fig4.grd_com" inst (fun () ->
-                  H.Greedy.grd_com inst)
-            in
-            let gnc =
-              measure ~label:"fig4.grd_nc" inst (fun () -> H.Greedy.grd_nc inst)
-            in
-            let warm = best_incumbent inst isp_sol in
-            let opt = H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst in
-            let optm =
-              measure_precomputed inst opt.H.Opt.solution
-                ~seconds:opt.H.Opt.wall_seconds
-            in
-            List.map
-              (fun (name, m) -> (name, measurement_fields m))
-              [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom); ("GRD-NC", gnc);
-                ("OPT", optm) ])
-      in
+  (* Anything touching the rng happens while the jobs are built, in the
+     (pairs, run) sweep order, so a resumed or pool-parallel evaluation
+     draws the same instances as a sequential one. *)
+  let jobs =
+    List.concat_map
+      (fun pairs ->
+        List.map
+          (fun r ->
+            let rng = Rng.split master in
+            let inst = complete_instance ~rng ~count:pairs ~amount:10.0 g in
+            ( pairs,
+              { point = Printf.sprintf "fig4:pairs=%d" pairs;
+                run = r;
+                cells =
+                  (fun () ->
+                    let (isp_sol, _), isp_secs =
+                      Obs.timed "fig4.isp" (fun () ->
+                          Netrec_core.Isp.solve inst)
+                    in
+                    let isp =
+                      measure_precomputed inst isp_sol ~seconds:isp_secs
+                    in
+                    let srt =
+                      measure ~label:"fig4.srt" inst (fun () ->
+                          H.Srt.solve inst)
+                    in
+                    let gcom =
+                      measure ~label:"fig4.grd_com" inst (fun () ->
+                          H.Greedy.grd_com inst)
+                    in
+                    let gnc =
+                      measure ~label:"fig4.grd_nc" inst (fun () ->
+                          H.Greedy.grd_nc inst)
+                    in
+                    let warm = best_incumbent inst isp_sol in
+                    let opt =
+                      H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
+                    in
+                    let optm =
+                      measure_precomputed inst opt.H.Opt.solution
+                        ~seconds:opt.H.Opt.wall_seconds
+                    in
+                    List.map
+                      (fun (name, m) -> (name, measurement_fields m))
+                      [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom);
+                        ("GRD-NC", gnc); ("OPT", optm) ]) } ))
+          (List.init runs (fun r -> r + 1)))
+      (List.init max_pairs (fun p -> p + 1))
+  in
+  let acc = Hashtbl.create 64 in
+  let push pairs name m =
+    let key = (pairs, name) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
+    Hashtbl.replace acc key (m :: prev)
+  in
+  List.iter2
+    (fun (pairs, _) cells ->
       List.iter
-        (fun (name, fields) -> push name (measurement_of_fields fields))
-        cells
-    done;
-    let avg name = average (Hashtbl.find acc name) in
+        (fun (name, fields) -> push pairs name (measurement_of_fields fields))
+        cells)
+    jobs
+    (run_jobs ?journal ?pool (List.map snd jobs));
+  for pairs = 1 to max_pairs do
+    let avg name = average (Hashtbl.find acc (pairs, name)) in
     let isp = avg "ISP" and opt = avg "OPT" and srt = avg "SRT" in
     let gcom = avg "GRD-COM" and gnc = avg "GRD-NC" in
     let p = float_of_int pairs in

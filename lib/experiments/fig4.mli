@@ -8,6 +8,7 @@
 
 val run :
   ?journal:Journal.t ->
+  ?pool:Netrec_parallel.Pool.t ->
   ?runs:int ->
   ?opt_nodes:int ->
   ?seed:int ->

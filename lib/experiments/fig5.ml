@@ -8,7 +8,7 @@ open Common
 
 let amounts = [ 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0; 16.0; 18.0 ]
 
-let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 5) () =
+let run ?journal ?pool ?(runs = 3) ?(opt_nodes = 250) ?(seed = 5) () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let total_t =
@@ -29,57 +29,69 @@ let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 5) () =
     let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
     Hashtbl.replace acc key (m :: prev)
   in
-  for r = 1 to runs do
-    (* Rng-consuming generation stays outside the journal closures. *)
-    let rng = Rng.split master in
-    let base =
-      scalable_demands ~rng ~count:4 ~max_amount:(List.fold_left Float.max 0.0 amounts) g
-    in
-    List.iter
-      (fun amount ->
-        let demands = scale_demands base amount in
-        let inst =
-          Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+  (* Rng-consuming generation happens while the jobs are built, in sweep
+     order; the job closures are rng-free. *)
+  let jobs =
+    List.concat_map
+      (fun r ->
+        let rng = Rng.split master in
+        let base =
+          scalable_demands ~rng ~count:4
+            ~max_amount:(List.fold_left Float.max 0.0 amounts)
+            g
         in
-        let cells =
-          Journal.with_run journal
-            ~point:(Printf.sprintf "fig5:amount=%g" amount)
-            ~run:r
-            (fun () ->
-              let (isp_sol, _), isp_secs =
-                Obs.timed "fig5.isp" (fun () -> Netrec_core.Isp.solve inst)
-              in
-              let isp = measure_precomputed inst isp_sol ~seconds:isp_secs in
-              let srt =
-                measure ~label:"fig5.srt" inst (fun () -> H.Srt.solve inst)
-              in
-              let gcom =
-                measure ~label:"fig5.grd_com" inst (fun () ->
-                    H.Greedy.grd_com inst)
-              in
-              let gnc =
-                measure ~label:"fig5.grd_nc" inst (fun () ->
-                    H.Greedy.grd_nc inst)
-              in
-              let warm = best_incumbent inst isp_sol in
-              let opt =
-                H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
-              in
-              let optm =
-                measure_precomputed inst opt.H.Opt.solution
-                  ~seconds:opt.H.Opt.wall_seconds
-              in
-              List.map
-                (fun (name, m) -> (name, measurement_fields m))
-                [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom);
-                  ("GRD-NC", gnc); ("OPT", optm) ])
-        in
-        List.iter
-          (fun (name, fields) ->
-            push amount name (measurement_of_fields fields))
-          cells)
-      amounts
-  done;
+        List.map
+          (fun amount ->
+            let demands = scale_demands base amount in
+            let inst =
+              Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+            in
+            ( amount,
+              { point = Printf.sprintf "fig5:amount=%g" amount;
+                run = r;
+                cells =
+                  (fun () ->
+                    let (isp_sol, _), isp_secs =
+                      Obs.timed "fig5.isp" (fun () ->
+                          Netrec_core.Isp.solve inst)
+                    in
+                    let isp =
+                      measure_precomputed inst isp_sol ~seconds:isp_secs
+                    in
+                    let srt =
+                      measure ~label:"fig5.srt" inst (fun () ->
+                          H.Srt.solve inst)
+                    in
+                    let gcom =
+                      measure ~label:"fig5.grd_com" inst (fun () ->
+                          H.Greedy.grd_com inst)
+                    in
+                    let gnc =
+                      measure ~label:"fig5.grd_nc" inst (fun () ->
+                          H.Greedy.grd_nc inst)
+                    in
+                    let warm = best_incumbent inst isp_sol in
+                    let opt =
+                      H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
+                    in
+                    let optm =
+                      measure_precomputed inst opt.H.Opt.solution
+                        ~seconds:opt.H.Opt.wall_seconds
+                    in
+                    List.map
+                      (fun (name, m) -> (name, measurement_fields m))
+                      [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom);
+                        ("GRD-NC", gnc); ("OPT", optm) ]) } ))
+          amounts)
+      (List.init runs (fun r -> r + 1))
+  in
+  List.iter2
+    (fun (amount, _) cells ->
+      List.iter
+        (fun (name, fields) -> push amount name (measurement_of_fields fields))
+        cells)
+    jobs
+    (run_jobs ?journal ?pool (List.map snd jobs));
   List.iter
     (fun amount ->
       let avg name = average (Hashtbl.find acc (amount, name)) in

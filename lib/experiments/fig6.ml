@@ -9,7 +9,7 @@ open Common
 
 let variances = [ 10.0; 30.0; 50.0; 70.0; 90.0; 110.0; 130.0; 150.0 ]
 
-let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 6) () =
+let run ?journal ?pool ?(runs = 3) ?(opt_nodes = 250) ?(seed = 6) () =
   let g = Netrec_topo.Bell_canada.graph () in
   let master = Rng.create seed in
   let total_t =
@@ -28,60 +28,70 @@ let run ?journal ?(runs = 3) ?(opt_nodes = 250) ?(seed = 6) () =
   in
   let all_acc = Hashtbl.create 8 in
   (* The demand pairs are fixed per run; the disruption grows with the
-     variance along the sweep (§VII-A3). *)
-  for r = 1 to runs do
-    (* The rng is consumed sequentially across the variance sweep
-       ([Models.gaussian] draws per variance), so every draw stays
-       outside the journal closures: a resumed sweep replays the same
-       failures even when it skips the solver work. *)
-    let rng = Rng.split master in
-    let demands = feasible_demands ~rng ~count:4 ~amount:10.0 g in
-    List.iter
-      (fun variance ->
-        let failure = Models.gaussian ~rng ~variance g in
-        let inst = Instance.make ~graph:g ~demands ~failure () in
-        let bv, be = Failure.counts failure in
-        let prev = Option.value ~default:[] (Hashtbl.find_opt all_acc variance) in
-        Hashtbl.replace all_acc variance (float_of_int (bv + be) :: prev);
-        let cells =
-          Journal.with_run journal
-            ~point:(Printf.sprintf "fig6:variance=%g" variance)
-            ~run:r
-            (fun () ->
-              let (isp_sol, _), isp_secs =
-                Obs.timed "fig6.isp" (fun () -> Netrec_core.Isp.solve inst)
-              in
-              let isp = measure_precomputed inst isp_sol ~seconds:isp_secs in
-              let srt =
-                measure ~label:"fig6.srt" inst (fun () -> H.Srt.solve inst)
-              in
-              let gcom =
-                measure ~label:"fig6.grd_com" inst (fun () ->
-                    H.Greedy.grd_com inst)
-              in
-              let gnc =
-                measure ~label:"fig6.grd_nc" inst (fun () ->
-                    H.Greedy.grd_nc inst)
-              in
-              let warm = best_incumbent inst isp_sol in
-              let opt =
-                H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
-              in
-              let optm =
-                measure_precomputed inst opt.H.Opt.solution
-                  ~seconds:opt.H.Opt.wall_seconds
-              in
-              List.map
-                (fun (name, m) -> (name, measurement_fields m))
-                [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom);
-                  ("GRD-NC", gnc); ("OPT", optm) ])
-        in
-        List.iter
-          (fun (name, fields) ->
-            push variance name (measurement_of_fields fields))
-          cells)
-      variances
-  done;
+     variance along the sweep (§VII-A3).  Every rng draw happens here,
+     while the jobs are BUILT, in the sequential sweep order; the job
+     closures are rng-free, so a resumed or pool-parallel evaluation
+     replays the same failures. *)
+  let jobs =
+    List.concat_map
+      (fun r ->
+        let rng = Rng.split master in
+        let demands = feasible_demands ~rng ~count:4 ~amount:10.0 g in
+        List.map
+          (fun variance ->
+            let failure = Models.gaussian ~rng ~variance g in
+            let inst = Instance.make ~graph:g ~demands ~failure () in
+            let bv, be = Failure.counts failure in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt all_acc variance)
+            in
+            Hashtbl.replace all_acc variance (float_of_int (bv + be) :: prev);
+            ( variance,
+              { point = Printf.sprintf "fig6:variance=%g" variance;
+                run = r;
+                cells =
+                  (fun () ->
+                    let (isp_sol, _), isp_secs =
+                      Obs.timed "fig6.isp" (fun () ->
+                          Netrec_core.Isp.solve inst)
+                    in
+                    let isp =
+                      measure_precomputed inst isp_sol ~seconds:isp_secs
+                    in
+                    let srt =
+                      measure ~label:"fig6.srt" inst (fun () ->
+                          H.Srt.solve inst)
+                    in
+                    let gcom =
+                      measure ~label:"fig6.grd_com" inst (fun () ->
+                          H.Greedy.grd_com inst)
+                    in
+                    let gnc =
+                      measure ~label:"fig6.grd_nc" inst (fun () ->
+                          H.Greedy.grd_nc inst)
+                    in
+                    let warm = best_incumbent inst isp_sol in
+                    let opt =
+                      H.Opt.solve ~node_limit:opt_nodes ~incumbent:warm inst
+                    in
+                    let optm =
+                      measure_precomputed inst opt.H.Opt.solution
+                        ~seconds:opt.H.Opt.wall_seconds
+                    in
+                    List.map
+                      (fun (name, m) -> (name, measurement_fields m))
+                      [ ("ISP", isp); ("SRT", srt); ("GRD-COM", gcom);
+                        ("GRD-NC", gnc); ("OPT", optm) ]) } ))
+          variances)
+      (List.init runs (fun r -> r + 1))
+  in
+  List.iter2
+    (fun (variance, _) cells ->
+      List.iter
+        (fun (name, fields) -> push variance name (measurement_of_fields fields))
+        cells)
+    jobs
+    (run_jobs ?journal ?pool (List.map snd jobs));
   List.iter
     (fun variance ->
       let avg name = average (Hashtbl.find acc (variance, name)) in

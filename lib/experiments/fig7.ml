@@ -19,7 +19,10 @@ let connected_er ~rng ~p =
   in
   attempt 50
 
-let run ?journal ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) () =
+let ps = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+
+let run ?journal ?pool ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0)
+    ?(milp_nodes = 1) () =
   let master = Rng.create seed in
   let time_t =
     Table.create ~title:"Fig 7(a): Erdos-Renyi n=100, execution time (seconds) vs edge probability"
@@ -29,109 +32,125 @@ let run ?journal ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0) ?(milp_nodes = 1) (
     Table.create ~title:"Fig 7(b): Erdos-Renyi n=100, total repairs vs edge probability (5 unit pairs)"
       ~columns:[ "p"; "ISP"; "OPT"; "SRT" ]
   in
+  (* Rng-consuming generation happens while the jobs are built, in the
+     (p, run) sweep order; the job closures are rng-free. *)
+  let jobs =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun r ->
+            let rng = Rng.split master in
+            let g = connected_er ~rng ~p in
+            let demands =
+              feasible_demands ~rng ~distinct:true ~count:5 ~amount:1.0 g
+            in
+            let inst =
+              Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
+            in
+            let pairs =
+              List.map (fun d -> (d.Commodity.src, d.Commodity.dst)) demands
+            in
+            (* MILP timing on the sparsest instances only, and only the
+               first run of the sweep: even the root LP relaxation takes
+               minutes at this size, which is precisely the paper's point
+               about OPT's scalability (their Gurobi runs reached ~27
+               hours at p=0.9).  Gated on the run index (not accumulator
+               state) so a journal replay makes the same choice. *)
+            let want_milp = p <= milp_p_max +. 1e-9 && r = 1 in
+            ( p,
+              { point = Printf.sprintf "fig7:p=%g" p;
+                run = r;
+                cells =
+                  (fun () ->
+                    let isp =
+                      measure ~label:"fig7.isp" inst (fun () ->
+                          fst (Netrec_core.Isp.solve inst))
+                    in
+                    let srt =
+                      measure ~label:"fig7.srt" inst (fun () ->
+                          H.Srt.solve inst)
+                    in
+                    let forest, forest_secs =
+                      Obs.timed "fig7.exact_forest" (fun () ->
+                          H.Exact_forest.optimal_total_repairs g ~pairs)
+                    in
+                    let forest_fields =
+                      ("seconds", forest_secs)
+                      ::
+                      (match forest with
+                      | Some repairs ->
+                        [ ("repairs_total", float_of_int repairs) ]
+                      | None -> [])
+                    in
+                    let milp_cells =
+                      if want_milp then begin
+                        let _, milp_secs =
+                          Obs.timed "fig7.milp" (fun () ->
+                              let warm =
+                                H.Postpass.prune inst
+                                  (fst (Netrec_core.Isp.solve inst))
+                              in
+                              H.Opt.solve ~node_limit:milp_nodes
+                                ~var_budget:6000 ~incumbent:warm inst)
+                        in
+                        [ ("MILP", [ ("seconds", milp_secs) ]) ]
+                      end
+                      else []
+                    in
+                    [ ("ISP", measurement_fields isp);
+                      ("SRT", measurement_fields srt);
+                      ("FOREST", forest_fields) ]
+                    @ milp_cells) } ))
+          (List.init runs (fun r -> r + 1)))
+      ps
+  in
+  let acc = Hashtbl.create 64 in
+  let push p tag x =
+    let key = (p, tag) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
+    Hashtbl.replace acc key (x :: prev)
+  in
+  List.iter2
+    (fun (p, _) cells ->
+      List.iter
+        (fun (name, fields) ->
+          let field k = List.assoc_opt k fields in
+          match name with
+          | "ISP" ->
+            let m = measurement_of_fields fields in
+            push p "isp" m.repairs_total;
+            push p "isp_t" m.seconds
+          | "SRT" ->
+            let m = measurement_of_fields fields in
+            push p "srt" m.repairs_total;
+            push p "srt_t" m.seconds
+          | "FOREST" ->
+            (match field "repairs_total" with
+            | Some x -> push p "opt" x
+            | None -> ());
+            (match field "seconds" with
+            | Some s -> push p "opt_t" s
+            | None -> ())
+          | "MILP" -> (
+            match field "seconds" with
+            | Some s -> push p "milp_t" s
+            | None -> ())
+          | _ -> ())
+        cells)
+    jobs
+    (run_jobs ?journal ?pool (List.map snd jobs));
   List.iter
     (fun p ->
-      let isps = ref [] and srts = ref [] and opts = ref [] in
-      let isp_ts = ref [] and srt_ts = ref [] and opt_ts = ref [] in
-      let milp_ts = ref [] in
-      for r = 1 to runs do
-        (* Rng-consuming generation stays outside the journal closure. *)
-        let rng = Rng.split master in
-        let g = connected_er ~rng ~p in
-        let demands =
-          feasible_demands ~rng ~distinct:true ~count:5 ~amount:1.0 g
-        in
-        let inst =
-          Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
-        in
-        let pairs =
-          List.map (fun d -> (d.Commodity.src, d.Commodity.dst)) demands
-        in
-        (* MILP timing on the sparsest instances only, and only the first
-           run of the sweep: even the root LP relaxation takes minutes at
-           this size, which is precisely the paper's point about OPT's
-           scalability (their Gurobi runs reached ~27 hours at p=0.9).
-           Gated on the run index (not accumulator state) so a journal
-           replay makes the same choice. *)
-        let want_milp = p <= milp_p_max +. 1e-9 && r = 1 in
-        let cells =
-          Journal.with_run journal
-            ~point:(Printf.sprintf "fig7:p=%g" p)
-            ~run:r
-            (fun () ->
-              let isp =
-                measure ~label:"fig7.isp" inst (fun () ->
-                    fst (Netrec_core.Isp.solve inst))
-              in
-              let srt =
-                measure ~label:"fig7.srt" inst (fun () -> H.Srt.solve inst)
-              in
-              let forest, forest_secs =
-                Obs.timed "fig7.exact_forest" (fun () ->
-                    H.Exact_forest.optimal_total_repairs g ~pairs)
-              in
-              let forest_fields =
-                ("seconds", forest_secs)
-                ::
-                (match forest with
-                | Some repairs -> [ ("repairs_total", float_of_int repairs) ]
-                | None -> [])
-              in
-              let milp_cells =
-                if want_milp then begin
-                  let _, milp_secs =
-                    Obs.timed "fig7.milp" (fun () ->
-                        let warm =
-                          H.Postpass.prune inst
-                            (fst (Netrec_core.Isp.solve inst))
-                        in
-                        H.Opt.solve ~node_limit:milp_nodes ~var_budget:6000
-                          ~incumbent:warm inst)
-                  in
-                  [ ("MILP", [ ("seconds", milp_secs) ]) ]
-                end
-                else []
-              in
-              [ ("ISP", measurement_fields isp);
-                ("SRT", measurement_fields srt);
-                ("FOREST", forest_fields) ]
-              @ milp_cells)
-        in
-        List.iter
-          (fun (name, fields) ->
-            let field k = List.assoc_opt k fields in
-            match name with
-            | "ISP" ->
-              let m = measurement_of_fields fields in
-              isps := m.repairs_total :: !isps;
-              isp_ts := m.seconds :: !isp_ts
-            | "SRT" ->
-              let m = measurement_of_fields fields in
-              srts := m.repairs_total :: !srts;
-              srt_ts := m.seconds :: !srt_ts
-            | "FOREST" ->
-              (match field "repairs_total" with
-              | Some x -> opts := x :: !opts
-              | None -> ());
-              (match field "seconds" with
-              | Some s -> opt_ts := s :: !opt_ts
-              | None -> ())
-            | "MILP" ->
-              (match field "seconds" with
-              | Some s -> milp_ts := s :: !milp_ts
-              | None -> ())
-            | _ -> ())
-          cells
-      done;
+      let get tag = Option.value ~default:[] (Hashtbl.find_opt acc (p, tag)) in
       let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in
       Table.add_row time_t
         [ Printf.sprintf "%.1f" p;
-          Printf.sprintf "%.3f" (mean !isp_ts);
-          Printf.sprintf "%.3f" (mean !srt_ts);
-          Printf.sprintf "%.3f" (mean !opt_ts);
-          (if !milp_ts = [] then "n/a (>600s here; paper ~1e5 s)"
-           else Printf.sprintf "%.1f" (mean !milp_ts)) ];
+          Printf.sprintf "%.3f" (mean (get "isp_t"));
+          Printf.sprintf "%.3f" (mean (get "srt_t"));
+          Printf.sprintf "%.3f" (mean (get "opt_t"));
+          (if get "milp_t" = [] then "n/a (>600s here; paper ~1e5 s)"
+           else Printf.sprintf "%.1f" (mean (get "milp_t"))) ];
       Table.add_float_row ~decimals:1 rep_t
-        [ p; mean !isps; mean !opts; mean !srts ])
-    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ];
+        [ p; mean (get "isp"); mean (get "opt"); mean (get "srt") ])
+    ps;
   [ time_t; rep_t ]

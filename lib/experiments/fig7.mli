@@ -16,6 +16,7 @@
 
 val run :
   ?journal:Journal.t ->
+  ?pool:Netrec_parallel.Pool.t ->
   ?runs:int ->
   ?seed:int ->
   ?milp_p_max:float ->

@@ -17,7 +17,7 @@ let opt_proxy inst candidates =
   | best :: _ -> Some best
   | [] -> None
 
-let run ?journal ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
+let run ?journal ?pool ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
   let g = Netrec_topo.Caida.graph () in
   let master = Rng.create seed in
   let rep_t =
@@ -28,65 +28,86 @@ let run ?journal ?(runs = 3) ?(seed = 9) ?(max_pairs = 7) () =
     Table.create ~title:"Fig 9(b): CAIDA-like topology, % satisfied demand vs number of demand pairs"
       ~columns:[ "pairs"; "ISP"; "SRT" ]
   in
-  for pairs = 1 to max_pairs do
-    let isps = ref [] and opts = ref [] and srts = ref [] in
-    let isp_sats = ref [] and srt_sats = ref [] in
-    for r = 1 to runs do
-      (* Rng-consuming generation stays outside the journal closure. *)
-      let rng = Rng.split master in
-      let demands =
-        feasible_demands ~rng ~distinct:true ~count:pairs ~amount:22.0 g
-      in
-      let inst =
-        Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
-      in
-      let cells =
-        Journal.with_run journal
-          ~point:(Printf.sprintf "fig9:pairs=%d" pairs)
-          ~run:r
-          (fun () ->
-            let isp_sol, _ = Netrec_core.Isp.solve inst in
-            let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
-            let srt =
-              measure ~label:"fig9.srt" inst (fun () -> H.Srt.solve inst)
+  (* Rng-consuming generation happens while the jobs are built, in the
+     (pairs, run) sweep order; the job closures are rng-free. *)
+  let jobs =
+    List.concat_map
+      (fun pairs ->
+        List.map
+          (fun r ->
+            let rng = Rng.split master in
+            let demands =
+              feasible_demands ~rng ~distinct:true ~count:pairs ~amount:22.0 g
             in
-            let pruned = H.Postpass.prune inst isp_sol in
-            let steiner = H.Steiner.recovery inst in
-            let opt_cells =
-              match opt_proxy inst [ pruned; steiner; isp_sol ] with
-              | Some best ->
-                [ ( "OPT",
-                    [ ( "repairs_total",
-                        float_of_int (Instance.total_repairs best) ) ] ) ]
-              | None -> []
+            let inst =
+              Instance.make ~graph:g ~demands ~failure:(Failure.complete g) ()
             in
-            [ ("ISP", measurement_fields isp); ("SRT", measurement_fields srt) ]
-            @ opt_cells)
-      in
+            ( pairs,
+              { point = Printf.sprintf "fig9:pairs=%d" pairs;
+                run = r;
+                cells =
+                  (fun () ->
+                    let isp_sol, _ = Netrec_core.Isp.solve inst in
+                    let isp = measure_precomputed inst isp_sol ~seconds:0.0 in
+                    let srt =
+                      measure ~label:"fig9.srt" inst (fun () ->
+                          H.Srt.solve inst)
+                    in
+                    let pruned = H.Postpass.prune inst isp_sol in
+                    let steiner = H.Steiner.recovery inst in
+                    let opt_cells =
+                      match opt_proxy inst [ pruned; steiner; isp_sol ] with
+                      | Some best ->
+                        [ ( "OPT",
+                            [ ( "repairs_total",
+                                float_of_int (Instance.total_repairs best) )
+                            ] ) ]
+                      | None -> []
+                    in
+                    [ ("ISP", measurement_fields isp);
+                      ("SRT", measurement_fields srt) ]
+                    @ opt_cells) } ))
+          (List.init runs (fun r -> r + 1)))
+      (List.init max_pairs (fun p -> p + 1))
+  in
+  let acc = Hashtbl.create 64 in
+  let push pairs tag x =
+    let key = (pairs, tag) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt acc key) in
+    Hashtbl.replace acc key (x :: prev)
+  in
+  List.iter2
+    (fun (pairs, _) cells ->
       List.iter
         (fun (name, fields) ->
           match name with
           | "ISP" ->
             let m = measurement_of_fields fields in
-            isps := m.repairs_total :: !isps;
-            isp_sats := m.satisfied :: !isp_sats
+            push pairs "isp" m.repairs_total;
+            push pairs "isp_sat" m.satisfied
           | "SRT" ->
             let m = measurement_of_fields fields in
-            srts := m.repairs_total :: !srts;
-            srt_sats := m.satisfied :: !srt_sats
-          | "OPT" ->
-            (match List.assoc_opt "repairs_total" fields with
-            | Some x -> opts := x :: !opts
+            push pairs "srt" m.repairs_total;
+            push pairs "srt_sat" m.satisfied
+          | "OPT" -> (
+            match List.assoc_opt "repairs_total" fields with
+            | Some x -> push pairs "opt" x
             | None -> ())
           | _ -> ())
-        cells
-    done;
+        cells)
+    jobs
+    (run_jobs ?journal ?pool (List.map snd jobs));
+  for pairs = 1 to max_pairs do
+    let get tag =
+      Option.value ~default:[] (Hashtbl.find_opt acc (pairs, tag))
+    in
     let mean = function [] -> nan | xs -> Netrec_util.Stats.mean xs in
     Table.add_float_row ~decimals:1 rep_t
-      [ float_of_int pairs; mean !isps; mean !opts; mean !srts ];
+      [ float_of_int pairs; mean (get "isp"); mean (get "opt");
+        mean (get "srt") ];
     Table.add_float_row ~decimals:1 sat_t
       [ float_of_int pairs;
-        percent (mean !isp_sats);
-        percent (mean !srt_sats) ]
+        percent (mean (get "isp_sat"));
+        percent (mean (get "srt_sat")) ]
   done;
   [ rep_t; sat_t ]

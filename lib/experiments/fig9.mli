@@ -11,6 +11,7 @@
 
 val run :
   ?journal:Journal.t ->
+  ?pool:Netrec_parallel.Pool.t ->
   ?runs:int ->
   ?seed:int ->
   ?max_pairs:int ->

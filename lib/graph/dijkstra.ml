@@ -1,55 +1,191 @@
-module Pqueue = Netrec_util.Pqueue
 module Obs = Netrec_obs.Obs
 
 let all _ = true
 
-let run ?(vertex_ok = all) ?(edge_ok = all) ~length g src =
+(* ---- pooled scratch ----
+
+   Dijkstra is the hot kernel of the repository (the ISP centrality loop
+   issues it ~100k times per bench sweep), so the working state lives in
+   a per-domain scratch record that is grown once and reused across
+   calls: distance/predecessor arrays are cleared lazily with a visit
+   stamp instead of re-allocated, and the heap arrays persist.  The
+   scratch is domain-local (one per OCaml 5 domain), which keeps the
+   kernel safe under the multicore experiment fan-out without any
+   locking. *)
+
+type scratch = {
+  mutable dist : float array;
+  mutable pred : int array;
+  mutable seen : int array;  (* seen.(v) = stamp: dist/pred valid *)
+  mutable settled : int array;  (* settled.(v) = stamp: popped final *)
+  mutable stamp : int;
+  (* Binary min-heap with lazy deletion, packed into parallel arrays.
+     Ordering is lexicographic on (priority, vertex id): equal-distance
+     vertices always settle in vertex-id order, independently of heap
+     insertion history.  That makes the relaxation order — and so the
+     predecessor choice among equal-length shortest paths — a pure
+     function of the distance values, which the incremental centrality
+     cache relies on (see DESIGN §11). *)
+  mutable hp : float array;
+  mutable hv : int array;
+  mutable hlen : int;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { dist = [||];
+        pred = [||];
+        seen = [||];
+        settled = [||];
+        stamp = 0;
+        hp = Array.make 16 infinity;
+        hv = Array.make 16 0;
+        hlen = 0 })
+
+let scratch n =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.dist < n then begin
+    let cap = max n (2 * Array.length s.dist) in
+    s.dist <- Array.make cap infinity;
+    s.pred <- Array.make cap (-1);
+    s.seen <- Array.make cap 0;
+    s.settled <- Array.make cap 0;
+    s.stamp <- 0
+  end;
+  s.stamp <- s.stamp + 1;
+  s.hlen <- 0;
+  s
+
+let heap_less s i j =
+  s.hp.(i) < s.hp.(j) || (s.hp.(i) = s.hp.(j) && s.hv.(i) < s.hv.(j))
+
+let heap_swap s i j =
+  let p = s.hp.(i) and v = s.hv.(i) in
+  s.hp.(i) <- s.hp.(j);
+  s.hv.(i) <- s.hv.(j);
+  s.hp.(j) <- p;
+  s.hv.(j) <- v
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s i parent then begin
+      heap_swap s i parent;
+      sift_up s parent
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < s.hlen && heap_less s l !smallest then smallest := l;
+  if r < s.hlen && heap_less s r !smallest then smallest := r;
+  if !smallest <> i then begin
+    heap_swap s i !smallest;
+    sift_down s !smallest
+  end
+
+let heap_push s p v =
+  if s.hlen = Array.length s.hp then begin
+    let cap = 2 * s.hlen in
+    let hp = Array.make cap infinity and hv = Array.make cap 0 in
+    Array.blit s.hp 0 hp 0 s.hlen;
+    Array.blit s.hv 0 hv 0 s.hlen;
+    s.hp <- hp;
+    s.hv <- hv
+  end;
+  s.hp.(s.hlen) <- p;
+  s.hv.(s.hlen) <- v;
+  s.hlen <- s.hlen + 1;
+  sift_up s (s.hlen - 1)
+
+(* Pop the minimum (priority, vertex) pair; -1 when empty. *)
+let heap_pop s =
+  if s.hlen = 0 then -1
+  else begin
+    let v = s.hv.(0) in
+    s.hlen <- s.hlen - 1;
+    s.hp.(0) <- s.hp.(s.hlen);
+    s.hv.(0) <- s.hv.(s.hlen);
+    if s.hlen > 0 then sift_down s 0;
+    v
+  end
+
+(* Core search on pooled scratch.  Stops as soon as [target] (when
+   given) is settled; every vertex settles at most once (a settled mark
+   makes stale lazy-deletion heap entries skip, rather than re-expand as
+   the old [d <= dist] test did). *)
+let search ?(vertex_ok = all) ?(edge_ok = all) ?target ~length g src =
   Obs.count "dijkstra.calls";
   let n = Graph.nv g in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  (match target with
+  | Some t when t < 0 || t >= n -> invalid_arg "Dijkstra: target out of range"
+  | _ -> ());
+  let s = scratch n in
+  let stamp = s.stamp in
+  if vertex_ok src then begin
+    s.dist.(src) <- 0.0;
+    s.pred.(src) <- -1;
+    s.seen.(src) <- stamp;
+    heap_push s 0.0 src;
+    let stop = ref false in
+    while not !stop do
+      let u = heap_pop s in
+      if u < 0 then stop := true
+      else if s.settled.(u) <> stamp then begin
+        s.settled.(u) <- stamp;
+        Obs.count "dijkstra.settled";
+        if target = Some u then stop := true
+        else begin
+          let d = s.dist.(u) in
+          Graph.iter_incident g u (fun w e ->
+              if vertex_ok w && edge_ok e then begin
+                let len = length e in
+                if len < 0.0 then
+                  invalid_arg "Dijkstra: negative edge length";
+                let nd = d +. len in
+                if s.seen.(w) <> stamp || nd < s.dist.(w) then begin
+                  s.dist.(w) <- nd;
+                  s.pred.(w) <- e;
+                  s.seen.(w) <- stamp;
+                  heap_push s nd w
+                end
+              end)
+        end
+      end
+    done
+  end;
+  s
+
+let run ?vertex_ok ?edge_ok ?target ~length g src =
+  let n = Graph.nv g in
+  let s = search ?vertex_ok ?edge_ok ?target ~length g src in
+  let stamp = s.stamp in
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
-  if vertex_ok src then begin
-    let heap = Pqueue.create () in
-    dist.(src) <- 0.0;
-    Pqueue.push heap 0.0 src;
-    let rec loop () =
-      match Pqueue.pop heap with
-      | None -> ()
-      | Some (d, u) ->
-        if d <= dist.(u) then begin
-          Obs.count "dijkstra.settled";
-          let relax (w, e) =
-            if vertex_ok w && edge_ok e then begin
-              let len = length e in
-              if len < 0.0 then invalid_arg "Dijkstra: negative edge length";
-              let nd = d +. len in
-              if nd < dist.(w) then begin
-                dist.(w) <- nd;
-                pred.(w) <- e;
-                Pqueue.push heap nd w
-              end
-            end
-          in
-          List.iter relax (Graph.incident g u)
-        end;
-        loop ()
-    in
-    loop ()
-  end;
+  for v = 0 to n - 1 do
+    if s.seen.(v) = stamp then begin
+      dist.(v) <- s.dist.(v);
+      pred.(v) <- s.pred.(v)
+    end
+  done;
   (dist, pred)
 
-let distances ?vertex_ok ?edge_ok ~length g src =
-  fst (run ?vertex_ok ?edge_ok ~length g src)
+let distances ?vertex_ok ?edge_ok ?target ~length g src =
+  fst (run ?vertex_ok ?edge_ok ?target ~length g src)
 
 let shortest_path ?vertex_ok ?edge_ok ~length g src dst =
-  let dist, pred = run ?vertex_ok ?edge_ok ~length g src in
-  if dist.(dst) = infinity then None
+  let n = Graph.nv g in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra: target out of range";
+  let s = search ?vertex_ok ?edge_ok ~target:dst ~length g src in
+  let stamp = s.stamp in
+  if s.seen.(dst) <> stamp || s.dist.(dst) = infinity then None
   else begin
     let rec walk v acc =
       if v = src then acc
       else
-        let e = pred.(v) in
+        let e = s.pred.(v) in
         walk (Graph.other_end g e v) (e :: acc)
     in
     Some (walk dst [])

@@ -6,7 +6,15 @@ type edge = { id : edge_id; u : vertex; v : vertex; capacity : float }
 type t = {
   nv : int;
   edge_arr : edge array;
-  adj : (vertex * edge_id) list array;
+  (* CSR-packed adjacency: the incidence slots of vertex [v] are
+     [adj_off.(v) .. adj_off.(v+1) - 1]; slot [k] holds neighbor
+     [adj_v.(k)] reached over edge [adj_e.(k)].  Each row is sorted by
+     edge id, matching the list adjacency this layout replaced, so
+     traversal order (and therefore every tie-break downstream) is
+     unchanged. *)
+  adj_off : int array;
+  adj_v : int array;
+  adj_e : int array;
   names : string array option;
   coords : (float * float) array option;
 }
@@ -33,14 +41,33 @@ let make ?names ?coords ~n ~edges () =
            { id; u; v; capacity })
          edges)
   in
-  let adj = Array.make n [] in
-  (* Build adjacency in reverse so that each list ends up in edge-id order. *)
-  for i = Array.length edge_arr - 1 downto 0 do
-    let e = edge_arr.(i) in
-    adj.(e.u) <- (e.v, e.id) :: adj.(e.u);
-    adj.(e.v) <- (e.u, e.id) :: adj.(e.v)
+  let m = Array.length edge_arr in
+  (* Two-pass CSR build: count degrees, prefix-sum into offsets, then fill
+     slots in increasing edge id so each row is in edge-id order. *)
+  let adj_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun e ->
+      adj_off.(e.u + 1) <- adj_off.(e.u + 1) + 1;
+      adj_off.(e.v + 1) <- adj_off.(e.v + 1) + 1)
+    edge_arr;
+  for v = 0 to n - 1 do
+    adj_off.(v + 1) <- adj_off.(v + 1) + adj_off.(v)
   done;
-  { nv = n; edge_arr; adj; names; coords }
+  let adj_v = Array.make (2 * m) 0 in
+  let adj_e = Array.make (2 * m) 0 in
+  let cursor = Array.copy adj_off in
+  Array.iter
+    (fun e ->
+      let ku = cursor.(e.u) in
+      adj_v.(ku) <- e.v;
+      adj_e.(ku) <- e.id;
+      cursor.(e.u) <- ku + 1;
+      let kv = cursor.(e.v) in
+      adj_v.(kv) <- e.u;
+      adj_e.(kv) <- e.id;
+      cursor.(e.v) <- kv + 1)
+    edge_arr;
+  { nv = n; edge_arr; adj_off; adj_v; adj_e; names; coords }
 
 let nv g = g.nv
 let ne g = Array.length g.edge_arr
@@ -63,22 +90,47 @@ let other_end g id w =
   else if e.v = w then e.u
   else invalid_arg "Graph.other_end: vertex not an endpoint"
 
+let check_incident g v op =
+  if v < 0 || v >= g.nv then invalid_arg ("Graph." ^ op ^ ": vertex out of range")
+
+let iter_incident g v f =
+  check_incident g v "iter_incident";
+  for k = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj_v.(k) g.adj_e.(k)
+  done
+
+let fold_incident g v f init =
+  check_incident g v "fold_incident";
+  let acc = ref init in
+  for k = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    acc := f !acc g.adj_v.(k) g.adj_e.(k)
+  done;
+  !acc
+
 let incident g v =
-  if v < 0 || v >= g.nv then invalid_arg "Graph.incident: vertex out of range";
-  g.adj.(v)
+  check_incident g v "incident";
+  let rec build k acc =
+    if k < g.adj_off.(v) then acc
+    else build (k - 1) ((g.adj_v.(k), g.adj_e.(k)) :: acc)
+  in
+  build (g.adj_off.(v + 1) - 1) []
 
 let neighbors g v = List.map fst (incident g v)
-let degree g v = List.length (incident g v)
+
+let degree g v =
+  check_incident g v "degree";
+  g.adj_off.(v + 1) - g.adj_off.(v)
 
 let max_degree g =
   let best = ref 0 in
   for v = 0 to g.nv - 1 do
-    best := max !best (List.length g.adj.(v))
+    best := max !best (g.adj_off.(v + 1) - g.adj_off.(v))
   done;
   !best
 
 let find_edges g u v =
-  List.filter_map (fun (w, e) -> if w = v then Some e else None) (incident g u)
+  List.rev
+    (fold_incident g u (fun acc w e -> if w = v then e :: acc else acc) [])
 
 let find_edge g u v =
   match find_edges g u v with [] -> None | e :: _ -> Some e

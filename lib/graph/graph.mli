@@ -62,7 +62,20 @@ val other_end : t -> edge_id -> vertex -> vertex
     @raise Invalid_argument if [w] is not an endpoint of [e]. *)
 
 val incident : t -> vertex -> (vertex * edge_id) list
-(** [(neighbor, edge)] pairs incident to a vertex. *)
+(** [(neighbor, edge)] pairs incident to a vertex.  Allocates a fresh
+    list; traversal kernels should prefer {!iter_incident} /
+    {!fold_incident}, which walk the packed CSR adjacency directly. *)
+
+val iter_incident : t -> vertex -> (vertex -> edge_id -> unit) -> unit
+(** [iter_incident g v f] calls [f neighbor edge] for every incidence of
+    [v], in edge-id order, without allocating.  The adjacency is stored
+    CSR-style (one offset array plus packed neighbor/edge arrays), so
+    this is a tight int-array scan — the form every shortest-path /
+    flow kernel consumes. *)
+
+val fold_incident : t -> vertex -> ('a -> vertex -> edge_id -> 'a) -> 'a -> 'a
+(** Allocation-free fold over the incidences of a vertex, in edge-id
+    order. *)
 
 val neighbors : t -> vertex -> vertex list
 (** Adjacent vertices (with multiplicity for parallel edges). *)

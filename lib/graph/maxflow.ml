@@ -30,16 +30,33 @@ let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
     let u, v = Graph.endpoints g e in
     vertex_ok u && vertex_ok v
   in
-  let arc_head a =
-    let e = Graph.edge g (a / 2) in
-    if a land 1 = 0 then e.v else e.u
-  in
-  let arcs_from = Array.make n [] in
-  for e = m - 1 downto 0 do
-    let { Graph.u; v; _ } = Graph.edge g e in
-    arcs_from.(u) <- (2 * e) :: arcs_from.(u);
-    arcs_from.(v) <- ((2 * e) + 1) :: arcs_from.(v)
+  (* Packed outgoing-arc table (CSR layout): the arcs leaving vertex [v]
+     are slots [arc_off.(v) .. arc_off.(v+1) - 1] of [arcs]/[heads], in
+     edge-id order — the same order the per-vertex arc lists used to
+     have, so phase and augmentation order are unchanged. *)
+  let arc_off = Array.make (n + 1) 0 in
+  Graph.fold_edges
+    (fun { Graph.u; v; _ } () ->
+      arc_off.(u + 1) <- arc_off.(u + 1) + 1;
+      arc_off.(v + 1) <- arc_off.(v + 1) + 1)
+    g ();
+  for v = 0 to n - 1 do
+    arc_off.(v + 1) <- arc_off.(v + 1) + arc_off.(v)
   done;
+  let arcs = Array.make (2 * m) 0 in
+  let heads = Array.make (2 * m) 0 in
+  let cursor = Array.copy arc_off in
+  Graph.fold_edges
+    (fun { Graph.id = e; u; v; _ } () ->
+      let ku = cursor.(u) in
+      arcs.(ku) <- 2 * e;
+      heads.(ku) <- v;
+      cursor.(u) <- ku + 1;
+      let kv = cursor.(v) in
+      arcs.(kv) <- (2 * e) + 1;
+      heads.(kv) <- u;
+      cursor.(v) <- kv + 1)
+    g ();
   let level = Array.make n (-1) in
   let build_levels () =
     Array.fill level 0 n (-1);
@@ -50,50 +67,49 @@ let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
       Queue.add source queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        let visit a =
+        for k = arc_off.(u) to arc_off.(u + 1) - 1 do
+          let a = arcs.(k) in
           if arc_ok a && resid.(a) > flow_eps then begin
-            let w = arc_head a in
+            let w = heads.(k) in
             if level.(w) < 0 then begin
               level.(w) <- level.(u) + 1;
               Queue.add w queue
             end
           end
-        in
-        List.iter visit arcs_from.(u)
+        done
       done;
       level.(sink) >= 0
     end
   in
-  (* [iter] is the current-arc optimisation: remaining arcs to try per
-     vertex within one blocking-flow phase. *)
-  let iter = Array.make n [] in
+  (* [iter] is the current-arc optimisation: cursor into the arc slots of
+     each vertex, advanced past exhausted arcs within one blocking-flow
+     phase. *)
+  let iter = Array.make n 0 in
   let rec push u limit =
     if u = sink then limit
     else begin
-      let rec try_arcs () =
-        match iter.(u) with
-        | [] -> 0.0
-        | a :: rest ->
-          let advance () =
-            iter.(u) <- rest;
-            try_arcs ()
-          in
-          if not (arc_ok a) || resid.(a) <= flow_eps then advance ()
+      let got = ref 0.0 in
+      let stop = arc_off.(u + 1) in
+      while !got <= flow_eps && iter.(u) < stop do
+        let k = iter.(u) in
+        let a = arcs.(k) in
+        if not (arc_ok a) || resid.(a) <= flow_eps then iter.(u) <- k + 1
+        else begin
+          let w = heads.(k) in
+          if level.(w) <> level.(u) + 1 then iter.(u) <- k + 1
           else begin
-            let w = arc_head a in
-            if level.(w) <> level.(u) + 1 then advance ()
-            else begin
-              let got = push w (Float.min limit resid.(a)) in
-              if got > flow_eps then begin
-                resid.(a) <- resid.(a) -. got;
-                resid.(a lxor 1) <- resid.(a lxor 1) +. got;
-                got
-              end
-              else advance ()
+            let pushed = push w (Float.min limit resid.(a)) in
+            if pushed > flow_eps then begin
+              resid.(a) <- resid.(a) -. pushed;
+              resid.(a lxor 1) <- resid.(a lxor 1) +. pushed;
+              got := pushed
+              (* keep the cursor on this arc: it may carry more flow *)
             end
+            else iter.(u) <- k + 1
           end
-      in
-      try_arcs ()
+        end
+      done;
+      !got
     end
   in
   let value = ref 0.0 in
@@ -101,7 +117,7 @@ let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
     while build_levels () do
       Obs.count "maxflow.phases";
       for v = 0 to n - 1 do
-        iter.(v) <- arcs_from.(v)
+        iter.(v) <- arc_off.(v)
       done;
       let rec drain () =
         let got = push source infinity in
@@ -135,17 +151,15 @@ let min_cut ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
     Queue.add source queue;
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      let visit (w, e) =
-        if vertex_ok w && edge_ok e && not seen.(w) then begin
-          let { Graph.u = eu; _ } = Graph.edge g e in
-          let along = if eu = u then edge_flow.(e) else -.edge_flow.(e) in
-          if cap_of e -. along > flow_eps then begin
-            seen.(w) <- true;
-            Queue.add w queue
-          end
-        end
-      in
-      List.iter visit (Graph.incident g u)
+      Graph.iter_incident g u (fun w e ->
+          if vertex_ok w && edge_ok e && not seen.(w) then begin
+            let { Graph.u = eu; _ } = Graph.edge g e in
+            let along = if eu = u then edge_flow.(e) else -.edge_flow.(e) in
+            if cap_of e -. along > flow_eps then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end
+          end)
     done
   end;
   let side = List.filter (fun v -> seen.(v)) (Graph.vertices g) in
@@ -178,14 +192,13 @@ let decompose g ~source ~sink { edge_flow; _ } =
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      let visit (w, e) =
-        if (not seen.(w)) && along e u > flow_eps then begin
-          seen.(w) <- true;
-          pred.(w) <- e;
-          if w = sink then found := true else Queue.add w queue
-        end
-      in
-      if not !found then List.iter visit (Graph.incident g u)
+      if not !found then
+        Graph.iter_incident g u (fun w e ->
+            if (not seen.(w)) && along e u > flow_eps then begin
+              seen.(w) <- true;
+              pred.(w) <- e;
+              if w = sink then found := true else Queue.add w queue
+            end)
     done;
     if not !found then []
     else begin

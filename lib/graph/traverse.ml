@@ -13,14 +13,12 @@ let bfs_core ?(vertex_ok = all_vertices) ?(edge_ok = all_edges) g src =
     Queue.add src queue;
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      let visit (w, e) =
-        if vertex_ok w && edge_ok e && dist.(w) = max_int then begin
-          dist.(w) <- dist.(u) + 1;
-          pred.(w) <- e;
-          Queue.add w queue
-        end
-      in
-      List.iter visit (Graph.incident g u)
+      Graph.iter_incident g u (fun w e ->
+          if vertex_ok w && edge_ok e && dist.(w) = max_int then begin
+            dist.(w) <- dist.(u) + 1;
+            pred.(w) <- e;
+            Queue.add w queue
+          end)
     done
   end;
   (dist, pred)

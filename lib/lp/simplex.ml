@@ -38,8 +38,10 @@ type tableau = {
 (* Scratch buffer for the pivot row's nonzero column indices: iterating
    only over them makes each elimination proportional to the pivot row's
    density rather than the tableau width — a large win on the sparse MCF
-   tableaus this library generates. *)
-let nz_scratch = ref [||]
+   tableaus this library generates.  Domain-local: concurrent solves on
+   worker domains must not share it (the unsafe accesses below index by
+   its contents). *)
+let nz_scratch = Domain.DLS.new_key (fun () -> ref [||])
 
 let pivot tab ~row ~col =
   Obs.count "simplex.pivots";
@@ -47,6 +49,7 @@ let pivot tab ~row ~col =
   let prow = t.(row) in
   let piv = prow.(col) in
   let inv = 1.0 /. piv in
+  let nz_scratch = Domain.DLS.get nz_scratch in
   if Array.length !nz_scratch < width + 1 then
     nz_scratch := Array.make (width + 1) 0;
   let nz = !nz_scratch in

@@ -1,35 +1,21 @@
 module Table = Netrec_util.Table
 
-(* All state is global and thread-unsafe by design: the solvers are
-   single-threaded and the disabled-mode cost must stay at one load and
-   one branch. *)
+(* Telemetry state is per-domain: every domain that records anything gets
+   its own tables (reached through [Domain.DLS], so the hot entry points
+   never take a lock), and a mutex-guarded registry keeps every state
+   ever created so readers can merge across domains.  Readers are meant
+   for quiescent moments — after worker domains have been joined — and
+   the summaries they produce are deterministic because merging sums
+   per-name aggregates.  The disabled-mode cost stays one atomic load
+   and one branch. *)
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 let now () = Unix.gettimeofday ()
 
-(* ---- counters ---- *)
-
 type counter = { mutable n : int }
-
-let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
-
-let count ?(n = 1) name =
-  if !enabled_flag then
-    match Hashtbl.find_opt counters_tbl name with
-    | Some c -> c.n <- c.n + n
-    | None -> Hashtbl.replace counters_tbl name { n }
-
-let counter_value name =
-  match Hashtbl.find_opt counters_tbl name with Some c -> c.n | None -> 0
-
-let counters () =
-  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters_tbl []
-  |> List.sort compare
-
-(* ---- gauges ---- *)
 
 type gauge_stat = { last : float; min : float; max : float; samples : int }
 
@@ -38,29 +24,8 @@ type gauge_cell = {
   mutable lo : float;
   mutable hi : float;
   mutable samples : int;
+  mutable seq : int;  (* global update order: disambiguates [last] *)
 }
-
-let gauges_tbl : (string, gauge_cell) Hashtbl.t = Hashtbl.create 32
-
-let gauge name v =
-  if !enabled_flag then
-    match Hashtbl.find_opt gauges_tbl name with
-    | Some g ->
-      g.last <- v;
-      if v < g.lo then g.lo <- v;
-      if v > g.hi then g.hi <- v;
-      g.samples <- g.samples + 1
-    | None -> Hashtbl.replace gauges_tbl name { last = v; lo = v; hi = v; samples = 1 }
-
-let gauges () =
-  Hashtbl.fold
-    (fun name g acc ->
-      (name, { last = g.last; min = g.lo; max = g.hi; samples = g.samples })
-      :: acc)
-    gauges_tbl []
-  |> List.sort compare
-
-(* ---- spans ---- *)
 
 type span_stat = { path : string; calls : int; total_s : float; self_s : float }
 
@@ -68,50 +33,170 @@ type agg = { mutable calls : int; mutable total : float; mutable self : float }
 
 type frame = { path : string; t0 : float; mutable child : float }
 
-type event = { epath : string; ets : float; edur : float }
+type event = { epath : string; ets : float; edur : float; etid : int }
 
-let spans_tbl : (string, agg) Hashtbl.t = Hashtbl.create 64
-let stack : frame list ref = ref []
-let epoch = ref (now ())
+type state = {
+  dom : int;  (* domain id at creation; Chrome-trace tid *)
+  counters_tbl : (string, counter) Hashtbl.t;
+  gauges_tbl : (string, gauge_cell) Hashtbl.t;
+  spans_tbl : (string, agg) Hashtbl.t;
+  mutable stack : frame list;
+  mutable events : event list;
+  mutable n_events : int;
+  mutable dropped : int;
+}
+
+let registry_mu = Mutex.create ()
+let registry : state list ref = ref []
+let epoch = Atomic.make (now ())
+let gauge_seq = Atomic.make 0
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        { dom = (Domain.self () :> int);
+          counters_tbl = Hashtbl.create 64;
+          gauges_tbl = Hashtbl.create 32;
+          spans_tbl = Hashtbl.create 64;
+          stack = [];
+          events = [];
+          n_events = 0;
+          dropped = 0 }
+      in
+      Mutex.lock registry_mu;
+      registry := !registry @ [ st ];
+      Mutex.unlock registry_mu;
+      st)
+
+let state () = Domain.DLS.get state_key
+
+(* Snapshot the registry for a merged read. *)
+let states () =
+  Mutex.lock registry_mu;
+  let s = !registry in
+  Mutex.unlock registry_mu;
+  s
+
+(* ---- counters ---- *)
+
+let count ?(n = 1) name =
+  if Atomic.get enabled_flag then begin
+    let st = state () in
+    match Hashtbl.find_opt st.counters_tbl name with
+    | Some c -> c.n <- c.n + n
+    | None -> Hashtbl.replace st.counters_tbl name { n }
+  end
+
+let counters () =
+  let merged : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun name c ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt merged name) in
+          Hashtbl.replace merged name (cur + c.n))
+        st.counters_tbl)
+    (states ());
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged []
+  |> List.sort compare
+
+let counter_value name =
+  List.fold_left
+    (fun acc st ->
+      match Hashtbl.find_opt st.counters_tbl name with
+      | Some c -> acc + c.n
+      | None -> acc)
+    0 (states ())
+
+(* ---- gauges ---- *)
+
+let gauge name v =
+  if Atomic.get enabled_flag then begin
+    let st = state () in
+    let seq = Atomic.fetch_and_add gauge_seq 1 in
+    match Hashtbl.find_opt st.gauges_tbl name with
+    | Some g ->
+      g.last <- v;
+      if v < g.lo then g.lo <- v;
+      if v > g.hi then g.hi <- v;
+      g.samples <- g.samples + 1;
+      g.seq <- seq
+    | None ->
+      Hashtbl.replace st.gauges_tbl name
+        { last = v; lo = v; hi = v; samples = 1; seq }
+  end
+
+let gauges () =
+  let merged : (string, gauge_cell) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun name (g : gauge_cell) ->
+          match Hashtbl.find_opt merged name with
+          | None ->
+            Hashtbl.replace merged name
+              { last = g.last; lo = g.lo; hi = g.hi; samples = g.samples;
+                seq = g.seq }
+          | Some m ->
+            if g.seq > m.seq then begin
+              m.last <- g.last;
+              m.seq <- g.seq
+            end;
+            if g.lo < m.lo then m.lo <- g.lo;
+            if g.hi > m.hi then m.hi <- g.hi;
+            m.samples <- m.samples + g.samples)
+        st.gauges_tbl)
+    (states ());
+  Hashtbl.fold
+    (fun name (g : gauge_cell) acc ->
+      (name, { last = g.last; min = g.lo; max = g.hi; samples = g.samples })
+      :: acc)
+    merged []
+  |> List.sort compare
+
+(* ---- spans ---- *)
 
 (* Individual intervals feed the Chrome-trace export only; aggregates in
    [spans_tbl] are never dropped.  The cap bounds memory on long runs
    (e.g. full bench sweeps). *)
 let max_events = 1_000_000
-let events : event list ref = ref []
-let n_events = ref 0
-let dropped = ref 0
 
-let events_dropped () = !dropped
+let events_dropped () =
+  List.fold_left (fun acc st -> acc + st.dropped) 0 (states ())
 
-let record_event path t0 dur =
-  if !n_events < max_events then begin
-    events := { epath = path; ets = t0 -. !epoch; edur = dur } :: !events;
-    incr n_events
+let record_event st path t0 dur =
+  if st.n_events < max_events then begin
+    st.events <-
+      { epath = path; ets = t0 -. Atomic.get epoch; edur = dur; etid = st.dom }
+      :: st.events;
+    st.n_events <- st.n_events + 1
   end
-  else incr dropped
+  else st.dropped <- st.dropped + 1
 
-(* Shared body of [span] and [timed] in enabled mode. *)
+(* Shared body of [span] and [timed] in enabled mode.  The span stack is
+   part of the per-domain state, so nesting paths never interleave
+   across domains. *)
 let span_enabled name f =
-  let parent = match !stack with [] -> None | fr :: _ -> Some fr in
+  let st = state () in
+  let parent = match st.stack with [] -> None | fr :: _ -> Some fr in
   let path =
     match parent with None -> name | Some fr -> fr.path ^ "/" ^ name
   in
   let fr = { path; t0 = now (); child = 0.0 } in
-  stack := fr :: !stack;
+  st.stack <- fr :: st.stack;
   let finish () =
     let dur = now () -. fr.t0 in
-    (match !stack with _ :: rest -> stack := rest | [] -> ());
+    (match st.stack with _ :: rest -> st.stack <- rest | [] -> ());
     (match parent with Some p -> p.child <- p.child +. dur | None -> ());
-    (match Hashtbl.find_opt spans_tbl path with
+    (match Hashtbl.find_opt st.spans_tbl path with
     | Some a ->
       a.calls <- a.calls + 1;
       a.total <- a.total +. dur;
       a.self <- a.self +. (dur -. fr.child)
     | None ->
-      Hashtbl.replace spans_tbl path
+      Hashtbl.replace st.spans_tbl path
         { calls = 1; total = dur; self = dur -. fr.child });
-    record_event path fr.t0 dur;
+    record_event st path fr.t0 dur;
     dur
   in
   match f () with
@@ -120,10 +205,11 @@ let span_enabled name f =
     ignore (finish ());
     raise e
 
-let span name f = if not !enabled_flag then f () else fst (span_enabled name f)
+let span name f =
+  if not (Atomic.get enabled_flag) then f () else fst (span_enabled name f)
 
 let timed name f =
-  if not !enabled_flag then begin
+  if not (Atomic.get enabled_flag) then begin
     let t0 = now () in
     let v = f () in
     (v, now () -. t0)
@@ -131,21 +217,39 @@ let timed name f =
   else span_enabled name f
 
 let span_stats () =
+  let merged : (string, agg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun path a ->
+          match Hashtbl.find_opt merged path with
+          | Some m ->
+            m.calls <- m.calls + a.calls;
+            m.total <- m.total +. a.total;
+            m.self <- m.self +. a.self
+          | None ->
+            Hashtbl.replace merged path
+              { calls = a.calls; total = a.total; self = a.self })
+        st.spans_tbl)
+    (states ());
   Hashtbl.fold
     (fun path a acc ->
       { path; calls = a.calls; total_s = a.total; self_s = a.self } :: acc)
-    spans_tbl []
+    merged []
   |> List.sort (fun a b -> compare (b.total_s, a.path) (a.total_s, b.path))
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset gauges_tbl;
-  Hashtbl.reset spans_tbl;
-  stack := [];
-  events := [];
-  n_events := 0;
-  dropped := 0;
-  epoch := now ()
+  List.iter
+    (fun st ->
+      Hashtbl.reset st.counters_tbl;
+      Hashtbl.reset st.gauges_tbl;
+      Hashtbl.reset st.spans_tbl;
+      st.stack <- [];
+      st.events <- [];
+      st.n_events <- 0;
+      st.dropped <- 0)
+    (states ());
+  Atomic.set epoch (now ())
 
 (* ---- exporters ---- *)
 
@@ -245,9 +349,10 @@ let jsonl () =
            (json_escape s.path) s.calls (json_float s.total_s)
            (json_float s.self_s)))
     (span_stats ());
-  if !dropped > 0 then
+  let dropped = events_dropped () in
+  if dropped > 0 then
     Buffer.add_string buf
-      (Printf.sprintf "{\"type\":\"meta\",\"events_dropped\":%d}\n" !dropped);
+      (Printf.sprintf "{\"type\":\"meta\",\"events_dropped\":%d}\n" dropped);
   Buffer.contents buf
 
 let metrics_json () =
@@ -285,18 +390,23 @@ let chrome_trace () =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
-  (* The event list is newest-first; emission order is irrelevant to the
-     trace viewers, which sort by [ts]. *)
+  (* Per-state event lists are newest-first; emission order is
+     irrelevant to the trace viewers, which sort by [ts].  Each domain's
+     intervals land on their own [tid] row. *)
   List.iter
-    (fun e ->
-      if !first then first := false else Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"netrec\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1}"
-           (json_escape (leaf e.epath))
-           (json_float (1e6 *. e.ets))
-           (json_float (1e6 *. e.edur))))
-    !events;
+    (fun st ->
+      List.iter
+        (fun e ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"netrec\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d}"
+               (json_escape (leaf e.epath))
+               (json_float (1e6 *. e.ets))
+               (json_float (1e6 *. e.edur))
+               e.etid))
+        st.events)
+    (states ());
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

@@ -1,7 +1,14 @@
 (** Structured tracing, counters and run reports for the solver stack.
 
-    A single global, deliberately thread-unsafe collector records three
-    kinds of telemetry:
+    The collector records three kinds of telemetry into {e per-domain}
+    state: each OCaml domain that records gets its own tables (reached
+    through domain-local storage, so hot entry points never take a
+    lock), and readers merge across every domain that ever recorded.
+    Merged reads are intended for quiescent moments — after worker
+    domains have been joined — and sum per-name aggregates, so a
+    parallel run reports the same counter totals as the equivalent
+    sequential one.  In the Chrome-trace export each domain's intervals
+    appear on their own [tid] row.
 
     - {b spans}: hierarchical wall-clock timers.  [span "isp.iteration" f]
       runs [f], attributing its duration to the path formed by the

@@ -1,0 +1,111 @@
+module Obs = Netrec_obs.Obs
+
+type t = { jobs : int }
+
+let create ~jobs = { jobs = max 1 jobs }
+let jobs t = t.jobs
+
+let default_jobs () =
+  match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+(* Deterministic fan-out: workers claim contiguous index chunks from an
+   atomic cursor and publish results into a per-index slot array; the
+   caller consumes slots strictly in index order (helping with compute
+   whenever the slot it needs is not ready and work remains), so
+   [consume] observes exactly the sequential order no matter how the
+   chunks were interleaved across domains.  An exception from [f] is
+   captured in its slot and re-raised by the caller at that index —
+   after every earlier slot was consumed — which reproduces the
+   sequential failure point; remaining work is then cancelled by pushing
+   the cursor past the end. *)
+let iter_ordered t ~f ~consume items =
+  let n = Array.length items in
+  Obs.count "parallel.batches";
+  Obs.count ~n "parallel.cells";
+  Obs.gauge "parallel.cells_per_domain" (float_of_int n /. float_of_int t.jobs);
+  if n = 0 then ()
+  else if t.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      consume i (f i items.(i))
+    done
+  else begin
+    let slots = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let mu = Mutex.create () in
+    let cond = Condition.create () in
+    (* Small chunks keep domains busy near the end of the batch; chunk 1
+       would contend on the cursor for trivial cells. *)
+    let chunk = max 1 (n / (t.jobs * 8)) in
+    let publish i r =
+      Mutex.lock mu;
+      slots.(i) <- r;
+      Condition.broadcast cond;
+      Mutex.unlock mu
+    in
+    let do_item i =
+      match f i items.(i) with
+      | v -> publish i (Done v)
+      | exception e -> publish i (Failed e)
+    in
+    (* Claim one chunk; false when no work is left. *)
+    let claim () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo >= n then false
+      else begin
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          do_item i
+        done;
+        true
+      end
+    in
+    let worker () = while claim () do () done in
+    let workers = List.init (t.jobs - 1) (fun _ -> Domain.spawn worker) in
+    let await i =
+      let rec poll () =
+        Mutex.lock mu;
+        let v = slots.(i) in
+        Mutex.unlock mu;
+        match v with
+        | Pending ->
+          if claim () then poll ()
+          else begin
+            (* Someone else claimed slot [i]; sleep until it lands. *)
+            Mutex.lock mu;
+            let rec wait () =
+              match slots.(i) with
+              | Pending ->
+                Condition.wait cond mu;
+                wait ()
+              | v -> v
+            in
+            let v = wait () in
+            Mutex.unlock mu;
+            v
+          end
+        | v -> v
+      in
+      poll ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Cancel unclaimed work and collect the domains whether we exit
+           normally or by re-raising a cell's exception. *)
+        Atomic.set next n;
+        List.iter Domain.join workers)
+      (fun () ->
+        for i = 0 to n - 1 do
+          match await i with
+          | Done v -> consume i v
+          | Failed e -> raise e
+          | Pending -> assert false
+        done)
+  end
+
+let map t f items =
+  let n = Array.length items in
+  let out = Array.make n None in
+  iter_ordered t ~f ~consume:(fun i v -> out.(i) <- Some v) items;
+  Array.map (function Some v -> v | None -> assert false) out

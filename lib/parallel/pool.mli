@@ -1,0 +1,45 @@
+(** Deterministic domain-pool fan-out for experiment cells.
+
+    A pool of [jobs] OCaml domains evaluates an array of independent
+    work items and hands the results back to the calling domain {e in
+    index order}, so any side effects the caller performs per result
+    (journal appends, aggregation) happen in exactly the sequence a
+    sequential run would produce — outputs are byte-identical for any
+    [jobs].  Worker domains are spawned per batch and joined before the
+    batch returns; items must therefore not depend on each other, and
+    shared-state access inside [f] must itself be domain-safe (the
+    solver stack is: per-domain scratch in the kernels, per-domain
+    telemetry in [Netrec_obs.Obs]).
+
+    Counters [parallel.batches] / [parallel.cells] and gauge
+    [parallel.cells_per_domain] record fan-out shape. *)
+
+type t
+(** A pool configuration (plain value: domains are spawned per batch,
+    not kept alive between batches). *)
+
+val create : jobs:int -> t
+(** [create ~jobs] runs batches on [max 1 jobs] domains (the caller
+    counts as one: [jobs - 1] are spawned). *)
+
+val jobs : t -> int
+(** The configured domain count. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [-j] default. *)
+
+val iter_ordered :
+  t -> f:(int -> 'a -> 'b) -> consume:(int -> 'b -> unit) -> 'a array -> unit
+(** [iter_ordered t ~f ~consume items] evaluates [f i items.(i)] for
+    every index, distributing indices over the pool in contiguous
+    chunks, and calls [consume i result] on the {e calling} domain in
+    strictly increasing index order.  The caller helps compute while
+    the next slot it needs is pending.  If [f] raises at index [i], the
+    exception is re-raised here after [consume] ran for all indices
+    below [i] (the sequential failure point); remaining items may or
+    may not have been evaluated, and their results are discarded.
+    With [jobs t = 1] this is exactly a sequential for-loop. *)
+
+val map : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map t f items] is {!iter_ordered} collecting results into an
+    array. *)

@@ -8,6 +8,7 @@ let create () = { prio = Array.make 16 infinity; data = Array.make 16 None; len 
 
 let is_empty h = h.len = 0
 let size h = h.len
+let length = size
 
 let grow h =
   let cap = Array.length h.prio in

@@ -17,6 +17,9 @@ val is_empty : 'a t -> bool
 val size : 'a t -> int
 (** Number of stored (possibly stale) entries. *)
 
+val length : 'a t -> int
+(** Alias of {!size}, matching the stdlib container naming. *)
+
 val push : 'a t -> float -> 'a -> unit
 (** [push h prio x] inserts [x] with priority [prio]. *)
 

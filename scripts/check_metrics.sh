@@ -31,17 +31,28 @@ with open(sys.argv[1]) as f:
 if doc.get("schema") != "netrec-bench-metrics/1":
     sys.exit("FAIL: unexpected schema %r" % doc.get("schema"))
 counters = doc.get("metrics", {}).get("counters", {})
-missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls")
+missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls",
+                       "centrality.cache_hits", "parallel.cells")
            if counters.get(k, 0) <= 0]
+# cache_misses must be present (every fresh demand is a miss first);
+# cache_hits > 0 above proves the incremental path actually reused work.
+if "centrality.cache_misses" not in counters:
+    missing.append("centrality.cache_misses")
 if missing:
     sys.exit("FAIL: missing or zero counters: %s" % ", ".join(missing))
+gauges = doc.get("metrics", {}).get("gauges", {})
+cpd = gauges.get("parallel.cells_per_domain", {})
+if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
+    sys.exit("FAIL: parallel.cells_per_domain gauge missing or empty")
 print("OK: %s valid (%d counters, %d benchmarks)"
       % (sys.argv[1], len(counters), len(doc.get("benchmarks", {}))))
 EOF
 else
   # No python3: fall back to grepping for the required keys.
   for key in '"schema":"netrec-bench-metrics/1"' '"isp.iterations"' \
-             '"simplex.pivots"' '"dijkstra.calls"'; do
+             '"simplex.pivots"' '"dijkstra.calls"' \
+             '"centrality.cache_hits"' '"centrality.cache_misses"' \
+             '"parallel.cells"' '"parallel.cells_per_domain"'; do
     if ! grep -q "$key" "$METRICS"; then
       echo "FAIL: $key not found in $METRICS" >&2
       exit 1

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Performance regression gate: re-run the Bechamel micro-benchmarks and
+# compare each estimate against the committed BENCH_metrics.json
+# baseline at the repo root.
+#
+#   scripts/check_perf.sh        # fail on >25% regression
+#   scripts/check_perf.sh 10     # custom tolerance (percent)
+#
+# Wall-clock sensitive by nature, so this is opt-in rather than part of
+# the default test alias:
+#
+#   dune build @perf
+#
+# When invoked through the alias, $BENCH_EXE points at the already-built
+# bench executable (a dune action must not invoke dune recursively).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOL="${1:-25}"
+BASELINE=BENCH_metrics.json
+
+if [ ! -s "$BASELINE" ]; then
+  echo "FAIL: baseline $BASELINE missing or empty" >&2
+  exit 1
+fi
+
+if [ -z "${BENCH_EXE:-}" ]; then
+  dune build bench/main.exe
+  BENCH_EXE=_build/default/bench/main.exe
+fi
+case "$BENCH_EXE" in
+  /*) : ;;
+  *) BENCH_EXE="$(pwd)/$BENCH_EXE" ;;
+esac
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 unavailable, cannot compare benchmark estimates" >&2
+  exit 0
+fi
+
+# Benchmark in a scratch directory so the baseline is not overwritten.
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+BASELINE_ABS="$(pwd)/$BASELINE"
+(cd "$TMP" && "$BENCH_EXE" bench)
+
+python3 - "$BASELINE_ABS" "$TMP/BENCH_metrics.json" "$TOL" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f).get("benchmarks", {})
+with open(sys.argv[2]) as f:
+    now = json.load(f).get("benchmarks", {})
+tol = float(sys.argv[3]) / 100.0
+
+if not base:
+    sys.exit("FAIL: baseline carries no benchmark estimates")
+
+regressions = []
+for name, ms in sorted(base.items()):
+    cur = now.get(name)
+    if cur is None:
+        regressions.append("%s: missing from current run" % name)
+        continue
+    delta = (cur - ms) / ms if ms > 0 else 0.0
+    marker = "REGRESSION" if delta > tol else "ok"
+    print("  %-28s %10.3f ms -> %10.3f ms  (%+6.1f%%)  %s"
+          % (name, ms, cur, 100.0 * delta, marker))
+    if delta > tol:
+        regressions.append("%s: %.3f ms -> %.3f ms (+%.1f%% > %.0f%%)"
+                           % (name, ms, cur, 100.0 * delta, 100.0 * tol))
+
+if regressions:
+    print("FAIL: performance regressions beyond tolerance:", file=sys.stderr)
+    for r in regressions:
+        print("  " + r, file=sys.stderr)
+    sys.exit(1)
+print("OK: no micro-benchmark regressed by more than %.0f%%" % (100.0 * tol))
+EOF

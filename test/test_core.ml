@@ -191,6 +191,108 @@ let test_centrality_length_metric_bias () =
   Alcotest.(check bool) "short path favoured" true
     (c.Centrality.score.(1) > 0.0 && c.Centrality.score.(2) = 0.0)
 
+(* Exactness of the incremental cache (DESIGN §11): after any sequence
+   of worsen/improve metric changes reported through Cache, the cached
+   computation must agree bit-for-bit with a from-scratch one — scores
+   and per-demand bundles alike. *)
+let same_centrality a b =
+  a.Centrality.score = b.Centrality.score
+  && List.length a.Centrality.contributions
+     = List.length b.Centrality.contributions
+  && List.for_all2
+       (fun ca cb ->
+         ca.Centrality.demand = cb.Centrality.demand
+         && ca.Centrality.bundle.Paths.paths = cb.Centrality.bundle.Paths.paths
+         && ca.Centrality.bundle.Paths.covered
+            = cb.Centrality.bundle.Paths.covered)
+       a.Centrality.contributions b.Centrality.contributions
+
+let centrality_incremental_prop =
+  QCheck.Test.make
+    ~name:"incremental centrality = from-scratch under random op sequences"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let g =
+        Netrec_graph.Generate.erdos_renyi ~rng ~n:18 ~p:0.25 ~capacity:10.0
+      in
+      let ne = Graph.ne g and nv = Graph.nv g in
+      if ne = 0 then true
+      else begin
+        let pick_pair () =
+          let src = Rng.int rng nv in
+          let dst = (src + 1 + Rng.int rng (nv - 1)) mod nv in
+          Commodity.make ~src ~dst
+            ~amount:(1.0 +. float_of_int (Rng.int rng 4))
+        in
+        let demands = List.init 3 (fun _ -> pick_pair ()) in
+        let length = Array.make ne 1.0 in
+        let resid = Array.make ne 10.0 in
+        let cache = Centrality.Cache.create () in
+        let agree () =
+          let inc =
+            Centrality.compute ~cache ~length:(Array.get length)
+              ~cap:(Array.get resid) g demands
+          in
+          let scratch =
+            Centrality.compute ~length:(Array.get length)
+              ~cap:(Array.get resid) g demands
+          in
+          same_centrality inc scratch
+        in
+        let ok = ref (agree ()) in
+        for _ = 1 to 12 do
+          if !ok then begin
+            let e = Rng.int rng ne in
+            if Rng.int rng 4 = 0 then begin
+              (* improve: an element gets cheaper again, like a repair *)
+              length.(e) <- 1.0;
+              resid.(e) <- 10.0;
+              Centrality.Cache.note_improved cache
+            end
+            else begin
+              (* worsen: a committed prune consumes residual capacity *)
+              length.(e) <- length.(e) +. 1.0;
+              resid.(e) <- resid.(e) /. 2.0;
+              Centrality.Cache.note_worse cache e
+            end;
+            ok := agree ()
+          end
+        done;
+        !ok
+      end)
+
+let isp_cache_bit_identical_prop =
+  QCheck.Test.make
+    ~name:"isp solution identical with incremental centrality on/off"
+    ~count:12 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let g =
+        Netrec_graph.Generate.erdos_renyi ~rng ~n:12 ~p:0.3 ~capacity:10.0
+      in
+      if not (Traverse.is_connected g) then true
+      else begin
+        let n = Graph.nv g in
+        let demands =
+          [ Commodity.make ~src:0 ~dst:(n - 1) ~amount:3.0;
+            Commodity.make ~src:1 ~dst:(n - 2) ~amount:2.0 ]
+        in
+        let inst = make_inst g demands (Failure.complete g) in
+        if not (Instance.feasible_when_repaired inst) then true
+        else begin
+          let agree config =
+            let on, _ = Isp.solve ~config inst in
+            let off, _ =
+              Isp.solve
+                ~config:{ config with Isp.incremental_centrality = false }
+                inst
+            in
+            compare on off = 0
+          in
+          agree Isp.default_config
+          && agree { Isp.default_config with Isp.length_mode = Isp.Hop }
+        end
+      end)
+
 (* ---- Bubble ---- *)
 
 let test_bubble_whole_graph_single_demand () =
@@ -854,7 +956,9 @@ let () =
           tc "both paths when needed" test_centrality_uses_both_paths_when_needed;
           tc "best and contributors" test_centrality_best_and_contributors;
           tc "no demands" test_centrality_no_demands;
-          tc "length metric bias" test_centrality_length_metric_bias ] );
+          tc "length metric bias" test_centrality_length_metric_bias;
+          QCheck_alcotest.to_alcotest centrality_incremental_prop;
+          QCheck_alcotest.to_alcotest isp_cache_bit_identical_prop ] );
       ( "bubble",
         [ tc "whole graph" test_bubble_whole_graph_single_demand;
           tc "blocked by endpoints" test_bubble_blocked_by_other_endpoints;

@@ -164,6 +164,70 @@ let test_dijkstra_negative_length_rejected () =
     (Invalid_argument "Dijkstra: negative edge length") (fun () ->
       ignore (Dijkstra.distances ~length:(fun _ -> -1.0) g 0))
 
+(* Settle-at-most-once: the [dijkstra.settled] counter must equal the
+   number of reachable vertices exactly, even on inputs engineered to
+   leave many stale (decreased-key) entries in the heap.  The lazy
+   deletion idiom would over-count here if the settled marks regressed. *)
+let settled_counter f =
+  let module Obs = Netrec_obs.Obs in
+  Obs.set_enabled true;
+  Obs.reset ();
+  f ();
+  let n = Obs.counter_value "dijkstra.settled" in
+  Obs.reset ();
+  Obs.set_enabled false;
+  n
+
+let test_dijkstra_settles_once_fixture () =
+  let g = fixture () in
+  let n =
+    settled_counter (fun () -> ignore (Dijkstra.distances ~length:unit_len g 0))
+  in
+  Alcotest.(check int) "settled = reachable" 6 n
+
+let test_dijkstra_settles_once_stale_heavy () =
+  (* Complete graph where direct edges from the source are long and
+     everything else is short: every vertex's key is decreased once per
+     earlier-settled neighbour, flooding the heap with stale entries. *)
+  let n = 12 in
+  let g = Generate.complete ~n ~capacity:1.0 in
+  let length e =
+    let u, v = Graph.endpoints g e in
+    if u = 0 || v = 0 then 50.0 +. float_of_int (max u v) else 1.0
+  in
+  let settled =
+    settled_counter (fun () -> ignore (Dijkstra.distances ~length g 0))
+  in
+  Alcotest.(check int) "settled = n despite stale entries" n settled
+
+let test_dijkstra_target_early_exit () =
+  let g =
+    Graph.make ~n:10
+      ~edges:(List.init 9 (fun i -> (i, i + 1, 1.0)))
+      ()
+  in
+  let dist = ref [||] in
+  let settled =
+    settled_counter (fun () ->
+        let d, _pred = Dijkstra.run ~target:2 ~length:unit_len g 0 in
+        dist := d)
+  in
+  Alcotest.(check (float 1e-9)) "target distance" 2.0 !dist.(2);
+  Alcotest.(check bool) "stopped early" true (settled <= 3)
+
+let dijkstra_target_matches_full_prop =
+  QCheck.Test.make ~name:"dijkstra ?target distance = full sweep distance"
+    ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (seed, t) ->
+      let rng = Rng.create (seed + 1) in
+      let g = Generate.erdos_renyi ~rng ~n:20 ~p:0.2 ~capacity:1.0 in
+      let length e = 1.0 +. float_of_int (e mod 7) in
+      let target = t mod Graph.nv g in
+      let full = Dijkstra.distances ~length g 0 in
+      let dist, _ = Dijkstra.run ~target ~length g 0 in
+      dist.(target) = full.(target))
+
 let dijkstra_matches_bfs_prop =
   QCheck.Test.make ~name:"dijkstra with unit lengths = bfs hops" ~count:50
     QCheck.(pair small_int small_int)
@@ -486,6 +550,10 @@ let () =
           tc "path endpoints" test_dijkstra_path_endpoints;
           tc "unreachable" test_dijkstra_unreachable;
           tc "negative rejected" test_dijkstra_negative_length_rejected;
+          tc "settles once (fixture)" test_dijkstra_settles_once_fixture;
+          tc "settles once (stale-heavy)" test_dijkstra_settles_once_stale_heavy;
+          tc "target early exit" test_dijkstra_target_early_exit;
+          QCheck_alcotest.to_alcotest dijkstra_target_matches_full_prop;
           QCheck_alcotest.to_alcotest dijkstra_matches_bfs_prop;
           QCheck_alcotest.to_alcotest dijkstra_triangle_prop ] );
       ( "maxflow",

@@ -155,6 +155,17 @@ let test_pqueue_clear () =
   Alcotest.(check bool) "cleared" true (Pqueue.is_empty h);
   Alcotest.(check (option (pair (float 0.0) int))) "pop none" None (Pqueue.pop h)
 
+let test_pqueue_length () =
+  let h = Pqueue.create () in
+  Alcotest.(check int) "empty" 0 (Pqueue.length h);
+  for i = 1 to 5 do
+    Pqueue.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "five" 5 (Pqueue.length h);
+  Alcotest.(check int) "matches size" (Pqueue.size h) (Pqueue.length h);
+  ignore (Pqueue.pop h);
+  Alcotest.(check int) "after pop" 4 (Pqueue.length h)
+
 let test_pqueue_grow () =
   let h = Pqueue.create () in
   for i = 1000 downto 1 do
@@ -258,6 +269,7 @@ let () =
         [ tc "order" test_pqueue_order;
           tc "peek" test_pqueue_peek;
           tc "clear" test_pqueue_clear;
+          tc "length" test_pqueue_length;
           tc "grow" test_pqueue_grow;
           QCheck_alcotest.to_alcotest pqueue_sorted_prop ] );
       ( "table",
