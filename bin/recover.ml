@@ -23,6 +23,7 @@ module Instance = Netrec_core.Instance
 module Evaluate = Netrec_core.Evaluate
 module H = Netrec_heuristics
 module E = Netrec_experiments
+module Check = Netrec_check.Check
 module Budget = Netrec_resilience.Budget
 module Chain = Netrec_resilience.Chain
 
@@ -81,6 +82,16 @@ let fallback_arg =
      budget slices of --deadline) and print per-stage provenance."
   in
   Arg.(value & flag & info [ "fallback" ] ~doc)
+
+let certify_arg =
+  let doc =
+    "Certify every solution with the $(b,netrec_check) validator (repairs \
+     subset of broken sets, routed paths over available elements only, \
+     capacity and demand-volume respected, repair cost recomputed).  \
+     Violations are printed and make the command exit non-zero; coverage is \
+     counted on the check.certified / check.violations counters."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
 
 (* ---- observability options (plan and experiment) ---- *)
 
@@ -245,9 +256,17 @@ let load_arg =
   in
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
 
+let save_solution_arg =
+  let doc =
+    "Save the (last) computed solution to $(docv) (Serialize solution \
+     format, including its repair cost) for later $(b,recover verify)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "save-solution" ] ~docv:"FILE" ~doc)
+
 let plan topology er_p seed pairs amount algorithm disruption variance fail_p
-    deadline fallback dot_file save_file load_file trace_file metrics_file
-    verbose =
+    deadline fallback certify dot_file save_file load_file save_solution_file
+    trace_file metrics_file verbose =
   try
     Obs.set_enabled true;
     let algorithm = if fallback then "fallback" else algorithm in
@@ -291,16 +310,33 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
       | None -> Budget.unlimited
     in
     let last = ref None in
+    let violations = ref 0 in
     List.iter
       (fun (name, algo) ->
         let (sol, footer), seconds =
           Obs.timed ("plan." ^ String.lowercase_ascii name) algo
         in
         last := Some sol;
-        describe_solution g inst name sol seconds ~footer)
+        describe_solution g inst name sol seconds ~footer;
+        if certify then begin
+          let cert =
+            Check.certify ~reported_cost:(Instance.repair_cost inst sol) inst
+              sol
+          in
+          violations := !violations + List.length cert.Check.violations;
+          print_endline (Check.certificate_to_string cert);
+          print_newline ()
+        end)
       (run_algorithm ~budget inst algorithm);
     print_work_footer ();
     export_observability ~verbose ~trace_file ~metrics_file;
+    (match (save_solution_file, !last) with
+    | Some path, Some sol ->
+      Netrec_core.Serialize.save_solution
+        ~cost:(Instance.repair_cost inst sol) path sol;
+      Printf.printf "wrote %s\n" path
+    | Some _, None -> ()
+    | None, _ -> ());
     (match (dot_file, !last) with
     | Some path, Some sol ->
       let oc = open_out path in
@@ -313,7 +349,7 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
       close_out oc;
       Printf.printf "wrote %s\n" path
     | None, _ -> ());
-    0
+    if !violations > 0 then 1 else 0
   with
   | Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -329,8 +365,9 @@ let plan_cmd =
     Term.(
       const plan $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
       $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
-      $ fail_p_arg $ deadline_arg $ fallback_arg $ dot_arg $ save_arg
-      $ load_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ fail_p_arg $ deadline_arg $ fallback_arg $ certify_arg $ dot_arg
+      $ save_arg $ load_arg $ save_solution_arg $ trace_arg $ metrics_arg
+      $ verbose_arg)
 
 (* ---- experiment command ---- *)
 
@@ -364,9 +401,10 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let experiment figure runs opt_nodes jobs journal_file trace_file metrics_file
-    verbose =
+let experiment figure runs opt_nodes jobs certify journal_file trace_file
+    metrics_file verbose =
   Obs.set_enabled true;
+  if certify then Check.install_certifier ();
   let pool =
     E.Common.Pool.create
       ~jobs:(if jobs <= 0 then E.Common.Pool.default_jobs () else jobs)
@@ -398,7 +436,14 @@ let experiment figure runs opt_nodes jobs journal_file trace_file metrics_file
         | f -> one ?journal f);
     print_work_footer ();
     export_observability ~verbose ~trace_file ~metrics_file;
-    0
+    if certify then begin
+      let certified = Obs.counter_value "check.certified" in
+      let violations = Obs.counter_value "check.violations" in
+      Printf.printf "certified %d solutions, %d violation(s)\n" certified
+        violations;
+      if violations > 0 then 1 else 0
+    end
+    else 0
   with Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
@@ -409,7 +454,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc)
     Term.(
       const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ jobs_arg
-      $ journal_file_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ certify_arg $ journal_file_arg $ trace_arg $ metrics_arg
+      $ verbose_arg)
 
 (* ---- schedule command ---- *)
 
@@ -452,6 +498,76 @@ let schedule_cmd =
       const schedule $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
       $ amount_arg $ disruption_arg $ variance_arg $ fail_p_arg)
 
+(* ---- verify command ---- *)
+
+let instance_file_arg =
+  let doc = "Instance file (Serialize format, e.g. from recover plan --save)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
+
+let solution_file_arg =
+  let doc =
+    "Solution file (Serialize solution format, e.g. from recover plan \
+     --save-solution)."
+  in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"SOLUTION" ~doc)
+
+let verify instance_file solution_file =
+  try
+    let inst = Netrec_core.Serialize.load instance_file in
+    let sol, reported_cost =
+      Netrec_core.Serialize.load_solution solution_file
+    in
+    let cert = Check.certify ?reported_cost inst sol in
+    print_endline (Check.certificate_to_string cert);
+    if Check.ok cert then 0 else 1
+  with
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Netrec_core.Serialize.Parse_error { line; msg } ->
+    Printf.eprintf "error: line %d: %s\n" line msg;
+    1
+
+let verify_cmd =
+  let doc = "certify a saved solution against its instance" in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(const verify $ instance_file_arg $ solution_file_arg)
+
+(* ---- check command (cross-solver differential) ---- *)
+
+let check_instances_arg =
+  let doc = "Number of seeded random instances to generate." in
+  Arg.(value & opt int 200 & info [ "instances"; "n" ] ~doc)
+
+let check_opt_nodes_arg =
+  let doc = "Branch-and-bound node budget for the OPT column." in
+  Arg.(value & opt int 400 & info [ "opt-nodes" ] ~doc)
+
+let check seed instances opt_nodes jobs =
+  let pool =
+    if jobs = 1 then None
+    else
+      Some
+        (E.Common.Pool.create
+           ~jobs:(if jobs <= 0 then E.Common.Pool.default_jobs () else jobs))
+  in
+  let r = Check.differential ~seed ~instances ~opt_nodes ?pool () in
+  print_endline (Check.report_to_string r);
+  if r.Check.issues = [] then 0 else 1
+
+let check_cmd =
+  let doc =
+    "differential-test every solver on seeded random instances: certify \
+     each solution, assert the paper's cost orderings against OPT, and \
+     (with --jobs > 1) cross-check -j determinism"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const check $ seed_arg $ check_instances_arg $ check_opt_nodes_arg
+      $ jobs_arg)
+
 (* ---- topology command ---- *)
 
 let format_arg =
@@ -487,4 +603,6 @@ let () =
   let info = Cmd.info "recover" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ plan_cmd; experiment_cmd; schedule_cmd; topology_cmd ]))
+       (Cmd.group info
+          [ plan_cmd; experiment_cmd; verify_cmd; check_cmd; schedule_cmd;
+            topology_cmd ]))

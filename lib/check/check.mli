@@ -1,0 +1,170 @@
+(** Solution certificates and the cross-solver differential harness.
+
+    The paper's whole evaluation (Figs. 3–9) rests on inequalities
+    between solvers — cost(OPT) ≤ cost of every complete heuristic
+    solution, relaxation bounds sandwiching the optimum — yet a solver
+    bug that returns an infeasible "solution" would silently satisfy all
+    of them.  This module closes that gap with three layers:
+
+    - {!certify} checks one solution against its instance and returns a
+      {e structured violation report} (never a bare boolean): repairs
+      must be a subset of the broken sets, every routed path must chain
+      between its demand's endpoints over working/repaired elements
+      only, per-edge flow must respect capacity, per-demand routed
+      volume must not exceed the demand, and an externally claimed
+      repair cost must match a recomputation.
+    - {!lp_certificate} validates a simplex/MILP output against the
+      model it claims to solve: primal feasibility of every constraint
+      row and variable bound, objective recomputation, and
+      bound-direction sanity for branch-and-bound bounds.
+    - {!differential} runs every solver (ISP, SRT, both greedys, the
+      multicommodity relaxation, and OPT) on a stream of seeded random
+      instances, certifies each solution, and asserts the paper's cost
+      orderings; with a multi-domain pool it also re-runs one cell
+      sequentially and compares, pinning [-j N] determinism.
+
+    Certification bumps the Obs counters [check.certified] and
+    [check.violations] so [--certify] runs can report coverage. *)
+
+module Instance = Netrec_core.Instance
+module Lp = Netrec_lp.Lp
+
+(** {1 Solution certificates} *)
+
+type element = Vertex of Graph.vertex | Edge of Graph.edge_id
+
+type violation =
+  | Repair_not_broken of element
+      (** a repaired element was never broken *)
+  | Duplicate_repair of element  (** repaired twice *)
+  | Out_of_range of element  (** id outside the instance's graph *)
+  | Unknown_demand of { index : int; src : int; dst : int }
+      (** a routed assignment's demand is not in the instance ([index]
+          is the assignment's position in the routing) *)
+  | Bad_path of { demand : int; path : int; reason : string }
+      (** the path does not chain from the demand's source to its sink *)
+  | Negative_flow of { demand : int; path : int; flow : float }
+  | Unavailable of { demand : int; path : int; element : element }
+      (** a loaded path crosses a broken element the solution does not
+          repair *)
+  | Overfull_edge of { edge : Graph.edge_id; load : float; capacity : float }
+  | Overrouted of { demand : int; routed : float; amount : float }
+      (** more volume routed for a demand than it asked for *)
+  | Cost_mismatch of { reported : float; recomputed : float }
+
+val violation_to_string : violation -> string
+(** One-line human-readable rendering. *)
+
+type certificate = {
+  violations : violation list;  (** empty iff the solution certifies *)
+  recomputed_cost : float;  (** repair cost recomputed from the instance *)
+  own_satisfaction : float;
+      (** satisfied fraction of the solution's {e own} routing (0 when it
+          carries none) — not the oracle-assisted figure of
+          [Evaluate.assess] *)
+  checked_paths : int;  (** routed paths examined *)
+}
+
+val ok : certificate -> bool
+(** [violations = []]. *)
+
+val certificate_to_string : certificate -> string
+(** Multi-line report: "certificate OK (...)" or one line per
+    violation. *)
+
+val certify :
+  ?eps:float ->
+  ?reported_cost:float ->
+  Instance.t ->
+  Instance.solution ->
+  certificate
+(** Validate [sol] against [inst].  [eps] (default
+    [Netrec_util.Num.feas_eps]) is the feasibility tolerance;
+    [reported_cost] is an externally claimed repair cost to cross-check
+    (e.g. the [\[cost\]] section of a solution file, or an
+    [Evaluate.report]'s field).  Never raises on malformed solutions —
+    out-of-range ids and unparseable paths become violations. *)
+
+val install_certifier : unit -> unit
+(** Route every solution that passes through [Evaluate.assess] into
+    {!certify} (via [Evaluate.set_certifier]): violations are printed to
+    [stderr] and counted on [check.violations]; every call bumps
+    [check.certified].  Used by [recover --certify]. *)
+
+(** {1 LP certificates} *)
+
+type lp_violation =
+  | Row_violated of { index : int; lhs : float; rel : Lp.relation; rhs : float }
+      (** constraint [index] (insertion order) does not hold *)
+  | Bound_violated of { var : Lp.var; value : float; lb : float; ub : float }
+  | Objective_mismatch of { reported : float; recomputed : float }
+  | Bound_direction of { bound : float; objective : float }
+      (** a claimed relaxation bound on the wrong side of the objective *)
+
+val lp_violation_to_string : lp_violation -> string
+
+type lp_certificate = {
+  lp_violations : lp_violation list;
+  recomputed_objective : float;
+}
+
+val lp_ok : lp_certificate -> bool
+
+val lp_certificate :
+  ?eps:float -> ?bound:float -> Lp.problem -> Lp.solution -> lp_certificate
+(** Validate a solver output claiming [Optimal] status against its
+    problem: every constraint row holds at [values] (primal
+    feasibility), every variable is within its bounds, and the reported
+    objective matches [sum obj_v * x_v].  [bound], when given, is a
+    relaxation bound that must not be on the wrong side of the
+    objective (≤ objective for [Minimize], ≥ for [Maximize]) — the
+    branch-and-bound sanity check.  Non-[Optimal] statuses yield an
+    empty report (there is no primal claim to check). *)
+
+(** {1 Cross-solver differential harness} *)
+
+type issue = {
+  instance_id : int;  (** index in the generated instance stream *)
+  solver : string;
+  detail : string;  (** rendered violation or broken ordering *)
+}
+
+type report = {
+  instances : int;
+  solutions : int;  (** solutions certified across all solvers *)
+  issues : issue list;  (** empty on a clean run *)
+  determinism_checked : bool;
+      (** whether the [-j] determinism cross-check ran (needs a pool
+          with more than one domain) *)
+  determinism_ok : bool;  (** true when unchecked *)
+}
+
+val report_to_string : report -> string
+
+val differential :
+  ?seed:int ->
+  ?instances:int ->
+  ?opt_nodes:int ->
+  ?pool:Netrec_parallel.Pool.t ->
+  unit ->
+  report
+(** Generate [instances] (default 200) seeded random recovery instances
+    (rotating small topology families and disruption models, demands
+    redrawn until routable on the intact graph), run ISP, SRT (both
+    variants), GRD-COM, GRD-NC, the multicommodity relaxation and — on
+    every instance small enough — OPT (bounded by [opt_nodes], default
+    400 branch-and-bound nodes), then:
+
+    - certify every solution with {!certify};
+    - require full demand satisfaction from the solvers that guarantee
+      it on feasible instances (ISP, GRD-NC, MCB, ALL — SRT and
+      GRD-COM may legitimately fall short, the paper reports their
+      satisfaction as a metric);
+    - when OPT proves optimality, require
+      [cost(OPT) <= cost(s) + eps] for every complete certified
+      solution [s] and [cost(OPT) <= cost(ALL)] — the Fig. 3–9 ordering;
+    - with a pool of >1 domains, re-run the first cell sequentially and
+      require bit-identical results ([-j N] determinism).
+
+    Deterministic for a given [seed] (default 0xC0FFEE) and instance
+    count, independent of the pool size. *)

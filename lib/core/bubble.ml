@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Commodity = Netrec_flow.Commodity
 
 let find g ~demands h =
@@ -58,7 +59,7 @@ let find g ~demands h =
 type prune = { amount : float; paths : (Paths.path * float) list }
 
 let prune ~working_vertex ~working_edge ~cap g ~demands h =
-  if h.Commodity.amount <= 1e-9 then None
+  if not (Num.positive ~eps:Num.flow_eps h.Commodity.amount) then None
   else
     match find g ~demands h with
     | None -> None
@@ -71,7 +72,7 @@ let prune ~working_vertex ~working_edge ~cap g ~demands h =
           ~source:h.Commodity.src ~sink:h.Commodity.dst
       in
       let amount = Float.min flow.Maxflow.value h.Commodity.amount in
-      if amount <= 1e-9 then None
+      if not (Num.positive ~eps:Num.flow_eps amount) then None
       else begin
         let paths =
           Maxflow.decompose g ~source:h.Commodity.src ~sink:h.Commodity.dst
@@ -83,7 +84,7 @@ let prune ~working_vertex ~working_edge ~cap g ~demands h =
           List.filter_map
             (fun (p, f) ->
               let take = Float.min f (amount -. !taken) in
-              if take > 1e-9 then begin
+              if Num.positive ~eps:Num.flow_eps take then begin
                 taken := !taken +. take;
                 Some (p, take)
               end

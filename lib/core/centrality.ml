@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Commodity = Netrec_flow.Commodity
 module Obs = Netrec_obs.Obs
 
@@ -70,7 +71,11 @@ end
 
 let compute ?cache ~length ~cap g demands =
   let score = Array.make (Graph.nv g) 0.0 in
-  let live = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let live =
+    List.filter
+      (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount)
+      demands
+  in
   (* Materialise the counters even on an all-sequential run so metrics
      consumers can rely on the keys existing. *)
   Obs.count ~n:0 "centrality.cache_hits";
@@ -110,7 +115,7 @@ let compute ?cache ~length ~cap g demands =
         let total_cap =
           List.fold_left (fun acc (_, c) -> acc +. c) 0.0 bundle.Paths.paths
         in
-        if total_cap > 1e-12 then
+        if Num.positive ~eps:Num.cap_eps total_cap then
           List.iter
             (fun (p, c) ->
               let weight = c /. total_cap *. demand.Commodity.amount in
@@ -135,7 +140,7 @@ let compute ?cache ~length ~cap g demands =
 
 let best t =
   let best_v = ref (-1) in
-  let best_s = ref 1e-12 in
+  let best_s = ref Num.cap_eps in
   Array.iteri
     (fun v s ->
       if s > !best_s then begin

@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Routing = Netrec_flow.Routing
 module Oracle = Netrec_flow.Oracle
 
@@ -10,13 +11,27 @@ type report = {
   routing : Routing.t;
 }
 
+(* Optional certification hook (wired up by [Netrec_check] via the CLI's
+   [--certify]): called on every solution that passes through [assess].
+   Kept as a callback so the core library does not depend on the
+   checker.  Install before spawning worker domains. *)
+let certifier : (Instance.t -> Instance.solution -> unit) option ref =
+  ref None
+
+let set_certifier f = certifier := f
+
 let best_routing ?lp_var_budget inst sol =
   let g = inst.Instance.graph in
   let own = sol.Instance.routing in
+  (* Validity is a single precondition, computed once: an invalid own
+     routing is never used — neither on the complete-routing shortcut nor
+     in the tie-break against the oracle below. *)
+  let own_usable = own <> Routing.empty && Instance.valid inst sol in
   let own_complete =
-    own <> Routing.empty
-    && Routing.satisfaction ~demands:inst.Instance.demands own >= 1.0 -. 1e-6
-    && Instance.valid inst sol
+    own_usable
+    && Num.geq ~eps:Num.feas_eps
+         (Routing.satisfaction ~demands:inst.Instance.demands own)
+         1.0
   in
   if own_complete then own
   else begin
@@ -28,15 +43,13 @@ let best_routing ?lp_var_budget inst sol =
     in
     (* Keep whichever routes more (the solution's own partial routing can
        beat the oracle's greedy fallback). *)
-    let own_ok =
-      own <> Routing.empty && Instance.valid inst sol
-    in
-    if own_ok && Routing.total_routed own > Routing.total_routed computed
+    if own_usable && Routing.total_routed own > Routing.total_routed computed
     then own
     else computed
   end
 
 let assess ?lp_var_budget inst sol =
+  (match !certifier with Some f -> f inst sol | None -> ());
   let routing = best_routing ?lp_var_budget inst sol in
   { vertex_repairs = Instance.vertex_repairs sol;
     edge_repairs = Instance.edge_repairs sol;

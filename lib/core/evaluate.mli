@@ -18,7 +18,17 @@ type report = {
 }
 
 val assess : ?lp_var_budget:int -> Instance.t -> Instance.solution -> report
-(** Evaluate a solution against its instance. *)
+(** Evaluate a solution against its instance.  Invokes the installed
+    {!set_certifier} hook (if any) on the solution first. *)
+
+val set_certifier :
+  (Instance.t -> Instance.solution -> unit) option -> unit
+(** Install (or clear, with [None]) a hook that {!assess} calls on every
+    solution it evaluates.  Used by the CLI's [--certify] mode to run the
+    [Netrec_check] certificate validator over every solution an
+    experiment produces without the core library depending on the
+    checker.  Install before spawning worker domains; the hook runs on
+    whichever domain calls {!assess} and must be domain-safe. *)
 
 val satisfied_fraction : ?lp_var_budget:int -> Instance.t -> Instance.solution -> float
 (** Just the satisfaction ratio of {!assess}. *)

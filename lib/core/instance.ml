@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Failure = Netrec_disrupt.Failure
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
@@ -83,7 +84,9 @@ let valid t s =
        let load = Routing.edge_load t.graph s.routing in
        let ok = ref true in
        Array.iteri
-         (fun e l -> if l > 1e-9 && not (repaired_edge_ok t s e) then ok := false)
+         (fun e l ->
+           if Num.positive ~eps:Num.flow_eps l && not (repaired_edge_ok t s e)
+           then ok := false)
          load;
        !ok)
   in

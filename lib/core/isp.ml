@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Failure = Netrec_disrupt.Failure
 module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
@@ -62,7 +63,7 @@ type state = {
   mutable fallback_paths : int;
 }
 
-let eps = 1e-9
+let eps = Num.flow_eps
 
 (* ---- availability predicates ---- *)
 
@@ -348,7 +349,8 @@ let split_step st =
         | [] -> None
         | h :: hs -> (
           let dx = max_split_amount st h v in
-          if dx > 1e-6 then Some (h, dx) else try_demands hs)
+          if Num.positive ~eps:Num.feas_eps dx then Some (h, dx)
+          else try_demands hs)
       in
       (match try_demands (rank_contributors st cent v) with
       | Some (h, dx) ->

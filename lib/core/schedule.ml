@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Routing = Netrec_flow.Routing
 module Oracle = Netrec_flow.Oracle
 module Route_greedy = Netrec_flow.Route_greedy
@@ -156,15 +157,15 @@ let greedy inst solution =
       List.fold_left
         (fun (bel, bs) (el, s) ->
           if
-            s > bs +. 1e-9
-            || (abs_float (s -. bs) <= 1e-9
+            (not (Num.leq ~eps:Num.flow_eps s bs))
+            || (Num.is_zero ~eps:Num.flow_eps (s -. bs)
                && cost_of inst el < cost_of inst bel)
           then (el, s)
           else (bel, bs))
         (List.hd scored) (List.tl scored)
     in
     let choice =
-      if best_gain > baseline +. 1e-9 then best
+      if not (Num.leq ~eps:Num.flow_eps best_gain baseline) then best
       else
         match completion_element st !remaining with
         | Some el -> el

@@ -1,5 +1,6 @@
 module Failure = Netrec_disrupt.Failure
 module Commodity = Netrec_flow.Commodity
+module Routing = Netrec_flow.Routing
 
 let to_string inst =
   let g = inst.Instance.graph in
@@ -219,6 +220,137 @@ let of_string_result text =
 
 let of_string text = parse text
 
+(* ---- solutions ----
+
+   Same sectioned line format as instances, with a [routing] section of
+   "demand <src> <dst> <amount>" lines each followed by the paths that
+   serve it as "path <flow> <edge-id>*" lines.  The optional [cost]
+   section carries the producer's claimed repair cost so [recover verify]
+   can cross-check it against a recomputation.  The parser is
+   deliberately lenient about semantics (negative flows, out-of-range
+   ids, overfull edges all parse): feasibility is [Netrec_check]'s job —
+   a corrupted solution must survive loading to be diagnosed. *)
+
+let solution_to_string ?cost (sol : Instance.solution) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "[repaired_vertices]";
+  List.iter (fun v -> line "%d" v) sol.Instance.repaired_vertices;
+  line "[repaired_edges]";
+  List.iter (fun e -> line "%d" e) sol.Instance.repaired_edges;
+  (match cost with
+  | Some c ->
+    line "[cost]";
+    line "%.12g" c
+  | None -> ());
+  line "[routing]";
+  List.iter
+    (fun a ->
+      let d = a.Routing.demand in
+      line "demand %d %d %.12g" d.Commodity.src d.Commodity.dst
+        d.Commodity.amount;
+      List.iter
+        (fun (p, x) ->
+          line "path %.12g%s" x
+            (String.concat "" (List.map (Printf.sprintf " %d") p)))
+        a.Routing.paths)
+    sol.Instance.routing;
+  Buffer.contents buf
+
+type sol_acc = {
+  mutable rv : (int * int) list;  (* reversed; (line, id) *)
+  mutable re : (int * int) list;
+  mutable costs : float list;
+  (* reversed; each demand with its (reversed) path list *)
+  mutable assignments : (Commodity.t * (Paths.path * float) list) list;
+}
+
+let parse_solution text =
+  let acc = { rv = []; re = []; costs = []; assignments = [] } in
+  let current = ref "" in
+  let err line fmt =
+    Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+  in
+  let int_field ln what s =
+    match int_of_string_opt s with
+    | Some i when i >= 0 -> i
+    | Some i -> err ln "negative %s %d" what i
+    | None -> err ln "bad %s %S (expected a non-negative integer)" what s
+  in
+  let float_field ln what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> err ln "bad %s %S (expected a number)" what s
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         let ln = i + 1 in
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else if line.[0] = '[' then begin
+           match line with
+           | "[repaired_vertices]" | "[repaired_edges]" | "[cost]"
+           | "[routing]" ->
+             current := line
+           | s -> err ln "unknown section %s" s
+         end
+         else
+           let parts =
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           in
+           match !current with
+           | "[repaired_vertices]" ->
+             acc.rv <- (ln, int_field ln "vertex id" line) :: acc.rv
+           | "[repaired_edges]" ->
+             acc.re <- (ln, int_field ln "edge id" line) :: acc.re
+           | "[cost]" -> acc.costs <- float_field ln "cost" line :: acc.costs
+           | "[routing]" -> (
+             match parts with
+             | "demand" :: [ s; t; a ] ->
+               let s = int_field ln "vertex id" s in
+               let t = int_field ln "vertex id" t in
+               let a = float_field ln "demand amount" a in
+               if s = t then err ln "demand with equal endpoints %d" s;
+               acc.assignments <-
+                 ({ Commodity.src = s; dst = t; amount = a }, [])
+                 :: acc.assignments
+             | "path" :: flow :: edges -> (
+               let x = float_field ln "path flow" flow in
+               let p = List.map (int_field ln "edge id") edges in
+               match acc.assignments with
+               | [] -> err ln "path line before any demand line"
+               | (d, paths) :: rest ->
+                 acc.assignments <- (d, (p, x) :: paths) :: rest)
+             | _ ->
+               err ln
+                 "expected \"demand <src> <dst> <amount>\" or \"path <flow> \
+                  <edge-id>*\", got %S"
+                 line)
+           | "" -> err ln "content before any section: %S" line
+           | _ -> assert false);
+  let cost =
+    match acc.costs with
+    | [] -> None
+    | [ c ] -> Some c
+    | _ -> err 0 "[cost] section carries more than one value"
+  in
+  let routing =
+    List.rev_map
+      (fun (demand, paths) -> { Routing.demand; paths = List.rev paths })
+      acc.assignments
+  in
+  ( { Instance.repaired_vertices = List.rev_map snd acc.rv;
+      repaired_edges = List.rev_map snd acc.re;
+      routing },
+    cost )
+
+let solution_of_string text = parse_solution text
+
+let solution_of_string_result text =
+  match parse_solution text with
+  | sol -> Ok sol
+  | exception Parse_error e -> Error e
+
 let save path inst =
   let oc = open_out path in
   Fun.protect
@@ -230,3 +362,16 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic) |> of_string)
+
+let save_solution ?cost path sol =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (solution_to_string ?cost sol))
+
+let load_solution path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      really_input_string ic (in_channel_length ic) |> solution_of_string)

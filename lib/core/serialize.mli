@@ -46,3 +46,42 @@ val save : string -> Instance.t -> unit
 
 val load : string -> Instance.t
 (** Read and {!of_string} a file.  @raise Sys_error / Parse_error. *)
+
+(** {1 Solutions}
+
+    Same line-oriented scheme for the solution side, so [recover verify]
+    can cross-check a saved plan against its instance:
+
+    {v
+    [repaired_vertices]
+    <id> ...
+    [repaired_edges]
+    <id> ...
+    [cost]                      optional, the producer's claimed repair cost
+    [routing]
+    demand <src> <dst> <amount>
+    path <flow> <edge-id> ...   zero or more per preceding demand line
+    v}
+
+    Parsing checks syntax only (non-negative ids, numeric fields); it
+    deliberately does {e not} validate feasibility — negative flows,
+    out-of-range ids or overfull edges all load fine and are diagnosed by
+    [Netrec_check.certify], so corrupted solutions can be inspected. *)
+
+val solution_to_string : ?cost:float -> Instance.solution -> string
+(** Serialize a solution; [cost] adds the optional [\[cost\]] section. *)
+
+val solution_of_string : string -> Instance.solution * float option
+(** Parse a solution and its claimed cost (if present).
+    @raise Parse_error on malformed input. *)
+
+val solution_of_string_result :
+  string -> (Instance.solution * float option, parse_error) result
+(** Non-raising variant of {!solution_of_string}. *)
+
+val save_solution : ?cost:float -> string -> Instance.solution -> unit
+(** Write {!solution_to_string} to a file. *)
+
+val load_solution : string -> Instance.solution * float option
+(** Read and {!solution_of_string} a file.
+    @raise Sys_error / Parse_error. *)

@@ -4,6 +4,7 @@ module Failure = Netrec_disrupt.Failure
 module Demand_gen = Netrec_topo.Demand_gen
 module Commodity = Netrec_flow.Commodity
 module Rng = Netrec_util.Rng
+module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 
 type measurement = {
@@ -149,7 +150,7 @@ let best_incumbent inst sol =
     | None -> [ pruned ]
   in
   let fully_served s =
-    Netrec_core.Evaluate.satisfied_fraction inst s >= 1.0 -. 1e-6
+    Num.geq ~eps:Num.feas_eps (Netrec_core.Evaluate.satisfied_fraction inst s) 1.0
   in
   match
     List.filter fully_served candidates

@@ -56,7 +56,7 @@ let run ?journal ?pool ?(runs = 3) ?(seed = 7) ?(milp_p_max = 0.0)
                about OPT's scalability (their Gurobi runs reached ~27
                hours at p=0.9).  Gated on the run index (not accumulator
                state) so a journal replay makes the same choice. *)
-            let want_milp = p <= milp_p_max +. 1e-9 && r = 1 in
+            let want_milp = Netrec_util.Num.leq ~eps:Netrec_util.Num.flow_eps p milp_p_max && r = 1 in
             ( p,
               { point = Printf.sprintf "fig7:p=%g" p;
                 run = r;

@@ -8,7 +8,9 @@ open Common
 (* Best feasible (no demand loss) candidate by total repairs. *)
 let opt_proxy inst candidates =
   let feasible sol =
-    Netrec_core.Evaluate.satisfied_fraction inst sol >= 1.0 -. 1e-6
+    Netrec_util.Num.geq ~eps:Netrec_util.Num.feas_eps
+      (Netrec_core.Evaluate.satisfied_fraction inst sol)
+      1.0
   in
   List.filter feasible candidates
   |> List.sort (fun a b ->

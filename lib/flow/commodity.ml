@@ -1,3 +1,5 @@
+module Num = Netrec_util.Num
+
 type t = { src : Graph.vertex; dst : Graph.vertex; amount : float }
 
 let make ~src ~dst ~amount =
@@ -23,7 +25,8 @@ let normalize ds =
     ds;
   Hashtbl.fold
     (fun (s, t) amount acc ->
-      if amount > 1e-9 then { src = s; dst = t; amount } :: acc else acc)
+      if Num.positive ~eps:Num.flow_eps amount then { src = s; dst = t; amount } :: acc
+      else acc)
     tbl []
   |> List.sort compare
 

@@ -1,3 +1,5 @@
+module Num = Netrec_util.Num
+
 type result = { lambda : float; routing : Routing.t }
 
 let all _ = true
@@ -7,11 +9,11 @@ let all _ = true
    commodity gets served; flow is pushed along the globally cheapest
    (virtual + real) shortest path until every such path has length >= 1. *)
 let max_sum ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   let m = Graph.ne g in
   let live e =
     edge_ok e
-    && cap e > 1e-12
+    && Num.positive ~eps:Num.cap_eps (cap e)
     &&
     let u, v = Graph.endpoints g e in
     vertex_ok u && vertex_ok v
@@ -102,7 +104,7 @@ let max_sum ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g demands =
             (fun (p, f) ->
               let available = f /. !congestion in
               let take = Float.min available (target -. !taken) in
-              if take > 1e-12 then begin
+              if Num.positive ~eps:Num.cap_eps take then begin
                 taken := !taken +. take;
                 Some (p, take)
               end
@@ -115,11 +117,11 @@ let max_sum ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g demands =
 
 let max_concurrent ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g
     demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   let m = Graph.ne g in
   let live e =
     edge_ok e
-    && cap e > 1e-12
+    && Num.positive ~eps:Num.cap_eps (cap e)
     &&
     let u, v = Graph.endpoints g e in
     vertex_ok u && vertex_ok v
@@ -156,7 +158,8 @@ let max_concurrent ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g
       let h = ref 0 in
       while !h < nh && not !disconnected do
         let remaining = ref darr.(!h).Commodity.amount in
-        while !remaining > 1e-12 && !dsum < 1.0 && not !disconnected do
+        while Num.positive ~eps:Num.cap_eps !remaining && !dsum < 1.0
+              && not !disconnected do
           match shortest !h with
           | None | Some [] -> disconnected := true
           | Some p ->
@@ -188,7 +191,7 @@ let max_concurrent ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g
             (fun (p, f) -> List.iter (fun e -> load.(e) <- load.(e) +. f) p)
             plist)
         paths;
-      let congestion = ref 1e-12 in
+      let congestion = ref Num.cap_eps in
       for e = 0 to m - 1 do
         if live e && load.(e) > 0.0 then
           congestion := Float.max !congestion (load.(e) /. cap e)
@@ -214,7 +217,7 @@ let max_concurrent ?(vertex_ok = all) ?(edge_ok = all) ?(eps = 0.1) ~cap g
                 (fun (p, f) ->
                   let available = f /. !congestion in
                   let take = Float.min available (target -. !taken) in
-                  if take > 1e-12 then begin
+                  if Num.positive ~eps:Num.cap_eps take then begin
                     taken := !taken +. take;
                     Some (p, take)
                   end

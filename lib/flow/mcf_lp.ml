@@ -1,4 +1,5 @@
 module Lp = Netrec_lp.Lp
+module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 
 type verdict =
@@ -24,7 +25,7 @@ let live_edges ~vertex_ok ~edge_ok ~cap g =
   Graph.fold_edges
     (fun e acc ->
       if edge_ok e.Graph.id && vertex_ok e.Graph.u && vertex_ok e.Graph.v
-         && cap e.Graph.id > 1e-12
+         && Num.positive ~eps:Num.cap_eps (cap e.Graph.id)
       then e.Graph.id :: acc
       else acc)
     g []
@@ -102,7 +103,7 @@ let endpoints_ok ~vertex_ok demands =
 
 let feasible ?budget ?(vertex_ok = all) ?(edge_ok = all)
     ?(var_budget = default_budget) ~cap g demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Routable Routing.empty
   else if not (endpoints_ok ~vertex_ok demands) then Unroutable
   else begin
@@ -184,7 +185,7 @@ let max_scale ?budget ?(vertex_ok = all) ?(edge_ok = all)
 
 let max_total ?budget ?(vertex_ok = all) ?(edge_ok = all)
     ?(var_budget = default_budget) ~cap g demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then `Routing Routing.empty
   else begin
     (* Demands with a broken endpoint cannot be served at all; drop them

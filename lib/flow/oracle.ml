@@ -1,3 +1,5 @@
+module Num = Netrec_util.Num
+
 type verdict =
   | Routable of Routing.t
   | Unroutable
@@ -28,7 +30,7 @@ let routable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
   if demands = [] then Routable Routing.empty
   else begin
     (* Capacity-aware availability: a zero-capacity edge is unusable. *)
-    let edge_ok e = edge_ok e && cap e > 1e-12 in
+    let edge_ok e = edge_ok e && Num.positive ~eps:Num.cap_eps (cap e) in
     if not (connectivity_ok ~vertex_ok ~edge_ok g demands) then Unroutable
     else
       match Route_greedy.route_all ~vertex_ok ~edge_ok ~cap g demands with
@@ -45,14 +47,14 @@ let routable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
           let { Gk.lambda; routing } =
             Gk.max_concurrent ~vertex_ok ~edge_ok ~eps:gk_eps ~cap g demands
           in
-          if lambda >= 1.0 -. 1e-6 then Routable routing
+          if Num.geq ~eps:Num.feas_eps lambda 1.0 then Routable routing
           else if lambda < 1.0 -. (3.0 *. gk_eps) then Unroutable
           else Unknown)
   end
 
 let max_satisfiable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
     ~cap g demands =
-  let edge_ok e = edge_ok e && cap e > 1e-12 in
+  let edge_ok e = edge_ok e && Num.positive ~eps:Num.cap_eps (cap e) in
   match
     Mcf_lp.max_total ?budget ~vertex_ok ~edge_ok ?var_budget:lp_var_budget
       ~cap g demands
@@ -62,7 +64,8 @@ let max_satisfiable ?budget ?(vertex_ok = all) ?(edge_ok = all) ?lp_var_budget
     (* Two certified lower bounds at large scale: the constructive router
        and the Garg-Konemann max-sum approximation; report the better. *)
     let greedy = Route_greedy.route_max ~vertex_ok ~edge_ok ~cap g demands in
-    if Routing.satisfaction ~demands greedy >= 1.0 -. 1e-9 then greedy
+    if Num.geq ~eps:Num.flow_eps (Routing.satisfaction ~demands greedy) 1.0
+    then greedy
     else begin
       let gk = Gk.max_sum ~vertex_ok ~edge_ok ~cap g demands in
       if Routing.total_routed gk > Routing.total_routed greedy then gk

@@ -1,3 +1,5 @@
+module Num = Netrec_util.Num
+
 let all _ = true
 
 type metric = Hop | Inverse_capacity
@@ -6,7 +8,7 @@ type metric = Hop | Inverse_capacity
    success only for the routed amount), returning the assigned paths. *)
 let route_one ~vertex_ok ~edge_ok ~metric g resid demand =
   let open Commodity in
-  let eps = 1e-9 in
+  let eps = Num.flow_eps in
   let edge_live e = edge_ok e && resid.(e) > eps in
   let length e =
     match metric with
@@ -56,17 +58,17 @@ let portfolio ~vertex_ok ~edge_ok ~cap g demands =
     (orders demands)
 
 let complete demands routing =
-  Routing.total_routed routing >= Commodity.total demands -. 1e-6
+  Num.geq ~eps:Num.feas_eps (Routing.total_routed routing) (Commodity.total demands)
 
 let route_all ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Some Routing.empty
   else
     List.find_opt (complete demands)
       (portfolio ~vertex_ok ~edge_ok ~cap g demands)
 
 let route_max ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
-  let demands = List.filter (fun d -> d.Commodity.amount > 1e-9) demands in
+  let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Routing.empty
   else
     let candidates = portfolio ~vertex_ok ~edge_ok ~cap g demands in

@@ -1,3 +1,5 @@
+module Num = Netrec_util.Num
+
 type assignment = {
   demand : Commodity.t;
   paths : (Paths.path * float) list;
@@ -29,18 +31,19 @@ let path_joins g src dst p =
     | exception Invalid_argument _ -> false
     | vs -> List.nth vs (List.length vs - 1) = dst)
 
-let satisfies ?(eps = 1e-6) g ~cap t =
+let satisfies ?(eps = Num.feas_eps) g ~cap t =
   let load = edge_load g t in
   let caps_ok = ref true in
   Array.iteri
-    (fun e l -> if l > cap e +. eps then caps_ok := false)
+    (fun e l -> if not (Num.leq ~eps l (cap e)) then caps_ok := false)
     load;
   !caps_ok
   && List.for_all
        (fun a ->
          List.for_all
            (fun (p, x) ->
-             x >= -.eps && path_joins g a.demand.Commodity.src a.demand.Commodity.dst p)
+             Num.geq ~eps x 0.0
+             && path_joins g a.demand.Commodity.src a.demand.Commodity.dst p)
            a.paths)
        t
 

@@ -8,7 +8,7 @@ let all _ = true
    (v -> u), each with the edge capacity; pushing on one increases the
    residual of the other, which realises the undirected capacity model. *)
 
-let flow_eps = 1e-9
+let flow_eps = Netrec_util.Num.flow_eps
 
 let max_flow ?(vertex_ok = all) ?(edge_ok = all) ?cap g ~source ~sink =
   Obs.count "maxflow.calls";

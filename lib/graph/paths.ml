@@ -34,7 +34,7 @@ let shortest_bundle ?(vertex_ok = fun _ -> true) ?(edge_ok = fun _ -> true)
     ~length:len ~cap ~demand g i j =
   let m = Graph.ne g in
   let resid = Array.init m (fun e -> cap e) in
-  let eps = 1e-9 in
+  let eps = Netrec_util.Num.flow_eps in
   let edge_ok e = edge_ok e && resid.(e) > eps in
   let rec collect acc covered =
     if covered >= demand -. eps then { paths = List.rev acc; covered }

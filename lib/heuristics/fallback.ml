@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Budget = Netrec_resilience.Budget
 module Anytime = Netrec_resilience.Anytime
 module Chain = Netrec_resilience.Chain
@@ -9,9 +10,13 @@ open Netrec_core
 let better inst a b =
   let sa = Evaluate.satisfied_fraction inst a in
   let sb = Evaluate.satisfied_fraction inst b in
-  if sa > sb +. 1e-9 then true
-  else if sb > sa +. 1e-9 then false
-  else Instance.repair_cost inst a < Instance.repair_cost inst b -. 1e-9
+  if not (Num.leq ~eps:Num.flow_eps sa sb) then true
+  else if not (Num.leq ~eps:Num.flow_eps sb sa) then false
+  else
+    not
+      (Num.geq ~eps:Num.flow_eps
+         (Instance.repair_cost inst a)
+         (Instance.repair_cost inst b))
 
 let solve ?(budget = Budget.unlimited) ?(node_limit = 3000)
     ?(var_budget = 6000) inst =
@@ -48,7 +53,8 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 3000)
         | None -> None
         | Some r ->
           let mcb = r.Mcf_heuristic.mcb in
-          if Evaluate.satisfied_fraction inst mcb >= 1.0 -. 1e-6 then
+          if Num.geq ~eps:Num.feas_eps (Evaluate.satisfied_fraction inst mcb) 1.0
+          then
             Some (Anytime.Complete mcb)
           else None)
   in

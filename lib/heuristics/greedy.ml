@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Commodity = Netrec_flow.Commodity
 module Routing = Netrec_flow.Routing
 module Oracle = Netrec_flow.Oracle
@@ -19,7 +20,7 @@ let path_weight inst p =
   let capacity =
     Paths.capacity ~cap:(Graph.capacity inst.Instance.graph) p
   in
-  cost /. Float.max capacity 1e-9
+  cost /. Float.max capacity Num.flow_eps
 
 let sorted_paths ?max_per_pair inst =
   let enum =
@@ -99,11 +100,13 @@ let grd_com ?max_per_pair inst =
   let route_opportunistically k =
     let d = demands.(k) in
     let rec go () =
-      if remaining.(k) > 1e-9 then begin
-        let edge_ok e = working_edge st e && resid.(e) > 1e-9 in
+      if Num.positive ~eps:Num.flow_eps remaining.(k) then begin
+        let edge_ok e =
+          working_edge st e && Num.positive ~eps:Num.flow_eps resid.(e)
+        in
         match
           Dijkstra.shortest_path ~vertex_ok:(working_vertex st) ~edge_ok
-            ~length:(fun e -> 1.0 /. Float.max resid.(e) 1e-9)
+            ~length:(fun e -> 1.0 /. Float.max resid.(e) Num.flow_eps)
             g d.Commodity.src d.Commodity.dst
         with
         | None | Some [] -> ()
@@ -112,7 +115,7 @@ let grd_com ?max_per_pair inst =
             List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
           in
           let amount = Float.min bottleneck remaining.(k) in
-          if amount > 1e-9 then begin
+          if Num.positive ~eps:Num.flow_eps amount then begin
             commit k p amount;
             go ()
           end
@@ -120,19 +123,21 @@ let grd_com ?max_per_pair inst =
     in
     go ()
   in
-  let all_satisfied () = Array.for_all (fun r -> r <= 1e-9) remaining in
+  let all_satisfied () =
+    Array.for_all (fun r -> not (Num.positive ~eps:Num.flow_eps r)) remaining
+  in
   let rec consume = function
     | [] -> ()
     | _ when all_satisfied () -> ()
     | (d, p) :: rest ->
       let i = index_of d in
-      if remaining.(i) > 1e-9 then begin
+      if Num.positive ~eps:Num.flow_eps remaining.(i) then begin
         let cap_now =
           List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
         in
         (* A saturated path cannot serve anybody: repairing it would only
            waste crews, so skip it. *)
-        if cap_now > 1e-9 then begin
+        if Num.positive ~eps:Num.flow_eps cap_now then begin
           ignore (repair_path st p : bool);
           let amount = Float.min cap_now remaining.(i) in
           commit i p amount;

@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Lp = Netrec_lp.Lp
 module Obs = Netrec_obs.Obs
 module Commodity = Netrec_flow.Commodity
@@ -78,7 +79,7 @@ let support_of_flow inst fvar nh values =
         let fwd, bwd = Hashtbl.find fvar (h, e.Graph.id) in
         load := !load +. values.(fwd) +. values.(bwd)
       done;
-      if !load > 1e-6 then begin
+      if Num.positive ~eps:Num.feas_eps !load then begin
         used_e.(e.Graph.id) <- true;
         used_v.(e.Graph.u) <- true;
         used_v.(e.Graph.v) <- true
@@ -134,7 +135,7 @@ let solve ?budget ?(var_budget = 8000) inst =
               cost_terms := (fwd, k) :: (bwd, k) :: !cost_terms
             done)
         g ();
-      Lp.add_constraint lp2 !cost_terms Lp.Le (lp_objective +. 1e-6);
+      Lp.add_constraint lp2 !cost_terms Lp.Le (lp_objective +. Num.feas_eps);
       (* Zero out the old objective and install the spread objective. *)
       for v = 0 to Lp.nvars lp2 - 1 do
         Lp.set_obj lp2 v 0.0

@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Lp = Netrec_lp.Lp
 module Milp = Netrec_lp.Milp
 module Obs = Netrec_obs.Obs
@@ -190,7 +191,7 @@ let solve_body ~budget ~node_limit ~var_budget ~incumbent inst =
     in
     match r.Milp.status with
     | `Optimal | `Feasible ->
-      if r.Milp.objective < warm_cost -. 1e-6 then
+      if not (Num.geq ~eps:Num.feas_eps r.Milp.objective warm_cost) then
         finish
           (solution_of_values inst model r.Milp.values)
           r.Milp.objective r.Milp.proved r.Milp.nodes r.Milp.limited

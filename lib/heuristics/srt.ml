@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Commodity = Netrec_flow.Commodity
 module Failure = Netrec_disrupt.Failure
 open Netrec_core
@@ -50,8 +51,17 @@ let solve_residual inst =
   let repaired_v = Array.make (Graph.nv g) false in
   let repaired_e = Array.make (Graph.ne g) false in
   let resid = Array.init (Graph.ne g) (Graph.capacity g) in
-  let eps = 1e-9 in
-  (* Repair-cost-aware length on the full graph with residual capacity. *)
+  let eps = Num.flow_eps in
+  (* Repair-cost-aware length on the full graph with residual capacity.
+     The [else 0.0] branches are marginal-cost semantics, not a "free
+     path" fallback: an element already marked repaired (or never broken)
+     costs nothing *again*, while the constant 1.0 hop term keeps every
+     edge strictly positive-length.  They can therefore never make an
+     unroutable demand look satisfied — when no residual path exists,
+     [route_demand] below records the demand with whatever partial paths
+     it found (possibly none) and the shortfall shows up in the routing's
+     satisfaction (pinned by test_heuristics "srt residual unroutable"
+     and the [Netrec_check] certifier). *)
   let length e =
     let u, v = Graph.endpoints g e in
     let ke =

@@ -69,6 +69,23 @@ let fix p v x = set_bounds p v ~lb:x ~ub:x
 let nvars p = p.nv
 let nconstraints p = p.ncons
 
+let constraints p =
+  List.rev_map (fun c -> (c.terms, c.rel, c.rhs)) p.cons
+
+let var_lb p v =
+  check_var p v;
+  p.vars.(v).lb
+
+let var_ub p v =
+  check_var p v;
+  p.vars.(v).ub
+
+let var_obj p v =
+  check_var p v;
+  p.vars.(v).obj
+
+let objective_sense p = p.sense
+
 let var_name p v =
   check_var p v;
   match p.vars.(v).vname with

@@ -52,6 +52,25 @@ val nvars : problem -> int
 val nconstraints : problem -> int
 (** Number of constraints added so far. *)
 
+val constraints : problem -> ((var * float) list * relation * float) list
+(** The constraint rows [(terms, rel, rhs)] in insertion order, with
+    duplicate variables already merged.  Read-only view for certificate
+    validation ({!Netrec_check}); mutating the problem afterwards
+    invalidates the returned list. *)
+
+val var_lb : problem -> var -> float
+(** A variable's current lower bound.  @raise Invalid_argument on an
+    unknown variable. *)
+
+val var_ub : problem -> var -> float
+(** A variable's current upper bound. *)
+
+val var_obj : problem -> var -> float
+(** A variable's current objective coefficient. *)
+
+val objective_sense : problem -> sense
+(** The problem's objective sense. *)
+
 val var_name : problem -> var -> string
 (** Display name (defaults to ["x<i>"]). *)
 

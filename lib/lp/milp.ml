@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 module Budget = Netrec_resilience.Budget
 
@@ -34,7 +35,7 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
   let stack = ref [ [] ] in
   let tighten bound =
     (* Integral costs allow rounding the LP bound up to the next integer. *)
-    if integral_objective then Float.round (ceil (bound -. 1e-6))
+    if integral_objective then Float.round (ceil (bound -. Num.feas_eps))
     else bound
   in
   while !stack <> [] && !nodes < node_limit && Budget.ok budget do
@@ -57,11 +58,11 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
       | Lp.Unbounded -> truncated := true
       | Lp.Optimal ->
         let bound = tighten sol.Lp.objective in
-        if bound >= !best_obj -. 1e-6 then () (* pruned by bound *)
+        if Num.geq ~eps:Num.feas_eps bound !best_obj then () (* pruned by bound *)
         else begin
           (* Most fractional binary decides the branching variable. *)
           let branch_var = ref (-1) in
-          let branch_frac = ref 1e-6 in
+          let branch_frac = ref Num.feas_eps in
           Array.iter
             (fun v ->
               let f = frac sol.Lp.values.(v) in

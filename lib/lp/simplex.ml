@@ -1,3 +1,4 @@
+module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 module Budget = Netrec_resilience.Budget
 
@@ -18,8 +19,11 @@ type outcome = {
   limited : Budget.reason option;
 }
 
-let eps = 1e-9
-let pivot_eps = 1e-7
+(* Pivot tolerances, tied to the shared discipline in
+   [Netrec_util.Num]: candidates below [pivot_eps] are numerically zero,
+   ratios within [eps] tie. *)
+let eps = Num.flow_eps
+let pivot_eps = Num.eps
 
 (* The tableau stores, per constraint row, the coefficients of every
    column (structural, slack, artificial) plus the right-hand side in the
@@ -264,12 +268,13 @@ let solve_std_body ~budget ~max_pivots { ncols; rows; costs } =
   | `Unbounded -> fail Infeasible (* phase 1 is bounded below by 0 *)
   | `Optimal ->
     let art_sum = -.tab.obj.(width) in
-    if art_sum > 1e-6 then fail Infeasible
+    if Num.positive ~eps:Num.feas_eps art_sum then fail Infeasible
     else begin
       (* Drive any artificial still in the basis out, or note its row as
          redundant (all structural coefficients zero). *)
       for i = 0 to m - 1 do
-        if is_artificial basis.(i) && t.(i).(width) <= 1e-6 then begin
+        if is_artificial basis.(i) && Num.leq ~eps:Num.feas_eps t.(i).(width) 0.0
+        then begin
           let found = ref (-1) in
           for j = 0 to ncols + nslack - 1 do
             if !found < 0 && abs_float t.(i).(j) > pivot_eps then found := j

@@ -1,4 +1,7 @@
 let eps = 1e-7
+let feas_eps = 1e-6
+let flow_eps = 1e-9
+let cap_eps = 1e-12
 
 let approx_eq ?(eps = eps) a b =
   abs_float (a -. b) <= eps *. Float.max 1.0 (Float.max (abs_float a) (abs_float b))
@@ -6,6 +9,7 @@ let approx_eq ?(eps = eps) a b =
 let leq ?(eps = eps) a b = a <= b +. eps
 let geq ?(eps = eps) a b = a >= b -. eps
 let is_zero ?(eps = eps) x = abs_float x <= eps
+let positive ?(eps = eps) x = x > eps
 
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
 

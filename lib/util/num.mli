@@ -3,10 +3,38 @@
     The LP simplex, the Garg–Könemann approximation and the flow-balance
     checks all compare floating-point quantities; this module centralises
     the tolerance discipline so the whole library agrees on what "equal"
-    and "at least" mean numerically. *)
+    and "at least" mean numerically.
+
+    Four named tolerances cover every comparison the library makes; a
+    module that needs a different slack is making a new kind of decision
+    and should say so here rather than hand-roll a literal:
+
+    - {!eps} ([1e-7]) — the default for generic value comparisons
+      ({!approx_eq} on costs, objectives, table cells) and the simplex
+      pivot-candidate threshold.
+    - {!feas_eps} ([1e-6]) — feasibility {e decisions}: "is this demand
+      fully satisfied", "does this flow respect capacity", "is this LP
+      bound no better than the incumbent".  Chosen one order looser than
+      {!eps} because these quantities accumulate across simplex pivots
+      and path decompositions.
+    - {!flow_eps} ([1e-9]) — "is there any flow/residual here at all":
+      filters for live demands, loaded edges and usable residual
+      capacity.  Values below it are treated as exact zeros.
+    - {!cap_eps} ([1e-12]) — degenerate-capacity guard: an edge whose
+      capacity is below it is unusable, and divisors are clamped to it. *)
 
 val eps : float
 (** Default absolute tolerance (1e-7). *)
+
+val feas_eps : float
+(** Feasibility-decision tolerance (1e-6): demand satisfaction, capacity
+    respect, LP/MILP bound comparisons. *)
+
+val flow_eps : float
+(** Nonzero-flow threshold (1e-9): flows/residuals below it are zero. *)
+
+val cap_eps : float
+(** Degenerate-capacity guard (1e-12). *)
 
 val approx_eq : ?eps:float -> float -> float -> bool
 (** [approx_eq a b] holds when [|a - b| <= eps * max 1 |a| |b|]. *)
@@ -19,6 +47,10 @@ val geq : ?eps:float -> float -> float -> bool
 
 val is_zero : ?eps:float -> float -> bool
 (** [is_zero x] is [|x| <= eps]. *)
+
+val positive : ?eps:float -> float -> bool
+(** [positive x] is [x > eps] — strictly above the tolerance, the
+    complement of {!is_zero} for known-nonnegative quantities. *)
 
 val clamp : float -> float -> float -> float
 (** [clamp lo hi x] limits [x] to [\[lo, hi\]]. *)

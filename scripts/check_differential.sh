@@ -1,0 +1,28 @@
+#!/bin/sh
+# Cross-solver differential gate: run every solver on seeded random
+# instances, certify each solution with netrec_check, and assert the
+# paper's cost orderings plus -j determinism.
+#
+#   scripts/check_differential.sh          # 200 instances, seed 42
+#   scripts/check_differential.sh 500 7    # custom count and seed
+#
+# Part of the default test alias (deterministic, a few seconds):
+#
+#   dune build @differential     # or dune runtest
+#
+# When invoked through the alias, $RECOVER_EXE points at the already-
+# built CLI (a dune action must not invoke dune recursively).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+INSTANCES="${1:-200}"
+SEED="${2:-42}"
+
+if [ -z "${RECOVER_EXE:-}" ]; then
+  dune build bin/recover.exe
+  RECOVER_EXE=_build/default/bin/recover.exe
+fi
+
+"$RECOVER_EXE" check --instances "$INSTANCES" --seed "$SEED" -j 2
+echo "OK: every solver certified on $INSTANCES seeded instances"

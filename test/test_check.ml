@@ -1,0 +1,367 @@
+open Netrec_graph
+open Netrec_core
+open Netrec_check
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+module Routing = Netrec_flow.Routing
+module Lp = Netrec_lp.Lp
+module H = Netrec_heuristics
+module Pool = Netrec_parallel.Pool
+
+let path_graph ?(capacity = 10.0) n =
+  Graph.make ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1, capacity))) ()
+
+let fixture () =
+  Graph.make ~n:6
+    ~edges:
+      [ (0, 1, 10.0); (1, 2, 10.0); (0, 3, 10.0); (3, 4, 10.0); (4, 5, 10.0);
+        (2, 5, 10.0); (1, 4, 3.0) ]
+    ()
+
+let demand ?(amount = 5.0) src dst = Commodity.make ~src ~dst ~amount
+
+let make_inst ?vertex_cost ?edge_cost g demands failure =
+  Instance.make ?vertex_cost ?edge_cost ~graph:g ~demands ~failure ()
+
+let routing_for inst paths =
+  [ { Routing.demand = List.hd inst.Instance.demands; paths } ]
+
+(* A certificate must contain a violation matching [p] (and, unless
+   [exactly] is false, nothing else). *)
+let expect ?(exactly = true) name p cert =
+  Alcotest.(check bool)
+    (name ^ ": present") true
+    (List.exists p cert.Check.violations);
+  if exactly then
+    Alcotest.(check int)
+      (name ^ ": count")
+      1
+      (List.length cert.Check.violations)
+
+(* ---- certify: clean solutions ---- *)
+
+let test_certify_all_solvers_clean () =
+  let g = fixture () in
+  let inst =
+    make_inst g [ demand 0 5; demand ~amount:3.0 2 3 ] (Failure.complete g)
+  in
+  List.iter
+    (fun (name, sol) ->
+      let cert = Check.certify inst sol in
+      if not (Check.ok cert) then
+        Alcotest.failf "%s: %s" name (Check.certificate_to_string cert))
+    [ ("isp", fst (Isp.solve inst));
+      ("srt", H.Srt.solve inst);
+      ("srt-resid", H.Srt.solve_residual inst);
+      ("grd-com", H.Greedy.grd_com inst);
+      ("grd-nc", H.Greedy.grd_nc inst);
+      ("all", Instance.repair_all inst);
+      ("opt", (H.Opt.solve inst).H.Opt.solution) ]
+
+let test_certify_recomputes_cost () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol = Instance.repair_all inst in
+  let cert = Check.certify ~reported_cost:(Instance.repair_cost inst sol) inst sol in
+  Alcotest.(check bool) "ok" true (Check.ok cert);
+  Alcotest.(check (float 1e-9)) "cost" (Instance.repair_cost inst sol)
+    cert.Check.recomputed_cost
+
+(* ---- certify: corrupted repair sets ---- *)
+
+let test_certify_repair_not_broken () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with Instance.repaired_vertices = [ 1 ] }
+  in
+  expect "not broken"
+    (function Check.Repair_not_broken (Check.Vertex 1) -> true | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_duplicate_repair () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol =
+    { Instance.empty_solution with Instance.repaired_edges = [ 0; 0 ] }
+  in
+  expect "duplicate"
+    (function Check.Duplicate_repair (Check.Edge 0) -> true | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_out_of_range () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.repaired_vertices = [ 99 ];
+      repaired_edges = [ 7 ] }
+  in
+  (* Must diagnose, not crash, and still recompute the in-range cost. *)
+  let cert = Check.certify inst sol in
+  expect ~exactly:false "vertex 99"
+    (function Check.Out_of_range (Check.Vertex 99) -> true | _ -> false)
+    cert;
+  expect ~exactly:false "edge 7"
+    (function Check.Out_of_range (Check.Edge 7) -> true | _ -> false)
+    cert;
+  Alcotest.(check (float 1e-9)) "cost ignores ghosts" 0.0
+    cert.Check.recomputed_cost
+
+(* ---- certify: corrupted routings ---- *)
+
+let test_certify_unknown_demand () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let routing =
+    [ { Routing.demand = demand 2 0; paths = [] } ]
+  in
+  let sol = { Instance.empty_solution with Instance.routing } in
+  (* 2 -> 0 collapses to the same unordered pair as 0 -> 2: fine. *)
+  Alcotest.(check bool) "reverse ok" true (Check.ok (Check.certify inst sol));
+  let routing = [ { Routing.demand = demand 1 2; paths = [] } ] in
+  let sol = { Instance.empty_solution with Instance.routing } in
+  expect "foreign pair"
+    (function
+      | Check.Unknown_demand { index = 0; src = 1; dst = 2 } -> true
+      | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_bad_path_chain () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 1 ], 1.0) ] }
+  in
+  expect "does not chain"
+    (function
+      | Check.Bad_path { demand = 0; path = 0; _ } -> true | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_bad_path_wrong_sink () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 0 ], 1.0) ] }
+  in
+  expect "wrong sink"
+    (function Check.Bad_path _ -> true | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_empty_path () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([], 1.0) ] }
+  in
+  expect "empty"
+    (function Check.Bad_path _ -> true | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_negative_flow () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 0; 1 ], -2.0) ] }
+  in
+  expect "negative"
+    (function
+      | Check.Negative_flow { demand = 0; path = 0; flow } -> flow = -2.0
+      | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_unavailable_elements () =
+  (* Routing over a completely broken path without any repairs: every
+     vertex and edge on the loaded path is flagged. *)
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 0; 1 ], 5.0) ] }
+  in
+  let cert = Check.certify inst sol in
+  let unavailable =
+    List.filter
+      (function Check.Unavailable _ -> true | _ -> false)
+      cert.Check.violations
+  in
+  (* 3 vertices + 2 edges *)
+  Alcotest.(check int) "all five flagged" 5 (List.length unavailable);
+  (* Repairing the path clears it. *)
+  let sol = { sol with Instance.repaired_vertices = [ 0; 1; 2 ];
+                       repaired_edges = [ 0; 1 ] } in
+  Alcotest.(check bool) "repaired ok" true (Check.ok (Check.certify inst sol))
+
+let test_certify_zero_flow_skips_availability () =
+  (* A zero-flow path over broken elements carries nothing: structurally
+     checked but not an availability violation. *)
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 0; 1 ], 0.0) ] }
+  in
+  Alcotest.(check bool) "ok" true (Check.ok (Check.certify inst sol))
+
+let test_certify_overfull_edge () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand ~amount:10.0 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing =
+        routing_for inst [ ([ 0; 1 ], 6.0); ([ 0; 1 ], 4.5) ] }
+  in
+  let cert = Check.certify inst sol in
+  expect ~exactly:false "overfull"
+    (function
+      | Check.Overfull_edge { load; capacity = 10.0; _ } -> load = 10.5
+      | _ -> false)
+    cert;
+  expect ~exactly:false "overrouted too"
+    (function
+      | Check.Overrouted { routed; amount = 10.0; _ } -> routed = 10.5
+      | _ -> false)
+    cert
+
+let test_certify_overrouted () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand ~amount:5.0 0 2 ] (Failure.none g) in
+  let sol =
+    { Instance.empty_solution with
+      Instance.routing = routing_for inst [ ([ 0; 1 ], 8.0) ] }
+  in
+  expect "overrouted"
+    (function
+      | Check.Overrouted { demand = 0; routed = 8.0; amount = 5.0 } -> true
+      | _ -> false)
+    (Check.certify inst sol)
+
+let test_certify_cost_mismatch () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sol = Instance.repair_all inst in
+  let right = Instance.repair_cost inst sol in
+  expect "mismatch"
+    (function
+      | Check.Cost_mismatch { reported; recomputed } ->
+        reported = right +. 1.0 && recomputed = right
+      | _ -> false)
+    (Check.certify ~reported_cost:(right +. 1.0) inst sol)
+
+let test_certifier_hook_fires () =
+  let hits = ref 0 in
+  Evaluate.set_certifier (Some (fun _ _ -> incr hits));
+  Fun.protect
+    ~finally:(fun () -> Evaluate.set_certifier None)
+    (fun () ->
+      let g = path_graph 3 in
+      let inst = make_inst g [ demand 0 2 ] (Failure.complete g) in
+      ignore (Evaluate.assess inst (Instance.repair_all inst));
+      Alcotest.(check int) "fired once" 1 !hits)
+
+(* ---- LP certificates ---- *)
+
+(* min x + 2y  s.t.  x + y >= 2,  x <= 1.5  ->  x = 1.5, y = 0.5, obj 2.5 *)
+let lp_fixture () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~ub:1.5 ~obj:1.0 () in
+  let y = Lp.add_var p ~obj:2.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Ge 2.0;
+  p
+
+let test_lp_certificate_clean () =
+  let p = lp_fixture () in
+  let sol = Lp.solve p in
+  let cert = Check.lp_certificate ~bound:2.0 p sol in
+  if not (Check.lp_ok cert) then
+    Alcotest.failf "%s"
+      (String.concat "; "
+         (List.map Check.lp_violation_to_string cert.Check.lp_violations));
+  Alcotest.(check (float 1e-6)) "objective" 2.5 cert.Check.recomputed_objective
+
+let test_lp_certificate_tampered_values () =
+  let p = lp_fixture () in
+  let sol = Lp.solve p in
+  sol.Lp.values.(0) <- -1.0;
+  let cert = Check.lp_certificate p sol in
+  Alcotest.(check bool) "row violated" true
+    (List.exists
+       (function Check.Row_violated { index = 0; _ } -> true | _ -> false)
+       cert.Check.lp_violations);
+  Alcotest.(check bool) "bound violated" true
+    (List.exists
+       (function Check.Bound_violated { var = 0; _ } -> true | _ -> false)
+       cert.Check.lp_violations);
+  Alcotest.(check bool) "objective mismatch" true
+    (List.exists
+       (function Check.Objective_mismatch _ -> true | _ -> false)
+       cert.Check.lp_violations)
+
+let test_lp_certificate_bound_direction () =
+  let p = lp_fixture () in
+  let sol = Lp.solve p in
+  (* A minimization lower bound above the objective is nonsense. *)
+  let cert = Check.lp_certificate ~bound:(sol.Lp.objective +. 1.0) p sol in
+  Alcotest.(check bool) "flagged" true
+    (List.exists
+       (function Check.Bound_direction _ -> true | _ -> false)
+       cert.Check.lp_violations);
+  let cert = Check.lp_certificate ~bound:(sol.Lp.objective -. 1.0) p sol in
+  Alcotest.(check bool) "sane bound ok" true (Check.lp_ok cert)
+
+let test_lp_certificate_non_optimal_empty () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~ub:1.0 () in
+  Lp.add_constraint p [ (x, 1.0) ] Lp.Ge 2.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "infeasible" true (sol.Lp.status = Lp.Infeasible);
+  Alcotest.(check bool) "no primal claim" true
+    (Check.lp_ok (Check.lp_certificate p sol))
+
+(* ---- differential harness ---- *)
+
+let test_differential_clean_and_deterministic () =
+  let r =
+    Check.differential ~instances:12 ~pool:(Pool.create ~jobs:2) ()
+  in
+  (match r.Check.issues with
+  | [] -> ()
+  | _ -> Alcotest.failf "%s" (Check.report_to_string r));
+  Alcotest.(check int) "instances" 12 r.Check.instances;
+  Alcotest.(check bool) "certified something" true (r.Check.solutions >= 12);
+  Alcotest.(check bool) "determinism checked" true r.Check.determinism_checked;
+  Alcotest.(check bool) "determinism ok" true r.Check.determinism_ok
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netrec_check"
+    [ ( "certify",
+        [ tc "all solvers clean" test_certify_all_solvers_clean;
+          tc "recomputes cost" test_certify_recomputes_cost;
+          tc "repair not broken" test_certify_repair_not_broken;
+          tc "duplicate repair" test_certify_duplicate_repair;
+          tc "out of range" test_certify_out_of_range;
+          tc "unknown demand" test_certify_unknown_demand;
+          tc "bad path chain" test_certify_bad_path_chain;
+          tc "bad path wrong sink" test_certify_bad_path_wrong_sink;
+          tc "empty path" test_certify_empty_path;
+          tc "negative flow" test_certify_negative_flow;
+          tc "unavailable elements" test_certify_unavailable_elements;
+          tc "zero flow skips availability"
+            test_certify_zero_flow_skips_availability;
+          tc "overfull edge" test_certify_overfull_edge;
+          tc "overrouted" test_certify_overrouted;
+          tc "cost mismatch" test_certify_cost_mismatch;
+          tc "certifier hook fires" test_certifier_hook_fires ] );
+      ( "lp",
+        [ tc "clean" test_lp_certificate_clean;
+          tc "tampered values" test_lp_certificate_tampered_values;
+          tc "bound direction" test_lp_certificate_bound_direction;
+          tc "non-optimal empty" test_lp_certificate_non_optimal_empty ] );
+      ( "differential",
+        [ tc "clean and deterministic"
+            test_differential_clean_and_deterministic ] ) ]

@@ -897,6 +897,84 @@ let test_serialize_result_ok () =
   | Error { Serialize.line; msg } ->
     Alcotest.failf "round-trip rejected (line %d: %s)" line msg
 
+(* Round-trip property: on 100 seeded random instances and solutions
+   (including empty demand sets and zero-capacity edges),
+   [of_string_result] inverts [to_string] exactly — witnessed by
+   re-rendering the parsed value and comparing strings, which pins ids,
+   ordering and the %.12g float rendering all at once. *)
+let random_instance rng =
+  let n = 2 + Rng.int rng 7 in
+  let ne = 1 + Rng.int rng (2 * n) in
+  let edges =
+    List.init ne (fun _ ->
+        let u = Rng.int rng n in
+        let v = (u + 1 + Rng.int rng (n - 1)) mod n in
+        (* zero-capacity edges are legal and must survive the trip *)
+        let cap = if Rng.bernoulli rng 0.2 then 0.0 else Rng.float rng 20.0 in
+        (u, v, cap))
+  in
+  let g = Graph.make ~n ~edges () in
+  let demands =
+    List.init (Rng.int rng 3) (fun _ ->
+        let s = Rng.int rng n in
+        let t = (s + 1 + Rng.int rng (n - 1)) mod n in
+        demand ~amount:(0.5 +. Rng.float rng 10.0) s t)
+  in
+  let pick p count = List.filter (fun _ -> Rng.bernoulli rng p) (List.init count Fun.id) in
+  let failure =
+    Failure.of_lists g ~vertices:(pick 0.4 n) ~edges:(pick 0.4 (Graph.ne g))
+  in
+  make_inst g demands failure
+
+let random_solution rng inst =
+  let failure = inst.Instance.failure in
+  let keep l = List.filter (fun _ -> Rng.bernoulli rng 0.6) l in
+  let routing =
+    List.map
+      (fun d ->
+        { Routing.demand = d;
+          paths =
+            List.init (Rng.int rng 3) (fun _ ->
+                ( List.init (Rng.int rng 4) (fun _ ->
+                      Rng.int rng (Graph.ne inst.Instance.graph)),
+                  Rng.float rng 5.0 )) })
+      inst.Instance.demands
+  in
+  { Instance.repaired_vertices = keep (Failure.broken_vertex_list failure);
+    repaired_edges = keep (Failure.broken_edge_list failure);
+    routing }
+
+let test_serialize_roundtrip_property () =
+  for seed = 1 to 100 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    let text = Serialize.to_string inst in
+    (match Serialize.of_string_result text with
+    | Error { Serialize.line; msg } ->
+      Alcotest.failf "seed %d: instance rejected (line %d: %s)" seed line msg
+    | Ok inst' ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: instance identity" seed)
+        text
+        (Serialize.to_string inst'));
+    let sol = random_solution rng inst in
+    let cost =
+      if Rng.bool rng then Some (Instance.repair_cost inst sol) else None
+    in
+    let text = Serialize.solution_to_string ?cost sol in
+    match Serialize.solution_of_string_result text with
+    | Error { Serialize.line; msg } ->
+      Alcotest.failf "seed %d: solution rejected (line %d: %s)" seed line msg
+    | Ok (sol', cost') ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: solution identity" seed)
+        text
+        (Serialize.solution_to_string ?cost:cost' sol');
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: cost preserved" seed)
+        true (cost = cost')
+  done
+
 let test_serialize_solutions_agree () =
   (* Solving the round-tripped instance gives the same repair count. *)
   let g = fixture () in
@@ -925,6 +1003,24 @@ let test_evaluate_partial_capacity () =
   let inst = make_inst g [ demand ~amount:6.0 0 2 ] (Failure.none g) in
   let r = Evaluate.assess inst Instance.empty_solution in
   Alcotest.(check (float 1e-6)) "half" 0.5 r.Evaluate.satisfied_fraction
+
+(* Regression: validity is a single precondition on the solution's own
+   routing.  An invalid routing (here: loaded paths over broken,
+   unrepaired elements) must never beat the oracle's recomputation, even
+   when it claims to route more. *)
+let test_evaluate_invalid_routing_never_wins () =
+  let g = path_graph 3 in
+  let inst = make_inst g [ demand ~amount:5.0 0 2 ] (Failure.complete g) in
+  let routing =
+    [ { Routing.demand = List.hd inst.Instance.demands;
+        paths = [ ([ 0; 1 ], 5.0) ] } ]
+  in
+  let sol = { Instance.empty_solution with Instance.routing } in
+  let r = Evaluate.assess inst sol in
+  Alcotest.(check (float 1e-9)) "nothing served" 0.0
+    r.Evaluate.satisfied_fraction;
+  Alcotest.(check bool) "phantom routing dropped" true
+    (r.Evaluate.routing != routing)
 
 let test_evaluate_prefers_own_complete_routing () =
   let g = path_graph 3 in
@@ -1003,9 +1099,11 @@ let () =
           tc "rejects garbage" test_serialize_rejects_garbage;
           tc "malformed table" test_serialize_malformed_table;
           tc "result ok" test_serialize_result_ok;
+          tc "roundtrip property" test_serialize_roundtrip_property;
           tc "solutions agree" test_serialize_solutions_agree ] );
       ( "evaluate",
         [ tc "empty solution loss" test_evaluate_empty_solution_loss;
           tc "repair all restores" test_evaluate_repair_all_restores;
           tc "partial capacity" test_evaluate_partial_capacity;
+          tc "invalid routing never wins" test_evaluate_invalid_routing_never_wins;
           tc "prefers own routing" test_evaluate_prefers_own_complete_routing ] ) ]

@@ -85,6 +85,38 @@ let test_srt_residual_commits_routing () =
   Alcotest.(check (float 1e-6)) "routes everything" 5.0
     (Netrec_flow.Routing.total_routed sol.Instance.routing)
 
+(* Pins the marginal-cost [else 0.0] semantics of the residual length
+   function (see srt.ml): on a demand with no path at all, the length
+   fallbacks must not conjure a phantom route — the demand is recorded
+   with an empty path list and the shortfall is visible in the routing,
+   while the repairs still certify structurally. *)
+let test_srt_residual_unroutable () =
+  let g =
+    Graph.make ~n:4 ~edges:[ (0, 1, 10.0); (2, 3, 10.0) ] ()
+  in
+  let inst =
+    make_inst g
+      [ demand ~amount:5.0 0 1; demand ~amount:5.0 0 2 ]
+      (Failure.complete g)
+  in
+  let sol = Srt.solve_residual inst in
+  let routed_for s t =
+    List.fold_left
+      (fun acc a ->
+        let d = a.Netrec_flow.Routing.demand in
+        if d.Commodity.src = s && d.Commodity.dst = t then
+          acc
+          +. List.fold_left
+               (fun acc (_, x) -> acc +. x)
+               0.0 a.Netrec_flow.Routing.paths
+        else acc)
+      0.0 sol.Instance.routing
+  in
+  Alcotest.(check (float 1e-9)) "routable demand served" 5.0 (routed_for 0 1);
+  Alcotest.(check (float 1e-9)) "unroutable demand empty" 0.0 (routed_for 0 2);
+  Alcotest.(check bool) "still certifies" true
+    (Netrec_check.Check.ok (Netrec_check.Check.certify inst sol))
+
 (* ---- Path_enum ---- *)
 
 let test_path_enum_counts_cycle () =
@@ -479,7 +511,8 @@ let () =
           tc "isolated endpoints" test_srt_repairs_isolated_endpoints;
           tc "nothing broken" test_srt_nothing_broken;
           tc "residual avoids loss" test_srt_residual_avoids_loss;
-          tc "residual commits routing" test_srt_residual_commits_routing ] );
+          tc "residual commits routing" test_srt_residual_commits_routing;
+          tc "srt residual unroutable" test_srt_residual_unroutable ] );
       ( "path_enum",
         [ tc "cycle counts" test_path_enum_counts_cycle;
           tc "respects cap" test_path_enum_respects_cap;
