@@ -80,7 +80,14 @@ let micro_benchmarks () =
             (Netrec_heuristics.Exact_forest.optimal_total_repairs er_g
                ~pairs:er_pairs)));
       Test.make ~name:"fig9:isp-caida" (Staged.stage (fun () ->
-          ignore (Netrec_core.Isp.solve caida))) ]
+          ignore (Netrec_core.Isp.solve caida)));
+      Test.make ~name:"opt:bell-canada-gaussian" (Staged.stage (fun () ->
+          ignore (Netrec_heuristics.Opt.solve gauss)));
+      Test.make ~name:"mcf-lp:feasible-bell-canada" (Staged.stage (fun () ->
+          ignore
+            (Netrec_flow.Mcf_lp.feasible
+               ~cap:(G.capacity bc.Instance.graph)
+               bc.Instance.graph bc.Instance.demands))) ]
   in
   let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
   let ols =
@@ -153,9 +160,32 @@ let run_all s =
       Printf.printf "(%s regenerated in %.1f s)\n\n%!" fig secs)
     all_figures
 
-(* Machine-readable run record: micro-benchmark estimates plus the full
-   counter/gauge/span snapshot of the figure regeneration. *)
+(* Deterministic LP work gate: exact counter deltas for one full OPT
+   solve of the gaussian Bell Canada scenario.  Unlike the wall-clock
+   micro-benchmarks these integers are machine-independent, so CI can
+   hold the line on simplex/branch-and-bound work regressions exactly. *)
+let lp_gate_metrics () =
+  let inst = gaussian_instance () in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let keys =
+    [ "simplex.pivots"; "simplex.bound_flips"; "simplex.solves";
+      "simplex.warm_starts"; "simplex.phase1_skipped"; "milp.nodes";
+      "milp.nodes_pruned" ]
+  in
+  let before = List.map (fun k -> (k, Obs.counter_value k)) keys in
+  let r = Netrec_heuristics.Opt.solve inst in
+  let deltas = List.map (fun (k, v) -> (k, Obs.counter_value k - v)) before in
+  Obs.set_enabled was;
+  ("opt.proved", if r.Netrec_heuristics.Opt.proved then 1 else 0)
+  :: ("opt.nodes", r.Netrec_heuristics.Opt.nodes)
+  :: deltas
+
+(* Machine-readable run record: micro-benchmark estimates, the
+   deterministic LP work gate, plus the full counter/gauge/span snapshot
+   of the figure regeneration. *)
 let write_bench_metrics ~mode ~benchmarks =
+  let lp_gate = lp_gate_metrics () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/1\",";
   Printf.bprintf buf "\"mode\":\"%s\",\"benchmarks\":{" mode;
@@ -164,6 +194,12 @@ let write_bench_metrics ~mode ~benchmarks =
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf "\"%s\":%.6f" name ms)
     benchmarks;
+  Buffer.add_string buf "},\"lp_gate\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\":%d" name v)
+    lp_gate;
   Buffer.add_string buf "},\"metrics\":";
   Buffer.add_string buf (Obs.metrics_json ());
   Buffer.add_string buf "}\n";

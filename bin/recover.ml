@@ -116,7 +116,8 @@ let verbose_arg =
 (* Counters worth a one-line footer even without --verbose: the solver
    effort measures the paper reports next to wall time. *)
 let work_counters =
-  [ "isp.iterations"; "simplex.pivots"; "simplex.solves"; "milp.nodes";
+  [ "isp.iterations"; "simplex.pivots"; "simplex.solves";
+    "simplex.warm_starts"; "milp.nodes"; "milp.nodes_pruned";
     "dijkstra.calls"; "maxflow.calls"; "maxflow.augmentations" ]
 
 let print_work_footer () =

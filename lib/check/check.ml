@@ -428,7 +428,7 @@ let gen_instance rng i =
   in
   Instance.make ~graph:g ~demands ~failure ()
 
-let eval_cell ~opt_nodes inst =
+let eval_cell ~opt_nodes ~cross_check inst =
   let solutions =
     [ ("isp", fst (Isp.solve inst), true);
       ("srt", H.Srt.solve inst, true);
@@ -442,9 +442,16 @@ let eval_cell ~opt_nodes inst =
           ("mcb", r.H.Mcf_heuristic.mcb, true);
           ("mcw", r.H.Mcf_heuristic.mcw, true) ]
       | None -> [])
+    @ (let r = H.Opt.solve ~node_limit:opt_nodes inst in
+       [ ("opt", r.H.Opt.solution, r.H.Opt.proved) ])
     @
-    let r = H.Opt.solve ~node_limit:opt_nodes inst in
-    [ ("opt", r.H.Opt.solution, r.H.Opt.proved) ]
+    (* Warm-vs-cold oracle: re-solve with per-node cold LP solves and let
+       [analyze]'s cost-ordering assertions pit the two against each
+       other — when both prove optimality their costs must agree. *)
+    if cross_check then
+      let r = H.Opt.solve ~warm:false ~node_limit:opt_nodes inst in
+      [ ("opt-cold", r.H.Opt.solution, r.H.Opt.proved) ]
+    else []
   in
   List.map
     (fun (name, sol, proved) ->
@@ -502,6 +509,19 @@ let analyze rows =
                opt.cost r.name r.cost))
       rows
   | _ -> ());
+  (* Warm-vs-cold branch-and-bound divergence: with both searches run to
+     a proof, basis reuse must not have changed the optimum. *)
+  (match
+     ( List.find_opt (fun r -> r.name = "opt") rows,
+       List.find_opt (fun r -> r.name = "opt-cold") rows )
+   with
+  | Some w, Some c when w.proved && c.proved ->
+    if abs_float (w.cost -. c.cost) > Num.feas_eps then
+      add "opt-cold"
+        (Printf.sprintf
+           "warm-started OPT diverges from cold oracle: %g vs %g" w.cost
+           c.cost)
+  | _ -> ());
   List.rev !issues
 
 let differential ?(seed = 0xC0FFEE) ?(instances = 200) ?(opt_nodes = 400)
@@ -510,7 +530,8 @@ let differential ?(seed = 0xC0FFEE) ?(instances = 200) ?(opt_nodes = 400)
   let insts =
     Array.init instances (fun i -> (i, gen_instance (Rng.split master) i))
   in
-  let eval _ (_, inst) = eval_cell ~opt_nodes inst in
+  (* Every 16th cell also runs the cold branch-and-bound oracle. *)
+  let eval _ (i, inst) = eval_cell ~opt_nodes ~cross_check:(i mod 16 = 0) inst in
   let results =
     match pool with
     | Some p -> Pool.map p eval insts

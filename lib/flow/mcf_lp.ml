@@ -13,13 +13,20 @@ let default_budget = 6000
 
 (* Shared LP skeleton: flow variables f.(h).(e) = (forward, backward) for
    every commodity [h] and live edge [e], capacity rows, and conservation
-   rows parameterized by the per-vertex balance terms of each commodity. *)
+   rows parameterized by the per-vertex balance terms of each commodity.
+   Flow variables are the first [2 * ncommodities * nlive] LP variables,
+   laid out h-major in live-edge order, so their indices are arithmetic:
+   no per-edge hash lookups anywhere in the build or the extraction. *)
 
 type skeleton = {
   lp : Lp.problem;
   live : Graph.edge_id list;
-  fvar : (int * Graph.edge_id, Lp.var * Lp.var) Hashtbl.t;
+  slot : int array;  (* edge id -> dense live index, -1 when dead *)
+  nlive : int;
 }
+
+let fwd skel h e = 2 * ((h * skel.nlive) + skel.slot.(e))
+let bwd skel h e = fwd skel h e + 1
 
 let live_edges ~vertex_ok ~edge_ok ~cap g =
   Graph.fold_edges
@@ -36,13 +43,17 @@ let live_edges ~vertex_ok ~edge_ok ~cap g =
    vertex [v]:  outflow - inflow + (terms) = constant. *)
 let build ~vertex_ok ~cap g ~ncommodities ~live =
   let lp = Lp.create () in
-  let fvar = Hashtbl.create (2 * ncommodities * List.length live) in
-  for h = 0 to ncommodities - 1 do
+  let nlive = List.length live in
+  let slot = Array.make (Graph.ne g) (-1) in
+  List.iteri (fun i e -> slot.(e) <- i) live;
+  let skel = { lp; live; slot; nlive } in
+  for _h = 0 to ncommodities - 1 do
     List.iter
-      (fun e ->
-        let fwd = Lp.add_var lp () in
-        let bwd = Lp.add_var lp () in
-        Hashtbl.replace fvar (h, e) (fwd, bwd))
+      (fun _e ->
+        ignore (Lp.add_var lp ());
+        (* forward *)
+        ignore (Lp.add_var lp ())
+        (* backward *))
       live
   done;
   (* Capacity rows: sum over commodities of both directions <= cap. *)
@@ -50,8 +61,7 @@ let build ~vertex_ok ~cap g ~ncommodities ~live =
     (fun e ->
       let terms = ref [] in
       for h = 0 to ncommodities - 1 do
-        let fwd, bwd = Hashtbl.find fvar (h, e) in
-        terms := (fwd, 1.0) :: (bwd, 1.0) :: !terms
+        terms := (fwd skel h e, 1.0) :: (bwd skel h e, 1.0) :: !terms
       done;
       Lp.add_constraint lp !terms Lp.Le (cap e))
     live;
@@ -63,19 +73,21 @@ let build ~vertex_ok ~cap g ~ncommodities ~live =
           let terms = ref (extra_terms h v) in
           List.iter
             (fun (_, e) ->
-              match Hashtbl.find_opt fvar (h, e) with
-              | None -> ()
-              | Some (fwd, bwd) ->
+              if slot.(e) >= 0 then begin
                 let u, _ = Graph.endpoints g e in
                 if u = v then
-                  terms := (fwd, 1.0) :: (bwd, -1.0) :: !terms
-                else terms := (fwd, -1.0) :: (bwd, 1.0) :: !terms)
+                  terms :=
+                    (fwd skel h e, 1.0) :: (bwd skel h e, -1.0) :: !terms
+                else
+                  terms :=
+                    (fwd skel h e, -1.0) :: (bwd skel h e, 1.0) :: !terms
+              end)
             (Graph.incident g v);
           Lp.add_constraint lp !terms Lp.Eq (rhs h v)
         end)
       (Graph.vertices g)
   in
-  ({ lp; live; fvar }, conservation)
+  (skel, conservation)
 
 (* Extract a routing from the per-commodity edge flows of a solved LP. *)
 let routing_of_solution g skel demands values =
@@ -85,8 +97,7 @@ let routing_of_solution g skel demands values =
       let edge_flow = Array.make m 0.0 in
       List.iter
         (fun e ->
-          let fwd, bwd = Hashtbl.find skel.fvar (h, e) in
-          edge_flow.(e) <- values.(fwd) -. values.(bwd))
+          edge_flow.(e) <- values.(fwd skel h e) -. values.(bwd skel h e))
         skel.live;
       let paths =
         Maxflow.decompose g ~source:demand.Commodity.src

@@ -17,12 +17,21 @@ type result = {
   limited : Budget.reason option;
 }
 
+(* Variable layout: vertex binaries (broken vertices, ascending id), edge
+   binaries (broken edges, ascending id), then flow pairs for every edge,
+   commodity-major.  Deltas are dense int arrays with -1 for working
+   elements; flow indices are arithmetic off [fbase], so lookups never
+   touch a hashtable and the binary list is deterministic. *)
 type model = {
   lp : Lp.problem;
-  delta_v : (Graph.vertex, Lp.var) Hashtbl.t;  (* broken vertices only *)
-  delta_e : (Graph.edge_id, Lp.var) Hashtbl.t;  (* broken edges only *)
-  fvar : (int * Graph.edge_id, Lp.var * Lp.var) Hashtbl.t;
+  delta_v : int array;  (* vertex -> binary var, -1 when not broken *)
+  delta_e : int array;  (* edge id -> binary var, -1 when not broken *)
+  fbase : int;
+  ne : int;
 }
+
+let fwd m h e = m.fbase + (2 * ((h * m.ne) + e))
+let bwd m h e = fwd m h e + 1
 
 (* Build the MinR MILP.  Binaries exist only for broken elements; the
    capacity row of a broken edge is gated by its binary, and every edge
@@ -33,66 +42,65 @@ let build inst =
   let failure = inst.Instance.failure in
   let demands = Array.of_list inst.Instance.demands in
   let nh = Array.length demands in
+  let ne = Graph.ne g in
   let lp = Lp.create () in
-  let delta_v = Hashtbl.create 64 in
-  let delta_e = Hashtbl.create 64 in
+  let delta_v = Array.make (Graph.nv g) (-1) in
+  let delta_e = Array.make ne (-1) in
   List.iter
     (fun v ->
       if Failure.vertex_broken failure v then
-        Hashtbl.replace delta_v v
-          (Lp.add_var lp ~ub:1.0 ~obj:inst.Instance.vertex_cost.(v) ()))
+        delta_v.(v) <-
+          Lp.add_var lp ~ub:1.0 ~obj:inst.Instance.vertex_cost.(v) ())
     (Graph.vertices g);
   Graph.fold_edges
     (fun e () ->
       if Failure.edge_broken failure e.Graph.id then
-        Hashtbl.replace delta_e e.Graph.id
-          (Lp.add_var lp ~ub:1.0 ~obj:inst.Instance.edge_cost.(e.Graph.id) ()))
+        delta_e.(e.Graph.id) <-
+          Lp.add_var lp ~ub:1.0 ~obj:inst.Instance.edge_cost.(e.Graph.id) ())
     g ();
-  let fvar = Hashtbl.create (2 * nh * Graph.ne g) in
-  for h = 0 to nh - 1 do
+  let fbase = Lp.nvars lp in
+  for _h = 0 to nh - 1 do
     Graph.fold_edges
-      (fun e () ->
-        let fwd = Lp.add_var lp () in
-        let bwd = Lp.add_var lp () in
-        Hashtbl.replace fvar (h, e.Graph.id) (fwd, bwd))
+      (fun _e () ->
+        ignore (Lp.add_var lp ());
+        ignore (Lp.add_var lp ()))
       g ()
   done;
+  let model = { lp; delta_v; delta_e; fbase; ne } in
   let flow_terms e =
     List.concat
-      (List.init nh (fun h ->
-           let fwd, bwd = Hashtbl.find fvar (h, e) in
-           [ (fwd, 1.0); (bwd, 1.0) ]))
+      (List.init nh (fun h -> [ (fwd model h e, 1.0); (bwd model h e, 1.0) ]))
   in
   (* Capacity / edge gating:  sum_h (f + f') <= c_e * delta_e. *)
   Graph.fold_edges
     (fun e () ->
       let id = e.Graph.id in
       let terms = flow_terms id in
-      (match Hashtbl.find_opt delta_e id with
-      | Some de ->
-        Lp.add_constraint lp ((de, -.e.Graph.capacity) :: terms) Lp.Le 0.0
-      | None -> Lp.add_constraint lp terms Lp.Le e.Graph.capacity);
+      (if delta_e.(id) >= 0 then
+         Lp.add_constraint lp
+           ((delta_e.(id), -.e.Graph.capacity) :: terms)
+           Lp.Le 0.0
+       else Lp.add_constraint lp terms Lp.Le e.Graph.capacity);
       (* Vertex gating for broken endpoints. *)
       List.iter
         (fun v ->
-          match Hashtbl.find_opt delta_v v with
-          | Some dv ->
-            Lp.add_constraint lp ((dv, -.e.Graph.capacity) :: terms) Lp.Le 0.0
-          | None -> ())
+          if delta_v.(v) >= 0 then
+            Lp.add_constraint lp
+              ((delta_v.(v), -.e.Graph.capacity) :: terms)
+              Lp.Le 0.0)
         [ e.Graph.u; e.Graph.v ])
     g ();
   (* Also gate edge repair by endpoint repair (an edge cannot be used
      unless its endpoints are): delta_e <= delta_v. *)
   Graph.fold_edges
     (fun e () ->
-      match Hashtbl.find_opt delta_e e.Graph.id with
-      | None -> ()
-      | Some de ->
+      if delta_e.(e.Graph.id) >= 0 then
         List.iter
           (fun v ->
-            match Hashtbl.find_opt delta_v v with
-            | Some dv -> Lp.add_constraint lp [ (de, 1.0); (dv, -1.0) ] Lp.Le 0.0
-            | None -> ())
+            if delta_v.(v) >= 0 then
+              Lp.add_constraint lp
+                [ (delta_e.(e.Graph.id), 1.0); (delta_v.(v), -1.0) ]
+                Lp.Le 0.0)
           [ e.Graph.u; e.Graph.v ])
     g ();
   (* Flow conservation per commodity and vertex. *)
@@ -103,10 +111,11 @@ let build inst =
         let terms = ref [] in
         List.iter
           (fun (_, e) ->
-            let fwd, bwd = Hashtbl.find fvar (h, e) in
             let u, _ = Graph.endpoints g e in
-            if u = v then terms := (fwd, 1.0) :: (bwd, -1.0) :: !terms
-            else terms := (fwd, -1.0) :: (bwd, 1.0) :: !terms)
+            if u = v then
+              terms := (fwd model h e, 1.0) :: (bwd model h e, -1.0) :: !terms
+            else
+              terms := (fwd model h e, -1.0) :: (bwd model h e, 1.0) :: !terms)
           (Graph.incident g v);
         let b =
           if v = d.Commodity.src then d.Commodity.amount
@@ -116,20 +125,30 @@ let build inst =
         Lp.add_constraint lp !terms Lp.Eq b)
       (Graph.vertices g)
   done;
-  { lp; delta_v; delta_e; fvar }
+  model
+
+(* Binaries in a fixed order — vertices ascending, then edges ascending —
+   so branching (and hence the node sequence) is deterministic. *)
+let binaries model =
+  let acc = ref [] in
+  for e = Array.length model.delta_e - 1 downto 0 do
+    if model.delta_e.(e) >= 0 then acc := model.delta_e.(e) :: !acc
+  done;
+  for v = Array.length model.delta_v - 1 downto 0 do
+    if model.delta_v.(v) >= 0 then acc := model.delta_v.(v) :: !acc
+  done;
+  !acc
 
 let solution_of_values inst model values =
   let repaired_vertices =
-    Hashtbl.fold
-      (fun v var acc -> if values.(var) > 0.5 then v :: acc else acc)
-      model.delta_v []
-    |> List.sort compare
+    List.filter
+      (fun v -> model.delta_v.(v) >= 0 && values.(model.delta_v.(v)) > 0.5)
+      (Graph.vertices inst.Instance.graph)
   in
   let repaired_edges =
-    Hashtbl.fold
-      (fun e var acc -> if values.(var) > 0.5 then e :: acc else acc)
-      model.delta_e []
-    |> List.sort compare
+    List.filter
+      (fun e -> model.delta_e.(e) >= 0 && values.(model.delta_e.(e)) > 0.5)
+      (List.init model.ne (fun e -> e))
   in
   let demands = Array.of_list inst.Instance.demands in
   let g = inst.Instance.graph in
@@ -138,11 +157,9 @@ let solution_of_values inst model values =
       (Array.mapi
          (fun h demand ->
            let edge_flow = Array.make (Graph.ne g) 0.0 in
-           Graph.fold_edges
-             (fun e () ->
-               let fwd, bwd = Hashtbl.find model.fvar (h, e.Graph.id) in
-               edge_flow.(e.Graph.id) <- values.(fwd) -. values.(bwd))
-             g ();
+           for e = 0 to model.ne - 1 do
+             edge_flow.(e) <- values.(fwd model h e) -. values.(bwd model h e)
+           done;
            let paths =
              Maxflow.decompose g ~source:demand.Commodity.src
                ~sink:demand.Commodity.dst
@@ -158,7 +175,8 @@ let integral_costs inst =
   Array.for_all integral inst.Instance.vertex_cost
   && Array.for_all integral inst.Instance.edge_cost
 
-let solve_body ~budget ~node_limit ~var_budget ~incumbent inst =
+let solve_body ~budget ~node_limit ~var_budget ~incumbent ~warm:warm_nodes
+    ~node_certifier inst =
   let g = inst.Instance.graph in
   let nh = List.length inst.Instance.demands in
   let warm =
@@ -179,15 +197,13 @@ let solve_body ~budget ~node_limit ~var_budget ~incumbent inst =
       (Some (Budget.Size { size = 2 * nh * Graph.ne g; cap = var_budget }))
   else begin
     let model = Obs.span "opt.model_build" (fun () -> build inst) in
-    let binary =
-      Hashtbl.fold (fun _ v acc -> v :: acc) model.delta_v []
-      @ Hashtbl.fold (fun _ v acc -> v :: acc) model.delta_e []
-    in
+    let binary = binaries model in
     let dummy_incumbent = (Array.make (Lp.nvars model.lp) 0.0, warm_cost) in
     let r =
       Obs.span "opt.branch_and_bound" @@ fun () ->
       Milp.solve ~budget ~node_limit ~integral_objective:(integral_costs inst)
-        ~incumbent:dummy_incumbent ~binary model.lp
+        ~incumbent:dummy_incumbent ~warm:warm_nodes ?node_certifier ~binary
+        model.lp
     in
     match r.Milp.status with
     | `Optimal | `Feasible ->
@@ -203,9 +219,10 @@ let solve_body ~budget ~node_limit ~var_budget ~incumbent inst =
   end
 
 let solve ?(budget = Budget.unlimited) ?(node_limit = 3000)
-    ?(var_budget = 6000) ?incumbent inst =
+    ?(var_budget = 6000) ?incumbent ?(warm = true) ?node_certifier inst =
   let r, wall =
     Obs.timed "opt.solve" (fun () ->
-        solve_body ~budget ~node_limit ~var_budget ~incumbent inst)
+        solve_body ~budget ~node_limit ~var_budget ~incumbent ~warm
+          ~node_certifier inst)
   in
   { r with wall_seconds = wall }

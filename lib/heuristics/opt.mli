@@ -34,11 +34,18 @@ val solve :
   ?node_limit:int ->
   ?var_budget:int ->
   ?incumbent:Instance.solution ->
+  ?warm:bool ->
+  ?node_certifier:
+    (Netrec_lp.Lp.problem -> Netrec_lp.Lp.solution -> unit) ->
   Instance.t ->
   result
 (** Solve MinR.  [node_limit] (default 3000) bounds the search;
     [var_budget] (default 6000) bounds the exact model size;
     [incumbent] (default: ISP + postpass) seeds the upper bound.
+    [warm] (default [true]) reuses the parent basis across
+    branch-and-bound nodes; [~warm:false] cold-solves every node — the
+    differential oracle of {!Milp.solve}.  [node_certifier] is forwarded
+    to {!Milp.solve} (the test-suite's certificate hook).
     [budget] (default unlimited) is threaded into the warm start and
     every branch-and-bound node; when it trips the best incumbent so far
     is returned with [proved = false] and the reason in [limited]. *)

@@ -1,3 +1,5 @@
+module Budget = Netrec_resilience.Budget
+
 type var = int
 type relation = Le | Ge | Eq
 type sense = Minimize | Maximize
@@ -9,29 +11,41 @@ type vardef = {
   vname : string option;
 }
 
-type cons = { terms : (var * float) list; rel : relation; rhs : float }
-
+(* Constraints live in growable CSR arrays: row [i]'s terms are
+   [cols]/[coefs] at positions [row_off.(i) .. row_off.(i+1) - 1], sorted
+   by variable index with duplicates merged at insertion.  The solver
+   consumes these arrays directly. *)
 type problem = {
   mutable vars : vardef array;
   mutable nv : int;
-  mutable cons : cons list;  (* reversed *)
+  mutable row_off : int array;  (* length >= ncons + 1 *)
+  mutable cols : int array;
+  mutable coefs : float array;
+  mutable rels : relation array;
+  mutable rhs : float array;
   mutable ncons : int;
+  mutable nnz : int;
   mutable sense : sense;
 }
 
+let fresh_vardef () = { lb = 0.0; ub = 0.0; obj = 0.0; vname = None }
+
 let create ?(sense = Minimize) () =
-  { vars = Array.make 16 { lb = 0.0; ub = 0.0; obj = 0.0; vname = None };
+  { vars = Array.init 16 (fun _ -> fresh_vardef ());
     nv = 0;
-    cons = [];
+    row_off = Array.make 17 0;
+    cols = Array.make 64 0;
+    coefs = Array.make 64 0.0;
+    rels = Array.make 16 Le;
+    rhs = Array.make 16 0.0;
     ncons = 0;
+    nnz = 0;
     sense }
 
 let add_var p ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) ?name () =
   if lb > ub then invalid_arg "Lp.add_var: lb > ub";
   if p.nv = Array.length p.vars then begin
-    let bigger =
-      Array.make (2 * p.nv) { lb = 0.0; ub = 0.0; obj = 0.0; vname = None }
-    in
+    let bigger = Array.init (2 * p.nv) (fun _ -> fresh_vardef ()) in
     Array.blit p.vars 0 bigger 0 p.nv;
     p.vars <- bigger
   end;
@@ -42,17 +56,46 @@ let add_var p ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) ?name () =
 let check_var p v =
   if v < 0 || v >= p.nv then invalid_arg "Lp: unknown variable"
 
+let grow arr needed fillv =
+  let len = Array.length arr in
+  if needed <= len then arr
+  else begin
+    let bigger = Array.make (max needed (2 * len)) fillv in
+    Array.blit arr 0 bigger 0 len;
+    bigger
+  end
+
 let add_constraint p terms rel rhs =
   List.iter (fun (v, _) -> check_var p v) terms;
-  (* Merge duplicate variables. *)
-  let tbl = Hashtbl.create (List.length terms) in
+  (* Sort by variable index and merge duplicates so the stored row is
+     canonical no matter how the caller assembled the term list. *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) terms in
+  let merged =
+    List.fold_left
+      (fun acc (v, c) ->
+        match acc with
+        | (v', c') :: tl when v' = v -> (v', c' +. c) :: tl
+        | _ -> (v, c) :: acc)
+      [] sorted
+    |> List.filter (fun (_, c) -> c <> 0.0)
+    |> List.rev
+  in
+  let k = List.length merged in
+  p.cols <- grow p.cols (p.nnz + k) 0;
+  p.coefs <- grow p.coefs (p.nnz + k) 0.0;
+  p.row_off <- grow p.row_off (p.ncons + 2) 0;
+  p.rels <- grow p.rels (p.ncons + 1) Le;
+  p.rhs <- grow p.rhs (p.ncons + 1) 0.0;
   List.iter
     (fun (v, c) ->
-      Hashtbl.replace tbl v (c +. Option.value ~default:0.0 (Hashtbl.find_opt tbl v)))
-    terms;
-  let merged = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
-  p.cons <- { terms = merged; rel; rhs } :: p.cons;
-  p.ncons <- p.ncons + 1
+      p.cols.(p.nnz) <- v;
+      p.coefs.(p.nnz) <- c;
+      p.nnz <- p.nnz + 1)
+    merged;
+  p.rels.(p.ncons) <- rel;
+  p.rhs.(p.ncons) <- rhs;
+  p.ncons <- p.ncons + 1;
+  p.row_off.(p.ncons) <- p.nnz
 
 let set_obj p v c =
   check_var p v;
@@ -70,7 +113,15 @@ let nvars p = p.nv
 let nconstraints p = p.ncons
 
 let constraints p =
-  List.rev_map (fun c -> (c.terms, c.rel, c.rhs)) p.cons
+  List.init p.ncons (fun i ->
+      let terms =
+        List.init
+          (p.row_off.(i + 1) - p.row_off.(i))
+          (fun k ->
+            let k = p.row_off.(i) + k in
+            (p.cols.(k), p.coefs.(k)))
+      in
+      (terms, p.rels.(i), p.rhs.(i)))
 
 let var_lb p v =
   check_var p v;
@@ -94,8 +145,15 @@ let var_name p v =
 
 let copy p =
   { p with
-    vars = Array.map (fun d -> { d with lb = d.lb }) p.vars;
-    cons = p.cons }
+    vars =
+      Array.map
+        (fun d -> { lb = d.lb; ub = d.ub; obj = d.obj; vname = d.vname })
+        p.vars;
+    row_off = Array.copy p.row_off;
+    cols = Array.copy p.cols;
+    coefs = Array.copy p.coefs;
+    rels = Array.copy p.rels;
+    rhs = Array.copy p.rhs }
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -104,93 +162,45 @@ type solution = {
   objective : float;
   values : float array;
   pivots : int;
-  limited : Netrec_resilience.Budget.reason option;
+  limited : Budget.reason option;
 }
 
-(* Translation to standard form: every free-ish variable is shifted by its
-   (finite) lower bound so shifted variables satisfy y >= 0; fixed
-   variables (lb = ub) are substituted as constants; finite upper bounds
-   become extra [y <= ub - lb] rows.  Maximization negates the costs. *)
-exception Out_of_budget of Netrec_resilience.Budget.reason
+let obj_sign p = match p.sense with Minimize -> 1.0 | Maximize -> -1.0
 
-let solve ?budget ?max_pivots p =
-  let give_up reason =
-    { status = Iteration_limit;
-      objective = 0.0;
-      values = Array.make p.nv 0.0;
-      pivots = 0;
-      limited = Some reason }
-  in
-  (* The dense standard-form translation below allocates one row of
-     [ncols] floats per constraint — on large models that alone can
-     outlast a tight deadline, so it is checked against the budget every
-     few rows (and skipped outright when the budget is already spent). *)
-  let row_check =
-    match budget with
-    | None -> fun () -> ()
-    | Some b ->
-      let rows_done = ref 0 in
-      fun () ->
-        incr rows_done;
-        if !rows_done land 63 = 0 then
-          match Netrec_resilience.Budget.check b with
-          | Some reason -> raise (Out_of_budget reason)
-          | None -> ()
-  in
-  match Option.map Netrec_resilience.Budget.check budget with
-  | Some (Some reason) -> give_up reason
-  | Some None | None ->
-  try
-  let default_budget = 50_000 + (50 * (p.nv + p.ncons)) in
-  let max_pivots = Option.value ~default:default_budget max_pivots in
-  let col_of = Array.make p.nv (-1) in
-  let shift = Array.make p.nv 0.0 in
-  let ncols = ref 0 in
+(* The translation to the solver is a reshape, not a rewrite: the CSR
+   arrays pass through unchanged, costs pick up the sense sign, and
+   bounds stay native (no shifting, no substitution, no bound rows). *)
+let to_std p =
+  let sign = obj_sign p in
   for v = 0 to p.nv - 1 do
     let d = p.vars.(v) in
-    if d.lb = d.ub then shift.(v) <- d.lb (* constant, no column *)
-    else begin
-      if not (Float.is_finite d.lb) then
-        invalid_arg "Lp.solve: variables need a finite lower bound";
-      shift.(v) <- d.lb;
-      col_of.(v) <- !ncols;
-      incr ncols
-    end
+    if not (Float.is_finite d.lb || Float.is_finite d.ub) then
+      invalid_arg "Lp.solve: variables need a finite lower bound"
   done;
-  let ncols = !ncols in
-  let costs = Array.make ncols 0.0 in
-  let obj_const = ref 0.0 in
-  let sign = match p.sense with Minimize -> 1.0 | Maximize -> -1.0 in
-  for v = 0 to p.nv - 1 do
-    let d = p.vars.(v) in
-    obj_const := !obj_const +. (d.obj *. shift.(v));
-    if col_of.(v) >= 0 then costs.(col_of.(v)) <- sign *. d.obj
-  done;
-  let translate_cons { terms; rel; rhs } =
-    row_check ();
-    let coeffs = Array.make ncols 0.0 in
-    let rhs = ref rhs in
-    List.iter
-      (fun (v, c) ->
-        rhs := !rhs -. (c *. shift.(v));
-        if col_of.(v) >= 0 then
-          coeffs.(col_of.(v)) <- coeffs.(col_of.(v)) +. c)
-      terms;
-    let rel = match rel with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq in
-    (coeffs, rel, !rhs)
-  in
-  let base_rows = List.rev_map translate_cons p.cons in
-  let bound_rows = ref [] in
-  for v = 0 to p.nv - 1 do
-    let d = p.vars.(v) in
-    if col_of.(v) >= 0 && Float.is_finite d.ub then begin
-      let coeffs = Array.make ncols 0.0 in
-      coeffs.(col_of.(v)) <- 1.0;
-      bound_rows := (coeffs, Simplex.Le, d.ub -. d.lb) :: !bound_rows
-    end
-  done;
-  let std = { Simplex.ncols; rows = base_rows @ !bound_rows; costs } in
-  let out = Simplex.solve_std ?budget ~max_pivots std in
+  { Simplex.ncols = p.nv;
+    nrows = p.ncons;
+    row_off = Array.sub p.row_off 0 (p.ncons + 1);
+    cols = Array.sub p.cols 0 p.nnz;
+    coefs = Array.sub p.coefs 0 p.nnz;
+    rels =
+      Array.init p.ncons (fun i ->
+          match p.rels.(i) with
+          | Le -> Simplex.Le
+          | Ge -> Simplex.Ge
+          | Eq -> Simplex.Eq);
+    rhs = Array.sub p.rhs 0 p.ncons;
+    costs = Array.init p.nv (fun v -> sign *. p.vars.(v).obj);
+    lb = Array.init p.nv (fun v -> p.vars.(v).lb);
+    ub = Array.init p.nv (fun v -> p.vars.(v).ub) }
+
+let give_up nv reason =
+  { status = Iteration_limit;
+    objective = 0.0;
+    values = Array.make nv 0.0;
+    pivots = 0;
+    limited = Some reason }
+
+let finish ~sign (out : Simplex.outcome) =
   let status =
     match out.Simplex.status with
     | Simplex.Optimal -> Optimal
@@ -198,19 +208,62 @@ let solve ?budget ?max_pivots p =
     | Simplex.Unbounded -> Unbounded
     | Simplex.Iteration_limit -> Iteration_limit
   in
-  let values =
-    Array.init p.nv (fun v ->
-        if col_of.(v) >= 0 then out.Simplex.values.(col_of.(v)) +. shift.(v)
-        else shift.(v))
-  in
-  let objective =
-    match status with
-    | Optimal -> (sign *. out.Simplex.objective) +. !obj_const
-    | _ -> 0.0
-  in
   { status;
-    objective;
-    values;
+    objective =
+      (match status with Optimal -> sign *. out.Simplex.objective | _ -> 0.0);
+    values = out.Simplex.values;
     pivots = out.Simplex.pivots;
     limited = out.Simplex.limited }
-  with Out_of_budget reason -> give_up reason
+
+let default_max_pivots p = 50_000 + (50 * (p.nv + p.ncons))
+
+let solve ?budget ?max_pivots p =
+  (* An already-exhausted budget exits before the model is even built. *)
+  match Option.map Budget.check budget with
+  | Some (Some reason) -> give_up p.nv reason
+  | Some None | None ->
+    let max_pivots = Option.value ~default:(default_max_pivots p) max_pivots in
+    let eng = Simplex.create (to_std p) in
+    finish ~sign:(obj_sign p) (Simplex.solve ?budget ~max_pivots eng)
+
+(* ---- warm-start sessions (branch-and-bound basis reuse) ---- *)
+
+type warm = {
+  weng : Simplex.t;
+  wsign : float;
+  wnv : int;
+  wdefault_pivots : int;
+  wbase_lb : float array;
+  wbase_ub : float array;
+  (* per-call scratch, reset from the base bounds before each solve *)
+  wlb : float array;
+  wub : float array;
+}
+
+let warm p =
+  let std = to_std p in
+  { weng = Simplex.create std;
+    wsign = obj_sign p;
+    wnv = p.nv;
+    wdefault_pivots = default_max_pivots p;
+    wbase_lb = std.Simplex.lb;
+    wbase_ub = std.Simplex.ub;
+    wlb = Array.copy std.Simplex.lb;
+    wub = Array.copy std.Simplex.ub }
+
+let warm_solve ?budget ?max_pivots ?(bounds = []) w =
+  match Option.map Budget.check budget with
+  | Some (Some reason) -> give_up w.wnv reason
+  | Some None | None ->
+    let max_pivots = Option.value ~default:w.wdefault_pivots max_pivots in
+    Array.blit w.wbase_lb 0 w.wlb 0 w.wnv;
+    Array.blit w.wbase_ub 0 w.wub 0 w.wnv;
+    List.iter
+      (fun (v, lo, hi) ->
+        if v < 0 || v >= w.wnv then invalid_arg "Lp.warm_solve: unknown variable";
+        if lo > hi then invalid_arg "Lp.warm_solve: lb > ub";
+        w.wlb.(v) <- lo;
+        w.wub.(v) <- hi)
+      bounds;
+    finish ~sign:w.wsign
+      (Simplex.resolve ?budget ~max_pivots ~lb:w.wlb ~ub:w.wub w.weng)

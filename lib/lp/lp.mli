@@ -4,11 +4,15 @@
     routability test (paper system (2)), the split-amount LP (§IV-C), the
     multicommodity relaxation (system (8)) and the LP relaxations inside
     the branch-and-bound MILP (system (1), via {!Milp}) are all expressed
-    against this interface and solved by the dense two-phase primal simplex
-    in {!Simplex}.
+    against this interface and solved by the sparse bounded-variable
+    revised simplex in {!Simplex}.
 
-    Variables have a lower bound (default 0) and an optional upper bound;
-    constraints are sparse linear forms compared to a constant. *)
+    Constraints are stored in CSR form end-to-end: [add_constraint]
+    appends one sparse row (terms merged and sorted by variable index, so
+    models, pivot sequences and journals are canonical regardless of the
+    order terms were supplied in), and the solver consumes the CSR arrays
+    directly — no dense rows are ever materialized.  Variable bounds are
+    handled natively by the simplex ratio test, never as extra rows. *)
 
 type var = int
 (** Dense variable index, assigned by {!add_var} in creation order. *)
@@ -33,7 +37,8 @@ val add_var :
 
 val add_constraint : problem -> (var * float) list -> relation -> float -> unit
 (** [add_constraint p terms rel rhs] adds [sum terms rel rhs].  Repeated
-    variables in [terms] are summed.
+    variables in [terms] are summed; the stored row is sorted by variable
+    index with exact-zero coefficients dropped.
     @raise Invalid_argument on an unknown variable. *)
 
 val set_obj : problem -> var -> float -> unit
@@ -54,9 +59,9 @@ val nconstraints : problem -> int
 
 val constraints : problem -> ((var * float) list * relation * float) list
 (** The constraint rows [(terms, rel, rhs)] in insertion order, with
-    duplicate variables already merged.  Read-only view for certificate
-    validation ({!Netrec_check}); mutating the problem afterwards
-    invalidates the returned list. *)
+    duplicate variables already merged and terms sorted by variable
+    index.  Read-only view for certificate validation ({!Netrec_check});
+    mutating the problem afterwards invalidates the returned list. *)
 
 val var_lb : problem -> var -> float
 (** A variable's current lower bound.  @raise Invalid_argument on an
@@ -75,8 +80,10 @@ val var_name : problem -> var -> string
 (** Display name (defaults to ["x<i>"]). *)
 
 val copy : problem -> problem
-(** Independent deep copy (branch-and-bound clones the parent problem at
-    every node). *)
+(** Independent deep copy: the variable records and all CSR constraint
+    arrays are fresh, so no mutation of the copy ([set_bounds], [fix],
+    [set_obj], [add_constraint]) can leak into the original or vice
+    versa. *)
 
 type status =
   | Optimal
@@ -88,7 +95,7 @@ type solution = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
   values : float array;  (** one entry per variable, in {!var} order *)
-  pivots : int;  (** simplex pivots consumed by this solve *)
+  pivots : int;  (** simplex work (pivots + bound flips) consumed by this solve *)
   limited : Netrec_resilience.Budget.reason option;
       (** [Some _] iff [status = Iteration_limit]: why the solve was cut
           short (tripped cooperative budget, else the pivot cap) *)
@@ -96,6 +103,32 @@ type solution = {
 
 val solve :
   ?budget:Netrec_resilience.Budget.t -> ?max_pivots:int -> problem -> solution
-(** Solve with the two-phase simplex.  [max_pivots] bounds total pivot
-    operations (default [50_000 + 50 * (nvars + nconstraints)]);
-    [budget] (default unlimited) is checked once per pivot. *)
+(** Cold solve with the sparse bounded-variable simplex.  [max_pivots]
+    bounds total pivot operations (default
+    [50_000 + 50 * (nvars + nconstraints)]); [budget] (default unlimited)
+    is checked once per pivot. *)
+
+type warm
+(** A warm-start session: a solver engine bound to a snapshot of the
+    problem, keeping the factorized optimal basis alive between solves so
+    that related problems — the same rows under different variable bounds,
+    exactly branch-and-bound's node structure — restart from the parent
+    basis via the dual simplex instead of solving from scratch. *)
+
+val warm : problem -> warm
+(** Capture [p] into a warm-start session.  The session snapshots the
+    rows, costs and bounds at this point; later mutations of [p] are not
+    seen by {!warm_solve}. *)
+
+val warm_solve :
+  ?budget:Netrec_resilience.Budget.t ->
+  ?max_pivots:int ->
+  ?bounds:(var * float * float) list ->
+  warm ->
+  solution
+(** Solve the captured problem with the variable-bound overrides in
+    [bounds] (a list of [(var, lb, ub)]; variables not listed keep their
+    captured bounds).  The first call cold-solves; every subsequent call
+    warm-starts from the previous optimal basis when one exists
+    (["simplex.warm_starts"]), falling back to a cold solve otherwise.
+    @raise Invalid_argument on an unknown variable or [lb > ub]. *)

@@ -1,6 +1,7 @@
 module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 module Budget = Netrec_resilience.Budget
+module Pqueue = Netrec_util.Pqueue
 
 type result = {
   status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
@@ -15,11 +16,35 @@ type result = {
 let frac x = abs_float (x -. Float.round x)
 
 let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
-    ?(integral_objective = false) ?incumbent ~binary p =
+    ?(integral_objective = false) ?incumbent ?(warm = true) ?node_certifier
+    ~binary p =
   let binary = Array.of_list binary in
   (* All binaries get [0,1] bounds in the relaxation. *)
   let root = Lp.copy p in
   Array.iter (fun v -> Lp.set_bounds root v ~lb:0.0 ~ub:1.0) binary;
+  (* One engine serves every node: a node is just the root under different
+     binary bounds, so the parent's optimal basis dual-feasibly warm-starts
+     each child.  The cold path keeps the old copy-and-resolve behavior as
+     a differential oracle. *)
+  let session = if warm then Some (Lp.warm root) else None in
+  let solve_node fixings =
+    match session with
+    | Some w ->
+      let bounds = List.map (fun (v, x) -> (v, x, x)) fixings in
+      Lp.warm_solve ~budget ?max_pivots ~bounds w
+    | None ->
+      let node_p = Lp.copy root in
+      List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
+      Lp.solve ~budget ?max_pivots node_p
+  in
+  let certify fixings sol =
+    match node_certifier with
+    | None -> ()
+    | Some f ->
+      let node_p = Lp.copy root in
+      List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
+      f node_p sol
+  in
   let best_values = ref None in
   let best_obj = ref infinity in
   (match incumbent with
@@ -30,65 +55,97 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
   let nodes = ref 0 in
   let pivots = ref 0 in
   let truncated = ref false in
-  (* Depth-first stack of nodes; a node is the list of (var, value)
-     fixings accumulated along the branch. *)
-  let stack = ref [ [] ] in
   let tighten bound =
     (* Integral costs allow rounding the LP bound up to the next integer. *)
     if integral_objective then Float.round (ceil (bound -. Num.feas_eps))
     else bound
   in
-  while !stack <> [] && !nodes < node_limit && Budget.ok budget do
-    match !stack with
-    | [] -> ()
-    | fixings :: rest ->
-      stack := rest;
-      incr nodes;
-      Obs.count "milp.nodes";
-      Budget.spend budget;
-      let node_p = Lp.copy root in
-      List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
-      let sol = Lp.solve ~budget ?max_pivots node_p in
-      pivots := !pivots + sol.Lp.pivots;
-      (match sol.Lp.status with
-      | Lp.Infeasible -> ()
-      | Lp.Iteration_limit ->
-        Obs.count "lp.iteration_limit_hits";
-        truncated := true
-      | Lp.Unbounded -> truncated := true
-      | Lp.Optimal ->
-        let bound = tighten sol.Lp.objective in
-        if Num.geq ~eps:Num.feas_eps bound !best_obj then () (* pruned by bound *)
-        else begin
-          (* Most fractional binary decides the branching variable. *)
-          let branch_var = ref (-1) in
-          let branch_frac = ref Num.feas_eps in
-          Array.iter
-            (fun v ->
-              let f = frac sol.Lp.values.(v) in
-              if f > !branch_frac then begin
-                branch_frac := f;
-                branch_var := v
-              end)
-            binary;
-          if !branch_var < 0 then begin
-            (* Integral solution: new incumbent. *)
-            Obs.count "milp.incumbents";
-            best_obj := sol.Lp.objective;
-            best_values := Some (Array.copy sol.Lp.values)
-          end
-          else begin
-            let v = !branch_var in
-            let preferred = Float.round sol.Lp.values.(v) in
-            let other = 1.0 -. preferred in
-            (* The preferred branch is pushed on top, so it pops first. *)
-            stack := ((v, preferred) :: fixings)
-                     :: ((v, other) :: fixings)
-                     :: !stack
-          end
-        end)
+  let pruned bound = Num.geq ~eps:Num.feas_eps bound !best_obj in
+  (* Best-bound queue of open nodes; a node is the list of (var, value)
+     fixings accumulated along its branch, keyed by the (tightened) LP
+     bound of its parent. *)
+  let q = Pqueue.create () in
+  Pqueue.push q neg_infinity [];
+  let have_room () = !nodes < node_limit && Budget.ok budget in
+  while Pqueue.length q > 0 && have_room () do
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (bound, fixings) ->
+      if pruned bound then Obs.count "milp.nodes_pruned"
+      else begin
+        (* Plunge: follow the preferred child depth-first until the branch
+           closes (integral, infeasible or pruned), queueing the twins. *)
+        let cur = ref fixings in
+        let plunging = ref true in
+        while !plunging && have_room () do
+          incr nodes;
+          Obs.count "milp.nodes";
+          Budget.spend budget;
+          let sol = solve_node !cur in
+          pivots := !pivots + sol.Lp.pivots;
+          match sol.Lp.status with
+          | Lp.Infeasible -> plunging := false
+          | Lp.Iteration_limit ->
+            Obs.count "lp.iteration_limit_hits";
+            truncated := true;
+            plunging := false
+          | Lp.Unbounded ->
+            truncated := true;
+            plunging := false
+          | Lp.Optimal ->
+            certify !cur sol;
+            let bound = tighten sol.Lp.objective in
+            if pruned bound then begin
+              Obs.count "milp.nodes_pruned";
+              plunging := false
+            end
+            else begin
+              (* Most fractional binary decides the branching variable. *)
+              let branch_var = ref (-1) in
+              let branch_frac = ref Num.feas_eps in
+              Array.iter
+                (fun v ->
+                  let f = frac sol.Lp.values.(v) in
+                  if f > !branch_frac then begin
+                    branch_frac := f;
+                    branch_var := v
+                  end)
+                binary;
+              if !branch_var < 0 then begin
+                (* Integral solution: new incumbent. *)
+                Obs.count "milp.incumbents";
+                best_obj := sol.Lp.objective;
+                best_values := Some (Array.copy sol.Lp.values);
+                plunging := false
+              end
+              else begin
+                let v = !branch_var in
+                let preferred = Float.round sol.Lp.values.(v) in
+                let other = 1.0 -. preferred in
+                Pqueue.push q bound ((v, other) :: !cur);
+                cur := (v, preferred) :: !cur
+              end
+            end
+        done;
+        (* Leaving mid-plunge (node limit / budget) abandons an open branch. *)
+        if !plunging then truncated := true
+      end
   done;
-  if !stack <> [] then truncated := true;
+  if Pqueue.length q > 0 then begin
+    (* Whatever remains is either provably dominated by the incumbent
+       (drain-prune it) or genuinely unexplored (the search was cut). *)
+    let open_nodes = ref false in
+    let rec drain () =
+      match Pqueue.pop q with
+      | None -> ()
+      | Some (bound, _) ->
+        if pruned bound then Obs.count "milp.nodes_pruned"
+        else open_nodes := true;
+        drain ()
+    in
+    drain ();
+    if !open_nodes then truncated := true
+  end;
   let proved = not !truncated in
   let limited =
     if proved then None

@@ -2,10 +2,20 @@
 
     Used to solve the MinR MILP (paper system (1)) exactly on small
     instances — the OPT baseline of every figure.  Features tuned to that
-    problem: binary variables only, best-first search with depth-first
-    plunging, most-fractional branching, incumbent warm start (ISP's
-    solution seeds the upper bound), and integral-objective bound
-    strengthening ([ceil] of the LP bound when all costs are integral).
+    problem: binary variables only, best-bound node selection (via a
+    min-priority queue keyed on the parent LP bound) with depth-first
+    plunging for early incumbents, most-fractional branching, incumbent
+    warm start (ISP's solution seeds the upper bound), and
+    integral-objective bound strengthening ([ceil] of the LP bound when
+    all costs are integral).
+
+    Node relaxations share one warm-start session ({!Lp.warm}): each node
+    is the root problem under different binary bounds, so the child solve
+    restarts from the parent's optimal basis with the dual simplex instead
+    of building and cold-solving a copy (["simplex.warm_starts"]).  Nodes
+    whose parent bound can no longer beat the incumbent are discarded
+    without an LP solve (["milp.nodes_pruned"]); ["milp.nodes"] counts
+    nodes whose relaxation was actually solved.
 
     Node and pivot budgets make the solver an anytime algorithm: when the
     budget runs out it reports the best incumbent with [proved = false],
@@ -18,7 +28,7 @@ type result = {
           with no incumbent. *)
   objective : float;  (** incumbent objective (meaningful unless [`Unknown]/[`Infeasible]) *)
   values : float array;  (** incumbent variable values *)
-  nodes : int;  (** branch-and-bound nodes explored *)
+  nodes : int;  (** branch-and-bound nodes whose LP relaxation was solved *)
   pivots : int;  (** simplex pivots consumed across all node relaxations *)
   proved : bool;  (** whether optimality was proved *)
   limited : Netrec_resilience.Budget.reason option;
@@ -33,15 +43,23 @@ val solve :
   ?max_pivots:int ->
   ?integral_objective:bool ->
   ?incumbent:float array * float ->
+  ?warm:bool ->
+  ?node_certifier:(Lp.problem -> Lp.solution -> unit) ->
   binary:Lp.var list ->
   Lp.problem ->
   result
 (** [solve ~binary p] minimizes [p] (the problem must be built with the
-    default [Minimize] sense) with the given variables restricted to {0,1}.  [incumbent] is an
-    optional starting solution (values, objective) assumed feasible;
-    [integral_objective] (default false) allows rounding LP bounds to the
-    next integer.  [node_limit] defaults to 100_000.  [budget] (default
-    unlimited) is spent one unit per branch-and-bound node and also
-    threaded into every node's LP relaxation; when it trips the best
-    incumbent so far is returned with [proved = false].  The problem [p]
-    is not modified. *)
+    default [Minimize] sense) with the given variables restricted to {0,1}.
+    [incumbent] is an optional starting solution (values, objective)
+    assumed feasible; [integral_objective] (default false) allows rounding
+    LP bounds to the next integer.  [node_limit] defaults to 100_000.
+    [warm] (default [true]) reuses the parent basis across nodes; with
+    [~warm:false] every node is cold-solved on a fresh copy of the root —
+    same answers, only slower (kept as a differential-testing oracle).
+    [node_certifier] (default absent) is called with every node's problem
+    (the root under that node's fixings) and its LP solution — the hook the
+    test-suite uses to run {!Netrec_check.Check.lp_certificate} over every
+    warm-started solve.  [budget] (default unlimited) is spent one unit per
+    branch-and-bound node and also threaded into every node's LP
+    relaxation; when it trips the best incumbent so far is returned with
+    [proved = false].  The problem [p] is not modified. *)

@@ -1,9 +1,21 @@
-(** Dense two-phase primal simplex on standard-form problems.
+(** Sparse bounded-variable revised simplex engine.
 
-    Internal engine behind {!Lp.solve}; exposed for direct use and testing.
-    The problem is [min c'x] subject to [rows], [x >= 0].  Degeneracy is
-    handled by switching from Dantzig pricing to Bland's rule when the
-    objective stalls, which guarantees termination. *)
+    Internal engine behind {!Lp.solve} and {!Lp.warm_solve}; exposed for
+    direct use and testing.  The problem is
+
+      min c'x   subject to   A x {<=,>=,=} b,   l <= x <= u
+
+    with [A] given in CSR form and per-variable bounds handled natively by
+    the ratio test (nonbasic-at-bound technique) — bounds never become
+    constraint rows.  The engine keeps an explicit dense inverse of the
+    current basis, so a solved instance can be {e re-solved} after a bounds
+    change (branch-and-bound node) by the dual simplex without repeating
+    phase 1: reduced costs depend on the basis and costs only, never on the
+    bounds, so the optimal basis of the parent node is dual feasible for
+    every child.
+
+    Anti-cycling: Dantzig pricing switches to Bland's rule after a run of
+    degenerate steps, which guarantees termination. *)
 
 type relation = Le | Ge | Eq
 
@@ -11,30 +23,71 @@ type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
 type std = {
   ncols : int;  (** number of structural variables *)
-  rows : (float array * relation * float) list;
-      (** each row: dense coefficient vector of length [ncols], sense,
-          right-hand side *)
+  nrows : int;  (** number of constraint rows *)
+  row_off : int array;
+      (** CSR row offsets, length [nrows + 1]; row [i]'s entries live at
+          positions [row_off.(i) .. row_off.(i+1) - 1] of [cols]/[coefs] *)
+  cols : int array;  (** CSR column indices, each [< ncols] *)
+  coefs : float array;  (** CSR coefficients, same length as [cols] *)
+  rels : relation array;  (** row senses, length [nrows] *)
+  rhs : float array;  (** right-hand sides, length [nrows] *)
   costs : float array;  (** minimization costs, length [ncols] *)
+  lb : float array;
+      (** lower bounds, length [ncols]; [neg_infinity] allowed when the
+          matching upper bound is finite *)
+  ub : float array;  (** upper bounds, length [ncols]; [infinity] allowed *)
 }
 
 type outcome = {
   status : status;
-  objective : float;
+  objective : float;  (** meaningful only when [status = Optimal] *)
   values : float array;  (** length [ncols]; zeros unless [Optimal] *)
   pivots : int;
-      (** pivot operations consumed by this solve (both phases plus any
-          drive-out of basic artificials); also accumulated on the global
-          ["simplex.pivots"] counter of {!Netrec_obs.Obs} *)
+      (** work units consumed by this solve: basis pivots plus bound
+          flips; basis pivots are also accumulated on the global
+          ["simplex.pivots"] counter of {!Netrec_obs.Obs}, bound flips on
+          ["simplex.bound_flips"] *)
   limited : Netrec_resilience.Budget.reason option;
       (** [Some _] iff [status = Iteration_limit]: the structured reason
           the solve was cut short — the cooperative budget's deadline or
           work cap when it tripped, otherwise the [max_pivots] cap *)
 }
 
+type t
+(** A reusable engine instance holding the factorized basis.  Not
+    thread-safe: share engines within a domain only. *)
+
+val create : std -> t
+(** Build an engine (CSC transpose, slack/artificial column layout, basis
+    workspace).  No solving happens here.
+    @raise Invalid_argument on ragged CSR arrays, out-of-range column
+    indices, [lb > ub], or a variable with no finite bound at all. *)
+
+val solve :
+  ?budget:Netrec_resilience.Budget.t -> ?max_pivots:int -> t -> outcome
+(** Cold solve from the slack basis: lazy phase 1 (artificials only on
+    rows whose slack start is infeasible; ["simplex.phase1_skipped"]
+    counts solves that needed none), then phase 2 on the real costs.
+    [budget] (default unlimited) is checked once per pivot or bound flip;
+    [max_pivots] (default 200_000) bounds the same work units. *)
+
+val resolve :
+  ?budget:Netrec_resilience.Budget.t ->
+  ?max_pivots:int ->
+  lb:float array ->
+  ub:float array ->
+  t ->
+  outcome
+(** Re-solve after replacing the structural variable bounds (lengths
+    [ncols]) — the branch-and-bound warm start.  When the previous solve
+    on this engine ended [Optimal] (or a previous [resolve] proved
+    [Infeasible]), the optimal basis is reused: basic values are
+    recomputed under the new bounds and the dual simplex restores primal
+    feasibility, skipping phase 1 entirely (["simplex.warm_starts"],
+    ["simplex.phase1_skipped"]).  Otherwise this falls back to a cold
+    solve under the new bounds. *)
+
 val solve_std :
   ?budget:Netrec_resilience.Budget.t -> max_pivots:int -> std -> outcome
-(** Run the two-phase simplex.  [budget] (default unlimited) is checked
-    once per pivot — a tripped deadline or work cap surfaces as
-    [Iteration_limit] with the reason in [limited].
-    @raise Invalid_argument on arity mismatches between rows/costs and
-    [ncols]. *)
+(** [create] + cold [solve] in one call (compatibility shim; counted as a
+    normal solve). *)

@@ -32,7 +32,9 @@ if doc.get("schema") != "netrec-bench-metrics/1":
     sys.exit("FAIL: unexpected schema %r" % doc.get("schema"))
 counters = doc.get("metrics", {}).get("counters", {})
 missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls",
-                       "centrality.cache_hits", "parallel.cells")
+                       "centrality.cache_hits", "parallel.cells",
+                       "simplex.warm_starts", "simplex.phase1_skipped",
+                       "milp.nodes", "milp.nodes_pruned")
            if counters.get(k, 0) <= 0]
 # cache_misses must be present (every fresh demand is a miss first);
 # cache_hits > 0 above proves the incremental path actually reused work.
@@ -44,6 +46,13 @@ gauges = doc.get("metrics", {}).get("gauges", {})
 cpd = gauges.get("parallel.cells_per_domain", {})
 if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
     sys.exit("FAIL: parallel.cells_per_domain gauge missing or empty")
+gate = doc.get("lp_gate", {})
+if gate.get("opt.proved") != 1:
+    sys.exit("FAIL: lp_gate missing or OPT did not prove optimality: %r" % gate)
+bad = [k for k in ("simplex.pivots", "simplex.solves", "simplex.warm_starts",
+                   "milp.nodes") if gate.get(k, 0) <= 0]
+if bad:
+    sys.exit("FAIL: lp_gate counters missing or zero: %s" % ", ".join(bad))
 print("OK: %s valid (%d counters, %d benchmarks)"
       % (sys.argv[1], len(counters), len(doc.get("benchmarks", {}))))
 EOF
@@ -52,7 +61,9 @@ else
   for key in '"schema":"netrec-bench-metrics/1"' '"isp.iterations"' \
              '"simplex.pivots"' '"dijkstra.calls"' \
              '"centrality.cache_hits"' '"centrality.cache_misses"' \
-             '"parallel.cells"' '"parallel.cells_per_domain"'; do
+             '"parallel.cells"' '"parallel.cells_per_domain"' \
+             '"lp_gate"' '"simplex.warm_starts"' '"simplex.phase1_skipped"' \
+             '"milp.nodes"' '"opt.proved":1'; do
     if ! grep -q "$key" "$METRICS"; then
       echo "FAIL: $key not found in $METRICS" >&2
       exit 1

@@ -49,13 +49,20 @@ python3 - "$BASELINE_ABS" "$TMP/BENCH_metrics.json" "$TOL" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
-    base = json.load(f).get("benchmarks", {})
+    base_doc = json.load(f)
 with open(sys.argv[2]) as f:
-    now = json.load(f).get("benchmarks", {})
+    now_doc = json.load(f)
+base = base_doc.get("benchmarks", {})
+now = now_doc.get("benchmarks", {})
 tol = float(sys.argv[3]) / 100.0
 
 if not base:
     sys.exit("FAIL: baseline carries no benchmark estimates")
+
+# A regression must exceed the relative tolerance AND an absolute floor:
+# sub-10ms estimates swing by ±30% with machine state alone, and a
+# fraction of a millisecond is never a regression worth failing CI over.
+ABS_FLOOR_MS = 1.0
 
 regressions = []
 for name, ms in sorted(base.items()):
@@ -64,12 +71,39 @@ for name, ms in sorted(base.items()):
         regressions.append("%s: missing from current run" % name)
         continue
     delta = (cur - ms) / ms if ms > 0 else 0.0
-    marker = "REGRESSION" if delta > tol else "ok"
+    regressed = delta > tol and (cur - ms) > ABS_FLOOR_MS
+    marker = "REGRESSION" if regressed else "ok"
     print("  %-28s %10.3f ms -> %10.3f ms  (%+6.1f%%)  %s"
           % (name, ms, cur, 100.0 * delta, marker))
-    if delta > tol:
+    if regressed:
         regressions.append("%s: %.3f ms -> %.3f ms (+%.1f%% > %.0f%%)"
                            % (name, ms, cur, 100.0 * delta, 100.0 * tol))
+
+# LP work gate: the lp_gate counters are deterministic integers (one OPT
+# solve of a pinned scenario), so they are compared much more tightly
+# than the wall-clock estimates.  simplex.pivots is the headline number
+# for the warm-started branch-and-bound: allow 10% slack for legitimate
+# pivoting-rule tweaks, and require the search to still prove optimality.
+LP_TOL = 0.10
+base_gate = base_doc.get("lp_gate", {})
+now_gate = now_doc.get("lp_gate", {})
+if base_gate:
+    if not now_gate:
+        regressions.append("lp_gate: missing from current run")
+    else:
+        if now_gate.get("opt.proved", 0) != 1:
+            regressions.append("lp_gate: OPT no longer proves optimality")
+        for key in ("simplex.pivots", "milp.nodes"):
+            b, c = base_gate.get(key), now_gate.get(key)
+            if b is None or c is None:
+                continue
+            delta = (c - b) / b if b > 0 else 0.0
+            marker = "REGRESSION" if delta > LP_TOL else "ok"
+            print("  %-28s %10d    -> %10d     (%+6.1f%%)  %s"
+                  % ("lp_gate:" + key, b, c, 100.0 * delta, marker))
+            if delta > LP_TOL:
+                regressions.append("lp_gate %s: %d -> %d (+%.1f%% > %.0f%%)"
+                                   % (key, b, c, 100.0 * delta, 100.0 * LP_TOL))
 
 if regressions:
     print("FAIL: performance regressions beyond tolerance:", file=sys.stderr)

@@ -322,6 +322,30 @@ let test_lp_certificate_non_optimal_empty () =
   Alcotest.(check bool) "no primal claim" true
     (Check.lp_ok (Check.lp_certificate p sol))
 
+let test_lp_certificate_warm_nodes () =
+  (* Every warm-started node relaxation in OPT's branch-and-bound must
+     pass the LP certificate against that node's own problem (the root
+     under the node's binary fixings) with zero violations. *)
+  let g = fixture () in
+  let inst =
+    make_inst g [ demand 0 5; demand ~amount:3.0 2 3 ] (Failure.complete g)
+  in
+  let nodes = ref 0 in
+  let certifier node_p sol =
+    if sol.Lp.status = Lp.Optimal then begin
+      incr nodes;
+      let cert = Check.lp_certificate node_p sol in
+      if not (Check.lp_ok cert) then
+        Alcotest.failf "node %d: %s" !nodes
+          (String.concat "; "
+             (List.map Check.lp_violation_to_string cert.Check.lp_violations))
+    end
+  in
+  let r = H.Opt.solve ~node_certifier:certifier inst in
+  Alcotest.(check bool) "proved" true r.H.Opt.proved;
+  Alcotest.(check bool) "certified at least the root" true (!nodes >= 1);
+  Alcotest.(check bool) "warm starts happened" true (r.H.Opt.nodes >= 1)
+
 (* ---- differential harness ---- *)
 
 let test_differential_clean_and_deterministic () =
@@ -361,7 +385,8 @@ let () =
         [ tc "clean" test_lp_certificate_clean;
           tc "tampered values" test_lp_certificate_tampered_values;
           tc "bound direction" test_lp_certificate_bound_direction;
-          tc "non-optimal empty" test_lp_certificate_non_optimal_empty ] );
+          tc "non-optimal empty" test_lp_certificate_non_optimal_empty;
+          tc "warm nodes certified" test_lp_certificate_warm_nodes ] );
       ( "differential",
         [ tc "clean and deterministic"
             test_differential_clean_and_deterministic ] ) ]

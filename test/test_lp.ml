@@ -323,6 +323,136 @@ let simplex_random_feasible_prop =
            rows
       && Array.for_all (fun x -> x >= -1e-9) sol.Lp.values)
 
+let test_lp_beale_cycling () =
+  (* Beale's classic cycling example: Dantzig pricing with a naive tie
+     rule loops forever; the stall-triggered Bland switch must get through
+     to the optimum -0.05 at x1 = 0.04, x3 = 1. *)
+  let p = Lp.create () in
+  let x1 = Lp.add_var p ~obj:(-0.75) () in
+  let x2 = Lp.add_var p ~obj:150.0 () in
+  let x3 = Lp.add_var p ~obj:(-0.02) () in
+  let x4 = Lp.add_var p ~obj:6.0 () in
+  Lp.add_constraint p
+    [ (x1, 0.25); (x2, -60.0); (x3, -0.04); (x4, 9.0) ]
+    Lp.Le 0.0;
+  Lp.add_constraint p
+    [ (x1, 0.5); (x2, -90.0); (x3, -0.02); (x4, 3.0) ]
+    Lp.Le 0.0;
+  Lp.add_constraint p [ (x3, 1.0) ] Lp.Le 1.0;
+  let sol = Lp.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Lp.status = Lp.Optimal);
+  check_obj "objective" (-0.05) sol.Lp.objective;
+  check_obj "x1" 0.04 sol.Lp.values.(x1);
+  check_obj "x3" 1.0 sol.Lp.values.(x3)
+
+let test_lp_copy_isolation () =
+  (* Every mutation a branch-and-bound node performs on a copy — bounds,
+     fixing, objective edits, extra rows — must leave the original's
+     solution bit-identical. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:(-1.0) ~ub:5.0 () in
+  let y = Lp.add_var p ~obj:(-1.0) ~ub:5.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Le 8.0;
+  let before = Lp.solve p in
+  let c = Lp.copy p in
+  Lp.fix c x 0.0;
+  Lp.set_bounds c y ~lb:1.0 ~ub:2.0;
+  Lp.set_obj c y 7.0;
+  Lp.add_constraint c [ (x, 1.0) ] Lp.Ge 0.0;
+  let after = Lp.solve p in
+  check_obj "objective unchanged" before.Lp.objective after.Lp.objective;
+  Alcotest.(check int) "rows unchanged" 1 (Lp.nconstraints p);
+  check_obj "lb unchanged" 0.0 (Lp.var_lb p x);
+  check_obj "ub unchanged" 5.0 (Lp.var_ub p y);
+  check_obj "obj unchanged" (-1.0) (Lp.var_obj p y);
+  (* and the copy is equally insulated from the original *)
+  Lp.set_obj p x 99.0;
+  check_obj "copy obj insulated" (-1.0) (Lp.var_obj c x)
+
+let test_lp_canonical_terms () =
+  (* add_constraint must store a canonical row: terms sorted by variable,
+     duplicates merged, exact zeros dropped — whatever order the caller
+     assembled them in. *)
+  let p = Lp.create () in
+  let a = Lp.add_var p () in
+  let b = Lp.add_var p () in
+  let c = Lp.add_var p () in
+  Lp.add_constraint p
+    [ (c, 4.0); (a, 1.0); (b, 0.0); (c, -2.0); (a, 2.5) ]
+    Lp.Le 9.0;
+  match Lp.constraints p with
+  | [ (terms, Lp.Le, rhs) ] ->
+    Alcotest.(check (list (pair int (float 1e-12))))
+      "sorted, merged, zeros dropped"
+      [ (a, 3.5); (c, 2.0) ]
+      terms;
+    check_obj "rhs" 9.0 rhs
+  | _ -> Alcotest.fail "expected exactly one Le row"
+
+let test_lp_warm_session () =
+  (* A warm session under bound overrides must answer exactly like a cold
+     solve of the equivalent problem, across repeated re-solves. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~obj:(-2.0) ~ub:4.0 () in
+  let y = Lp.add_var p ~obj:(-1.0) ~ub:4.0 () in
+  Lp.add_constraint p [ (x, 1.0); (y, 1.0) ] Lp.Le 6.0;
+  let w = Lp.warm p in
+  let check_against bounds =
+    let cold = Lp.copy p in
+    List.iter (fun (v, lo, hi) -> Lp.set_bounds cold v ~lb:lo ~ub:hi) bounds;
+    let cs = Lp.solve cold in
+    let ws = Lp.warm_solve ~bounds w in
+    Alcotest.(check bool) "status" true (cs.Lp.status = ws.Lp.status);
+    if cs.Lp.status = Lp.Optimal then
+      check_obj "objective" cs.Lp.objective ws.Lp.objective
+  in
+  check_against [];
+  check_against [ (x, 0.0, 0.0) ];
+  check_against [ (x, 1.0, 1.0); (y, 0.0, 2.0) ];
+  check_against [ (x, 4.0, 4.0); (y, 3.0, 4.0) ];
+  check_against []
+
+let milp_warm_cold_prop =
+  (* Warm-started branch-and-bound is a pure performance move: on 200
+     seeded random binary programs (run to completion, no node limit) it
+     must report exactly the same objective and proof as per-node cold
+     solves. *)
+  QCheck.Test.make ~name:"milp warm equals cold oracle" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netrec_util.Rng.create seed in
+      let n = 2 + Netrec_util.Rng.int rng 4 in
+      let m = 2 + Netrec_util.Rng.int rng 5 in
+      let p = Lp.create () in
+      let vars =
+        List.init n (fun _ ->
+            Lp.add_var p ~obj:(Netrec_util.Rng.float rng 4.0) ~ub:1.0 ())
+      in
+      for _ = 1 to m do
+        let terms =
+          List.filter_map
+            (fun v ->
+              if Netrec_util.Rng.float rng 1.0 < 0.7 then
+                Some (v, Netrec_util.Rng.float rng 6.0 -. 3.0)
+              else None)
+            vars
+        in
+        let rel =
+          match Netrec_util.Rng.int rng 3 with
+          | 0 -> Lp.Le
+          | 1 -> Lp.Ge
+          | _ -> Lp.Eq
+        in
+        let rhs = Netrec_util.Rng.float rng 6.0 -. 2.0 in
+        if terms <> [] then Lp.add_constraint p terms rel rhs
+      done;
+      let w = Milp.solve ~binary:vars p in
+      let c = Milp.solve ~warm:false ~binary:vars p in
+      w.Milp.status = c.Milp.status
+      && w.Milp.proved = c.Milp.proved
+      && (w.Milp.status <> `Optimal
+         || abs_float (w.Milp.objective -. c.Milp.objective) <= 1e-6))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "netrec_lp"
@@ -344,6 +474,10 @@ let () =
           tc "redundant rows" test_lp_redundant_rows;
           tc "rejects bad bounds" test_lp_rejects_bad_bounds;
           tc "zero rhs equality" test_lp_zero_rhs_equality;
+          tc "beale cycling" test_lp_beale_cycling;
+          tc "copy isolation" test_lp_copy_isolation;
+          tc "canonical terms" test_lp_canonical_terms;
+          tc "warm session" test_lp_warm_session;
           QCheck_alcotest.to_alcotest simplex_random_feasible_prop ] );
       ( "milp",
         [ tc "knapsack" test_milp_knapsack;
@@ -351,4 +485,5 @@ let () =
           tc "infeasible" test_milp_infeasible;
           tc "respects incumbent" test_milp_respects_incumbent;
           tc "node limit" test_milp_node_limit_feasible;
-          tc "vertex cover" test_milp_binary_assignment ] ) ]
+          tc "vertex cover" test_milp_binary_assignment;
+          QCheck_alcotest.to_alcotest milp_warm_cold_prop ] ) ]
