@@ -156,9 +156,23 @@ let all_figures = [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "ablation" ]
 let run_all s =
   List.iter
     (fun fig ->
+      let g0 = Obs.gc_snapshot () in
       let (), secs = Obs.timed ("bench." ^ fig) (fun () -> run_figure s fig) in
-      Printf.printf "(%s regenerated in %.1f s)\n\n%!" fig secs)
-    all_figures
+      let d = Obs.gc_delta g0 (Obs.gc_snapshot ()) in
+      Printf.printf
+        "(%s regenerated in %.1f s; gc: %.1f Mw minor, %.1f Mw major, %d \
+         compaction(s))\n\n\
+         %!"
+        fig secs
+        (d.Obs.minor_words /. 1e6)
+        (d.Obs.major_words /. 1e6)
+        d.Obs.gc_compactions)
+    all_figures;
+  (* The solver-progress trajectories (residual demand, incumbents,
+     bounds) behind the figures, for plot_results.gp. *)
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Obs.write_events "results/progress.jsonl";
+  Printf.printf "wrote results/progress.jsonl\n%!"
 
 (* Deterministic LP work gate: exact counter deltas for one full OPT
    solve of the gaussian Bell Canada scenario.  Unlike the wall-clock
@@ -182,12 +196,12 @@ let lp_gate_metrics () =
   :: deltas
 
 (* Machine-readable run record: micro-benchmark estimates, the
-   deterministic LP work gate, plus the full counter/gauge/span snapshot
-   of the figure regeneration. *)
+   deterministic LP work gate, plus the full counter/gauge/histogram/
+   span/progress snapshot of the figure regeneration. *)
 let write_bench_metrics ~mode ~benchmarks =
   let lp_gate = lp_gate_metrics () in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/1\",";
+  Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/2\",";
   Printf.bprintf buf "\"mode\":\"%s\",\"benchmarks\":{" mode;
   List.iteri
     (fun i (name, ms) ->

@@ -109,8 +109,20 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let events_arg =
+  let doc =
+    "Write the solver-progress event stream (residual-demand trajectory, \
+     MILP incumbents/bounds, simplex objective) to $(docv) as JSON Lines, \
+     one event per line with its fields inlined — the input of the \
+     recovery-curve plot in scripts/plot_results.gp."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
 let verbose_arg =
-  let doc = "Print the full span/counter/gauge summary tables after the run." in
+  let doc =
+    "Print the full span/counter/gauge/histogram summary tables after the \
+     run."
+  in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
 (* Counters worth a one-line footer even without --verbose: the solver
@@ -129,9 +141,19 @@ let print_work_footer () =
         | v -> Some (Printf.sprintf "%s=%d" k v))
       work_counters
   in
-  if parts <> [] then Printf.printf "work: %s\n" (String.concat "  " parts)
+  if parts <> [] then Printf.printf "work: %s\n" (String.concat "  " parts);
+  (* Process-wide allocation totals for the run (commands solve once and
+     exit, so totals ≈ the solve).  Per-span attribution is in the
+     --verbose tables and the --metrics export. *)
+  let g = Obs.gc_snapshot () in
+  Printf.printf
+    "gc: %.1f Mw minor  %.1f Mw major  %d minor / %d major collection(s)  \
+     %d compaction(s)\n"
+    (g.Obs.minor_words /. 1e6)
+    (g.Obs.major_words /. 1e6)
+    g.Obs.minor_collections g.Obs.major_collections g.Obs.gc_compactions
 
-let export_observability ~verbose ~trace_file ~metrics_file =
+let export_observability ~verbose ~trace_file ~metrics_file ~events_file =
   if verbose then begin
     print_newline ();
     Obs.print_summary ()
@@ -139,6 +161,11 @@ let export_observability ~verbose ~trace_file ~metrics_file =
   (match metrics_file with
   | Some path ->
     Obs.write_jsonl path;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match events_file with
+  | Some path ->
+    Obs.write_events path;
     Printf.printf "wrote %s\n" path
   | None -> ());
   match trace_file with
@@ -267,7 +294,7 @@ let save_solution_arg =
 
 let plan topology er_p seed pairs amount algorithm disruption variance fail_p
     deadline fallback certify dot_file save_file load_file save_solution_file
-    trace_file metrics_file verbose =
+    trace_file metrics_file events_file verbose =
   try
     Obs.set_enabled true;
     let algorithm = if fallback then "fallback" else algorithm in
@@ -330,7 +357,7 @@ let plan topology er_p seed pairs amount algorithm disruption variance fail_p
         end)
       (run_algorithm ~budget inst algorithm);
     print_work_footer ();
-    export_observability ~verbose ~trace_file ~metrics_file;
+    export_observability ~verbose ~trace_file ~metrics_file ~events_file;
     (match (save_solution_file, !last) with
     | Some path, Some sol ->
       Netrec_core.Serialize.save_solution
@@ -368,7 +395,7 @@ let plan_cmd =
       $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
       $ fail_p_arg $ deadline_arg $ fallback_arg $ certify_arg $ dot_arg
       $ save_arg $ load_arg $ save_solution_arg $ trace_arg $ metrics_arg
-      $ verbose_arg)
+      $ events_arg $ verbose_arg)
 
 (* ---- experiment command ---- *)
 
@@ -403,7 +430,7 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let experiment figure runs opt_nodes jobs certify journal_file trace_file
-    metrics_file verbose =
+    metrics_file events_file verbose =
   Obs.set_enabled true;
   if certify then Check.install_certifier ();
   let pool =
@@ -436,7 +463,7 @@ let experiment figure runs opt_nodes jobs certify journal_file trace_file
             [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9" ]
         | f -> one ?journal f);
     print_work_footer ();
-    export_observability ~verbose ~trace_file ~metrics_file;
+    export_observability ~verbose ~trace_file ~metrics_file ~events_file;
     if certify then begin
       let certified = Obs.counter_value "check.certified" in
       let violations = Obs.counter_value "check.violations" in
@@ -456,7 +483,7 @@ let experiment_cmd =
     Term.(
       const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ jobs_arg
       $ certify_arg $ journal_file_arg $ trace_arg $ metrics_arg
-      $ verbose_arg)
+      $ events_arg $ verbose_arg)
 
 (* ---- schedule command ---- *)
 
@@ -569,6 +596,88 @@ let check_cmd =
       const check $ seed_arg $ check_instances_arg $ check_opt_nodes_arg
       $ jobs_arg)
 
+(* ---- metrics command (regression diff of two run records) ---- *)
+
+module Metrics_diff = Netrec_obs.Metrics_diff
+
+let diff_base_arg =
+  let doc = "Baseline metrics file (e.g. the committed BENCH_metrics.json)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc)
+
+let diff_current_arg =
+  let doc = "Current metrics file to compare against the baseline." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc)
+
+let pct_arg names ~default ~doc =
+  Arg.(value & opt float default & info names ~docv:"PERCENT" ~doc)
+
+let tolerance_arg =
+  pct_arg [ "tolerance" ]
+    ~default:(100.0 *. Metrics_diff.default_config.tolerance)
+    ~doc:
+      "Allowed relative increase of a wall-clock benchmark before it counts \
+       as a regression (percent)."
+
+let quantile_tolerance_arg =
+  pct_arg [ "quantile-tolerance" ]
+    ~default:(100.0 *. Metrics_diff.default_config.quantile_tolerance)
+    ~doc:
+      "Allowed relative increase of a histogram quantile (p50/p90/p99) \
+       before it counts as a regression (percent)."
+
+let lp_tolerance_arg =
+  pct_arg [ "lp-tolerance" ]
+    ~default:(100.0 *. Metrics_diff.default_config.lp_tolerance)
+    ~doc:
+      "Allowed relative drift — either direction — of the deterministic \
+       LP-gate counters (percent)."
+
+let abs_floor_arg =
+  let doc =
+    "Ignore wall-clock increases smaller than $(docv) milliseconds even \
+     when they exceed the relative tolerance (timer noise on fast \
+     benchmarks)."
+  in
+  Arg.(
+    value
+    & opt float Metrics_diff.default_config.abs_floor_ms
+    & info [ "abs-floor-ms" ] ~docv:"MS" ~doc)
+
+let metrics_diff base current tolerance quantile_tolerance lp_tolerance
+    abs_floor_ms =
+  let cfg =
+    { Metrics_diff.tolerance = tolerance /. 100.0;
+      quantile_tolerance = quantile_tolerance /. 100.0;
+      lp_tolerance = lp_tolerance /. 100.0;
+      abs_floor_ms }
+  in
+  let r = Metrics_diff.diff_files cfg ~base ~current in
+  print_string (Metrics_diff.report_to_string r);
+  if r.Metrics_diff.regressions = [] then 0 else 1
+
+let metrics_diff_cmd =
+  let doc =
+    "compare two BENCH_metrics.json run records and fail on regressions"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Compares benchmarks (relative tolerance plus an absolute floor), \
+         the deterministic LP work gate (tight drift tolerance, \
+         $(b,opt.proved) must stay 1), and — when both records were \
+         produced by the same bench mode — histogram quantiles and \
+         counters.  Exits 0 when no section regressed, 1 otherwise." ]
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc ~man)
+    Term.(
+      const metrics_diff $ diff_base_arg $ diff_current_arg $ tolerance_arg
+      $ quantile_tolerance_arg $ lp_tolerance_arg $ abs_floor_arg)
+
+let metrics_cmd =
+  let doc = "inspect and compare recorded metrics" in
+  Cmd.group (Cmd.info "metrics" ~doc) [ metrics_diff_cmd ]
+
 (* ---- topology command ---- *)
 
 let format_arg =
@@ -606,4 +715,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ plan_cmd; experiment_cmd; verify_cmd; check_cmd; schedule_cmd;
-            topology_cmd ]))
+            metrics_cmd; topology_cmd ]))

@@ -478,13 +478,21 @@ let solve_body ~config ~budget inst =
   while not !finished do
     incr iters;
     Obs.count "isp.iterations";
-    Obs.span "isp.iteration" @@ fun () ->
-    Log.debug (fun m ->
-        m "iteration %d: %d live demand(s)" !iters (List.length st.demands));
-    if Obs.enabled () then
-      Obs.gauge "isp.residual_demand"
-        (List.fold_left (fun a d -> a +. d.Commodity.amount) 0.0 st.demands);
-    st.demands <- Commodity.normalize st.demands;
+    let (), iter_s =
+      Obs.timed "isp.iteration" @@ fun () ->
+      Log.debug (fun m ->
+          m "iteration %d: %d live demand(s)" !iters (List.length st.demands));
+      if Obs.enabled () then begin
+        let residual =
+          List.fold_left (fun a d -> a +. d.Commodity.amount) 0.0 st.demands
+        in
+        Obs.gauge "isp.residual_demand" residual;
+        (* The recovery curve: residual demand by iteration. *)
+        Obs.event "isp.residual"
+          [ ("iteration", float_of_int !iters);
+            ("residual_demand", residual) ]
+      end;
+      st.demands <- Commodity.normalize st.demands;
     Budget.spend budget;
     if st.demands = [] then finished := true
     else
@@ -521,6 +529,8 @@ let solve_body ~config ~budget inst =
               end
           end
         end)
+    in
+    Obs.observe "isp.iteration_ms" (1e3 *. iter_s)
   done;
   let sol = final_solution st in
   let stats =
@@ -539,4 +549,5 @@ let solve ?(config = default_config) ?(budget = Budget.unlimited) inst =
   let (sol, stats), wall =
     Obs.timed "isp.solve" (fun () -> solve_body ~config ~budget inst)
   in
+  Obs.observe "isp.solve_ms" (1e3 *. wall);
   (sol, { stats with wall_seconds = wall })

@@ -124,6 +124,7 @@ let search ?(vertex_ok = all) ?(edge_ok = all) ?target ~length g src =
   | _ -> ());
   let s = scratch n in
   let stamp = s.stamp in
+  let nsettled = ref 0 in
   if vertex_ok src then begin
     s.dist.(src) <- 0.0;
     s.pred.(src) <- -1;
@@ -135,7 +136,7 @@ let search ?(vertex_ok = all) ?(edge_ok = all) ?target ~length g src =
       if u < 0 then stop := true
       else if s.settled.(u) <> stamp then begin
         s.settled.(u) <- stamp;
-        Obs.count "dijkstra.settled";
+        incr nsettled;
         if target = Some u then stop := true
         else begin
           let d = s.dist.(u) in
@@ -156,6 +157,11 @@ let search ?(vertex_ok = all) ?(edge_ok = all) ?target ~length g src =
       end
     done
   end;
+  (* Batched per-call accounting: one table update instead of one per
+     settle, and the per-call distribution feeds the tail-latency
+     histograms. *)
+  if !nsettled > 0 then Obs.count ~n:!nsettled "dijkstra.settled";
+  Obs.observe "dijkstra.settled_per_call" (float_of_int !nsettled);
   s
 
 let run ?vertex_ok ?edge_ok ?target ~length g src =

@@ -67,10 +67,19 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
   let q = Pqueue.create () in
   Pqueue.push q neg_infinity [];
   let have_room () = !nodes < node_limit && Budget.ok budget in
+  (* Best-bound pops are non-decreasing, so each strict improvement of
+     the global dual bound is one progress event. *)
+  let last_bound = ref neg_infinity in
   while Pqueue.length q > 0 && have_room () do
     match Pqueue.pop q with
     | None -> ()
     | Some (bound, fixings) ->
+      if Obs.enabled () && Float.is_finite bound && bound > !last_bound
+      then begin
+        last_bound := bound;
+        Obs.event "milp.bound"
+          [ ("nodes", float_of_int !nodes); ("bound", bound) ]
+      end;
       if pruned bound then Obs.count "milp.nodes_pruned"
       else begin
         (* Plunge: follow the preferred child depth-first until the branch
@@ -114,6 +123,10 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
               if !branch_var < 0 then begin
                 (* Integral solution: new incumbent. *)
                 Obs.count "milp.incumbents";
+                if Obs.enabled () then
+                  Obs.event "milp.incumbent"
+                    [ ("nodes", float_of_int !nodes);
+                      ("objective", sol.Lp.objective) ];
                 best_obj := sol.Lp.objective;
                 best_values := Some (Array.copy sol.Lp.values);
                 plunging := false
@@ -146,6 +159,7 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
     drain ();
     if !open_nodes then truncated := true
   end;
+  Obs.observe "milp.nodes_per_solve" (float_of_int !nodes);
   let proved = not !truncated in
   let limited =
     if proved then None

@@ -389,8 +389,31 @@ let basis_pivot t ~q ~dir ~tstar ~r ~to_ub =
    Pricing never visits the artificial columns: a nonbasic artificial is
    either fixed at [0,0] or has been driven out of the basis in phase 1
    and must not come back. *)
+
+let values_of t =
+  Array.init t.ncols (fun j ->
+      let x = if t.pos.(j) >= 0 then t.xb.(t.pos.(j)) else nb_val t j in
+      let x =
+        if Float.is_finite t.lb.(j) && x < t.lb.(j) then t.lb.(j) else x
+      in
+      if Float.is_finite t.ub.(j) && x > t.ub.(j) then t.ub.(j) else x)
+
+let objective_of t values =
+  let s = ref 0.0 in
+  for j = 0 to t.ncols - 1 do
+    s := !s +. (t.cost.(j) *. values.(j))
+  done;
+  !s
+
+(* Objective trajectory sampling period, in basis pivots of one [primal]
+   call.  Short solves (warm restarts are typically a handful of pivots)
+   emit nothing; only solves long enough to have a convergence story
+   pay for the [values_of] allocation. *)
+let objective_sample_period = 128
+
 let primal t ~cost ~pivots_left ~budget =
   let stall = ref 0 in
+  let npiv = ref 0 in
   compute_y t cost;
   let rec loop fresh =
     if !pivots_left <= 0 || not (Budget.ok budget) then `Limit
@@ -500,6 +523,17 @@ let primal t ~cost ~pivots_left ~budget =
             let r = !lrow in
             basis_pivot t ~q ~dir ~tstar ~r ~to_ub:!l_to_ub;
             dual_update t ~r ~dq:!qd;
+            incr npiv;
+            (* Phase-2 objective trajectory ([cost == t.cost] excludes
+               the phase-1 artificial objective). *)
+            if
+              Obs.enabled ()
+              && cost == t.cost
+              && !npiv mod objective_sample_period = 0
+            then
+              Obs.event "simplex.objective"
+                [ ("pivot", float_of_int !npiv);
+                  ("objective", objective_of t (values_of t)) ];
             if tstar > eps then stall := 0 else incr stall;
             if maybe_refactor t then begin
               compute_y t cost;
@@ -668,21 +702,6 @@ let start_basis t =
   done;
   !nart
 
-let values_of t =
-  Array.init t.ncols (fun j ->
-      let x = if t.pos.(j) >= 0 then t.xb.(t.pos.(j)) else nb_val t j in
-      let x =
-        if Float.is_finite t.lb.(j) && x < t.lb.(j) then t.lb.(j) else x
-      in
-      if Float.is_finite t.ub.(j) && x > t.ub.(j) then t.ub.(j) else x)
-
-let objective_of t values =
-  let s = ref 0.0 in
-  for j = 0 to t.ncols - 1 do
-    s := !s +. (t.cost.(j) *. values.(j))
-  done;
-  !s
-
 let limit_reason budget ~spent ~cap =
   match Budget.tripped budget with
   | Some r -> Some r
@@ -766,7 +785,9 @@ let solve ?(budget = Budget.unlimited) ?(max_pivots = default_max_pivots) t =
   | None ->
     let pivots_left = ref max_pivots in
     let status = cold t ~pivots_left ~budget in
-    outcome_of t ~status ~pivots:(max_pivots - !pivots_left) ~budget ~max_pivots
+    let pivots = max_pivots - !pivots_left in
+    Obs.observe "simplex.pivots_per_solve" (float_of_int pivots);
+    outcome_of t ~status ~pivots ~budget ~max_pivots
 
 let resolve ?(budget = Budget.unlimited) ?(max_pivots = default_max_pivots)
     ~lb ~ub t =
@@ -813,6 +834,8 @@ let resolve ?(budget = Budget.unlimited) ?(max_pivots = default_max_pivots)
             Iteration_limit)
       end
     in
-    outcome_of t ~status ~pivots:(max_pivots - !pivots_left) ~budget ~max_pivots
+    let pivots = max_pivots - !pivots_left in
+    Obs.observe "simplex.pivots_per_solve" (float_of_int pivots);
+    outcome_of t ~status ~pivots ~budget ~max_pivots
 
 let solve_std ?budget ~max_pivots std = solve ?budget ~max_pivots (create std)

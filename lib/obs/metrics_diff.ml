@@ -1,0 +1,433 @@
+(* Regression comparison of two BENCH_metrics.json documents.  The
+   comparison engine behind `recover metrics diff` and check_perf.sh:
+   wall-clock benchmarks gate on a loose relative tolerance plus an
+   absolute floor (CI timing noise), deterministic LP-gate counters on a
+   tight one, and histogram quantiles (p50/p90/p99) on the quantile
+   tolerance.  Wall-clock sections compare across any two documents;
+   workload-shaped sections (histograms, counters) only compare when
+   both documents were produced by the same bench mode, since a quick
+   run and a full run observe different work distributions. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  (* Minimal recursive-descent parser: the full JSON grammar minus any
+     streaming concerns — documents here are single-digit megabytes at
+     most.  No external dependency so the obs layer stays leaf-level. *)
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let utf8_add buf cp =
+      (* Encode a code point; lone surrogates degrade to U+FFFD. *)
+      let cp = if cp >= 0xD800 && cp <= 0xDFFF then 0xFFFD else cp in
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' -> utf8_add buf (hex4 ())
+          | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let obj_members = function Obj kvs -> kvs | _ -> []
+  let arr_items = function Arr xs -> xs | _ -> []
+  let number = function Num f -> Some f | _ -> None
+  let string_val = function Str v -> Some v | _ -> None
+end
+
+type config = {
+  tolerance : float;  (* wall-clock benchmarks (fraction, e.g. 0.25) *)
+  quantile_tolerance : float;  (* histogram p50/p90/p99 (fraction) *)
+  lp_tolerance : float;  (* deterministic LP-gate counters (fraction) *)
+  abs_floor_ms : float;  (* ignore wall-clock drift below this *)
+}
+
+let default_config =
+  { tolerance = 0.25;
+    quantile_tolerance = 0.10;
+    lp_tolerance = 0.10;
+    abs_floor_ms = 1.0 }
+
+type report = { lines : string list; regressions : string list }
+
+let pct d = 100.0 *. d
+
+(* ---- section helpers ---- *)
+
+type ctx = {
+  mutable out : string list;  (* reversed *)
+  mutable regs : string list;  (* reversed *)
+}
+
+let line ctx fmt = Printf.ksprintf (fun s -> ctx.out <- s :: ctx.out) fmt
+
+let regress ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      ctx.regs <- s :: ctx.regs;
+      ctx.out <- ("  FAIL " ^ s) :: ctx.out)
+    fmt
+
+let section_benchmarks cfg ctx ~base ~current =
+  let b = Json.member "benchmarks" base
+  and c = Json.member "benchmarks" current in
+  match (b, c) with
+  | None, _ | _, None -> line ctx "benchmarks: section missing, skipped"
+  | Some b, Some c ->
+    line ctx "benchmarks (tolerance %.0f%%, floor %.1f ms):" (pct cfg.tolerance)
+      cfg.abs_floor_ms;
+    List.iter
+      (fun (name, bv) ->
+        match Json.number bv with
+        | None -> ()
+        | Some bv -> (
+          match Option.bind (Json.member name c) Json.number with
+          | None -> regress ctx "benchmark %s: missing from current run" name
+          | Some cv ->
+            let d = cv -. bv in
+            let rel = if bv > 0.0 then d /. bv else 0.0 in
+            if rel > cfg.tolerance && d > cfg.abs_floor_ms then
+              regress ctx "benchmark %s: %.3f -> %.3f ms (+%.1f%% > %.0f%%)"
+                name bv cv (pct rel) (pct cfg.tolerance)
+            else
+              line ctx "  ok   %-32s %10.3f -> %10.3f ms (%+.1f%%)" name bv cv
+                (pct rel)))
+      (Json.obj_members b);
+    List.iter
+      (fun (name, _) ->
+        if Json.member name b = None then
+          line ctx "  new  benchmark %s (no baseline)" name)
+      (Json.obj_members c)
+
+let section_lp_gate cfg ctx ~base ~current =
+  let b = Json.member "lp_gate" base and c = Json.member "lp_gate" current in
+  match (b, c) with
+  | None, _ -> line ctx "lp_gate: no baseline section, skipped"
+  | Some _, None -> regress ctx "lp_gate: section missing from current run"
+  | Some b, Some c ->
+    line ctx "lp_gate (deterministic counters, tolerance %.0f%%):"
+      (pct cfg.lp_tolerance);
+    (* Optimality is a hard invariant, not a tolerance. *)
+    (match
+       ( Option.bind (Json.member "opt.proved" b) Json.number,
+         Option.bind (Json.member "opt.proved" c) Json.number )
+     with
+    | Some 1.0, Some cv when cv <> 1.0 ->
+      regress ctx "lp_gate opt.proved: optimality no longer proved (%.0f)" cv
+    | Some 1.0, None -> regress ctx "lp_gate opt.proved: missing from current"
+    | _ -> ());
+    let gated = [ "simplex.pivots"; "milp.nodes" ] in
+    List.iter
+      (fun (name, bv) ->
+        if name <> "opt.proved" then
+          match Json.number bv with
+          | None -> ()
+          | Some bv -> (
+            match Option.bind (Json.member name c) Json.number with
+            | None -> line ctx "  note %s missing from current" name
+            | Some cv ->
+              let rel =
+                if bv <> 0.0 then (cv -. bv) /. Float.abs bv
+                else if cv = 0.0 then 0.0
+                else infinity
+              in
+              if List.mem name gated && Float.abs rel > cfg.lp_tolerance then
+                regress ctx
+                  "lp_gate %s: %.0f -> %.0f (%+.1f%% drift > %.0f%%)" name bv
+                  cv (pct rel) (pct cfg.lp_tolerance)
+              else
+                line ctx "  ok   %-32s %10.0f -> %10.0f (%+.1f%%)" name bv cv
+                  (pct rel)))
+      (Json.obj_members b)
+
+let quantile_keys = [ "p50"; "p90"; "p99" ]
+
+let section_histograms cfg ctx ~base ~current ~modes_match =
+  let b =
+    Option.bind (Json.member "metrics" base) (Json.member "histograms")
+  and c =
+    Option.bind (Json.member "metrics" current) (Json.member "histograms")
+  in
+  match (b, c) with
+  | None, _ -> line ctx "histograms: no baseline section, skipped"
+  | Some _, None when modes_match ->
+    regress ctx "histograms: section missing from current run"
+  | Some _, None -> line ctx "histograms: missing from current run, skipped"
+  | Some _, Some _ when not modes_match ->
+    line ctx
+      "histograms: bench modes differ, quantiles not comparable, skipped"
+  | Some b, Some c ->
+    line ctx "histograms (quantile tolerance %.0f%%):"
+      (pct cfg.quantile_tolerance);
+    List.iter
+      (fun (name, bh) ->
+        match Json.member name c with
+        | None -> line ctx "  note histogram %s missing from current" name
+        | Some ch ->
+          let is_wall =
+            let l = String.length name in
+            l >= 3 && String.sub name (l - 3) 3 = "_ms"
+          in
+          List.iter
+            (fun q ->
+              match Option.bind (Json.member q bh) Json.number with
+              | None -> ()
+              | Some bv -> (
+                match Option.bind (Json.member q ch) Json.number with
+                | None ->
+                  regress ctx "histogram %s: quantile %s missing from current"
+                    name q
+                | Some cv ->
+                  let d = cv -. bv in
+                  let rel = if bv > 0.0 then d /. bv else 0.0 in
+                  let over = rel > cfg.quantile_tolerance in
+                  let over =
+                    if is_wall then over && d > cfg.abs_floor_ms else over
+                  in
+                  if over then
+                    regress ctx "histogram %s %s: %g -> %g (+%.1f%% > %.0f%%)"
+                      name q bv cv (pct rel)
+                      (pct cfg.quantile_tolerance)
+                  else
+                    line ctx "  ok   %-38s %4s %12g -> %12g (%+.1f%%)" name q
+                      bv cv (pct rel)))
+            quantile_keys)
+      (Json.obj_members b)
+
+let section_counters cfg ctx ~base ~current ~modes_match =
+  let b = Option.bind (Json.member "metrics" base) (Json.member "counters")
+  and c =
+    Option.bind (Json.member "metrics" current) (Json.member "counters")
+  in
+  match (b, c) with
+  | Some b, Some c when modes_match ->
+    let drifted = ref 0 in
+    List.iter
+      (fun (name, bv) ->
+        match
+          (Json.number bv, Option.bind (Json.member name c) Json.number)
+        with
+        | Some bv, Some cv when bv <> 0.0 ->
+          let rel = (cv -. bv) /. Float.abs bv in
+          if Float.abs rel > cfg.tolerance then begin
+            incr drifted;
+            line ctx "  note counter %s: %.0f -> %.0f (%+.1f%%)" name bv cv
+              (pct rel)
+          end
+        | _ -> ())
+      (Json.obj_members b);
+    if !drifted = 0 then
+      line ctx "counters: no drift beyond %.0f%%" (pct cfg.tolerance)
+  | _ -> line ctx "counters: not comparable, skipped"
+
+let diff cfg ~base ~current =
+  let ctx = { out = []; regs = [] } in
+  let mode doc =
+    Option.value ~default:""
+      (Option.bind (Json.member "mode" doc) Json.string_val)
+  in
+  let modes_match = mode base = mode current && mode base <> "" in
+  (match
+     ( Option.bind (Json.member "schema" base) Json.string_val,
+       Option.bind (Json.member "schema" current) Json.string_val )
+   with
+  | Some sb, Some sc ->
+    line ctx "schema: %s vs %s%s" sb sc
+      (if modes_match then Printf.sprintf " (mode %s)" (mode base)
+       else
+         Printf.sprintf " (modes %S vs %S: workload-shaped sections skipped)"
+           (mode base) (mode current))
+  | _ -> line ctx "schema: missing field in one document");
+  section_benchmarks cfg ctx ~base ~current;
+  section_lp_gate cfg ctx ~base ~current;
+  section_histograms cfg ctx ~base ~current ~modes_match;
+  section_counters cfg ctx ~base ~current ~modes_match;
+  { lines = List.rev ctx.out; regressions = List.rev ctx.regs }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let diff_files cfg ~base ~current =
+  let load label path =
+    match Json.parse (read_file path) with
+    | v -> Ok v
+    | exception Json.Parse_error msg ->
+      Error (Printf.sprintf "%s %s: invalid JSON (%s)" label path msg)
+    | exception Sys_error msg ->
+      Error (Printf.sprintf "%s %s: %s" label path msg)
+  in
+  match (load "baseline" base, load "current" current) with
+  | Ok b, Ok c -> diff cfg ~base:b ~current:c
+  | Error e, Ok _ | Ok _, Error e -> { lines = [ e ]; regressions = [ e ] }
+  | Error e1, Error e2 ->
+    { lines = [ e1; e2 ]; regressions = [ e1; e2 ] }
+
+let report_to_string r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    r.lines;
+  (match r.regressions with
+  | [] -> Buffer.add_string buf "\nresult: OK, no regressions\n"
+  | regs ->
+    Buffer.add_string buf
+      (Printf.sprintf "\nresult: %d regression(s)\n" (List.length regs));
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  - %s\n" s))
+      regs);
+  Buffer.contents buf

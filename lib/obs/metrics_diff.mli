@@ -1,0 +1,73 @@
+(** Regression comparison of two [BENCH_metrics.json] documents — the
+    engine behind [recover metrics diff] and [scripts/check_perf.sh].
+
+    Three threshold regimes, reflecting how reproducible each section
+    is:
+    - {b wall-clock benchmarks} gate on {!config.tolerance} {e and} an
+      absolute floor ({!config.abs_floor_ms}) so sub-millisecond
+      wobble on fast benchmarks never fails a run;
+    - {b LP-gate counters} (pivots, branch-and-bound nodes on a pinned
+      scenario) are deterministic, so any relative drift beyond
+      {!config.lp_tolerance} — in either direction — is flagged, and
+      [opt.proved] regressing from 1 is always a failure;
+    - {b histogram quantiles} (p50/p90/p99 per metric) gate on
+      {!config.quantile_tolerance}; wall-clock histograms (names ending
+      in [_ms]) additionally require the absolute floor.
+
+    Workload-shaped sections (histograms, counters) are only compared
+    when both documents carry the same ["mode"] — a quick bench and a
+    full bench observe different work distributions, and comparing
+    their quantiles would produce meaningless failures.  Benchmarks and
+    the LP gate are always compared. *)
+
+(** Dependency-free JSON representation and parser (the repo vendors no
+    JSON library; documents here are small). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val parse : string -> t
+  (** Full-document parse; raises {!Parse_error} with a byte offset on
+      malformed input (including trailing garbage). *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on non-objects. *)
+
+  val obj_members : t -> (string * t) list
+  val arr_items : t -> t list
+  val number : t -> float option
+  val string_val : t -> string option
+end
+
+type config = {
+  tolerance : float;  (** wall-clock benchmark gate, fraction (0.25) *)
+  quantile_tolerance : float;  (** histogram quantile gate (0.10) *)
+  lp_tolerance : float;  (** deterministic counter drift gate (0.10) *)
+  abs_floor_ms : float;  (** ignore wall-clock drift below this (1.0) *)
+}
+
+val default_config : config
+
+type report = {
+  lines : string list;  (** full per-metric report, in section order *)
+  regressions : string list;  (** failures only; empty means pass *)
+}
+
+val diff : config -> base:Json.t -> current:Json.t -> report
+(** Compare two parsed metrics documents. *)
+
+val diff_files : config -> base:string -> current:string -> report
+(** Read, parse and {!diff} two files.  An unreadable or unparsable
+    file becomes a regression in the returned report rather than an
+    exception, so callers get uniform exit semantics. *)
+
+val report_to_string : report -> string
+(** Printable report: all lines, then a [result:] trailer repeating the
+    regressions. *)

@@ -25,6 +25,7 @@ let iter_ordered t ~f ~consume items =
   Obs.count "parallel.batches";
   Obs.count ~n "parallel.cells";
   Obs.gauge "parallel.cells_per_domain" (float_of_int n /. float_of_int t.jobs);
+  Obs.observe "parallel.batch_cells" (float_of_int n);
   if n = 0 then ()
   else if t.jobs = 1 || n = 1 then
     for i = 0 to n - 1 do

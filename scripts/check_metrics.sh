@@ -5,7 +5,8 @@
 #   scripts/check_metrics.sh fig4 quick # any bench/main.exe arguments
 #
 # Checks that the file exists, parses as JSON, and contains the solver
-# work counters the run report is expected to carry.
+# work counters, quantile histograms and progress trajectory the run
+# report is expected to carry.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +29,7 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-if doc.get("schema") != "netrec-bench-metrics/1":
+if doc.get("schema") != "netrec-bench-metrics/2":
     sys.exit("FAIL: unexpected schema %r" % doc.get("schema"))
 counters = doc.get("metrics", {}).get("counters", {})
 missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls",
@@ -46,6 +47,34 @@ gauges = doc.get("metrics", {}).get("gauges", {})
 cpd = gauges.get("parallel.cells_per_domain", {})
 if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
     sys.exit("FAIL: parallel.cells_per_domain gauge missing or empty")
+# Obs v2: every required histogram must be present with its full
+# quantile set; the per-run trajectory block must be non-empty.
+hists = doc.get("metrics", {}).get("histograms", {})
+for name in ("isp.iteration_ms", "isp.solve_ms",
+             "simplex.pivots_per_solve", "milp.nodes_per_solve",
+             "dijkstra.settled_per_call", "parallel.batch_cells"):
+    h = hists.get(name)
+    if h is None:
+        sys.exit("FAIL: histogram %s missing" % name)
+    if h.get("count", 0) <= 0:
+        sys.exit("FAIL: histogram %s is empty" % name)
+    for q in ("p50", "p90", "p99", "min", "max"):
+        if q not in h:
+            sys.exit("FAIL: histogram %s lacks quantile key %s" % (name, q))
+progress = doc.get("metrics", {}).get("progress", [])
+if not progress:
+    sys.exit("FAIL: progress block missing or empty")
+names = set(e.get("name") for e in progress)
+if "isp.residual" not in names:
+    sys.exit("FAIL: progress block carries no isp.residual trajectory")
+for e in progress[:50]:
+    for k in ("name", "seq", "t_s", "dom", "fields"):
+        if k not in e:
+            sys.exit("FAIL: progress event lacks key %s: %r" % (k, e))
+# Spans must be exported path-sorted so diffs can align them.
+paths = [s.get("path", "") for s in doc.get("metrics", {}).get("spans", [])]
+if paths != sorted(paths):
+    sys.exit("FAIL: spans are not sorted by path")
 gate = doc.get("lp_gate", {})
 if gate.get("opt.proved") != 1:
     sys.exit("FAIL: lp_gate missing or OPT did not prove optimality: %r" % gate)
@@ -53,17 +82,22 @@ bad = [k for k in ("simplex.pivots", "simplex.solves", "simplex.warm_starts",
                    "milp.nodes") if gate.get(k, 0) <= 0]
 if bad:
     sys.exit("FAIL: lp_gate counters missing or zero: %s" % ", ".join(bad))
-print("OK: %s valid (%d counters, %d benchmarks)"
-      % (sys.argv[1], len(counters), len(doc.get("benchmarks", {}))))
+print("OK: %s valid (%d counters, %d histograms, %d progress events, "
+      "%d benchmarks)"
+      % (sys.argv[1], len(counters), len(hists), len(progress),
+         len(doc.get("benchmarks", {}))))
 EOF
 else
   # No python3: fall back to grepping for the required keys.
-  for key in '"schema":"netrec-bench-metrics/1"' '"isp.iterations"' \
+  for key in '"schema":"netrec-bench-metrics/2"' '"isp.iterations"' \
              '"simplex.pivots"' '"dijkstra.calls"' \
              '"centrality.cache_hits"' '"centrality.cache_misses"' \
              '"parallel.cells"' '"parallel.cells_per_domain"' \
              '"lp_gate"' '"simplex.warm_starts"' '"simplex.phase1_skipped"' \
-             '"milp.nodes"' '"opt.proved":1'; do
+             '"milp.nodes"' '"opt.proved":1' \
+             '"histograms"' '"isp.iteration_ms"' '"simplex.pivots_per_solve"' \
+             '"dijkstra.settled_per_call"' '"p50"' '"p90"' '"p99"' \
+             '"progress"' '"isp.residual"'; do
     if ! grep -q "$key" "$METRICS"; then
       echo "FAIL: $key not found in $METRICS" >&2
       exit 1

@@ -1,23 +1,32 @@
 #!/bin/sh
-# Performance regression gate: re-run the Bechamel micro-benchmarks and
-# compare each estimate against the committed BENCH_metrics.json
-# baseline at the repo root.
+# Performance regression gate: re-run the bench harness and compare the
+# resulting run record against the committed BENCH_metrics.json baseline
+# with `recover metrics diff` (wall-clock benchmarks, the deterministic
+# LP work gate, and — when the bench mode matches the baseline's —
+# histogram quantiles with a 10% p50/p90/p99 gate).
 #
-#   scripts/check_perf.sh        # fail on >25% regression
-#   scripts/check_perf.sh 10     # custom tolerance (percent)
+#   scripts/check_perf.sh            # bench mode, fail on >25% regression
+#   scripts/check_perf.sh 10         # custom wall-clock tolerance (percent)
+#   scripts/check_perf.sh 25 quick   # quick mode: figures too, so the
+#                                    # quantile gate is active against the
+#                                    # quick-mode baseline
 #
 # Wall-clock sensitive by nature, so this is opt-in rather than part of
 # the default test alias:
 #
-#   dune build @perf
+#   dune build @perf       # bench mode
+#   dune build @metrics    # quick mode (quantile gate active)
 #
-# When invoked through the alias, $BENCH_EXE points at the already-built
-# bench executable (a dune action must not invoke dune recursively).
+# When invoked through an alias, $BENCH_EXE and $RECOVER_EXE point at the
+# already-built executables (a dune action must not invoke dune
+# recursively).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TOL="${1:-25}"
+MODE="${2:-bench}"
+QUANTILE_TOL=10
 BASELINE=BENCH_metrics.json
 
 if [ ! -s "$BASELINE" ]; then
@@ -29,86 +38,24 @@ if [ -z "${BENCH_EXE:-}" ]; then
   dune build bench/main.exe
   BENCH_EXE=_build/default/bench/main.exe
 fi
+if [ -z "${RECOVER_EXE:-}" ]; then
+  dune build bin/recover.exe
+  RECOVER_EXE=_build/default/bin/recover.exe
+fi
 case "$BENCH_EXE" in
   /*) : ;;
   *) BENCH_EXE="$(pwd)/$BENCH_EXE" ;;
 esac
-
-if ! command -v python3 >/dev/null 2>&1; then
-  echo "SKIP: python3 unavailable, cannot compare benchmark estimates" >&2
-  exit 0
-fi
+case "$RECOVER_EXE" in
+  /*) : ;;
+  *) RECOVER_EXE="$(pwd)/$RECOVER_EXE" ;;
+esac
 
 # Benchmark in a scratch directory so the baseline is not overwritten.
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT INT TERM
 BASELINE_ABS="$(pwd)/$BASELINE"
-(cd "$TMP" && "$BENCH_EXE" bench)
+(cd "$TMP" && "$BENCH_EXE" "$MODE")
 
-python3 - "$BASELINE_ABS" "$TMP/BENCH_metrics.json" "$TOL" <<'EOF'
-import json, sys
-
-with open(sys.argv[1]) as f:
-    base_doc = json.load(f)
-with open(sys.argv[2]) as f:
-    now_doc = json.load(f)
-base = base_doc.get("benchmarks", {})
-now = now_doc.get("benchmarks", {})
-tol = float(sys.argv[3]) / 100.0
-
-if not base:
-    sys.exit("FAIL: baseline carries no benchmark estimates")
-
-# A regression must exceed the relative tolerance AND an absolute floor:
-# sub-10ms estimates swing by ±30% with machine state alone, and a
-# fraction of a millisecond is never a regression worth failing CI over.
-ABS_FLOOR_MS = 1.0
-
-regressions = []
-for name, ms in sorted(base.items()):
-    cur = now.get(name)
-    if cur is None:
-        regressions.append("%s: missing from current run" % name)
-        continue
-    delta = (cur - ms) / ms if ms > 0 else 0.0
-    regressed = delta > tol and (cur - ms) > ABS_FLOOR_MS
-    marker = "REGRESSION" if regressed else "ok"
-    print("  %-28s %10.3f ms -> %10.3f ms  (%+6.1f%%)  %s"
-          % (name, ms, cur, 100.0 * delta, marker))
-    if regressed:
-        regressions.append("%s: %.3f ms -> %.3f ms (+%.1f%% > %.0f%%)"
-                           % (name, ms, cur, 100.0 * delta, 100.0 * tol))
-
-# LP work gate: the lp_gate counters are deterministic integers (one OPT
-# solve of a pinned scenario), so they are compared much more tightly
-# than the wall-clock estimates.  simplex.pivots is the headline number
-# for the warm-started branch-and-bound: allow 10% slack for legitimate
-# pivoting-rule tweaks, and require the search to still prove optimality.
-LP_TOL = 0.10
-base_gate = base_doc.get("lp_gate", {})
-now_gate = now_doc.get("lp_gate", {})
-if base_gate:
-    if not now_gate:
-        regressions.append("lp_gate: missing from current run")
-    else:
-        if now_gate.get("opt.proved", 0) != 1:
-            regressions.append("lp_gate: OPT no longer proves optimality")
-        for key in ("simplex.pivots", "milp.nodes"):
-            b, c = base_gate.get(key), now_gate.get(key)
-            if b is None or c is None:
-                continue
-            delta = (c - b) / b if b > 0 else 0.0
-            marker = "REGRESSION" if delta > LP_TOL else "ok"
-            print("  %-28s %10d    -> %10d     (%+6.1f%%)  %s"
-                  % ("lp_gate:" + key, b, c, 100.0 * delta, marker))
-            if delta > LP_TOL:
-                regressions.append("lp_gate %s: %d -> %d (+%.1f%% > %.0f%%)"
-                                   % (key, b, c, 100.0 * delta, 100.0 * LP_TOL))
-
-if regressions:
-    print("FAIL: performance regressions beyond tolerance:", file=sys.stderr)
-    for r in regressions:
-        print("  " + r, file=sys.stderr)
-    sys.exit(1)
-print("OK: no micro-benchmark regressed by more than %.0f%%" % (100.0 * tol))
-EOF
+"$RECOVER_EXE" metrics diff "$BASELINE_ABS" "$TMP/BENCH_metrics.json" \
+  --tolerance "$TOL" --quantile-tolerance "$QUANTILE_TOL"

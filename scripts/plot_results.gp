@@ -75,3 +75,19 @@ set yrange [50:105]
 plot 'results/fig9_2.csv' skip 1 using 1:2 with linespoints title 'ISP', \
      '' skip 1 using 1:3 with linespoints title 'SRT'
 unset yrange
+
+# Recovery curve: residual demand by ISP iteration, extracted from the
+# solver-progress event stream (results/progress.jsonl, written by the
+# bench harness; `recover ... --events FILE` produces the same format).
+# Events inline their fields at the top level, so a sed one-liner turns
+# the JSONL into two whitespace-separated columns — no JSON parser
+# needed.  The bench interleaves many ISP solves, so the curve restarts
+# whenever the iteration counter does; plotted with dots it reads as the
+# family of per-solve recovery trajectories.
+set output 'results/recovery_curve.png'
+set title 'Recovery curves: residual demand vs ISP iteration'
+set xlabel 'ISP iteration'; set ylabel 'residual demand (flow units)'
+set datafile separator whitespace
+plot '< sed -n ''s/.*"name":"isp.residual".*"iteration":\([0-9eE+.-]*\),"residual_demand":\([0-9eE+.-]*\).*/\1 \2/p'' results/progress.jsonl' \
+     using 1:2 with dots lc rgb '#1f77b4' title 'per-solve trajectories'
+set datafile separator ','

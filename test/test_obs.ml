@@ -1,4 +1,7 @@
 module Obs = Netrec_obs.Obs
+module H = Netrec_obs.Obs.Histogram
+module Diff = Netrec_obs.Metrics_diff
+module Pool = Netrec_parallel.Pool
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -108,11 +111,272 @@ let test_gauge_stats =
     Alcotest.(check (float 1e-9)) "min" 2.0 g.Obs.min;
     Alcotest.(check (float 1e-9)) "max" 9.0 g.Obs.max
 
+(* ---- histograms ---- *)
+
+let test_histogram_quantiles () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.observe h (float_of_int v)
+  done;
+  check_int "count" 1000 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum" 500500.0 (H.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (H.max_value h);
+  (* Bucket-edge quantiles overestimate by at most one bucket width
+     (12.5% relative with 8 sub-buckets per octave). *)
+  let within q lo =
+    let v = H.quantile h q in
+    check_bool
+      (Printf.sprintf "q%.2f=%g in [%g, %g]" q v lo (lo *. 1.125))
+      true
+      (v >= lo && v <= lo *. 1.125 +. 1e-9)
+  in
+  within 0.5 500.0;
+  within 0.9 900.0;
+  within 0.99 990.0;
+  Alcotest.(check (float 1e-9)) "q1 is exact max" 1000.0 (H.quantile h 1.0)
+
+let test_histogram_edge_cases () =
+  let h = H.create () in
+  check_bool "empty quantile is nan" true (Float.is_nan (H.quantile h 0.5));
+  H.observe h 0.0;
+  H.observe h (-3.0);
+  H.observe h 7.0;
+  check_int "non-positive values counted" 3 (H.count h);
+  check_int "underflow bucket" 0 (H.bucket_index (-3.0));
+  check_bool "q1 still exact max" true (H.quantile h 1.0 = 7.0);
+  (* A single value sits inside its bucket: quantile comes back as the
+     observed max, not the (larger) bucket edge. *)
+  let one = H.create () in
+  H.observe one 3.0;
+  Alcotest.(check (float 1e-9)) "singleton p50 clamps to max" 3.0
+    (H.quantile one 0.5);
+  (* bucket_upper is the exact dyadic upper edge of a value's bucket. *)
+  let v = 41.0 in
+  let u = H.bucket_upper (H.bucket_index v) in
+  check_bool "value below its bucket's upper edge" true (v <= u);
+  check_bool "edge within one sub-bucket width" true (u <= v *. 1.125)
+
+let test_histogram_merge_order_independent () =
+  (* QCheck property: any split of any observation list into per-domain
+     shards, merged in any order, reproduces the sequential histogram
+     bit-for-bit.  Integral observations keep float sums exact, which is
+     the case the [-j N] determinism contract covers (work counts). *)
+  let gen =
+    QCheck.make
+      ~print:
+        QCheck.Print.(pair (list (pair int int)) int)
+      QCheck.Gen.(
+        pair
+          (list_size (int_bound 200) (pair (int_bound 5) (int_range 0 4096)))
+          int)
+  in
+  let prop (tagged, _salt) =
+    let sequential = H.create () in
+    List.iter (fun (_, v) -> H.observe sequential (float_of_int v)) tagged;
+    (* Shard by tag (the "domain"), then merge shards high-tag-first —
+       the reverse of observation order. *)
+    let shards = Array.init 6 (fun _ -> H.create ()) in
+    List.iter
+      (fun (tag, v) -> H.observe shards.(tag) (float_of_int v))
+      tagged;
+    let merged = H.create () in
+    for tag = 5 downto 0 do
+      H.merge_into ~into:merged shards.(tag)
+    done;
+    H.equal sequential merged
+    && H.equal merged (List.fold_left H.merge (H.create ())
+                         (Array.to_list shards))
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"histogram merge order independence"
+       gen prop)
+
+let test_histograms_parallel_deterministic =
+  with_collector @@ fun () ->
+  (* The -j contract at the collector level: the same deterministic
+     per-cell work observed from 1 and from 4 domains must export
+     byte-identical quantiles (work-count histograms; wall-clock ones
+     are inherently run-specific). *)
+  let items = Array.init 64 (fun i -> i) in
+  let run jobs =
+    Obs.reset ();
+    let pool = Pool.create ~jobs in
+    Pool.iter_ordered pool
+      ~f:(fun _ i ->
+        Obs.observe "det.work_units" (float_of_int ((i * 37 mod 101) + 1)))
+      ~consume:(fun _ () -> ())
+      items;
+    match Obs.histogram "det.work_units" with
+    | None -> Alcotest.fail "histogram not recorded"
+    | Some h ->
+      (h.Obs.count, h.Obs.sum, h.Obs.min, h.Obs.max, h.Obs.p50, h.Obs.p90,
+       h.Obs.p99)
+  in
+  let seq = run 1 and par = run 4 in
+  check_bool "-j 1 and -j 4 quantiles identical" true (seq = par)
+
+(* ---- progress events ---- *)
+
+let test_events_ordered =
+  with_collector @@ fun () ->
+  Obs.event "milp.bound" [ ("nodes", 1.0); ("bound", 10.5) ];
+  Obs.event "milp.incumbent" [ ("nodes", 3.0); ("objective", 12.0) ];
+  Obs.event "isp.residual" [ ("iteration", 1.0); ("residual_demand", 42.0) ];
+  let evs = Obs.events () in
+  check_int "all retained" 3 (List.length evs);
+  let seqs = List.map (fun e -> e.Obs.seq) evs in
+  check_bool "sorted by seq" true (seqs = List.sort compare seqs);
+  (match evs with
+  | first :: _ ->
+    check_bool "name" true (first.Obs.name = "milp.bound");
+    check_bool "fields" true
+      (first.Obs.fields = [ ("nodes", 1.0); ("bound", 10.5) ]);
+    check_bool "timestamped" true (first.Obs.t_s >= 0.0)
+  | [] -> Alcotest.fail "no events");
+  check_int "nothing dropped" 0 (Obs.progress_dropped ())
+
+let test_event_ring_overwrites =
+  with_collector @@ fun () ->
+  let extra = 25 in
+  for i = 1 to Obs.event_ring_capacity + extra do
+    Obs.event "tick" [ ("i", float_of_int i) ]
+  done;
+  check_int "ring keeps capacity" Obs.event_ring_capacity
+    (List.length (Obs.events ()));
+  check_int "dropped counted" extra (Obs.progress_dropped ());
+  (* The survivors are the newest events (oldest were overwritten). *)
+  let kept = List.map (fun e -> List.assoc "i" e.Obs.fields) (Obs.events ()) in
+  check_bool "oldest overwritten" true
+    (List.for_all (fun i -> i > float_of_int extra) kept)
+
+let test_events_jsonl_flat =
+  with_collector @@ fun () ->
+  Obs.event "isp.residual" [ ("iteration", 2.0); ("residual_demand", 17.5) ];
+  let doc = Obs.events_jsonl () in
+  List.iter
+    (fun n -> check_bool n true (contains doc n))
+    [ "{\"type\":\"event\",\"name\":\"isp.residual\"";
+      (* fields are inlined at the top level for sed/gnuplot extraction *)
+      "\"iteration\":2,\"residual_demand\":17.5" ]
+
+(* ---- GC deltas ---- *)
+
+let test_gc_snapshot_and_span_attribution =
+  with_collector @@ fun () ->
+  let g0 = Obs.gc_snapshot () in
+  Obs.span "alloc" (fun () ->
+      ignore (Sys.opaque_identity (Array.make 100_000 0.0)));
+  let d = Obs.gc_delta g0 (Obs.gc_snapshot ()) in
+  check_bool "process delta sees the allocation" true
+    (d.Obs.minor_words +. d.Obs.major_words >= 100_000.0);
+  let s = get_span "alloc" in
+  check_bool "span attributed the words" true
+    (s.Obs.minor_words +. s.Obs.major_words >= 100_000.0);
+  check_bool "no compaction" true (s.Obs.compactions >= 0)
+
+(* ---- metrics diff ---- *)
+
+let doc_with ~mode ~bench_ms ~pivots ~p99 =
+  Printf.sprintf
+    {|{"schema":"netrec-bench-metrics/2","mode":"%s",
+      "benchmarks":{"fig4:isp":%g},
+      "lp_gate":{"opt.proved":1,"simplex.pivots":%d,"milp.nodes":71},
+      "metrics":{"counters":{"isp.iterations":100},
+                 "gauges":{},
+                 "histograms":{"simplex.pivots_per_solve":
+                   {"count":10,"sum":100,"min":1,"max":40,
+                    "p50":20,"p90":35,"p99":%g}},
+                 "spans":[],"progress":[]}}|}
+    mode bench_ms pivots p99
+
+let run_diff base current =
+  Diff.diff Diff.default_config ~base:(Diff.Json.parse base)
+    ~current:(Diff.Json.parse current)
+
+let test_diff_clean () =
+  let d = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:40.0 in
+  let r = run_diff d d in
+  check_bool "self-diff has no regressions" true (r.Diff.regressions = [])
+
+let test_diff_flags_p99_regression () =
+  let base = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:40.0 in
+  (* +12.5% p99 > the 10% quantile gate *)
+  let cur = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:45.0 in
+  let r = run_diff base cur in
+  check_bool "p99 regression flagged" true
+    (List.exists
+       (fun s -> contains s "simplex.pivots_per_solve p99")
+       r.Diff.regressions);
+  (* The same drift across modes must NOT gate: the workloads differ. *)
+  let cur_bench =
+    doc_with ~mode:"bench" ~bench_ms:100.0 ~pivots:9000 ~p99:45.0
+  in
+  let r = run_diff base cur_bench in
+  check_bool "cross-mode quantiles skipped" true (r.Diff.regressions = [])
+
+let test_diff_gates_benchmarks_and_lp () =
+  let base = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:40.0 in
+  let slow = doc_with ~mode:"quick" ~bench_ms:140.0 ~pivots:9000 ~p99:40.0 in
+  let r = run_diff base slow in
+  check_bool "+40% wall clock fails at 25%" true
+    (List.exists (fun s -> contains s "fig4:isp") r.Diff.regressions);
+  let fast = doc_with ~mode:"quick" ~bench_ms:60.0 ~pivots:9000 ~p99:40.0 in
+  check_bool "improvements pass" true ((run_diff base fast).Diff.regressions = []);
+  let drift = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:11000 ~p99:40.0 in
+  let r = run_diff base drift in
+  check_bool "+22% pivot drift fails the lp gate" true
+    (List.exists (fun s -> contains s "simplex.pivots") r.Diff.regressions);
+  (* Sub-floor absolute increases never fail, whatever the percentage. *)
+  let tiny_base = doc_with ~mode:"quick" ~bench_ms:0.1 ~pivots:9000 ~p99:40.0 in
+  let tiny_cur = doc_with ~mode:"quick" ~bench_ms:0.5 ~pivots:9000 ~p99:40.0 in
+  check_bool "sub-millisecond wobble passes" true
+    ((run_diff tiny_base tiny_cur).Diff.regressions = [])
+
+let test_diff_missing_quantile_key () =
+  let base = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:40.0 in
+  let cur =
+    {|{"schema":"netrec-bench-metrics/2","mode":"quick",
+      "benchmarks":{"fig4:isp":100},
+      "lp_gate":{"opt.proved":1,"simplex.pivots":9000,"milp.nodes":71},
+      "metrics":{"counters":{},"gauges":{},
+                 "histograms":{"simplex.pivots_per_solve":
+                   {"count":10,"sum":100,"min":1,"max":40,"p50":20,"p90":35}},
+                 "spans":[],"progress":[]}}|}
+  in
+  let r = run_diff base cur in
+  check_bool "missing p99 key is a regression" true
+    (List.exists
+       (fun s -> contains s "quantile p99 missing")
+       r.Diff.regressions)
+
+let test_json_parser () =
+  let open Diff.Json in
+  (match parse {| {"a":[1,2.5,-3e2],"b":"x\n\"yA","c":true,"d":null} |} with
+  | Obj kvs ->
+    check_bool "array numbers" true
+      (List.assoc "a" kvs = Arr [ Num 1.0; Num 2.5; Num (-300.0) ]);
+    check_bool "string escapes" true
+      (List.assoc "b" kvs = Str "x\n\"yA");
+    check_bool "bool" true (List.assoc "c" kvs = Bool true);
+    check_bool "null" true (List.assoc "d" kvs = Null)
+  | _ -> Alcotest.fail "not an object");
+  let bad s =
+    match parse s with
+    | exception Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "trailing garbage rejected" true (bad "{} x");
+  check_bool "unterminated string rejected" true (bad {|{"a|});
+  check_bool "bare word rejected" true (bad "nope")
+
 (* ---- exporters ---- *)
 
 let record_some_everything () =
   Obs.count ~n:3 "isp.iterations";
   Obs.gauge "isp.residual_demand" 1.5;
+  Obs.observe "isp.iteration_ms" 2.5;
+  Obs.event "isp.residual" [ ("iteration", 1.0); ("residual_demand", 9.0) ];
   Obs.span "isp.solve" (fun () -> Obs.span "isp.iteration" (fun () -> ()))
 
 let test_jsonl_well_formed =
@@ -133,12 +397,13 @@ let test_jsonl_well_formed =
              let tag = Printf.sprintf "{\"type\":\"%s\"" t in
              String.length l >= String.length tag
              && String.sub l 0 (String.length tag) = tag)
-           [ "counter"; "gauge"; "span"; "meta" ]))
+           [ "counter"; "gauge"; "histogram"; "span"; "event"; "meta" ]))
     lines;
   let doc = Obs.jsonl () in
   List.iter
     (fun n -> check_bool n true (contains doc n))
     [ "\"isp.iterations\""; "\"isp.residual_demand\"";
+      "\"isp.iteration_ms\""; "\"isp.residual\"";
       "\"isp.solve/isp.iteration\"" ]
 
 let test_metrics_json_shape =
@@ -148,8 +413,27 @@ let test_metrics_json_shape =
   check_bool "object" true (doc.[0] = '{' && doc.[String.length doc - 1] = '}');
   List.iter
     (fun n -> check_bool n true (contains doc n))
-    [ "\"counters\""; "\"gauges\""; "\"spans\"";
-      "\"isp.iterations\":3" ]
+    [ "\"counters\""; "\"gauges\""; "\"histograms\""; "\"spans\"";
+      "\"progress\""; "\"isp.iterations\":3"; "\"p50\""; "\"p90\"";
+      "\"p99\"" ];
+  (* The whole document round-trips through the vendored parser, and the
+     spans block is path-sorted so two exports align positionally. *)
+  match Diff.Json.parse doc with
+  | exception Diff.Json.Parse_error msg ->
+    Alcotest.failf "metrics_json does not parse: %s" msg
+  | parsed ->
+    let spans =
+      Diff.Json.arr_items
+        (Option.value ~default:Diff.Json.Null
+           (Diff.Json.member "spans" parsed))
+    in
+    let paths =
+      List.filter_map
+        (fun s -> Option.bind (Diff.Json.member "path" s) Diff.Json.string_val)
+        spans
+    in
+    check_bool "spans sorted by path" true
+      (paths = List.sort compare paths && paths <> [])
 
 let test_chrome_trace_well_formed =
   with_collector @@ fun () ->
@@ -178,7 +462,10 @@ let test_reset_clears =
   check_bool "counters cleared" true (Obs.counters () = []);
   check_bool "gauges cleared" true (Obs.gauges () = []);
   check_bool "spans cleared" true (Obs.span_stats () = []);
-  check_int "no drops" 0 (Obs.events_dropped ())
+  check_bool "histograms cleared" true (Obs.histograms () = []);
+  check_bool "events cleared" true (Obs.events () = []);
+  check_int "no drops" 0 (Obs.events_dropped ());
+  check_int "no progress drops" 0 (Obs.progress_dropped ())
 
 let () =
   Alcotest.run "netrec_obs"
@@ -192,6 +479,30 @@ let () =
           Alcotest.test_case "span exception safety" `Quick
             test_span_exception_safe;
           Alcotest.test_case "gauge last/min/max" `Quick test_gauge_stats;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "histogram edge cases" `Quick
+            test_histogram_edge_cases;
+          Alcotest.test_case "histogram merge order independence" `Quick
+            test_histogram_merge_order_independent;
+          Alcotest.test_case "-j 1 vs -j 4 histograms identical" `Quick
+            test_histograms_parallel_deterministic;
+          Alcotest.test_case "events ordered and fielded" `Quick
+            test_events_ordered;
+          Alcotest.test_case "event ring overwrites oldest" `Quick
+            test_event_ring_overwrites;
+          Alcotest.test_case "events_jsonl flat fields" `Quick
+            test_events_jsonl_flat;
+          Alcotest.test_case "gc snapshot and span attribution" `Quick
+            test_gc_snapshot_and_span_attribution;
+          Alcotest.test_case "diff: clean self-diff" `Quick test_diff_clean;
+          Alcotest.test_case "diff: p99 regression gated" `Quick
+            test_diff_flags_p99_regression;
+          Alcotest.test_case "diff: benchmark and lp gates" `Quick
+            test_diff_gates_benchmarks_and_lp;
+          Alcotest.test_case "diff: missing quantile key" `Quick
+            test_diff_missing_quantile_key;
+          Alcotest.test_case "vendored json parser" `Quick test_json_parser;
           Alcotest.test_case "jsonl well-formedness" `Quick
             test_jsonl_well_formed;
           Alcotest.test_case "metrics_json shape" `Quick
