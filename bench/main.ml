@@ -7,6 +7,7 @@
      main.exe               benches + all figures (default settings)
      main.exe quick         benches + all figures (1 run/point, small OPT budget)
      main.exe bench         Bechamel micro-benchmarks only
+     main.exe serve         daemon load generator only (16 clients)
      main.exe fig3 ... fig9 a single figure
      main.exe figures       all figures, no micro-benchmarks *)
 
@@ -114,6 +115,125 @@ let micro_benchmarks () =
     tests;
   print_newline ();
   List.rev !collected
+
+(* ---- daemon load generator ---- *)
+
+module Server = Netrec_serve.Server
+module Client = Netrec_serve.Client
+module Protocol = Netrec_serve.Protocol
+module Inject = Netrec_serve.Inject
+
+(* Deterministic query mix over the Abilene topology: every client
+   issues the same (seeded) stream of broken-set/demand variants, a
+   quarter of which repeat one fixed disaster so the plan cache gets
+   hits, under mild fault injection so the breaker/shed path is also on
+   the measured profile. *)
+let serve_query ~nv ~ne ci qi =
+  if (ci + qi) mod 4 = 0 then
+    { Protocol.algorithm = Protocol.Isp;
+      deadline_s = Some 10.0;
+      no_cache = false;
+      demands = [ (0, nv - 1, 2.0) ];
+      broken_vertices = [ 1 ];
+      broken_edges = [ 0; 1 ] }
+  else begin
+    let rng = Rng.create (0x5eed + (ci * 131) + qi) in
+    let algorithm =
+      match qi mod 3 with
+      | 0 -> Protocol.Isp
+      | 1 -> Protocol.Fallback
+      | _ -> Protocol.Grd_com
+    in
+    let src = Rng.int rng nv in
+    let dst = (src + 1 + Rng.int rng (nv - 1)) mod nv in
+    let broken_v =
+      List.init (1 + Rng.int rng 2) (fun _ -> Rng.int rng nv)
+      |> List.filter (fun v -> v <> src && v <> dst)
+    in
+    let broken_e = List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng ne) in
+    { Protocol.algorithm;
+      deadline_s = Some 10.0;
+      no_cache = false;
+      demands = [ (src, dst, 1.0 +. Rng.float rng 2.0) ];
+      broken_vertices = broken_v;
+      broken_edges = broken_e }
+  end
+
+let serve_bench ?(clients = 8) ?(per_client = 24) () =
+  let g = Netrec_topo.Abilene.graph () in
+  let nv = G.nv g and ne = G.ne g in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "netrec-bench-%d.sock" (Unix.getpid ()))
+  in
+  let address = Server.Unix_socket path in
+  let inject =
+    match Inject.parse "fail=0.03,slow_ms=2,slow_rate=0.2,seed=11" with
+    | Ok t -> t
+    | Error msg -> failwith msg
+  in
+  let cfg =
+    { (Server.default_config address) with
+      Server.jobs = 2;
+      queue_cap = 128;
+      inject;
+      log = ignore }
+  in
+  let server = Server.start cfg g in
+  let lat = Array.make (clients * per_client) nan in
+  let ok = Atomic.make 0
+  and err = Atomic.make 0
+  and hits = Atomic.make 0
+  and shed = Atomic.make 0 in
+  let client ci =
+    match Client.connect address with
+    | Error e -> failwith (Client.error_to_string e)
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          for qi = 0 to per_client - 1 do
+            let q = serve_query ~nv ~ne ci qi in
+            let t0 = Unix.gettimeofday () in
+            (match Client.query c q with
+            | Ok (Protocol.Ok_plan r) ->
+              Atomic.incr ok;
+              if r.Protocol.cached then Atomic.incr hits;
+              if r.Protocol.shed then Atomic.incr shed
+            | Ok (Protocol.Error _) -> Atomic.incr err
+            | Ok _ | Error _ -> Atomic.incr err);
+            lat.((ci * per_client) + qi) <-
+              1000.0 *. (Unix.gettimeofday () -. t0)
+          done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun ci -> Thread.create client ci) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Server.stop server;
+  Server.wait server;
+  (* Latencies were measured client-side; they enter the collector here,
+     from the main thread, after every server thread is joined — the
+     per-domain Obs state never sees concurrent writers. *)
+  Array.iter
+    (fun ms -> if not (Float.is_nan ms) then Obs.observe "serve.client_latency_ms" ms)
+    lat;
+  let total = clients * per_client in
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let q p = sorted.(min (total - 1) (int_of_float (p *. float_of_int total))) in
+  Printf.printf
+    "== Daemon load generator (%d clients x %d queries, inject on) ==\n" clients
+    per_client;
+  Printf.printf
+    "  %d ok (%d cached, %d shed)  %d structured error(s)  in %.2f s  \
+     (%.0f req/s)\n"
+    (Atomic.get ok) (Atomic.get hits) (Atomic.get shed) (Atomic.get err)
+    elapsed
+    (float_of_int total /. elapsed);
+  Printf.printf "  client latency: p50 %.2f ms  p90 %.2f ms  p99 %.2f ms\n\n%!"
+    (q 0.5) (q 0.9) (q 0.99)
 
 (* ---- figure regeneration ---- *)
 
@@ -250,12 +370,18 @@ let () =
     let benchmarks = micro_benchmarks () in
     Obs.set_enabled true;
     run_all (with_jobs default);
+    serve_bench ();
     write_bench_metrics ~mode:"default" ~benchmarks
   | [ "quick" ] ->
     let benchmarks = micro_benchmarks () in
     Obs.set_enabled true;
     run_all (with_jobs quick);
+    serve_bench ();
     write_bench_metrics ~mode:"quick" ~benchmarks
+  | [ "serve" ] ->
+    Obs.set_enabled true;
+    serve_bench ~clients:16 ~per_client:32 ();
+    write_bench_metrics ~mode:"serve" ~benchmarks:[]
   | [ "bench" ] ->
     let benchmarks = micro_benchmarks () in
     write_bench_metrics ~mode:"bench" ~benchmarks

@@ -26,6 +26,11 @@ module E = Netrec_experiments
 module Check = Netrec_check.Check
 module Budget = Netrec_resilience.Budget
 module Chain = Netrec_resilience.Chain
+module Breaker = Netrec_resilience.Breaker
+module Server = Netrec_serve.Server
+module Client = Netrec_serve.Client
+module Protocol = Netrec_serve.Protocol
+module Inject = Netrec_serve.Inject
 
 (* ---- shared options ---- *)
 
@@ -433,6 +438,25 @@ let experiment figure runs opt_nodes jobs certify journal_file trace_file
     metrics_file events_file verbose =
   Obs.set_enabled true;
   if certify then Check.install_certifier ();
+  (* SIGINT/SIGTERM stop the sweep at the next cell boundary: completed
+     cells are already in the journal, so the same --journal file
+     resumes exactly there.  The handler only sets a flag. *)
+  E.Common.reset_stop ();
+  let install sgn =
+    try Some (Sys.signal sgn (Sys.Signal_handle (fun _ -> E.Common.request_stop ())))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore sgn = function
+    | Some prev -> (try Sys.set_signal sgn prev with Invalid_argument _ | Sys_error _ -> ())
+    | None -> ()
+  in
+  let prev_int = install Sys.sigint in
+  let prev_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigint prev_int;
+      restore Sys.sigterm prev_term)
+  @@ fun () ->
   let pool =
     E.Common.Pool.create
       ~jobs:(if jobs <= 0 then E.Common.Pool.default_jobs () else jobs)
@@ -472,7 +496,17 @@ let experiment figure runs opt_nodes jobs certify journal_file trace_file
       if violations > 0 then 1 else 0
     end
     else 0
-  with Failure msg | Sys_error msg ->
+  with
+  | E.Common.Interrupted ->
+    print_work_footer ();
+    export_observability ~verbose ~trace_file ~metrics_file ~events_file;
+    Printf.printf "interrupted: stopped at a cell boundary%s\n"
+      (match journal_file with
+      | Some f ->
+        Printf.sprintf "; completed cells are in %s — rerun to resume" f
+      | None -> " (use --journal to make interrupted sweeps resumable)");
+    0
+  | Failure msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -678,6 +712,296 @@ let metrics_cmd =
   let doc = "inspect and compare recorded metrics" in
   Cmd.group (Cmd.info "metrics" ~doc) [ metrics_diff_cmd ]
 
+(* ---- serve / query commands ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string "/tmp/netrec-recover.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Listen on (or connect to) TCP $(docv) instead of --socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_address ~socket ~tcp =
+  match tcp with
+  | None -> Server.Unix_socket socket
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None ->
+      failwith (Printf.sprintf "--tcp: expected HOST:PORT, got %S" spec)
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+        Server.Tcp ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> failwith (Printf.sprintf "--tcp: bad port %S" port)))
+
+let serve_jobs_arg =
+  let doc = "Worker domains solving queries." in
+  Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Admission control: maximum queued queries before requests are \
+     rejected with a structured $(i,overloaded) error."
+  in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let default_deadline_arg =
+  let doc =
+    "Deadline applied to queries that do not carry their own (seconds)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "default-deadline" ] ~docv:"SECONDS" ~doc)
+
+let cache_cap_arg =
+  let doc = "Plan-cache capacity (entries, FIFO eviction)." in
+  Arg.(value & opt int 256 & info [ "cache-cap" ] ~docv:"N" ~doc)
+
+let inject_arg =
+  let doc =
+    "Fault injection knobs, e.g. \
+     $(i,fail=0.25,fail_first=40,slow_ms=30,slow_rate=0.5,seed=7).  \
+     Defaults to the NETREC_INJECT environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let breaker_window_arg =
+  let doc = "Breaker sliding-window size (outcomes)." in
+  Arg.(
+    value
+    & opt int Breaker.default_config.Breaker.window
+    & info [ "breaker-window" ] ~docv:"N" ~doc)
+
+let breaker_min_samples_arg =
+  let doc = "Windowed outcomes required before the failure rate can trip." in
+  Arg.(
+    value
+    & opt int Breaker.default_config.Breaker.min_samples
+    & info [ "breaker-min-samples" ] ~docv:"N" ~doc)
+
+let breaker_rate_arg =
+  let doc = "Windowed failure fraction in [0,1] that opens the breaker." in
+  Arg.(
+    value
+    & opt float Breaker.default_config.Breaker.failure_rate
+    & info [ "breaker-failure-rate" ] ~docv:"RATE" ~doc)
+
+let breaker_cooldown_arg =
+  let doc = "Seconds spent open before half-open probing starts." in
+  Arg.(
+    value
+    & opt float Breaker.default_config.Breaker.cooldown_s
+    & info [ "breaker-cooldown" ] ~docv:"SECONDS" ~doc)
+
+let serve_run topology er_p seed socket tcp jobs queue_cap default_deadline
+    cache_cap inject_spec breaker_window breaker_min_samples breaker_rate
+    breaker_cooldown trace_file metrics_file events_file verbose =
+  try
+    Obs.set_enabled true;
+    let g = build_topology topology ~er_p ~seed in
+    let address = parse_address ~socket ~tcp in
+    let inject =
+      match
+        match inject_spec with
+        | Some spec -> Inject.parse spec
+        | None -> Inject.of_env ()
+      with
+      | Ok t -> t
+      | Error msg -> failwith msg
+    in
+    let cfg =
+      { (Server.default_config address) with
+        Server.jobs;
+        queue_cap;
+        default_deadline_s = default_deadline;
+        cache_cap;
+        inject;
+        breaker =
+          { Breaker.default_config with
+            Breaker.window = breaker_window;
+            min_samples = breaker_min_samples;
+            failure_rate = breaker_rate;
+            cooldown_s = breaker_cooldown } }
+    in
+    Printf.printf "topology %s: %s\n%!" topology
+      (Netrec_graph.Metrics.summary g);
+    Server.serve cfg g;
+    print_work_footer ();
+    export_observability ~verbose ~trace_file ~metrics_file ~events_file;
+    0
+  with
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "error: %s %s: %s\n" fn arg (Unix.error_message e);
+    1
+
+let serve_cmd =
+  let doc = "run the recovery daemon (recovery-as-a-service)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Loads the topology once and answers concurrent recovery queries \
+         over a framed socket protocol: each query carries broken \
+         vertex/edge sets, demand pairs and options, and receives either \
+         a repair plan or a structured error (overloaded, deadline, \
+         malformed, solver_failure, shutting_down).  A circuit breaker \
+         sheds load to the cheap SRT tier while the solver tier is \
+         unhealthy; complete plans are cached under a canonical \
+         instance hash.  SIGINT/SIGTERM drain in-flight requests and \
+         exit cleanly." ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_run $ topology_arg $ er_p_arg $ seed_arg $ socket_arg
+      $ tcp_arg $ serve_jobs_arg $ queue_cap_arg $ default_deadline_arg
+      $ cache_cap_arg $ inject_arg $ breaker_window_arg
+      $ breaker_min_samples_arg $ breaker_rate_arg $ breaker_cooldown_arg
+      $ trace_arg $ metrics_arg $ events_arg $ verbose_arg)
+
+(* -- query -- *)
+
+let demand_arg =
+  let doc =
+    "Demand pair as $(i,SRC:DST:AMOUNT) (vertex ids on the daemon's \
+     topology).  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "demand" ] ~docv:"SRC:DST:AMOUNT" ~doc)
+
+let broken_vertices_arg =
+  let doc = "Comma-separated broken vertex ids." in
+  Arg.(value & opt string "" & info [ "broken-vertices" ] ~docv:"IDS" ~doc)
+
+let broken_edges_arg =
+  let doc = "Comma-separated broken edge ids." in
+  Arg.(value & opt string "" & info [ "broken-edges" ] ~docv:"IDS" ~doc)
+
+let no_cache_arg =
+  let doc = "Bypass the daemon's plan cache for this query." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let ping_flag_arg =
+  let doc = "Send a ping instead of a query." in
+  Arg.(value & flag & info [ "ping" ] ~doc)
+
+let stats_flag_arg =
+  let doc = "Fetch the daemon's serve.* counters instead of querying." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let raw_arg =
+  let doc =
+    "Print the response in the canonical wire text (stable across \
+     identical answers — what scripts/check_serve.sh compares)."
+  in
+  Arg.(value & flag & info [ "raw" ] ~doc)
+
+let parse_ids what s =
+  String.split_on_char ',' (String.trim s)
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (( <> ) "")
+  |> List.map (fun tok ->
+         match int_of_string_opt tok with
+         | Some v when v >= 0 -> v
+         | _ -> failwith (Printf.sprintf "%s: bad id %S" what tok))
+
+let parse_demand spec =
+  match String.split_on_char ':' spec with
+  | [ s; d; a ] -> (
+    match (int_of_string_opt s, int_of_string_opt d, float_of_string_opt a) with
+    | Some s, Some d, Some a when s >= 0 && d >= 0 && a > 0.0 -> (s, d, a)
+    | _ -> failwith (Printf.sprintf "--demand: bad spec %S" spec))
+  | _ ->
+    failwith (Printf.sprintf "--demand: expected SRC:DST:AMOUNT, got %S" spec)
+
+let print_reply ~raw (r : Protocol.reply) =
+  if raw then print_string (Protocol.encode_response (Protocol.Ok_plan r))
+  else begin
+    Printf.printf "answered by %s%s%s  (%.3f s)\n" r.Protocol.answered_by
+      (if r.Protocol.cached then " [cached]" else "")
+      (if r.Protocol.shed then " [shed]" else "")
+      r.Protocol.seconds;
+    if not r.Protocol.complete then
+      print_endline "plan is budget-degraded (best-so-far)";
+    let sol = r.Protocol.solution in
+    Printf.printf "repairs: %d nodes + %d edges  (cost %.1f)\n"
+      (List.length sol.Instance.repaired_vertices)
+      (List.length sol.Instance.repaired_edges)
+      r.Protocol.cost
+  end
+
+let query_run socket tcp algorithm deadline no_cache demands broken_vertices
+    broken_edges ping stats raw =
+  try
+    let address = parse_address ~socket ~tcp in
+    let outcome =
+      Client.with_connection address @@ fun c ->
+      if ping then
+        Result.map (fun () -> Protocol.Pong) (Client.ping c)
+      else if stats then
+        Result.map (fun kvs -> Protocol.Stats_reply kvs) (Client.stats c)
+      else begin
+        let algorithm =
+          match Protocol.algorithm_of_string algorithm with
+          | Ok a -> a
+          | Error msg -> failwith msg
+        in
+        let q =
+          { Protocol.algorithm;
+            deadline_s = deadline;
+            no_cache;
+            demands = List.map parse_demand demands;
+            broken_vertices = parse_ids "--broken-vertices" broken_vertices;
+            broken_edges = parse_ids "--broken-edges" broken_edges }
+        in
+        Client.query c q
+      end
+    in
+    match outcome with
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Client.error_to_string e);
+      1
+    | Ok (Protocol.Ok_plan r) ->
+      print_reply ~raw r;
+      0
+    | Ok Protocol.Pong ->
+      print_endline "pong";
+      0
+    | Ok (Protocol.Stats_reply kvs) ->
+      List.iter (fun (k, v) -> Printf.printf "%s %d\n" k v) kvs;
+      0
+    | Ok (Protocol.Error (kind, msg)) ->
+      (* Structured refusal from the daemon: distinct exit code so
+         harnesses can tell it from a transport failure. *)
+      if raw then
+        print_string
+          (Protocol.encode_response (Protocol.Error (kind, msg)))
+      else
+        Printf.printf "daemon error %s: %s\n"
+          (Protocol.error_kind_to_string kind)
+          msg;
+      4
+  with Failure msg | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let query_cmd =
+  let doc = "query a running recovery daemon" in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const query_run $ socket_arg $ tcp_arg $ algorithm_arg $ deadline_arg
+      $ no_cache_arg $ demand_arg $ broken_vertices_arg $ broken_edges_arg
+      $ ping_flag_arg $ stats_flag_arg $ raw_arg)
+
 (* ---- topology command ---- *)
 
 let format_arg =
@@ -715,4 +1039,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ plan_cmd; experiment_cmd; verify_cmd; check_cmd; schedule_cmd;
-            metrics_cmd; topology_cmd ]))
+            serve_cmd; query_cmd; metrics_cmd; topology_cmd ]))

@@ -95,6 +95,17 @@ let percent f = 100.0 *. f
 
 module Pool = Netrec_parallel.Pool
 
+exception Interrupted
+
+(* One process-wide flag: signal handlers may only do an atomic store,
+   so the stop request is a flag checked between cells, never an unwind
+   from handler context. *)
+let stop_flag = Atomic.make false
+
+let request_stop () = Atomic.set stop_flag true
+let stop_requested () = Atomic.get stop_flag
+let reset_stop () = Atomic.set stop_flag false
+
 type job = {
   point : string;
   run : int;
@@ -112,6 +123,7 @@ let run_jobs ?journal ?pool jobs =
   | None ->
     Array.iteri
       (fun i j ->
+        if stop_requested () then raise Interrupted;
         out.(i) <- Journal.with_run journal ~point:j.point ~run:j.run j.cells)
       arr
   | Some p ->
@@ -133,7 +145,9 @@ let run_jobs ?journal ?pool jobs =
       arr;
     let pending = Array.of_list (List.rev !pending) in
     Pool.iter_ordered p
-      ~f:(fun _ i -> arr.(i).cells ())
+      ~f:(fun _ i ->
+        if stop_requested () then raise Interrupted;
+        arr.(i).cells ())
       ~consume:(fun k cells ->
         let i = pending.(k) in
         out.(i) <-

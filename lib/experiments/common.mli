@@ -79,6 +79,21 @@ val scale_demands :
 val percent : float -> float
 (** [percent f] is [100 * f] (for satisfied-demand columns). *)
 
+exception Interrupted
+(** Raised by {!run_jobs} between cells after {!request_stop}: every
+    cell finished before the stop request is already journalled, so a
+    rerun with the same journal file resumes exactly there. *)
+
+val request_stop : unit -> unit
+(** Ask {!run_jobs} to stop at the next cell boundary.  Only performs an
+    atomic store, so it is safe to call from a signal handler. *)
+
+val stop_requested : unit -> bool
+(** Whether {!request_stop} has been called. *)
+
+val reset_stop : unit -> unit
+(** Clear the stop flag (tests; a fresh run after a handled stop). *)
+
 type job = {
   point : string;  (** journal point key, e.g. ["fig6:variance=70"] *)
   run : int;  (** journal run index *)

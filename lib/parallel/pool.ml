@@ -105,6 +105,18 @@ let iter_ordered t ~f ~consume items =
         done)
   end
 
+module Service = struct
+  type t = { domains : unit Domain.t list }
+
+  let start ~jobs f =
+    let jobs = max 1 jobs in
+    Obs.count ~n:jobs "parallel.service_domains";
+    { domains = List.init jobs (fun i -> Domain.spawn (fun () -> f i)) }
+
+  let jobs t = List.length t.domains
+  let stop t = List.iter Domain.join t.domains
+end
+
 let map t f items =
   let n = Array.length items in
   let out = Array.make n None in

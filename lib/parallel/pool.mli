@@ -43,3 +43,27 @@ val iter_ordered :
 val map : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** [map t f items] is {!iter_ordered} collecting results into an
     array. *)
+
+(** Long-lived worker domains for services (the recovery daemon), as
+    opposed to the per-batch domains of {!iter_ordered}.  A service pool
+    spawns its domains once and keeps them until {!Service.stop}; the
+    worker body is the caller's (typically a blocking consume loop over
+    a shared queue), so the pool only manages domain lifetime.  Each
+    domain gets its own [Netrec_obs] collector state, exactly like batch
+    workers — counters recorded inside worker bodies merge on read.
+    Counter [parallel.service_domains] records how many were started. *)
+module Service : sig
+  type t
+
+  val start : jobs:int -> (int -> unit) -> t
+  (** [start ~jobs f] spawns [max 1 jobs] domains, each running
+      [f worker_index] to completion.  [f] must return when the service
+      shuts down (e.g. on a drained queue plus a shutdown flag) or
+      {!stop} will block forever. *)
+
+  val jobs : t -> int
+  (** Number of worker domains. *)
+
+  val stop : t -> unit
+  (** Join every worker domain ([f] must already be returning). *)
+end

@@ -1,0 +1,140 @@
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  window : int;
+  min_samples : int;
+  failure_rate : float;
+  cooldown_s : float;
+  probe_slots : int;
+  probe_successes : int;
+}
+
+let default_config =
+  { window = 16;
+    min_samples = 8;
+    failure_rate = 0.5;
+    cooldown_s = 1.0;
+    probe_slots = 2;
+    probe_successes = 2 }
+
+type t = {
+  clock : Budget.clock;
+  cfg : config;
+  on_transition : state -> state -> unit;
+  outcomes : bool array;  (* ring of recent results; true = failure *)
+  mutable filled : int;  (* outcomes recorded, capped at [window] *)
+  mutable next : int;  (* ring write cursor *)
+  mutable failures : int;  (* failures currently in the ring *)
+  mutable st : state;
+  mutable opened_at : float;  (* clock instant of the last trip *)
+  mutable probes_granted : int;  (* this Half_open episode *)
+  mutable probe_wins : int;  (* successful probes this episode *)
+  mutable to_open : int;
+  mutable to_half_open : int;
+  mutable to_closed : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(config = default_config)
+    ?(on_transition = fun _ _ -> ()) () =
+  if config.window < 1 then invalid_arg "Breaker.create: window < 1";
+  if config.probe_slots < config.probe_successes then
+    invalid_arg "Breaker.create: probe_slots < probe_successes";
+  { clock;
+    cfg = config;
+    on_transition;
+    outcomes = Array.make config.window false;
+    filled = 0;
+    next = 0;
+    failures = 0;
+    st = Closed;
+    opened_at = 0.0;
+    probes_granted = 0;
+    probe_wins = 0;
+    to_open = 0;
+    to_half_open = 0;
+    to_closed = 0 }
+
+let config t = t.cfg
+
+let clear_window t =
+  Array.fill t.outcomes 0 (Array.length t.outcomes) false;
+  t.filled <- 0;
+  t.next <- 0;
+  t.failures <- 0
+
+let transition t st' =
+  let old = t.st in
+  t.st <- st';
+  (match st' with
+  | Open ->
+    t.to_open <- t.to_open + 1;
+    t.opened_at <- t.clock ();
+    clear_window t
+  | Half_open ->
+    t.to_half_open <- t.to_half_open + 1;
+    t.probes_granted <- 0;
+    t.probe_wins <- 0
+  | Closed ->
+    t.to_closed <- t.to_closed + 1;
+    clear_window t);
+  t.on_transition old st'
+
+(* The only time-driven transition: Open waits out its cooldown, then
+   offers probes.  Every public entry point reads the state through
+   here, so cooldown expiry is observed at the first query past the
+   horizon — deterministic under a fake clock. *)
+let state t =
+  if t.st = Open && t.clock () -. t.opened_at >= t.cfg.cooldown_s then
+    transition t Half_open;
+  t.st
+
+let record_outcome t failed =
+  if t.filled >= t.cfg.window then begin
+    (* Ring full: the slot being overwritten leaves the window. *)
+    if t.outcomes.(t.next) then t.failures <- t.failures - 1
+  end
+  else t.filled <- t.filled + 1;
+  t.outcomes.(t.next) <- failed;
+  if failed then t.failures <- t.failures + 1;
+  t.next <- (t.next + 1) mod t.cfg.window
+
+let allow t =
+  match state t with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+    if t.probes_granted < t.cfg.probe_slots then begin
+      t.probes_granted <- t.probes_granted + 1;
+      true
+    end
+    else false
+
+let record_success t =
+  match state t with
+  | Open -> ()
+  | Closed -> record_outcome t false
+  | Half_open ->
+    t.probe_wins <- t.probe_wins + 1;
+    if t.probe_wins >= t.cfg.probe_successes then transition t Closed
+
+let record_failure t =
+  match state t with
+  | Open -> ()
+  | Half_open -> transition t Open
+  | Closed ->
+    record_outcome t true;
+    if
+      t.filled >= t.cfg.min_samples
+      && float_of_int t.failures
+         >= t.cfg.failure_rate *. float_of_int t.filled
+    then transition t Open
+
+let trip t = transition t Open
+let reset t = if t.st <> Closed then transition t Closed else clear_window t
+
+let transition_counts t = (t.to_open, t.to_half_open, t.to_closed)

@@ -1,0 +1,95 @@
+(** Circuit breaker: Closed / Open / Half-open request gating with an
+    injectable clock.
+
+    The serve layer asks {!allow} before running a request through the
+    expensive solver tier and reports the outcome back through
+    {!record_success} / {!record_failure}.  Outcomes feed a sliding
+    window of the most recent results; when the windowed failure rate
+    reaches the configured threshold (with at least [min_samples]
+    observations) the breaker {e trips} to [Open] and {!allow} answers
+    [false] — the caller sheds to a cheap tier instead.  After
+    [cooldown_s] seconds the breaker transitions to [Half_open] and
+    grants up to [probe_slots] probe requests: [probe_successes]
+    successful probes close it again, a single probe failure re-opens it
+    (with a fresh cooldown).
+
+    The breaker can also be tripped directly ({!trip}) on signals that
+    are not per-request errors — the serve layer uses queue depth — and
+    forced shut ({!reset}) by an operator.
+
+    Like {!Budget}, the clock is injectable, so every timing transition
+    (cooldown expiry) is exactly reproducible under test with a fake
+    clock.  The value is {e not} internally synchronized: callers that
+    share one breaker across threads must serialize access (the serve
+    layer guards it with its queue mutex). *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+(** ["closed"] / ["open"] / ["half-open"]. *)
+
+type config = {
+  window : int;  (** outcomes retained in the sliding window *)
+  min_samples : int;
+      (** observations required in the window before the failure rate
+          can trip the breaker *)
+  failure_rate : float;
+      (** windowed failure fraction in [0,1] that trips Closed → Open *)
+  cooldown_s : float;  (** seconds in [Open] before probing starts *)
+  probe_slots : int;
+      (** probe requests {!allow} grants per [Half_open] episode *)
+  probe_successes : int;
+      (** successful probes required to transition [Half_open] → [Closed] *)
+}
+
+val default_config : config
+(** window 16, min_samples 8, failure_rate 0.5, cooldown 1 s,
+    2 probe slots, 2 probe successes. *)
+
+type t
+
+val create :
+  ?clock:Budget.clock ->
+  ?config:config ->
+  ?on_transition:(state -> state -> unit) ->
+  unit ->
+  t
+(** [create ()] starts [Closed].  [on_transition old new_] fires on every
+    state change (including {!trip} / {!reset}), after the internal state
+    was updated — the serve layer uses it to keep transition counters. *)
+
+val config : t -> config
+
+val state : t -> state
+(** Current state.  Reading the state performs the time-based
+    [Open] → [Half_open] transition when the cooldown has expired, so
+    callers never see a stale [Open] past its cooldown. *)
+
+val allow : t -> bool
+(** Whether the next request may use the protected (expensive) tier.
+    [Closed]: always.  [Open]: never (before the cooldown expires).
+    [Half_open]: grants up to [probe_slots] probes per episode —
+    {e granting consumes a slot}, so call {!allow} once per request and
+    report the outcome. *)
+
+val record_success : t -> unit
+(** Report a protected-tier success.  In [Closed] it feeds the window;
+    in [Half_open] it counts toward closing.  Ignored in [Open]
+    (shed-tier traffic never heals the breaker — only probes do). *)
+
+val record_failure : t -> unit
+(** Report a protected-tier failure.  In [Closed] it feeds the window and
+    may trip the breaker; in [Half_open] it re-opens immediately with a
+    fresh cooldown.  Ignored in [Open]. *)
+
+val trip : t -> unit
+(** Force [Open] now, from any state, and restart the cooldown (also
+    when already [Open] — repeated overload signals keep pushing the
+    probe horizon out). *)
+
+val reset : t -> unit
+(** Force [Closed] and clear the outcome window. *)
+
+val transition_counts : t -> int * int * int
+(** [(to_open, to_half_open, to_closed)] transition totals since
+    {!create} — the [serve.breaker_*] counters. *)

@@ -1,0 +1,45 @@
+module Graph = Netrec_graph.Graph
+
+let topology_rev g = Digest.to_hex (Digest.string (Graph.to_edge_list g))
+
+let sort_uniq_ints l = List.sort_uniq compare l
+
+let canonical_key ~topology_rev (q : Protocol.query) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "topo ";
+  Buffer.add_string buf topology_rev;
+  Printf.bprintf buf "\nalg %s\n" (Protocol.algorithm_to_string q.algorithm);
+  List.iter
+    (fun (s, t, a) -> Printf.bprintf buf "d %d %d %.17g\n" s t a)
+    (List.sort compare q.demands);
+  List.iter
+    (fun v -> Printf.bprintf buf "v %d\n" v)
+    (sort_uniq_ints q.broken_vertices);
+  List.iter
+    (fun e -> Printf.bprintf buf "e %d\n" e)
+    (sort_uniq_ints q.broken_edges);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type t = {
+  cap : int;
+  tbl : (string, Protocol.reply) Hashtbl.t;
+  order : string Queue.t;  (* insertion order for FIFO eviction *)
+}
+
+let create ~cap =
+  let cap = max 1 cap in
+  { cap; tbl = Hashtbl.create (min cap 64); order = Queue.create () }
+
+let find t key = Hashtbl.find_opt t.tbl key
+
+let add t key reply =
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.cap then begin
+      let victim = Queue.pop t.order in
+      Hashtbl.remove t.tbl victim
+    end;
+    Queue.push key t.order;
+    Hashtbl.replace t.tbl key reply
+  end
+
+let length t = Hashtbl.length t.tbl

@@ -1,0 +1,34 @@
+(** Plan cache: canonical hashing of (topology rev, broken sets,
+    demands, algorithm) to a cached reply.
+
+    The cache key is the MD5 digest of a {e canonical} rendering of the
+    query: broken sets sorted and deduplicated, demands sorted by
+    (src, dst, amount), amounts printed with round-trip precision — so
+    any two serializations of the same instance (permuted edge/demand
+    order, whitespace variants, duplicate broken ids) hash to the same
+    key, and overlapping disaster queries against the same topology
+    revision are answered without touching a solver.  The deadline and
+    cache-control options are deliberately {e not} part of the key: only
+    complete, non-shed plans are cached, and a complete plan satisfies
+    any deadline.
+
+    Bounded FIFO eviction; the map never grows past [cap] entries, so a
+    million-query day cannot exhaust daemon memory.  Not internally
+    synchronized — the serve layer guards it with its queue mutex. *)
+
+val topology_rev : Netrec_graph.Graph.t -> string
+(** Digest of the topology's edge list — the "topology rev" component
+    of every key.  Two daemons loaded from the same topology source
+    agree on it. *)
+
+val canonical_key : topology_rev:string -> Protocol.query -> string
+(** Canonical cache key (hex digest). *)
+
+type t
+
+val create : cap:int -> t
+(** [cap] is clamped to at least 1. *)
+
+val find : t -> string -> Protocol.reply option
+val add : t -> string -> Protocol.reply -> unit
+val length : t -> int

@@ -1,0 +1,81 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+type error = [ `Io of string | `Protocol of string ]
+
+let error_to_string = function
+  | `Io msg -> "io: " ^ msg
+  | `Protocol msg -> "protocol: " ^ msg
+
+let connect address =
+  match
+    match address with
+    | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    | Server.Tcp (host, port) ->
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            failwith (Printf.sprintf "cannot resolve host %S" host)
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  with
+  | fd -> Ok { fd; closed = false }
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error
+      (`Io
+        (Printf.sprintf "%s %s: %s"
+           (if arg = "" then fn else fn ^ " " ^ arg)
+           (Server.address_to_string address)
+           (Unix.error_message e)))
+  | exception Failure msg -> Error (`Io msg)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip ?(max_frame = Wire.default_max_frame) t request =
+  match Wire.write_frame t.fd (Protocol.encode_request request) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (`Io ("send: " ^ Unix.error_message e))
+  | () -> (
+    match Wire.read_frame ~max:max_frame t.fd with
+    | Error e -> Error (`Io ("recv: " ^ Wire.error_to_string e))
+    | Ok payload -> (
+      match Protocol.parse_response payload with
+      | Ok resp -> Ok resp
+      | Error msg -> Error (`Protocol msg)))
+
+let query ?max_frame t q = roundtrip ?max_frame t (Protocol.Query q)
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok _ -> Error (`Protocol "expected pong")
+  | Error _ as e -> e
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Ok (Protocol.Stats_reply kvs) -> Ok kvs
+  | Ok _ -> Error (`Protocol "expected stats reply")
+  | Error _ as e -> e
+
+let with_connection address f =
+  match connect address with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,92 @@
+module Rng = Netrec_util.Rng
+
+type t = {
+  fail_rate : float;
+  fail_first : int;
+  slow_ms : float;
+  slow_rate : float;
+  seed : int;
+}
+
+let none =
+  { fail_rate = 0.0; fail_first = 0; slow_ms = 0.0; slow_rate = 0.0; seed = 0 }
+
+let is_none t =
+  t.fail_rate = 0.0 && t.fail_first = 0
+  && (t.slow_ms = 0.0 || t.slow_rate = 0.0)
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" then Ok none
+  else
+    let parts = String.split_on_char ',' spec in
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ as e -> e
+        | Ok t -> (
+          let part = String.trim part in
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "inject: expected key=value, got %S" part)
+          | Some i -> (
+            let k = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            let rate what =
+              match float_of_string_opt v with
+              | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+              | _ -> Error (Printf.sprintf "inject: %s expects a rate in [0,1], got %S" what v)
+            in
+            match k with
+            | "fail" -> Result.map (fun r -> { t with fail_rate = r }) (rate k)
+            | "slow_rate" ->
+              Result.map (fun r -> { t with slow_rate = r }) (rate k)
+            | "fail_first" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 0 -> Ok { t with fail_first = n }
+              | _ -> Error (Printf.sprintf "inject: fail_first expects a non-negative integer, got %S" v))
+            | "slow_ms" -> (
+              match float_of_string_opt v with
+              | Some ms when ms >= 0.0 -> Ok { t with slow_ms = ms }
+              | _ -> Error (Printf.sprintf "inject: slow_ms expects a non-negative number, got %S" v))
+            | "seed" -> (
+              match int_of_string_opt v with
+              | Some s -> Ok { t with seed = s }
+              | None -> Error (Printf.sprintf "inject: seed expects an integer, got %S" v))
+            | other -> Error (Printf.sprintf "inject: unknown knob %S" other))))
+      (Ok none) parts
+
+let of_env () =
+  match Sys.getenv_opt "NETREC_INJECT" with
+  | None | Some "" -> Ok none
+  | Some spec -> parse spec
+
+let describe t =
+  if is_none t && t.slow_ms = 0.0 && t.slow_rate = 0.0 then "off"
+  else
+    Printf.sprintf "fail=%g fail_first=%d slow_ms=%g slow_rate=%g seed=%d"
+      t.fail_rate t.fail_first t.slow_ms t.slow_rate t.seed
+
+exception Injected_failure
+
+type state = { knobs : t; calls : int Atomic.t }
+
+let start knobs = { knobs; calls = Atomic.make 0 }
+
+(* Decision for call [n]: one splitmix stream per call index, so the
+   pattern is a pure function of (seed, n) — independent of domain
+   interleaving. *)
+let draws knobs n =
+  let rng = Rng.create (knobs.seed lxor ((n + 1) * 0x9e3779b9)) in
+  let u1 = Rng.float rng 1.0 in
+  let u2 = Rng.float rng 1.0 in
+  (u1, u2)
+
+let before_solve st =
+  let k = st.knobs in
+  if not (is_none k) || k.slow_rate > 0.0 then begin
+    let n = Atomic.fetch_and_add st.calls 1 in
+    let u_fail, u_slow = draws k n in
+    if k.slow_ms > 0.0 && u_slow < k.slow_rate then
+      Thread.delay (k.slow_ms /. 1000.0);
+    if n < k.fail_first || u_fail < k.fail_rate then raise Injected_failure
+  end

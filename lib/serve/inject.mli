@@ -1,0 +1,57 @@
+(** Fault injection for the recovery daemon.
+
+    A knob set parsed from the [NETREC_INJECT] environment variable or
+    the [--inject] CLI flag — [key=value] pairs separated by commas:
+
+    {v
+    fail=0.25          probability of an injected solver failure
+    fail_first=40      deterministically fail the first N solver calls
+    slow_ms=30         injected latency per delayed request (milliseconds)
+    slow_rate=0.5      fraction of requests delayed
+    seed=7             seed of the injection randomness
+    v}
+
+    Randomized decisions are derived from [(seed, call index)] with a
+    splitmix-seeded draw, not from shared generator state, so a given
+    knob set produces the same fault pattern per call index regardless
+    of how worker domains interleave — chaos runs are reproducible.
+
+    Injection applies to the {e protected} solver path only (never to
+    the shed tier): a breaker that sheds under injected failures must
+    actually see healthy answers, so [fail_first=N] produces a daemon
+    that demonstrably trips and then recovers once the first [N] calls
+    have burned off. *)
+
+type t = {
+  fail_rate : float;
+  fail_first : int;
+  slow_ms : float;
+  slow_rate : float;
+  seed : int;
+}
+
+val none : t
+val is_none : t -> bool
+
+val parse : string -> (t, string) result
+(** Parse a knob spec; the empty string is {!none}. *)
+
+val of_env : unit -> (t, string) result
+(** Parse [NETREC_INJECT] (absent reads as {!none}). *)
+
+val describe : t -> string
+(** One-line rendering of the active knobs ("off" for {!none}). *)
+
+exception Injected_failure
+(** Raised by {!before_solve} in place of a genuine solver crash. *)
+
+type state
+(** Per-daemon runtime state (a call counter).  Safe to share across
+    worker domains. *)
+
+val start : t -> state
+
+val before_solve : state -> unit
+(** Apply the knobs to one solver call: sleep when the call is selected
+    for slowness, then raise {!Injected_failure} when it is selected for
+    failure. *)

@@ -1,0 +1,329 @@
+module Serialize = Netrec_core.Serialize
+module Instance = Netrec_core.Instance
+
+let tag = "netrec-serve/1"
+
+type algorithm = Isp | Srt | Grd_com | Grd_nc | Fallback
+
+let algorithm_to_string = function
+  | Isp -> "isp"
+  | Srt -> "srt"
+  | Grd_com -> "grd-com"
+  | Grd_nc -> "grd-nc"
+  | Fallback -> "fallback"
+
+let algorithm_of_string = function
+  | "isp" -> Ok Isp
+  | "srt" -> Ok Srt
+  | "grd-com" -> Ok Grd_com
+  | "grd-nc" -> Ok Grd_nc
+  | "fallback" -> Ok Fallback
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+type query = {
+  algorithm : algorithm;
+  deadline_s : float option;
+  no_cache : bool;
+  demands : (int * int * float) list;
+  broken_vertices : int list;
+  broken_edges : int list;
+}
+
+type request = Query of query | Ping | Stats
+
+type error_kind =
+  | Overloaded
+  | Deadline
+  | Malformed
+  | Solver_failure
+  | Shutting_down
+
+let error_kind_to_string = function
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Malformed -> "malformed"
+  | Solver_failure -> "solver_failure"
+  | Shutting_down -> "shutting_down"
+
+let error_kind_of_string = function
+  | "overloaded" -> Ok Overloaded
+  | "deadline" -> Ok Deadline
+  | "malformed" -> Ok Malformed
+  | "solver_failure" -> Ok Solver_failure
+  | "shutting_down" -> Ok Shutting_down
+  | other -> Error (Printf.sprintf "unknown error kind %S" other)
+
+type reply = {
+  answered_by : string;
+  complete : bool;
+  cached : bool;
+  shed : bool;
+  seconds : float;
+  cost : float;
+  solution : Instance.solution;
+}
+
+type response =
+  | Ok_plan of reply
+  | Pong
+  | Stats_reply of (string * int) list
+  | Error of error_kind * string
+
+(* ---- encoding ---- *)
+
+let encode_request = function
+  | Ping -> tag ^ " ping\n"
+  | Stats -> tag ^ " stats\n"
+  | Query q ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (tag ^ " query\n");
+    Printf.bprintf buf "algorithm %s\n" (algorithm_to_string q.algorithm);
+    (match q.deadline_s with
+    | Some d -> Printf.bprintf buf "deadline %.17g\n" d
+    | None -> ());
+    if q.no_cache then Buffer.add_string buf "no-cache\n";
+    Buffer.add_string buf "[demands]\n";
+    List.iter
+      (fun (s, t, a) -> Printf.bprintf buf "%d %d %.17g\n" s t a)
+      q.demands;
+    Buffer.add_string buf "[broken_vertices]\n";
+    List.iter (fun v -> Printf.bprintf buf "%d\n" v) q.broken_vertices;
+    Buffer.add_string buf "[broken_edges]\n";
+    List.iter (fun e -> Printf.bprintf buf "%d\n" e) q.broken_edges;
+    Buffer.contents buf
+
+let encode_response = function
+  | Pong -> tag ^ " pong\n"
+  | Stats_reply kvs ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (tag ^ " stats\n");
+    List.iter (fun (k, v) -> Printf.bprintf buf "%s %d\n" k v) kvs;
+    Buffer.contents buf
+  | Error (kind, msg) ->
+    Printf.sprintf "%s error %s\n%s\n" tag (error_kind_to_string kind) msg
+  | Ok_plan r ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (tag ^ " ok\n");
+    Printf.bprintf buf "answered_by %s\n" r.answered_by;
+    Printf.bprintf buf "complete %b\n" r.complete;
+    Printf.bprintf buf "cached %b\n" r.cached;
+    Printf.bprintf buf "shed %b\n" r.shed;
+    Printf.bprintf buf "seconds %.6f\n" r.seconds;
+    Buffer.add_string buf
+      (Serialize.solution_to_string ~cost:r.cost r.solution);
+    Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+let lines_of s = String.split_on_char '\n' s
+
+let is_section ln = String.length ln > 0 && ln.[0] = '['
+
+(* Split a non-section line into its first word and the rest. *)
+let word ln =
+  match String.index_opt ln ' ' with
+  | None -> (ln, "")
+  | Some i ->
+    (String.sub ln 0 i, String.sub ln (i + 1) (String.length ln - i - 1))
+
+let int_of ln what =
+  match int_of_string_opt (String.trim ln) with
+  | Some v when v >= 0 -> Ok v
+  | _ -> Error (Printf.sprintf "%s: expected a non-negative integer, got %S" what ln)
+
+let parse_header payload =
+  match lines_of payload with
+  | first :: rest -> (
+    match word first with
+    | t, kind when t = tag -> Ok (String.trim kind, rest)
+    | t, _ -> Error (Printf.sprintf "unknown protocol tag %S" t))
+  | [] -> Error "empty payload"
+
+(* Fold the sectioned body of a query.  Header options come before the
+   first section, exactly once each. *)
+let parse_query rest : (request, string) result =
+  let algorithm = ref None in
+  let deadline = ref None in
+  let no_cache = ref false in
+  let demands = ref [] in
+  let broken_v = ref [] in
+  let broken_e = ref [] in
+  let section = ref `Header in
+  let seen = ref [] in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let ints_into acc ln what =
+    String.split_on_char ' ' ln
+    |> List.iter (fun tok ->
+           if tok <> "" && !err = None then
+             match int_of tok what with
+             | Ok v -> acc := v :: !acc
+             | Error m -> fail m)
+  in
+  List.iter
+    (fun ln ->
+      let ln = String.trim ln in
+      if ln = "" || !err <> None then ()
+      else if is_section ln then begin
+        if List.mem ln !seen then fail (Printf.sprintf "duplicate section %s" ln)
+        else begin
+          seen := ln :: !seen;
+          match ln with
+          | "[demands]" -> section := `Demands
+          | "[broken_vertices]" -> section := `Broken_v
+          | "[broken_edges]" -> section := `Broken_e
+          | other -> fail (Printf.sprintf "unknown section %s" other)
+        end
+      end
+      else
+        match !section with
+        | `Header -> (
+          match word ln with
+          | "algorithm", v -> (
+            match algorithm_of_string (String.trim v) with
+            | Ok a -> algorithm := Some a
+            | Error m -> fail m)
+          | "deadline", v -> (
+            match float_of_string_opt (String.trim v) with
+            | Some d when d > 0.0 && Float.is_finite d -> deadline := Some d
+            | _ -> fail (Printf.sprintf "deadline: expected a positive number, got %S" v))
+          | "no-cache", "" -> no_cache := true
+          | k, _ -> fail (Printf.sprintf "unknown query option %S" k))
+        | `Demands -> (
+          match String.split_on_char ' ' ln |> List.filter (( <> ) "") with
+          | [ s; t; a ] -> (
+            match (int_of s "demand src", int_of t "demand dst",
+                   float_of_string_opt a) with
+            | Ok s, Ok t, Some a when a > 0.0 && Float.is_finite a ->
+              demands := (s, t, a) :: !demands
+            | Error m, _, _ | _, Error m, _ -> fail m
+            | _ -> fail (Printf.sprintf "demand amount: expected a positive number, got %S" a))
+          | _ -> fail (Printf.sprintf "demand line: expected <src> <dst> <amount>, got %S" ln))
+        | `Broken_v -> ints_into broken_v ln "broken vertex"
+        | `Broken_e -> ints_into broken_e ln "broken edge")
+    rest;
+  match !err with
+  | Some m -> Error m
+  | None -> (
+    match !algorithm with
+    | None -> Error "query lacks an algorithm line"
+    | Some algorithm ->
+      let missing =
+        List.filter (fun s -> not (List.mem s !seen))
+          [ "[demands]"; "[broken_vertices]"; "[broken_edges]" ]
+      in
+      if missing <> [] then
+        Error (Printf.sprintf "query lacks section(s) %s" (String.concat ", " missing))
+      else
+        Ok
+          (Query
+             { algorithm;
+               deadline_s = !deadline;
+               no_cache = !no_cache;
+               demands = List.rev !demands;
+               broken_vertices = List.rev !broken_v;
+               broken_edges = List.rev !broken_e }))
+
+let parse_request payload : (request, string) result =
+  match parse_header payload with
+  | Error m -> Error m
+  | Ok (kind_line, rest) -> (
+    match word kind_line with
+    | "ping", "" -> Ok Ping
+    | "stats", "" -> Ok Stats
+    | "query", "" -> parse_query rest
+    | _ -> Error (Printf.sprintf "unknown request kind %S" kind_line))
+
+let parse_ok rest : (response, string) result =
+  (* Provenance headers up to the first section line; the remainder is
+     the Serialize solution text. *)
+  let answered_by = ref "" in
+  let complete = ref None in
+  let cached = ref None in
+  let shed = ref None in
+  let seconds = ref None in
+  let rec split acc = function
+    | ln :: tl when not (is_section (String.trim ln)) ->
+      split (String.trim ln :: acc) tl
+    | tl -> (List.rev acc, tl)
+  in
+  let headers, body = split [] rest in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let bool_of v what r =
+    match String.trim v with
+    | "true" -> r := Some true
+    | "false" -> r := Some false
+    | other -> fail (Printf.sprintf "%s: expected true/false, got %S" what other)
+  in
+  List.iter
+    (fun ln ->
+      if ln = "" then ()
+      else
+        match word ln with
+        | "answered_by", v -> answered_by := String.trim v
+        | "complete", v -> bool_of v "complete" complete
+        | "cached", v -> bool_of v "cached" cached
+        | "shed", v -> bool_of v "shed" shed
+        | "seconds", v -> (
+          match float_of_string_opt (String.trim v) with
+          | Some s -> seconds := Some s
+          | None -> fail (Printf.sprintf "seconds: expected a number, got %S" v))
+        | k, _ -> fail (Printf.sprintf "unknown reply header %S" k))
+    headers;
+  match !err with
+  | Some m -> Error m
+  | None -> (
+    match (!complete, !cached, !shed, !seconds) with
+    | Some complete, Some cached, Some shed, Some seconds -> (
+      if !answered_by = "" then Error "reply lacks an answered_by header"
+      else
+        match
+          Serialize.solution_of_string_result (String.concat "\n" body)
+        with
+        | Ok (solution, cost) ->
+          Ok
+            (Ok_plan
+               { answered_by = !answered_by;
+                 complete;
+                 cached;
+                 shed;
+                 seconds;
+                 cost = Option.value cost ~default:0.0;
+                 solution })
+        | Error { Serialize.line; msg } ->
+          Error (Printf.sprintf "solution line %d: %s" line msg))
+    | _ -> Error "reply lacks a complete/cached/shed/seconds header")
+
+let parse_response payload : (response, string) result =
+  match parse_header payload with
+  | Error m -> Error m
+  | Ok (kind_line, rest) -> (
+    match word kind_line with
+    | "pong", "" -> Ok Pong
+    | "ok", "" -> parse_ok rest
+    | "error", kind -> (
+      match error_kind_of_string (String.trim kind) with
+      | Ok kind -> Ok (Error (kind, String.trim (String.concat "\n" rest)))
+      | Error m -> Error m)
+    | "stats", "" -> (
+      let kvs = ref [] in
+      let err = ref None in
+      List.iter
+        (fun ln ->
+          let ln = String.trim ln in
+          if ln = "" || !err <> None then ()
+          else
+            match word ln with
+            | k, v -> (
+              match int_of_string_opt (String.trim v) with
+              | Some n -> kvs := (k, n) :: !kvs
+              | None ->
+                err :=
+                  Some
+                    (Printf.sprintf "stats line %S: expected <name> <int>" ln)))
+        rest;
+      match !err with
+      | Some m -> Error m
+      | None -> Ok (Stats_reply (List.rev !kvs)))
+    | _ -> Error (Printf.sprintf "unknown response kind %S" kind_line))

@@ -1,0 +1,96 @@
+(** Request/response payloads of the recovery daemon ([netrec-serve/1]).
+
+    Payloads are line-oriented plain text in the style of
+    {!Netrec_core.Serialize}, carried inside {!Wire} frames.  The first
+    line is always [netrec-serve/1 <kind>]; what follows depends on the
+    kind.
+
+    {b Query request} — a recovery question against the daemon's loaded
+    topology: broken sets and demands by id, plus options:
+
+    {v
+    netrec-serve/1 query
+    algorithm isp
+    deadline 0.5
+    no-cache
+    [demands]
+    <src> <dst> <amount>
+    [broken_vertices]
+    <id> ...
+    [broken_edges]
+    <id> ...
+    v}
+
+    ([deadline] and [no-cache] are optional; sections may be empty but
+    must be present.)  [ping] and [stats] requests are the first line
+    alone.
+
+    {b Responses}: [ok] carries provenance headers followed by the
+    solution in the {!Netrec_core.Serialize} solution format; [error]
+    carries a machine-readable kind on the first line and a
+    human-readable message on the rest; [stats] carries one
+    [<counter> <value>] line per counter; [pong] is the first line
+    alone.
+
+    {v
+    netrec-serve/1 ok
+    answered_by isp
+    complete true
+    cached false
+    shed false
+    seconds 0.012345
+    [repaired_vertices]
+    ...
+    v}
+
+    Parsers never raise on malformed input — they return [Error msg],
+    which the daemon maps to a structured [malformed] error response. *)
+
+open Netrec_core
+
+type algorithm = Isp | Srt | Grd_com | Grd_nc | Fallback
+
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> (algorithm, string) result
+
+type query = {
+  algorithm : algorithm;
+  deadline_s : float option;  (** per-request deadline; daemon default when absent *)
+  no_cache : bool;  (** bypass the plan cache (still populates it) *)
+  demands : (int * int * float) list;  (** (src, dst, amount) by vertex id *)
+  broken_vertices : int list;
+  broken_edges : int list;
+}
+
+type request = Query of query | Ping | Stats
+
+type error_kind =
+  | Overloaded  (** admission control: request queue full *)
+  | Deadline  (** the deadline expired before any answer existed *)
+  | Malformed  (** unparseable payload or ids outside the topology *)
+  | Solver_failure  (** the solver raised (includes injected faults) *)
+  | Shutting_down  (** daemon is draining; retry elsewhere *)
+
+val error_kind_to_string : error_kind -> string
+val error_kind_of_string : string -> (error_kind, string) result
+
+type reply = {
+  answered_by : string;  (** solver provenance, e.g. ["isp"] or ["srt(shed)"] *)
+  complete : bool;  (** [false] when the plan is a budget-degraded best-so-far *)
+  cached : bool;  (** answered from the plan cache *)
+  shed : bool;  (** answered by the cheap tier because the breaker was open *)
+  seconds : float;  (** service time (queue wait + solve) *)
+  cost : float;  (** repair cost of the plan *)
+  solution : Instance.solution;
+}
+
+type response =
+  | Ok_plan of reply
+  | Pong
+  | Stats_reply of (string * int) list
+  | Error of error_kind * string
+
+val encode_request : request -> string
+val parse_request : string -> (request, string) result
+val encode_response : response -> string
+val parse_response : string -> (response, string) result

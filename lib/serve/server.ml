@@ -1,0 +1,622 @@
+module Obs = Netrec_obs.Obs
+module Budget = Netrec_resilience.Budget
+module Breaker = Netrec_resilience.Breaker
+module Chain = Netrec_resilience.Chain
+module G = Netrec_graph.Graph
+module Instance = Netrec_core.Instance
+module Isp = Netrec_core.Isp
+module Failure = Netrec_disrupt.Failure
+module Commodity = Netrec_flow.Commodity
+module H = Netrec_heuristics
+module P = Protocol
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type config = {
+  address : address;
+  jobs : int;
+  queue_cap : int;
+  default_deadline_s : float option;
+  max_frame : int;
+  cache_cap : int;
+  breaker : Breaker.config;
+  inject : Inject.t;
+  log : string -> unit;
+}
+
+let default_config address =
+  { address;
+    jobs = 2;
+    queue_cap = 64;
+    default_deadline_s = None;
+    max_frame = Wire.default_max_frame;
+    cache_cap = 256;
+    breaker = Breaker.default_config;
+    inject = Inject.none;
+    log = prerr_endline }
+
+(* All counters live behind the one server mutex; they are mirrored to
+   [Obs] only at quiescence (see [wait]) because the handler threads
+   share the main domain and the Obs collector is per-domain, not
+   per-thread. *)
+type counters = {
+  mutable connections : int;
+  mutable requests : int;
+  mutable queries : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable rejected_overloaded : int;
+  mutable deadline_errors : int;
+  mutable solver_failures : int;
+  mutable malformed : int;
+  mutable shed_srt : int;
+  mutable disconnects : int;
+  mutable queue_peak : int;
+}
+
+type job = {
+  query : P.query;
+  key : string;
+  budget : Budget.t;
+  enqueued_at : float;
+  done_cond : Condition.t;  (* paired with the server mutex *)
+  mutable result : P.response option;
+}
+
+type t = {
+  cfg : config;
+  graph : G.t;
+  topo_rev : string;
+  mu : Mutex.t;
+  work_cond : Condition.t;  (* workers: queue non-empty or shutting down *)
+  queue : job Queue.t;
+  watermark : int;  (* queue depth that trips the breaker *)
+  breaker : Breaker.t;
+  cache : Cache.t;
+  c : counters;
+  latency : Obs.Histogram.t;  (* query service time, milliseconds *)
+  inject : Inject.state;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;  (* self-pipe: select-able shutdown signal *)
+  wake_w : Unix.file_descr;
+  stop_requested : bool Atomic.t;
+  mutable shutting_down : bool;
+  mutable conn_count : int;
+  conn_fds : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  mutable accept_thread : Thread.t option;
+  mutable workers : Netrec_parallel.Pool.Service.t option;
+  mutable inflight : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---- request processing (worker domains) ---- *)
+
+let instance_of_query t (q : P.query) =
+  let nv = G.nv t.graph in
+  let demands =
+    List.map
+      (fun (s, d, a) ->
+        if s >= nv || d >= nv then
+          invalid_arg
+            (Printf.sprintf "demand %d->%d: vertex out of range (topology has %d)"
+               s d nv);
+        Commodity.make ~src:s ~dst:d ~amount:a)
+      q.demands
+  in
+  let failure =
+    Failure.of_lists t.graph ~vertices:q.broken_vertices
+      ~edges:q.broken_edges
+  in
+  Instance.make ~graph:t.graph ~demands ~failure ()
+
+let solve_query t ~shed (q : P.query) budget =
+  let inst = instance_of_query t q in
+  let name, sol, complete =
+    if shed then
+      let sol = H.Srt.solve inst in
+      ("srt(shed)", sol, true)
+    else
+      match q.algorithm with
+      | P.Isp ->
+        let sol, st = Isp.solve ~budget inst in
+        ("isp", sol, st.Isp.limited = None)
+      | P.Srt -> ("srt", H.Srt.solve inst, true)
+      | P.Grd_com -> ("grd-com", H.Greedy.grd_com inst, true)
+      | P.Grd_nc -> ("grd-nc", H.Greedy.grd_nc inst, true)
+      | P.Fallback -> (
+        match H.Fallback.solve ~budget inst with
+        | Some o -> (o.Chain.answered_by, o.Chain.value, o.Chain.complete)
+        | None -> failwith "fallback chain produced no answer")
+  in
+  (name, sol, complete, Instance.repair_cost inst sol)
+
+(* Run one admitted job.  Deadlines are checked before any work (the
+   queue wait may already have eaten the allowance) and again after the
+   injected delay; the solvers themselves stop at the budget. *)
+let process t ~shed job =
+  let deadline_error () =
+    let reason =
+      match Budget.tripped job.budget with
+      | Some r -> Budget.reason_to_string r
+      | None -> "deadline expired while queued"
+    in
+    P.Error (P.Deadline, reason)
+  in
+  if not (Budget.ok job.budget) then deadline_error ()
+  else
+    match
+      if not shed then Inject.before_solve t.inject;
+      if not (Budget.ok job.budget) then `Deadline
+      else begin
+        let name, sol, complete, cost = solve_query t ~shed job.query job.budget in
+        `Solved (name, sol, complete, cost)
+      end
+    with
+    | `Deadline -> deadline_error ()
+    | `Solved (name, sol, complete, cost) ->
+      P.Ok_plan
+        { P.answered_by = name;
+          complete;
+          cached = false;
+          shed;
+          seconds = Unix.gettimeofday () -. job.enqueued_at;
+          cost;
+          solution = sol }
+    | exception Inject.Injected_failure ->
+      P.Error (P.Solver_failure, "injected solver fault")
+    | exception Invalid_argument msg -> P.Error (P.Malformed, msg)
+    | exception Failure msg -> P.Error (P.Solver_failure, msg)
+    | exception e -> P.Error (P.Solver_failure, Printexc.to_string e)
+
+let worker_loop t _i =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.shutting_down do
+      Condition.wait t.work_cond t.mu
+    done;
+    if Queue.is_empty t.queue then (* shutting down, queue drained *)
+      Mutex.unlock t.mu
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      (* Breaker decision at dequeue time: the state may have changed
+         while the job sat in the queue. *)
+      let mode =
+        match Breaker.state t.breaker with
+        | Breaker.Closed -> `Full
+        | Breaker.Open -> `Shed
+        | Breaker.Half_open ->
+          if Breaker.allow t.breaker then `Probe else `Shed
+      in
+      Mutex.unlock t.mu;
+      let resp = process t ~shed:(mode = `Shed) job in
+      Mutex.lock t.mu;
+      (* Protected-tier outcomes feed the breaker; shed-tier traffic
+         never heals it (only probes do). *)
+      if mode <> `Shed then begin
+        match resp with
+        | P.Ok_plan _ -> Breaker.record_success t.breaker
+        | P.Error ((P.Solver_failure | P.Deadline), _) ->
+          Breaker.record_failure t.breaker
+        | P.Error _ | P.Pong | P.Stats_reply _ -> ()
+      end;
+      t.inflight <- t.inflight - 1;
+      job.result <- Some resp;
+      Condition.broadcast job.done_cond;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- stats ---- *)
+
+let hist_quantile_ms h q =
+  let v = Obs.Histogram.quantile h q in
+  if Float.is_nan v then 0 else int_of_float (Float.round v)
+
+(* Callers must hold the mutex. *)
+let stats_locked t =
+  let c = t.c in
+  let br_state =
+    match Breaker.state t.breaker with
+    | Breaker.Closed -> 0
+    | Breaker.Open -> 1
+    | Breaker.Half_open -> 2
+  in
+  let to_open, to_half, to_closed = Breaker.transition_counts t.breaker in
+  [ ("serve.requests", c.requests);
+    ("serve.queries", c.queries);
+    ("serve.ok", c.ok);
+    ("serve.errors", c.errors);
+    ("serve.cache_hits", c.cache_hits);
+    ("serve.cache_misses", c.cache_misses);
+    ("serve.rejected_overloaded", c.rejected_overloaded);
+    ("serve.deadline_errors", c.deadline_errors);
+    ("serve.solver_failures", c.solver_failures);
+    ("serve.malformed", c.malformed);
+    ("serve.shed_srt", c.shed_srt);
+    ("serve.disconnects", c.disconnects);
+    ("serve.connections", c.connections);
+    ("serve.queue_depth", Queue.length t.queue);
+    ("serve.queue_peak", c.queue_peak);
+    ("serve.breaker_state", br_state);
+    ("serve.breaker_open_transitions", to_open);
+    ("serve.breaker_half_open_transitions", to_half);
+    ("serve.breaker_closed_transitions", to_closed);
+    ("serve.latency_p50_ms", hist_quantile_ms t.latency 0.5);
+    ("serve.latency_p90_ms", hist_quantile_ms t.latency 0.9);
+    ("serve.latency_p99_ms", hist_quantile_ms t.latency 0.99) ]
+
+let stats t = locked t (fun () -> stats_locked t)
+
+(* ---- connection handling (threads on the accept domain) ---- *)
+
+(* Count one query response.  Callers must hold the mutex. *)
+let count_response t (resp : P.response) =
+  let c = t.c in
+  match resp with
+  | P.Ok_plan r ->
+    c.ok <- c.ok + 1;
+    if r.P.shed then c.shed_srt <- c.shed_srt + 1
+  | P.Error (kind, _) -> (
+    c.errors <- c.errors + 1;
+    match kind with
+    | P.Overloaded -> c.rejected_overloaded <- c.rejected_overloaded + 1
+    | P.Deadline -> c.deadline_errors <- c.deadline_errors + 1
+    | P.Solver_failure -> c.solver_failures <- c.solver_failures + 1
+    | P.Malformed -> c.malformed <- c.malformed + 1
+    | P.Shutting_down -> ())
+  | P.Pong | P.Stats_reply _ -> ()
+
+let handle_query t (q : P.query) =
+  let started = Unix.gettimeofday () in
+  locked t @@ fun () ->
+  let c = t.c in
+  c.queries <- c.queries + 1;
+  let finish resp =
+    Obs.Histogram.observe t.latency
+      (1000.0 *. (Unix.gettimeofday () -. started));
+    count_response t resp;
+    resp
+  in
+  if t.shutting_down then
+    finish (P.Error (P.Shutting_down, "daemon is draining; not accepting queries"))
+  else begin
+    let key = Cache.canonical_key ~topology_rev:t.topo_rev q in
+    let hit = if q.no_cache then None else Cache.find t.cache key in
+    match hit with
+    | Some r ->
+      c.cache_hits <- c.cache_hits + 1;
+      finish
+        (P.Ok_plan
+           { r with
+             P.cached = true;
+             seconds = Unix.gettimeofday () -. started })
+    | None ->
+      c.cache_misses <- c.cache_misses + 1;
+      let depth = Queue.length t.queue in
+      if depth >= t.cfg.queue_cap then begin
+        (* Hard admission limit: reject, and treat the saturated queue
+           as an overload signal for the breaker. *)
+        Breaker.trip t.breaker;
+        finish
+          (P.Error
+             ( P.Overloaded,
+               Printf.sprintf "queue full (%d queued, cap %d)" depth
+                 t.cfg.queue_cap ))
+      end
+      else begin
+        if depth + 1 >= t.watermark && Breaker.state t.breaker = Breaker.Closed
+        then Breaker.trip t.breaker;
+        let budget =
+          match
+            (q.deadline_s, t.cfg.default_deadline_s)
+          with
+          | Some d, _ | None, Some d -> Budget.create ~deadline_s:d ()
+          | None, None -> Budget.create ()
+        in
+        let job =
+          { query = q;
+            key;
+            budget;
+            enqueued_at = started;
+            done_cond = Condition.create ();
+            result = None }
+        in
+        Queue.push job t.queue;
+        c.queue_peak <- max c.queue_peak (Queue.length t.queue);
+        Condition.signal t.work_cond;
+        let rec await () =
+          match job.result with
+          | Some r -> r
+          | None ->
+            Condition.wait job.done_cond t.mu;
+            await ()
+        in
+        let resp = await () in
+        (match resp with
+        | P.Ok_plan r when r.P.complete && not r.P.shed ->
+          Cache.add t.cache key { r with P.cached = false }
+        | _ -> ());
+        finish resp
+      end
+  end
+
+let conn_loop t fd =
+  let respond resp = Wire.write_frame fd (P.encode_response resp) in
+  let rec loop () =
+    match Wire.read_frame ~max:t.cfg.max_frame fd with
+    | Error Wire.Closed -> ()
+    | Error (Wire.Short_read _ as e) ->
+      (* The peer died mid-frame; record it and try a best-effort
+         structured error (usually the socket is already gone). *)
+      locked t (fun () ->
+          t.c.malformed <- t.c.malformed + 1;
+          t.c.disconnects <- t.c.disconnects + 1);
+      (try respond (P.Error (P.Malformed, Wire.error_to_string e))
+       with Unix.Unix_error _ -> ())
+    | Error (Wire.Oversized _ as e) ->
+      (* The stream cannot be resynchronized after a bogus length
+         prefix: reply, then drop the connection. *)
+      locked t (fun () -> t.c.malformed <- t.c.malformed + 1);
+      (try respond (P.Error (P.Malformed, Wire.error_to_string e))
+       with Unix.Unix_error _ -> ())
+    | Ok payload -> (
+      locked t (fun () -> t.c.requests <- t.c.requests + 1);
+      match P.parse_request payload with
+      | Error msg ->
+        locked t (fun () -> t.c.malformed <- t.c.malformed + 1);
+        respond (P.Error (P.Malformed, msg));
+        loop ()
+      | Ok P.Ping ->
+        respond P.Pong;
+        loop ()
+      | Ok P.Stats ->
+        respond (P.Stats_reply (stats t));
+        loop ()
+      | Ok (P.Query q) ->
+        respond (handle_query t q);
+        if not (locked t (fun () -> t.shutting_down)) then loop ())
+  in
+  try loop () with
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+    ->
+    locked t (fun () -> t.c.disconnects <- t.c.disconnects + 1)
+  | e -> t.cfg.log ("serve: connection handler error: " ^ Printexc.to_string e)
+
+let conn_wrap t id fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () ->
+          Hashtbl.remove t.conn_fds id;
+          t.conn_count <- t.conn_count - 1))
+    (fun () -> conn_loop t fd)
+
+(* ---- accept loop / lifecycle ---- *)
+
+(* Runs on the accept thread after the loop exits: flip the shutdown
+   flag, wake the workers, and unblock connection threads parked in
+   [read_frame] (shutdown-for-read reads as EOF there, while responses
+   still being written go out untouched). *)
+let do_stop t =
+  locked t @@ fun () ->
+  if not t.shutting_down then begin
+    t.shutting_down <- true;
+    t.cfg.log "serve: shutdown requested; draining";
+    Condition.broadcast t.work_cond;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      t.conn_fds
+  end
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop_requested then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        if Atomic.get t.stop_requested || List.mem t.wake_r ready then ()
+        else if List.mem t.listen_fd ready then begin
+          (match Unix.accept t.listen_fd with
+          | fd, _ ->
+            let id =
+              locked t (fun () ->
+                  let id = t.next_conn in
+                  t.next_conn <- id + 1;
+                  t.conn_count <- t.conn_count + 1;
+                  t.c.connections <- t.c.connections + 1;
+                  Hashtbl.replace t.conn_fds id fd;
+                  id)
+            in
+            ignore (Thread.create (fun () -> conn_wrap t id fd) ())
+          | exception
+              Unix.Unix_error
+                ((Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ());
+          loop ()
+        end
+        else loop ()
+  in
+  loop ();
+  do_stop t
+
+let bind_address = function
+  | Unix_socket path ->
+    (* Unlink a stale socket left by a killed daemon — but only a
+       socket; anything else staying put turns into a bind error the
+       operator should see. *)
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    fd
+
+let start cfg graph =
+  (* A dead client's socket must surface as EPIPE, not kill the
+     daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = bind_address cfg.address in
+  Unix.listen listen_fd 128;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  let log = cfg.log in
+  let breaker =
+    Breaker.create ~config:cfg.breaker
+      ~on_transition:(fun old now ->
+        log
+          (Printf.sprintf "serve: breaker %s -> %s"
+             (Breaker.state_to_string old)
+             (Breaker.state_to_string now)))
+      ()
+  in
+  let t =
+    { cfg;
+      graph;
+      topo_rev = Cache.topology_rev graph;
+      mu = Mutex.create ();
+      work_cond = Condition.create ();
+      queue = Queue.create ();
+      watermark = max 1 (3 * cfg.queue_cap / 4);
+      breaker;
+      cache = Cache.create ~cap:cfg.cache_cap;
+      c =
+        { connections = 0;
+          requests = 0;
+          queries = 0;
+          ok = 0;
+          errors = 0;
+          cache_hits = 0;
+          cache_misses = 0;
+          rejected_overloaded = 0;
+          deadline_errors = 0;
+          solver_failures = 0;
+          malformed = 0;
+          shed_srt = 0;
+          disconnects = 0;
+          queue_peak = 0 };
+      latency = Obs.Histogram.create ();
+      inject = Inject.start cfg.inject;
+      listen_fd;
+      wake_r;
+      wake_w;
+      stop_requested = Atomic.make false;
+      shutting_down = false;
+      conn_count = 0;
+      conn_fds = Hashtbl.create 64;
+      next_conn = 0;
+      accept_thread = None;
+      workers = None;
+      inflight = 0 }
+  in
+  t.workers <-
+    Some (Netrec_parallel.Pool.Service.start ~jobs:cfg.jobs (worker_loop t));
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  log
+    (Printf.sprintf
+       "serve: listening on %s (%d worker domain(s), queue cap %d, inject %s)"
+       (address_to_string cfg.address)
+       (max 1 cfg.jobs) cfg.queue_cap
+       (Inject.describe cfg.inject));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stop_requested true) then
+    (* One byte on the self-pipe wakes the accept thread, which performs
+       the actual shutdown work from a plain thread context.  No locks
+       here: [stop] may run inside a signal handler. *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+(* Mirror the final counters into the Obs collector.  Runs on the
+   waiting thread after every worker/handler is gone, so the per-domain
+   collector sees a single recording thread. *)
+let flush_obs t kvs =
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "serve.breaker_state" | "serve.queue_depth" -> ()
+      | "serve.latency_p50_ms" | "serve.latency_p90_ms"
+      | "serve.latency_p99_ms" ->
+        Obs.gauge k (float_of_int v)
+      | _ -> if v > 0 then Obs.count ~n:v k)
+    kvs;
+  if Obs.Histogram.count t.latency > 0 then
+    Obs.gauge "serve.latency_max_ms" (Obs.Histogram.max_value t.latency)
+
+let wait t =
+  (* Poll rather than park on a condition variable: the waiting thread
+     is usually the main thread, and OCaml runs pending signal handlers
+     only in threads that re-enter the runtime — a thread stuck in
+     [Condition.wait] would never execute the SIGTERM handler that is
+     supposed to wake it.  [Thread.delay] re-enters the runtime on every
+     tick, so Ctrl-C works even on an idle daemon. *)
+  let drained () =
+    locked t (fun () ->
+        t.shutting_down && Queue.is_empty t.queue && t.inflight = 0
+        && t.conn_count = 0)
+  in
+  while not (drained ()) do
+    Thread.delay 0.02
+  done;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.workers with
+  | Some w -> Netrec_parallel.Pool.Service.stop w
+  | None -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+  | Unix_socket path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let kvs = stats_locked t in
+  flush_obs t kvs;
+  t.cfg.log
+    (Printf.sprintf
+       "serve: drained (%d connection(s), %d request(s), %d ok, %d error(s), \
+        %d cache hit(s), %d shed)"
+       t.c.connections t.c.requests t.c.ok t.c.errors t.c.cache_hits
+       t.c.shed_srt)
+
+let serve cfg graph =
+  let t = start cfg graph in
+  let handler _ = stop t in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term)
+    (fun () -> wait t)

@@ -1,0 +1,84 @@
+(** The recovery daemon: a long-running service answering concurrent
+    recovery queries against one loaded topology.
+
+    Layout (DESIGN.md §15): an accept thread hands each connection to a
+    lightweight handler thread that parses frames and performs admission
+    control; admitted queries enter a {e bounded} queue consumed by
+    [jobs] long-lived worker domains ({!Netrec_parallel.Pool.Service}),
+    each solving under a per-request {!Netrec_resilience.Budget}
+    deadline.  A {!Netrec_resilience.Breaker} guards the expensive
+    solver tier: windowed solver failures or deep queues trip it, after
+    which requests are shed to the SRT tier until a cooldown probe
+    succeeds.  Complete plans land in a canonically-keyed bounded
+    {!Cache}.
+
+    Every refusal is structured ([overloaded], [deadline],
+    [shutting_down], ... — see {!Protocol.error_kind}); the daemon never
+    answers a well-framed request with silence and never dies on a
+    malformed one.
+
+    Shutdown is graceful: {!stop} (or SIGINT/SIGTERM under {!serve})
+    stops accepting, lets queued and in-flight requests finish, writes
+    their responses, then joins every thread and domain.  After
+    {!wait} returns, the [serve.*] counters and latency-quantile gauges
+    have been flushed to [Netrec_obs.Obs] (from the waiting thread, at
+    quiescence) for [--metrics] exports. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+val address_to_string : address -> string
+
+type config = {
+  address : address;
+  jobs : int;  (** worker domains solving queries *)
+  queue_cap : int;  (** admission control: max queued queries *)
+  default_deadline_s : float option;
+      (** deadline for queries that do not carry one; [None] = unlimited *)
+  max_frame : int;  (** wire frame size limit *)
+  cache_cap : int;  (** plan cache entries *)
+  breaker : Netrec_resilience.Breaker.config;
+  inject : Inject.t;  (** fault injection (off in production) *)
+  log : string -> unit;  (** daemon log sink *)
+}
+
+val default_config : address -> config
+(** 2 worker domains, queue of 64, 16 MiB frames, 256 cached plans,
+    {!Netrec_resilience.Breaker.default_config}, no injection, no
+    default deadline, log to [stderr]. *)
+
+type t
+
+val start : config -> Netrec_graph.Graph.t -> t
+(** Bind the socket (unlinking a stale unix-socket path), spawn the
+    accept thread and worker domains, and return immediately.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val stop : t -> unit
+(** Request graceful shutdown.  Async-signal-safe by construction (sets
+    a flag and writes one byte to a wake pipe — no locks), so it can be
+    called from a signal handler; returns without waiting.
+    Idempotent. *)
+
+val wait : t -> unit
+(** Block until the daemon has fully drained and every thread/domain is
+    joined; then release sockets (and unlink the unix-socket path) and
+    flush the [serve.*] counters to [Netrec_obs.Obs].  Call exactly
+    once. *)
+
+val serve : config -> Netrec_graph.Graph.t -> unit
+(** [start], install SIGINT/SIGTERM handlers that {!stop}, then {!wait}
+    — the body of [recover serve].  Previous signal dispositions are
+    restored before returning. *)
+
+val stats : t -> (string * int) list
+(** Current counter snapshot (what a [stats] request returns):
+    [serve.requests], [serve.queries], [serve.ok], [serve.errors],
+    [serve.cache_hits], [serve.cache_misses],
+    [serve.rejected_overloaded], [serve.deadline_errors],
+    [serve.solver_failures], [serve.malformed], [serve.shed_srt],
+    [serve.disconnects], [serve.connections], [serve.queue_depth],
+    [serve.queue_peak], [serve.breaker_state] (0 closed / 1 open /
+    2 half-open), [serve.breaker_open_transitions],
+    [serve.breaker_half_open_transitions],
+    [serve.breaker_closed_transitions], [serve.latency_p50_ms],
+    [serve.latency_p90_ms], [serve.latency_p99_ms]. *)

@@ -1,0 +1,62 @@
+let default_max_frame = 16 * 1024 * 1024
+
+type error =
+  | Closed
+  | Short_read of { expected : int; got : int }
+  | Oversized of { length : int; max : int }
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Short_read { expected; got } ->
+    Printf.sprintf "short read: connection closed after %d of %d bytes" got
+      expected
+  | Oversized { length; max } ->
+    Printf.sprintf "oversized frame: length prefix %d exceeds limit %d" length
+      max
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* Read exactly [len] bytes unless the peer goes away first; returns how
+   many bytes actually landed.  Connection resets read as EOF — from the
+   framing layer's point of view both are "the bytes stopped coming". *)
+let read_upto fd buf len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd buf !got (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      eof := true
+  done;
+  !got
+
+let read_frame ?(max = default_max_frame) fd =
+  let hdr = Bytes.create 4 in
+  match read_upto fd hdr 4 with
+  | 0 -> Error Closed
+  | got when got < 4 -> Error (Short_read { expected = 4; got })
+  | _ ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max then Error (Oversized { length = len; max })
+    else begin
+      let buf = Bytes.create len in
+      let got = read_upto fd buf len in
+      if got < len then Error (Short_read { expected = len; got })
+      else Ok (Bytes.unsafe_to_string buf)
+    end

@@ -1,0 +1,39 @@
+(** Length-prefixed framing for the recovery daemon's wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload bytes.  Frames carry the plain-text requests and responses
+    of {!Protocol}; framing is the only binary part of the protocol, so
+    a frame can be assembled from any language with [printf]-level
+    effort.
+
+    Reads are defensive: a length prefix larger than [max] is rejected
+    {e before} any allocation of the payload buffer (a 4-byte garbage
+    header must not allocate gigabytes), and connection aborts at any
+    point map to structured {!error} values instead of exceptions —
+    the daemon treats every one of them as a per-connection event,
+    never a crash. *)
+
+val default_max_frame : int
+(** Default payload size limit: 16 MiB. *)
+
+type error =
+  | Closed  (** clean EOF on a frame boundary (peer finished) *)
+  | Short_read of { expected : int; got : int }
+      (** EOF or connection reset in the middle of a header or payload *)
+  | Oversized of { length : int; max : int }
+      (** length prefix beyond [max] (or negative): the stream cannot be
+          resynchronized and the connection must be dropped *)
+
+val error_to_string : error -> string
+
+val read_frame :
+  ?max:int -> Unix.file_descr -> (string, error) result
+(** Read one frame.  Retries [EINTR]; maps [ECONNRESET] to {!Closed} /
+    {!Short_read} depending on position.  Never raises on peer
+    misbehaviour (other [Unix_error]s — e.g. a bad descriptor — still
+    raise: those are caller bugs, not wire conditions). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame, retrying short writes and [EINTR].
+    @raise Unix.Unix_error ([EPIPE] / [ECONNRESET]) when the peer is
+    gone — the daemon counts these as client disconnects. *)

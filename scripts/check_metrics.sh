@@ -61,6 +61,25 @@ for name in ("isp.iteration_ms", "isp.solve_ms",
     for q in ("p50", "p90", "p99", "min", "max"):
         if q not in h:
             sys.exit("FAIL: histogram %s lacks quantile key %s" % (name, q))
+# Daemon load-generator block: bench modes that run `serve_bench`
+# (default/quick/serve) must export the serve.* counters, the client
+# latency histogram, and the flushed latency-quantile gauges.
+if doc.get("mode") in ("default", "quick", "serve"):
+    bad = [k for k in ("serve.requests", "serve.queries", "serve.ok",
+                       "serve.cache_hits", "serve.cache_misses",
+                       "serve.connections")
+           if counters.get(k, 0) <= 0]
+    if bad:
+        sys.exit("FAIL: serve counters missing or zero: %s" % ", ".join(bad))
+    h = hists.get("serve.client_latency_ms")
+    if h is None or h.get("count", 0) <= 0:
+        sys.exit("FAIL: serve.client_latency_ms histogram missing or empty")
+    for q in ("p50", "p90", "p99", "min", "max"):
+        if q not in h:
+            sys.exit("FAIL: serve.client_latency_ms lacks quantile key %s" % q)
+    for g in ("serve.latency_p50_ms", "serve.latency_p99_ms"):
+        if gauges.get(g, {}).get("samples", 0) <= 0:
+            sys.exit("FAIL: serve gauge %s missing or empty" % g)
 progress = doc.get("metrics", {}).get("progress", [])
 if not progress:
     sys.exit("FAIL: progress block missing or empty")
@@ -103,5 +122,16 @@ else
       exit 1
     fi
   done
+  # Serve block, only for bench modes that run the daemon load test.
+  if grep -q '"mode":"\(default\|quick\|serve\)"' "$METRICS"; then
+    for key in '"serve.requests"' '"serve.queries"' '"serve.ok"' \
+               '"serve.cache_hits"' '"serve.client_latency_ms"' \
+               '"serve.latency_p50_ms"'; do
+      if ! grep -q "$key" "$METRICS"; then
+        echo "FAIL: $key not found in $METRICS" >&2
+        exit 1
+      fi
+    done
+  fi
   echo "OK: $METRICS contains the required keys (python3 unavailable)"
 fi

@@ -1,0 +1,191 @@
+#!/bin/sh
+# Chaos smoke test for the recovery daemon: start `recover serve` with
+# fault injection, throw >= 64 concurrent clients at it (killing one of
+# them with SIGKILL mid-flight), and assert that
+#
+#   - the daemon survives every fault and answers every well-formed
+#     request with a plan or a structured error (exit 0 or 4 — never a
+#     transport failure),
+#   - the circuit breaker demonstrably trips AND recovers
+#     (serve.breaker_open_transitions >= 1 and
+#     serve.breaker_closed_transitions >= 1),
+#   - the canonical plan cache serves repeats (serve.cache_hits >= 1),
+#   - repeated queries are byte-identical once volatile lines
+#     (seconds/cached/shed) are stripped,
+#   - SIGTERM drains gracefully: exit 0 and the socket path unlinked.
+#
+# Deterministic apart from scheduling (injection is seeded), a few
+# seconds long; part of @runtest as the @serve alias:
+#
+#   dune build @serve
+#
+# When invoked through the alias, $RECOVER_EXE points at the already-
+# built CLI (a dune action must not invoke dune recursively).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ -z "${RECOVER_EXE:-}" ]; then
+  dune build bin/recover.exe
+  RECOVER_EXE=_build/default/bin/recover.exe
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/netrec-serve-XXXXXX")
+SOCK="$WORK/serve.sock"
+DAEMON_LOG="$WORK/daemon.log"
+DAEMON=
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -s "$DAEMON_LOG" ] && sed 's/^/  daemon: /' "$DAEMON_LOG" >&2
+  exit 1
+}
+
+cleanup() {
+  if [ -n "$DAEMON" ] && kill -0 "$DAEMON" 2>/dev/null; then
+    kill -9 "$DAEMON" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# Injection: the first 6 solver calls fail deterministically (tripping
+# the 4-sample breaker), then the tier is healthy again so half-open
+# probes succeed and the breaker closes; 30% of calls are slowed 5 ms
+# to keep the queue honest under 64 concurrent clients.
+"$RECOVER_EXE" serve -t abilene --socket "$SOCK" -j 2 --queue-cap 128 \
+  --inject "fail_first=6,slow_ms=5,slow_rate=0.3,seed=7" \
+  --breaker-window 8 --breaker-min-samples 4 --breaker-failure-rate 0.5 \
+  --breaker-cooldown 0.2 >"$DAEMON_LOG" 2>&1 &
+DAEMON=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "daemon did not bind $SOCK"
+  kill -0 "$DAEMON" 2>/dev/null || fail "daemon exited before binding"
+  sleep 0.05
+done
+
+query() { "$RECOVER_EXE" query --socket "$SOCK" --deadline 10 "$@"; }
+
+query --ping >/dev/null || fail "ping failed"
+
+# The fixed query repeated by every wave — its repeats must eventually
+# come from the plan cache, and its raw rendering must be stable.
+fixed_query() {
+  query --raw -g isp --demand 0:10:2 --demand 3:7:1 \
+    --broken-vertices 1,2 --broken-edges 4,5 "$@"
+}
+
+# ---- concurrent client storm: 4 waves x 17 clients = 68 requests ----
+# Waves are spaced past the 0.2 s breaker cooldown so half-open probes
+# actually happen between bursts; the first wave eats the injected
+# failures and trips the breaker, later waves see a healthy tier.
+CLIENTS=0
+wave=0
+while [ "$wave" -lt 4 ]; do
+  n=0
+  while [ "$n" -lt 16 ]; do
+    c=$((wave * 16 + n))
+    e1=$((c % 14)) e2=$(((c * 5 + 3) % 14)) v=$((c % 11))
+    (
+      set +e
+      query --raw -g isp --demand "$((c % 11)):$(((c + 5) % 11)):1" \
+        --broken-vertices "$v" --broken-edges "$e1,$e2" \
+        >"$WORK/client.$c.out" 2>&1
+      echo $? >"$WORK/client.$c.code"
+    ) &
+    eval "PID_$c=$!"
+    n=$((n + 1))
+    CLIENTS=$((CLIENTS + 1))
+  done
+  fixed_query >"$WORK/fixed.$wave.out" 2>&1 &
+  eval "PID_FIXED_$wave=$!"
+  CLIENTS=$((CLIENTS + 1))
+  if [ "$wave" -eq 0 ]; then
+    # Chaos: SIGKILL one in-flight client.  The daemon must treat the
+    # vanished connection as a disconnect, not a crash.
+    kill -9 "$PID_0" 2>/dev/null || true
+  fi
+  wave=$((wave + 1))
+  sleep 0.3
+done
+
+c=1
+while [ "$c" -lt 64 ]; do
+  eval "wait \$PID_$c" || true
+  c=$((c + 1))
+done
+wave=0
+while [ "$wave" -lt 4 ]; do
+  eval "wait \$PID_FIXED_$wave" || true
+  wave=$((wave + 1))
+done
+echo "launched $CLIENTS concurrent clients (one SIGKILLed mid-flight)"
+
+kill -0 "$DAEMON" 2>/dev/null || fail "daemon died during the client storm"
+
+# Every surviving client got a framed answer: a plan (exit 0) or a
+# structured error (exit 4).  Anything else is a transport failure.
+c=1
+while [ "$c" -lt 64 ]; do
+  code=$(cat "$WORK/client.$c.code" 2>/dev/null || echo missing)
+  case "$code" in
+  0 | 4) ;;
+  *) fail "client $c: exit '$code' (want 0 or 4): $(cat "$WORK/client.$c.out" 2>/dev/null)" ;;
+  esac
+  head -1 "$WORK/client.$c.out" | grep -q '^netrec-serve/1 \(ok$\|error \)' ||
+    fail "client $c: unframed output: $(head -1 "$WORK/client.$c.out")"
+  c=$((c + 1))
+done
+echo "every client answered with a plan or a structured error"
+
+# ---- breaker must have recovered; give probes a beat if needed ----
+stats() { query --stats; }
+stat_of() { stats | awk -v k="$1" '$1 == k { print $2 }'; }
+
+i=0
+while [ "$(stat_of serve.breaker_closed_transitions)" -lt 1 ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && fail "breaker never closed again: $(stats | tr '\n' ' ')"
+  sleep 0.2
+  fixed_query >/dev/null 2>&1 || true
+done
+
+OPENS=$(stat_of serve.breaker_open_transitions)
+CLOSES=$(stat_of serve.breaker_closed_transitions)
+[ "$OPENS" -ge 1 ] || fail "breaker never tripped (open_transitions=$OPENS)"
+[ "$CLOSES" -ge 1 ] || fail "breaker never recovered (closed_transitions=$CLOSES)"
+echo "breaker tripped and recovered (open=$OPENS closed=$CLOSES)"
+
+# ---- cache: repeats byte-identical and served from the cache ----
+fixed_query >"$WORK/repeat.1.out" 2>&1 || true
+fixed_query --no-cache >"$WORK/repeat.nocache.out" 2>&1 || true
+fixed_query >"$WORK/repeat.2.out" 2>&1 || true
+
+strip_volatile() { grep -v '^\(seconds\|cached\|shed\) ' "$1"; }
+strip_volatile "$WORK/repeat.1.out" >"$WORK/repeat.1.stable"
+strip_volatile "$WORK/repeat.2.out" >"$WORK/repeat.2.stable"
+strip_volatile "$WORK/repeat.nocache.out" >"$WORK/repeat.nocache.stable"
+cmp -s "$WORK/repeat.1.stable" "$WORK/repeat.2.stable" ||
+  fail "repeated query not byte-identical (modulo seconds/cached/shed)"
+cmp -s "$WORK/repeat.1.stable" "$WORK/repeat.nocache.stable" ||
+  fail "--no-cache answer differs from the cached one"
+grep -q '^cached true$' "$WORK/repeat.2.out" ||
+  fail "repeat was not served from the cache"
+HITS=$(stat_of serve.cache_hits)
+[ "$HITS" -ge 1 ] || fail "no cache hits recorded (cache_hits=$HITS)"
+echo "cache serves repeats byte-identically (cache_hits=$HITS)"
+
+# ---- graceful shutdown: SIGTERM -> drain, exit 0, socket unlinked ----
+kill -TERM "$DAEMON"
+STATUS=0
+wait "$DAEMON" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS on SIGTERM"
+[ ! -e "$SOCK" ] || fail "socket path not unlinked on shutdown"
+DAEMON=
+grep -q "drained" "$DAEMON_LOG" || fail "daemon log lacks drain confirmation"
+echo "SIGTERM drained cleanly (exit 0, socket unlinked)"
+
+echo "OK: daemon survived $CLIENTS chaotic clients; breaker tripped and recovered"

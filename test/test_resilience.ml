@@ -390,6 +390,132 @@ let test_journal_rejects_foreign_file () =
        false
      with Failure _ -> true)
 
+(* ---- Breaker (fake clock: every timing transition is deterministic) ---- *)
+
+module Breaker = Netrec_resilience.Breaker
+
+let breaker_cfg =
+  { Breaker.window = 8;
+    min_samples = 4;
+    failure_rate = 0.5;
+    cooldown_s = 1.0;
+    probe_slots = 2;
+    probe_successes = 2 }
+
+let check_state msg expected b =
+  Alcotest.(check string) msg
+    (Breaker.state_to_string expected)
+    (Breaker.state_to_string (Breaker.state b))
+
+let test_breaker_starts_closed () =
+  let b = Breaker.create ~config:breaker_cfg () in
+  check_state "fresh" Breaker.Closed b;
+  Alcotest.(check bool) "allows" true (Breaker.allow b);
+  Alcotest.(check bool) "allow consumes nothing closed" true (Breaker.allow b)
+
+let test_breaker_trips_on_failure_rate () =
+  let clock, _set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  (* Below min_samples nothing trips, even at 100% failures. *)
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  check_state "under min_samples" Breaker.Closed b;
+  Breaker.record_failure b;
+  check_state "tripped at threshold" Breaker.Open b;
+  Alcotest.(check bool) "open sheds" false (Breaker.allow b)
+
+let test_breaker_successes_hold_it_closed () =
+  let clock, _set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  (* 8-wide window: 3 failures over 5 successes stays under 50%. *)
+  for _ = 1 to 5 do
+    Breaker.record_success b
+  done;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  check_state "mixed window" Breaker.Closed b;
+  (* A 4th failure pushes the window to 4/8. *)
+  Breaker.record_failure b;
+  check_state "majority failures" Breaker.Open b
+
+let test_breaker_cooldown_to_half_open () =
+  let clock, set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  Breaker.trip b;
+  check_state "open" Breaker.Open b;
+  set 0.5;
+  check_state "cooling" Breaker.Open b;
+  Alcotest.(check bool) "still sheds" false (Breaker.allow b);
+  set 1.5;
+  check_state "half-open after cooldown" Breaker.Half_open b
+
+let test_breaker_probe_slots_consumed () =
+  let clock, set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  Breaker.trip b;
+  set 1.5;
+  Alcotest.(check bool) "probe 1 granted" true (Breaker.allow b);
+  Alcotest.(check bool) "probe 2 granted" true (Breaker.allow b);
+  Alcotest.(check bool) "slots exhausted" false (Breaker.allow b);
+  check_state "still half-open while probes fly" Breaker.Half_open b
+
+let test_breaker_probe_successes_close () =
+  let clock, set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  Breaker.trip b;
+  set 1.5;
+  Alcotest.(check bool) "probe granted" true (Breaker.allow b);
+  Breaker.record_success b;
+  check_state "one success not enough" Breaker.Half_open b;
+  Alcotest.(check bool) "second probe granted" true (Breaker.allow b);
+  Breaker.record_success b;
+  check_state "closed after probe quota" Breaker.Closed b;
+  (* Closing cleared the window: one failure cannot re-trip. *)
+  Breaker.record_failure b;
+  check_state "fresh window" Breaker.Closed b
+
+let test_breaker_probe_failure_reopens () =
+  let clock, set = fake_clock () in
+  let b = Breaker.create ~clock ~config:breaker_cfg () in
+  Breaker.trip b;
+  set 1.5;
+  Alcotest.(check bool) "probe granted" true (Breaker.allow b);
+  Breaker.record_failure b;
+  check_state "reopened" Breaker.Open b;
+  (* Fresh cooldown from the reopen instant, not the original trip. *)
+  set 2.0;
+  check_state "cooling again" Breaker.Open b;
+  set 2.6;
+  check_state "half-open again" Breaker.Half_open b
+
+let test_breaker_trip_reset_and_counters () =
+  let clock, set = fake_clock () in
+  let transitions = ref [] in
+  let b =
+    Breaker.create ~clock ~config:breaker_cfg
+      ~on_transition:(fun o n ->
+        transitions :=
+          (Breaker.state_to_string o, Breaker.state_to_string n) :: !transitions)
+      ()
+  in
+  Breaker.trip b;
+  set 1.5;
+  check_state "half-open" Breaker.Half_open b;
+  Breaker.reset b;
+  check_state "reset closes" Breaker.Closed b;
+  Breaker.trip b;
+  let to_open, to_half, to_closed = Breaker.transition_counts b in
+  Alcotest.(check int) "to_open" 2 to_open;
+  Alcotest.(check int) "to_half" 1 to_half;
+  Alcotest.(check int) "to_closed" 1 to_closed;
+  Alcotest.(check (list (pair string string)))
+    "on_transition saw every edge"
+    [ ("closed", "open"); ("open", "half-open"); ("half-open", "closed");
+      ("closed", "open") ]
+    (List.rev !transitions)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "netrec_resilience"
@@ -423,4 +549,13 @@ let () =
         [ tc "roundtrip" test_journal_roundtrip;
           tc "with_run skips" test_journal_with_run_skips_completed;
           tc "partial pair recomputed" test_journal_partial_pair_recomputed;
-          tc "rejects foreign file" test_journal_rejects_foreign_file ] ) ]
+          tc "rejects foreign file" test_journal_rejects_foreign_file ] );
+      ( "breaker",
+        [ tc "starts closed" test_breaker_starts_closed;
+          tc "trips on failure rate" test_breaker_trips_on_failure_rate;
+          tc "successes hold it closed" test_breaker_successes_hold_it_closed;
+          tc "cooldown to half-open" test_breaker_cooldown_to_half_open;
+          tc "probe slots consumed" test_breaker_probe_slots_consumed;
+          tc "probe successes close" test_breaker_probe_successes_close;
+          tc "probe failure reopens" test_breaker_probe_failure_reopens;
+          tc "trip/reset and counters" test_breaker_trip_reset_and_counters ] ) ]

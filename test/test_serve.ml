@@ -1,0 +1,540 @@
+(* Serve subsystem: wire framing, protocol codecs, canonical cache
+   keys, and the daemon end-to-end over a real unix socket — admission
+   control, deadlines, fault injection, breaker shedding, malformed
+   frames, graceful shutdown. *)
+
+module Server = Netrec_serve.Server
+module Client = Netrec_serve.Client
+module Protocol = Netrec_serve.Protocol
+module Wire = Netrec_serve.Wire
+module Cache = Netrec_serve.Cache
+module Inject = Netrec_serve.Inject
+module Breaker = Netrec_resilience.Breaker
+module Instance = Netrec_core.Instance
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "netrec-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let abilene = Netrec_topo.Abilene.graph ()
+
+(* Start a daemon on a fresh socket, run [f address server], then drain
+   it — also when [f] raises, so a failing assertion cannot leak a
+   daemon into the next test. *)
+let with_server ?(tweak = fun c -> c) f =
+  let address = Server.Unix_socket (fresh_socket ()) in
+  let cfg = tweak { (Server.default_config address) with Server.log = ignore } in
+  let t = Server.start cfg abilene in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t)
+    (fun () -> f address t)
+
+let inject spec =
+  match Inject.parse spec with
+  | Ok t -> t
+  | Error msg -> failwith msg
+
+let sample_query =
+  { Protocol.algorithm = Protocol.Isp;
+    deadline_s = None;
+    no_cache = false;
+    demands = [ (0, 5, 2.0); (3, 8, 1.0) ];
+    broken_vertices = [ 1; 2 ];
+    broken_edges = [ 4; 5 ] }
+
+let expect_plan = function
+  | Ok (Protocol.Ok_plan r) -> r
+  | Ok (Protocol.Error (kind, msg)) ->
+    Alcotest.failf "expected a plan, got error %s: %s"
+      (Protocol.error_kind_to_string kind)
+      msg
+  | Ok _ -> Alcotest.fail "expected a plan, got a non-plan response"
+  | Error e -> Alcotest.failf "transport error: %s" (Client.error_to_string e)
+
+let expect_error expected = function
+  | Ok (Protocol.Error (kind, _)) ->
+    Alcotest.(check string)
+      "error kind"
+      (Protocol.error_kind_to_string expected)
+      (Protocol.error_kind_to_string kind)
+  | Ok (Protocol.Ok_plan r) ->
+    Alcotest.failf "expected %s error, got a plan from %s"
+      (Protocol.error_kind_to_string expected)
+      r.Protocol.answered_by
+  | Ok _ -> Alcotest.fail "expected an error, got a non-plan response"
+  | Error e -> Alcotest.failf "transport error: %s" (Client.error_to_string e)
+
+(* ---- protocol codecs ---- *)
+
+let test_protocol_query_roundtrip () =
+  let q =
+    { sample_query with
+      Protocol.deadline_s = Some 0.25;
+      no_cache = true;
+      broken_edges = [] }
+  in
+  match Protocol.parse_request (Protocol.encode_request (Protocol.Query q)) with
+  | Ok (Protocol.Query q') ->
+    Alcotest.(check bool) "same query" true (q = q')
+  | Ok _ -> Alcotest.fail "parsed as a non-query request"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_protocol_control_roundtrips () =
+  (match Protocol.parse_request (Protocol.encode_request Protocol.Ping) with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping roundtrip");
+  match Protocol.parse_request (Protocol.encode_request Protocol.Stats) with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats roundtrip"
+
+let test_protocol_reply_roundtrip () =
+  let reply =
+    { Protocol.answered_by = "isp";
+      complete = true;
+      cached = false;
+      shed = false;
+      seconds = 0.012345;
+      cost = 3.0;
+      solution =
+        { Instance.repaired_vertices = [ 1; 3 ];
+          repaired_edges = [ 0; 2 ];
+          routing = [] } }
+  in
+  match
+    Protocol.parse_response
+      (Protocol.encode_response (Protocol.Ok_plan reply))
+  with
+  | Ok (Protocol.Ok_plan r) ->
+    Alcotest.(check string) "answered_by" "isp" r.Protocol.answered_by;
+    Alcotest.(check bool) "complete" true r.Protocol.complete;
+    Alcotest.(check (float 1e-9)) "cost" 3.0 r.Protocol.cost;
+    Alcotest.(check (list int))
+      "vertices" [ 1; 3 ]
+      r.Protocol.solution.Instance.repaired_vertices;
+    Alcotest.(check (list int))
+      "edges" [ 0; 2 ]
+      r.Protocol.solution.Instance.repaired_edges
+  | Ok _ -> Alcotest.fail "parsed as a non-plan response"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_protocol_error_and_stats_roundtrip () =
+  (match
+     Protocol.parse_response
+       (Protocol.encode_response
+          (Protocol.Error (Protocol.Overloaded, "queue full (64 queued)")))
+   with
+  | Ok (Protocol.Error (Protocol.Overloaded, msg)) ->
+    Alcotest.(check string) "message" "queue full (64 queued)" msg
+  | _ -> Alcotest.fail "error roundtrip");
+  match
+    Protocol.parse_response
+      (Protocol.encode_response
+         (Protocol.Stats_reply [ ("serve.ok", 3); ("serve.errors", 1) ]))
+  with
+  | Ok (Protocol.Stats_reply kvs) ->
+    Alcotest.(check (list (pair string int)))
+      "stats" [ ("serve.ok", 3); ("serve.errors", 1) ] kvs
+  | _ -> Alcotest.fail "stats roundtrip"
+
+let test_protocol_parse_never_raises () =
+  let garbage =
+    [ ""; "netrec-serve/1"; "netrec-serve/1 bogus"; "not-a-protocol";
+      "netrec-serve/1 query\nalgorithm warp\n[demands]\n";
+      "netrec-serve/1 query\nalgorithm isp\n[demands]\n1 1 oops\n";
+      "netrec-serve/1 query\nalgorithm isp\n";
+      "netrec-serve/1 ok\ncomplete maybe\n[repaired_vertices]\n";
+      "netrec-serve/1 error not_a_kind\nboom\n"; String.make 64 '\255' ]
+  in
+  List.iter
+    (fun payload ->
+      (match Protocol.parse_request payload with Ok _ | Error _ -> ());
+      match Protocol.parse_response payload with Ok _ | Error _ -> ())
+    garbage
+
+(* ---- canonical cache keys ---- *)
+
+let key q = Cache.canonical_key ~topology_rev:"rev0" q
+
+let test_cache_key_permutation_invariant () =
+  let permuted =
+    { sample_query with
+      Protocol.demands = [ (3, 8, 1.0); (0, 5, 2.0) ];
+      broken_vertices = [ 2; 1; 1; 2 ];
+      broken_edges = [ 5; 4; 5 ] }
+  in
+  Alcotest.(check string)
+    "permuted + duplicated ids hash identically" (key sample_query)
+    (key permuted);
+  Alcotest.(check bool)
+    "deadline not part of the key" true
+    (key { sample_query with Protocol.deadline_s = Some 9.0 }
+    = key sample_query);
+  Alcotest.(check bool)
+    "algorithm is part of the key" true
+    (key { sample_query with Protocol.algorithm = Protocol.Srt }
+    <> key sample_query);
+  Alcotest.(check bool)
+    "topology rev is part of the key" true
+    (Cache.canonical_key ~topology_rev:"rev1" sample_query
+    <> key sample_query)
+
+(* QCheck: shuffling demands and duplicating/shuffling broken ids never
+   changes the key; distinct canonical instances never collide. *)
+let query_gen =
+  QCheck.Gen.(
+    let id = int_bound 40 in
+    let demand =
+      map3 (fun s d a -> (s, d, 1.0 +. float_of_int a)) id id (int_bound 7)
+    in
+    map3
+      (fun demands bv be ->
+        { Protocol.algorithm = Protocol.Isp;
+          deadline_s = None;
+          no_cache = false;
+          demands;
+          broken_vertices = bv;
+          broken_edges = be })
+      (list_size (1 -- 5) demand)
+      (list_size (0 -- 6) id)
+      (list_size (0 -- 6) id))
+
+let arbitrary_query = QCheck.make query_gen
+
+let shuffle_with seed l =
+  let a = Array.of_list l in
+  let rng = Netrec_util.Rng.create seed in
+  Netrec_util.Rng.shuffle rng a;
+  Array.to_list a
+
+let prop_cache_key_canonical =
+  QCheck.Test.make ~count:200 ~name:"cache key is permutation-invariant"
+    arbitrary_query (fun q ->
+      let dup = match q.Protocol.broken_vertices with [] -> [] | x :: _ -> [ x ] in
+      let q' =
+        { q with
+          Protocol.demands = shuffle_with 7 q.Protocol.demands;
+          broken_vertices = shuffle_with 11 (dup @ q.Protocol.broken_vertices);
+          broken_edges = shuffle_with 13 q.Protocol.broken_edges }
+      in
+      key q = key q')
+
+let prop_cache_key_no_collisions =
+  (* Seeded corpus of canonically-distinct queries: every pair of
+     distinct canonical forms must produce a distinct key. *)
+  QCheck.Test.make ~count:120 ~name:"distinct instances get distinct keys"
+    (QCheck.pair arbitrary_query arbitrary_query) (fun (a, b) ->
+      let canon q =
+        ( q.Protocol.algorithm,
+          List.sort compare q.Protocol.demands,
+          List.sort_uniq compare q.Protocol.broken_vertices,
+          List.sort_uniq compare q.Protocol.broken_edges )
+      in
+      if canon a = canon b then key a = key b else key a <> key b)
+
+let test_cache_fifo_bound () =
+  let c = Cache.create ~cap:2 in
+  let reply =
+    { Protocol.answered_by = "isp";
+      complete = true;
+      cached = false;
+      shed = false;
+      seconds = 0.0;
+      cost = 0.0;
+      solution = Instance.empty_solution }
+  in
+  Cache.add c "a" reply;
+  Cache.add c "b" reply;
+  Cache.add c "c" reply;
+  Alcotest.(check int) "bounded" 2 (Cache.length c);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find c "a" = None);
+  Alcotest.(check bool) "newest kept" true (Cache.find c "c" <> None)
+
+(* ---- daemon end-to-end ---- *)
+
+let test_serve_plan_and_cache () =
+  with_server @@ fun address _t ->
+  Client.with_connection address (fun c ->
+      let r1 = expect_plan (Client.query c sample_query) in
+      Alcotest.(check bool) "first not cached" false r1.Protocol.cached;
+      let permuted =
+        { sample_query with
+          Protocol.broken_vertices = [ 2; 1; 1 ];
+          broken_edges = [ 5; 4 ] }
+      in
+      let r2 = expect_plan (Client.query c permuted) in
+      Alcotest.(check bool) "permuted query hits cache" true r2.Protocol.cached;
+      Alcotest.(check string)
+        "same provenance" r1.Protocol.answered_by r2.Protocol.answered_by;
+      Alcotest.(check (float 1e-9)) "same cost" r1.Protocol.cost r2.Protocol.cost;
+      (* no-cache bypasses the lookup but still answers. *)
+      let r3 =
+        expect_plan
+          (Client.query c { sample_query with Protocol.no_cache = true })
+      in
+      Alcotest.(check bool) "no-cache not served from cache" false
+        r3.Protocol.cached;
+      Ok ())
+  |> Result.get_ok
+
+let test_serve_ping_and_stats () =
+  with_server @@ fun address _t ->
+  Client.with_connection address (fun c ->
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+      ignore (expect_plan (Client.query c sample_query));
+      match Client.stats c with
+      | Error e -> Alcotest.failf "stats: %s" (Client.error_to_string e)
+      | Ok kvs ->
+        let get k =
+          match List.assoc_opt k kvs with
+          | Some v -> v
+          | None -> Alcotest.failf "stats lacks %s" k
+        in
+        Alcotest.(check bool) "queries counted" true (get "serve.queries" >= 1);
+        Alcotest.(check bool) "ok counted" true (get "serve.ok" >= 1);
+        Alcotest.(check int) "breaker closed" 0 (get "serve.breaker_state");
+        Ok ())
+  |> Result.get_ok
+
+let test_serve_malformed_ids_are_structured () =
+  with_server @@ fun address _t ->
+  Client.with_connection address (fun c ->
+      expect_error Protocol.Malformed
+        (Client.query c
+           { sample_query with Protocol.demands = [ (0, 9999, 1.0) ] });
+      (* The connection survives a malformed query. *)
+      ignore (expect_plan (Client.query c sample_query));
+      Ok ())
+  |> Result.get_ok
+
+let test_serve_injected_failure_is_structured () =
+  with_server ~tweak:(fun c -> { c with Server.inject = inject "fail=1.0" })
+  @@ fun address _t ->
+  Client.with_connection address (fun c ->
+      expect_error Protocol.Solver_failure (Client.query c sample_query);
+      Ok ())
+  |> Result.get_ok
+
+let test_serve_deadline_is_structured () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.inject = inject "slow_ms=80,slow_rate=1.0" })
+  @@ fun address _t ->
+  Client.with_connection address (fun c ->
+      expect_error Protocol.Deadline
+        (Client.query c
+           { sample_query with Protocol.deadline_s = Some 0.005 });
+      (* A roomy deadline still gets a plan through the same slowdown. *)
+      ignore
+        (expect_plan
+           (Client.query c { sample_query with Protocol.deadline_s = Some 30.0 }));
+      Ok ())
+  |> Result.get_ok
+
+let test_serve_overload_rejection () =
+  (* One worker stalled 500 ms per request and a queue of 4: the first
+     query occupies the worker, four more fill the queue (tripping the
+     depth watermark along the way — that is fine, queued work cannot be
+     shed while the only worker is stalled), and the sixth must be
+     rejected with a structured overloaded error. *)
+  with_server
+    ~tweak:(fun c ->
+      { c with
+        Server.jobs = 1;
+        queue_cap = 4;
+        inject = inject "slow_ms=500,slow_rate=1.0" })
+  @@ fun address t ->
+  let fire i =
+    Thread.create
+      (fun () ->
+        Client.with_connection address (fun c ->
+            Client.query c
+              { sample_query with
+                Protocol.no_cache = true;
+                broken_edges = [ i ] }))
+      ()
+  in
+  let first = fire 0 in
+  Thread.delay 0.15 (* let it reach the worker *);
+  let queued = List.init 4 (fun i -> fire (i + 1)) in
+  Thread.delay 0.15 (* let them occupy every queue slot *);
+  Client.with_connection address (fun c ->
+      expect_error Protocol.Overloaded
+        (Client.query c
+           { sample_query with Protocol.no_cache = true; broken_edges = [ 5 ] });
+      Ok ())
+  |> Result.get_ok;
+  List.iter Thread.join (first :: queued);
+  let get k = Option.value ~default:0 (List.assoc_opt k (Server.stats t)) in
+  Alcotest.(check bool) "rejection counted" true
+    (get "serve.rejected_overloaded" >= 1)
+
+let test_serve_breaker_sheds_to_srt () =
+  (* Two injected failures trip the 2-sample breaker; with a very long
+     cooldown the next query must be shed to SRT, visibly. *)
+  with_server
+    ~tweak:(fun c ->
+      { c with
+        Server.jobs = 1;
+        inject = inject "fail_first=2";
+        breaker =
+          { Breaker.default_config with
+            Breaker.window = 4;
+            min_samples = 2;
+            failure_rate = 0.5;
+            cooldown_s = 600.0 } })
+  @@ fun address t ->
+  Client.with_connection address (fun c ->
+      expect_error Protocol.Solver_failure (Client.query c sample_query);
+      expect_error Protocol.Solver_failure (Client.query c sample_query);
+      let r = expect_plan (Client.query c sample_query) in
+      Alcotest.(check bool) "shed" true r.Protocol.shed;
+      Alcotest.(check string) "srt provenance" "srt(shed)"
+        r.Protocol.answered_by;
+      Ok ())
+  |> Result.get_ok;
+  let kvs = Server.stats t in
+  let get k = Option.value ~default:0 (List.assoc_opt k kvs) in
+  Alcotest.(check bool) "breaker opened" true
+    (get "serve.breaker_open_transitions" >= 1);
+  Alcotest.(check bool) "shed counted" true (get "serve.shed_srt" >= 1);
+  Alcotest.(check int) "still open" 1 (get "serve.breaker_state")
+
+(* ---- malformed frames at the wire level ---- *)
+
+let raw_connect address =
+  match address with
+  | Server.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Server.Tcp _ -> Alcotest.fail "test server is unix-socket only"
+
+let write_all fd b = ignore (Unix.write fd b 0 (Bytes.length b))
+
+let test_wire_garbage_payload_keeps_connection () =
+  with_server @@ fun address _t ->
+  let fd = raw_connect address in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Wire.write_frame fd "complete garbage \255\254\253";
+      (match Wire.read_frame fd with
+      | Ok payload -> (
+        match Protocol.parse_response payload with
+        | Ok (Protocol.Error (Protocol.Malformed, _)) -> ()
+        | _ -> Alcotest.fail "expected a malformed-error response")
+      | Error e ->
+        Alcotest.failf "expected a response, got %s" (Wire.error_to_string e));
+      (* Framing is intact, so the same connection keeps working. *)
+      Wire.write_frame fd (Protocol.encode_request Protocol.Ping);
+      match Wire.read_frame fd with
+      | Ok payload -> (
+        match Protocol.parse_response payload with
+        | Ok Protocol.Pong -> ()
+        | _ -> Alcotest.fail "expected pong after garbage frame")
+      | Error e -> Alcotest.failf "ping after garbage: %s" (Wire.error_to_string e))
+
+let test_wire_oversized_prefix_rejected () =
+  with_server ~tweak:(fun c -> { c with Server.max_frame = 4096 })
+  @@ fun address _t ->
+  let fd = raw_connect address in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Length prefix claims 256 MiB: the daemon must refuse without
+         allocating, reply with a structured error, and drop the
+         unsyncable connection. *)
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 0x10000000l;
+      write_all fd b;
+      (match Wire.read_frame fd with
+      | Ok payload -> (
+        match Protocol.parse_response payload with
+        | Ok (Protocol.Error (Protocol.Malformed, _)) -> ()
+        | _ -> Alcotest.fail "expected a malformed-error response")
+      | Error Wire.Closed -> () (* reply raced the close: acceptable *)
+      | Error e -> Alcotest.failf "unexpected %s" (Wire.error_to_string e));
+      match Wire.read_frame fd with
+      | Error Wire.Closed -> ()
+      | Ok _ -> Alcotest.fail "connection should be closed after oversize"
+      | Error _ -> ())
+
+let test_wire_truncated_frame_no_crash () =
+  with_server @@ fun address t ->
+  (* Claim 100 bytes, send 10, vanish — mid-payload EOF. *)
+  let fd = raw_connect address in
+  let b = Bytes.create 14 in
+  Bytes.set_int32_be b 0 100l;
+  Bytes.blit_string "0123456789" 0 b 4 10;
+  write_all fd b;
+  Unix.close fd;
+  (* Mid-prefix EOF too. *)
+  let fd = raw_connect address in
+  write_all fd (Bytes.make 2 '\000');
+  Unix.close fd;
+  (* The daemon survived both: a fresh connection still answers. *)
+  Client.with_connection address (fun c ->
+      (match Client.ping c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+      Ok ())
+  |> Result.get_ok;
+  (* Give the handler threads a beat to record, then check accounting. *)
+  Thread.delay 0.1;
+  let kvs = Server.stats t in
+  let get k = Option.value ~default:0 (List.assoc_opt k kvs) in
+  Alcotest.(check bool) "short reads counted" true (get "serve.malformed" >= 1)
+
+let test_serve_graceful_shutdown_unlinks_socket () =
+  let path = fresh_socket () in
+  let address = Server.Unix_socket path in
+  let cfg = { (Server.default_config address) with Server.log = ignore } in
+  let t = Server.start cfg abilene in
+  Client.with_connection address (fun c ->
+      ignore (expect_plan (Client.query c sample_query));
+      Ok ())
+  |> Result.get_ok;
+  Server.stop t;
+  Server.stop t (* idempotent *);
+  Server.wait t;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  (* Counters were flushed to Obs at quiescence. *)
+  ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netrec_serve"
+    [ ( "protocol",
+        [ tc "query roundtrip" test_protocol_query_roundtrip;
+          tc "control roundtrips" test_protocol_control_roundtrips;
+          tc "reply roundtrip" test_protocol_reply_roundtrip;
+          tc "error+stats roundtrip" test_protocol_error_and_stats_roundtrip;
+          tc "parse never raises" test_protocol_parse_never_raises ] );
+      ( "cache",
+        [ tc "canonical key invariants" test_cache_key_permutation_invariant;
+          qc prop_cache_key_canonical;
+          qc prop_cache_key_no_collisions;
+          tc "fifo bound" test_cache_fifo_bound ] );
+      ( "daemon",
+        [ tc "plan and cache" test_serve_plan_and_cache;
+          tc "ping and stats" test_serve_ping_and_stats;
+          tc "malformed ids" test_serve_malformed_ids_are_structured;
+          tc "injected failure" test_serve_injected_failure_is_structured;
+          tc "deadline" test_serve_deadline_is_structured;
+          tc "overload rejection" test_serve_overload_rejection;
+          tc "breaker sheds to srt" test_serve_breaker_sheds_to_srt ] );
+      ( "wire faults",
+        [ tc "garbage payload keeps connection"
+            test_wire_garbage_payload_keeps_connection;
+          tc "oversized prefix rejected" test_wire_oversized_prefix_rejected;
+          tc "truncated frames no crash" test_wire_truncated_frame_no_crash;
+          tc "graceful shutdown" test_serve_graceful_shutdown_unlinks_socket ] ) ]
