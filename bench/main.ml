@@ -58,6 +58,7 @@ let micro_benchmarks () =
   let gauss = gaussian_instance () in
   let er_g, er = er_instance () in
   let caida = caida_instance () in
+  let xl_smoke = E.Fig9_xl.smoke_scenario () in
   let er_pairs =
     List.map
       (fun d -> (d.Netrec_flow.Commodity.src, d.Netrec_flow.Commodity.dst))
@@ -82,6 +83,16 @@ let micro_benchmarks () =
                ~pairs:er_pairs)));
       Test.make ~name:"fig9:isp-caida" (Staged.stage (fun () ->
           ignore (Netrec_core.Isp.solve caida)));
+      (* Complete destruction covers the whole graph, so the sharded
+         solver delegates here: this measures the delegation overhead
+         against fig9:isp-caida (acceptance: within 10%, identical
+         cost). *)
+      Test.make ~name:"fig9:shard-caida" (Staged.stage (fun () ->
+          ignore (Netrec_shard.Shard.solve caida)));
+      (* The pinned 5k scale-free Gaussian scenario on the sharded
+         path: the time/run behind the xl_gate counters. *)
+      Test.make ~name:"fig9-xl:shard-synth-5k" (Staged.stage (fun () ->
+          ignore (Netrec_shard.Shard.solve xl_smoke)));
       Test.make ~name:"opt:bell-canada-gaussian" (Staged.stage (fun () ->
           ignore (Netrec_heuristics.Opt.solve gauss)));
       Test.make ~name:"mcf-lp:feasible-bell-canada" (Staged.stage (fun () ->
@@ -268,10 +279,16 @@ let run_figure s fig =
   | "fig6" -> emit_tables "fig6" (E.Fig6.run ~pool ~runs:s.runs ~opt_nodes:s.opt_nodes ())
   | "fig7" -> emit_tables "fig7" (E.Fig7.run ~pool ~runs:s.runs ())
   | "fig9" -> emit_tables "fig9" (E.Fig9.run ~pool ~runs:s.runs ())
+  | "fig9-xl" ->
+    emit_tables "fig9_xl"
+      (E.Fig9_xl.run ~pool ~runs:(min 2 s.runs)
+         ~sizes:(if s.runs = 1 then [ 20_000; 100_000 ] else E.Fig9_xl.default_sizes)
+         ())
   | "ablation" -> emit_tables "ablation" (E.Ablation.run ~runs:s.runs ())
   | other -> Printf.eprintf "unknown figure %S\n" other
 
-let all_figures = [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "ablation" ]
+let all_figures =
+  [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig9-xl"; "ablation" ]
 
 let run_all s =
   List.iter
@@ -315,11 +332,37 @@ let lp_gate_metrics () =
   :: ("opt.nodes", r.Netrec_heuristics.Opt.nodes)
   :: deltas
 
+(* Deterministic xl work gate: the sharded solver on the pinned 5k
+   scale-free Gaussian smoke scenario.  Shard/cut/fixup counts, sampled
+   centrality work and the certificate are machine-independent integers,
+   so CI can hold the line on both sharding-shape and correctness
+   regressions exactly (check.violations must stay 0). *)
+let xl_gate_metrics () =
+  let inst = E.Fig9_xl.smoke_scenario () in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let keys = [ "centrality.sampled_recomputed"; "centrality.sampled_skipped" ] in
+  let before = List.map (fun k -> (k, Obs.counter_value k)) keys in
+  let sol, st = Netrec_shard.Shard.solve inst in
+  let deltas = List.map (fun (k, v) -> (k, Obs.counter_value k - v)) before in
+  Obs.set_enabled was;
+  let module Shard = Netrec_shard.Shard in
+  [ ("xl.certified", if Netrec_check.Check.ok st.Shard.certificate then 1 else 0);
+    ("check.violations", List.length st.Shard.certificate.Netrec_check.Check.violations);
+    ("xl.repairs_total", Instance.total_repairs sol);
+    ("isp.shard_count", st.Shard.shards);
+    ("isp.shard_region_vertices", st.Shard.region_vertices);
+    ("isp.shard_cut_demands", st.Shard.cut_demands);
+    ("isp.shard_fixup_paths", st.Shard.fixup_paths);
+    ("isp.shard_delegated", if st.Shard.delegated then 1 else 0) ]
+  @ deltas
+
 (* Machine-readable run record: micro-benchmark estimates, the
-   deterministic LP work gate, plus the full counter/gauge/histogram/
-   span/progress snapshot of the figure regeneration. *)
+   deterministic LP and xl work gates, plus the full counter/gauge/
+   histogram/span/progress snapshot of the figure regeneration. *)
 let write_bench_metrics ~mode ~benchmarks =
   let lp_gate = lp_gate_metrics () in
+  let xl_gate = xl_gate_metrics () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/2\",";
   Printf.bprintf buf "\"mode\":\"%s\",\"benchmarks\":{" mode;
@@ -334,6 +377,12 @@ let write_bench_metrics ~mode ~benchmarks =
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf "\"%s\":%d" name v)
     lp_gate;
+  Buffer.add_string buf "},\"xl_gate\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\":%d" name v)
+    xl_gate;
   Buffer.add_string buf "},\"metrics\":";
   Buffer.add_string buf (Obs.metrics_json ());
   Buffer.add_string buf "}\n";
@@ -341,6 +390,33 @@ let write_bench_metrics ~mode ~benchmarks =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_metrics.json\n%!"
+
+(* The xl smoke run behind scripts/check_xl.sh: solve the pinned 5k
+   scale-free Gaussian scenario on the sharded solver with a -jN pool
+   and print only deterministic facts (no wall clock), so the script
+   can diff -j1 against -j4 byte-for-byte and grep the certificate. *)
+let xl_smoke ~jobs =
+  let inst = E.Fig9_xl.smoke_scenario () in
+  let pool = E.Common.Pool.create ~jobs in
+  let sol, st = Netrec_shard.Shard.solve ~pool inst in
+  let module Shard = Netrec_shard.Shard in
+  let ids l = String.concat "," (List.map string_of_int (List.sort compare l)) in
+  Printf.printf "xl-smoke: n=%d ne=%d demands=%d\n"
+    (G.nv inst.Instance.graph) (G.ne inst.Instance.graph)
+    (List.length inst.Instance.demands);
+  Printf.printf
+    "region=%d shards=%d cut=%d fixup=%d delegated=%b\n"
+    st.Shard.region_vertices st.Shard.shards st.Shard.cut_demands
+    st.Shard.fixup_paths st.Shard.delegated;
+  Printf.printf "repaired_vertices=[%s]\nrepaired_edges=[%s]\n"
+    (ids sol.Instance.repaired_vertices)
+    (ids sol.Instance.repaired_edges);
+  Printf.printf "repair_cost=%.6f\n" (Instance.repair_cost inst sol);
+  Printf.printf "satisfied=%.6f\n"
+    (Netrec_core.Evaluate.satisfied_fraction inst sol);
+  Printf.printf "violations=%d\ncertified=%b\n"
+    (List.length st.Shard.certificate.Netrec_check.Check.violations)
+    (Netrec_check.Check.ok st.Shard.certificate)
 
 (* [-jN] anywhere on the command line sets the pool size for figure
    regeneration (default 2; results are identical for any N). *)
@@ -385,6 +461,9 @@ let () =
   | [ "bench" ] ->
     let benchmarks = micro_benchmarks () in
     write_bench_metrics ~mode:"bench" ~benchmarks
+  | [ "xl-smoke" ] ->
+    Obs.set_enabled true;
+    xl_smoke ~jobs:(Option.value ~default:1 jobs)
   | [ "figures" ] ->
     Obs.set_enabled true;
     run_all (with_jobs default);

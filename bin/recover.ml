@@ -35,7 +35,12 @@ module Inject = Netrec_serve.Inject
 (* ---- shared options ---- *)
 
 let topology_arg =
-  let doc = "Supply topology: bell-canada, abilene, caida, er, grid or ring." in
+  let doc =
+    "Supply topology: bell-canada, abilene, caida, er, grid, ring, or a \
+     synthetic scale-free spec $(i,synth:sf:n=100000,m=2,seed=1) \
+     (optional keys cap=, jitter=; coordinates live in the unit square, \
+     so pair --disruption gaussian with a small --variance, e.g. 1e-4)."
+  in
   Arg.(value & opt string "bell-canada" & info [ "topology"; "t" ] ~doc)
 
 let er_p_arg =
@@ -56,8 +61,8 @@ let amount_arg =
 
 let algorithm_arg =
   let doc =
-    "Recovery algorithm: isp, srt, grd-com, grd-nc, opt, steiner, fallback \
-     or all."
+    "Recovery algorithm: isp, shard (disaster-region sharded ISP, for xl \
+     topologies), srt, grd-com, grd-nc, opt, steiner, fallback or all."
   in
   Arg.(value & opt string "isp" & info [ "algorithm"; "g" ] ~doc)
 
@@ -189,6 +194,11 @@ let build_topology name ~er_p ~seed =
       ~capacity:1000.0
   | "grid" -> Netrec_graph.Generate.grid ~width:8 ~height:6 ~capacity:20.0
   | "ring" -> Netrec_graph.Generate.ring ~n:24 ~capacity:20.0
+  | other when String.length other > 6 && String.sub other 0 6 = "synth:" -> (
+    let spec = String.sub other 6 (String.length other - 6) in
+    match Netrec_topo.Synth.of_string spec with
+    | Ok g -> g
+    | Error msg -> failwith (Printf.sprintf "--topology synth: %s" msg))
   | other -> failwith (Printf.sprintf "unknown topology %S" other)
 
 let build_failure name ~variance ~fail_p ~rng g =
@@ -256,10 +266,34 @@ let fallback_entry ~budget inst () =
   | Some outcome -> (outcome.Chain.value, Chain.describe outcome)
   | None -> failwith "fallback chain produced no answer"
 
+(* The sharded solver certifies internally and is deadline-free (its
+   per-shard work is already bounded by the disaster region). *)
+let shard_entry inst () =
+  let module Shard = Netrec_shard.Shard in
+  let sol, st = Shard.solve inst in
+  ( sol,
+    [ (if st.Shard.delegated then
+         Printf.sprintf
+           "shard: region %d vertices covers the graph, delegated to plain \
+            ISP"
+           st.Shard.region_vertices
+       else
+         Printf.sprintf
+           "shard: %d shard(s) over a %d-vertex region, %d cut demand(s), \
+            %d fixup path(s)"
+           st.Shard.shards st.Shard.region_vertices st.Shard.cut_demands
+           st.Shard.fixup_paths);
+      Printf.sprintf "shard: stitched solution %s"
+        (if Check.ok st.Shard.certificate then "certified"
+         else
+           Printf.sprintf "has %d violation(s)"
+             (List.length st.Shard.certificate.Check.violations)) ] )
+
 let plain sol = (sol, [])
 
 let run_algorithm ~budget inst = function
   | "isp" -> [ ("ISP", isp_entry ~budget inst) ]
+  | "shard" -> [ ("SHARD", shard_entry inst) ]
   | "srt" -> [ ("SRT", fun () -> plain (H.Srt.solve inst)) ]
   | "grd-com" -> [ ("GRD-COM", fun () -> plain (H.Greedy.grd_com inst)) ]
   | "grd-nc" -> [ ("GRD-NC", fun () -> plain (H.Greedy.grd_nc inst)) ]
@@ -413,7 +447,11 @@ let opt_nodes_arg =
   Arg.(value & opt int 250 & info [ "opt-nodes" ] ~doc)
 
 let figure_arg =
-  let doc = "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 or all." in
+  let doc =
+    "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 fig9-xl or all \
+     (fig9-xl — the 20k-100k-vertex sharded-ISP scale sweep — runs only \
+     when asked for by name)."
+  in
   Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
 
 let journal_file_arg =
@@ -472,6 +510,7 @@ let experiment figure runs opt_nodes jobs certify journal_file trace_file
       | "fig6" -> E.Fig6.run ?journal ~pool ~runs ~opt_nodes ()
       | "fig7" -> E.Fig7.run ?journal ~pool ~runs ()
       | "fig9" -> E.Fig9.run ?journal ~pool ~runs ()
+      | "fig9-xl" -> E.Fig9_xl.run ?journal ~pool ~runs ()
       | other -> failwith (Printf.sprintf "unknown figure %S" other)
     in
     print tables

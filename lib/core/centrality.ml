@@ -69,7 +69,10 @@ module Cache = struct
     List.iter (Hashtbl.remove c.table) dead
 end
 
-let compute ?cache ~length ~cap g demands =
+let demand_key d =
+  (d.Commodity.src, d.Commodity.dst, d.Commodity.amount)
+
+let compute ?cache ?sample ?max_paths ~length ~cap g demands =
   let score = Array.make (Graph.nv g) 0.0 in
   let live =
     List.filter
@@ -80,21 +83,51 @@ let compute ?cache ~length ~cap g demands =
      consumers can rely on the keys existing. *)
   Obs.count ~n:0 "centrality.cache_hits";
   Obs.count ~n:0 "centrality.cache_misses";
+  Obs.count ~n:0 "centrality.sampled_recomputed";
+  Obs.count ~n:0 "centrality.sampled_skipped";
   (match cache with Some c -> Cache.settle c | None -> ());
+  let cached demand =
+    match cache with
+    | None -> None
+    | Some c -> Hashtbl.find_opt c.Cache.table (demand_key demand)
+  in
+  (* Under sampling, only the top-[k] missing demands — largest amount
+     first, then (src, dst) for a deterministic order — earn a fresh
+     Dijkstra bundle this round; cache hits stay free and exact. *)
+  let recompute_ok =
+    match sample with
+    | None -> fun _ -> true
+    | Some k ->
+      let misses =
+        List.filter (fun d -> Option.is_none (cached d)) live
+      in
+      let ranked =
+        List.stable_sort
+          (fun a b ->
+            match compare b.Commodity.amount a.Commodity.amount with
+            | 0 ->
+              compare
+                (a.Commodity.src, a.Commodity.dst)
+                (b.Commodity.src, b.Commodity.dst)
+            | c -> c)
+          misses
+      in
+      let chosen = Hashtbl.create (max 1 k) in
+      List.iteri
+        (fun i d -> if i < k then Hashtbl.replace chosen (demand_key d) ())
+        ranked;
+      fun d -> Hashtbl.mem chosen (demand_key d)
+  in
   let bundle_for demand =
     let fresh () =
-      Paths.shortest_bundle ~length ~cap ~demand:demand.Commodity.amount g
-        demand.Commodity.src demand.Commodity.dst
+      Paths.shortest_bundle ?max_paths ~length ~cap
+        ~demand:demand.Commodity.amount g demand.Commodity.src
+        demand.Commodity.dst
     in
     match cache with
     | None -> fresh ()
     | Some c -> (
-      let key =
-        ( demand.Commodity.src,
-          demand.Commodity.dst,
-          demand.Commodity.amount )
-      in
-      match Hashtbl.find_opt c.Cache.table key with
+      match Hashtbl.find_opt c.Cache.table (demand_key demand) with
       | Some entry ->
         Obs.count "centrality.cache_hits";
         entry.Cache.bundle
@@ -105,28 +138,42 @@ let compute ?cache ~length ~cap g demands =
           List.sort_uniq compare
             (List.concat_map (fun (p, _) -> p) bundle.Paths.paths)
         in
-        Hashtbl.replace c.Cache.table key { Cache.bundle; edges };
+        Hashtbl.replace c.Cache.table (demand_key demand)
+          { Cache.bundle; edges };
         bundle)
   in
   let contributions =
-    List.map
+    List.filter_map
       (fun demand ->
-        let bundle = bundle_for demand in
-        let total_cap =
-          List.fold_left (fun acc (_, c) -> acc +. c) 0.0 bundle.Paths.paths
+        let skip =
+          sample <> None
+          && Option.is_none (cached demand)
+          && not (recompute_ok demand)
         in
-        if Num.positive ~eps:Num.cap_eps total_cap then
-          List.iter
-            (fun (p, c) ->
-              let weight = c /. total_cap *. demand.Commodity.amount in
-              let vs = Paths.vertices_of g demand.Commodity.src p in
-              List.iter
-                (fun v ->
-                  if v <> demand.Commodity.src && v <> demand.Commodity.dst
-                  then score.(v) <- score.(v) +. weight)
-                vs)
-            bundle.Paths.paths;
-        { demand; bundle })
+        if skip then begin
+          Obs.count "centrality.sampled_skipped";
+          None
+        end
+        else begin
+          if sample <> None && Option.is_none (cached demand) then
+            Obs.count "centrality.sampled_recomputed";
+          let bundle = bundle_for demand in
+          let total_cap =
+            List.fold_left (fun acc (_, c) -> acc +. c) 0.0 bundle.Paths.paths
+          in
+          if Num.positive ~eps:Num.cap_eps total_cap then
+            List.iter
+              (fun (p, c) ->
+                let weight = c /. total_cap *. demand.Commodity.amount in
+                let vs = Paths.vertices_of g demand.Commodity.src p in
+                List.iter
+                  (fun v ->
+                    if v <> demand.Commodity.src && v <> demand.Commodity.dst
+                    then score.(v) <- score.(v) +. weight)
+                  vs)
+              bundle.Paths.paths;
+          Some { demand; bundle }
+        end)
       live
   in
   (match cache with

@@ -52,6 +52,8 @@ end
 
 val compute :
   ?cache:Cache.cache ->
+  ?sample:int ->
+  ?max_paths:int ->
   length:(Graph.edge_id -> float) ->
   cap:(Graph.edge_id -> float) ->
   Graph.t ->
@@ -60,9 +62,25 @@ val compute :
 (** Evaluate the metric.  Edges with non-positive residual capacity are
     unusable; demands with zero amount are skipped.  With [?cache],
     bundles of demands untouched since the previous call are reused;
-    scores are re-aggregated from scratch either way, so the result is
-    independent of the cache.  Counters [centrality.cache_hits] /
-    [centrality.cache_misses] record the reuse rate. *)
+    scores are re-aggregated from scratch either way, so without
+    [?sample] the result is independent of the cache.  Counters
+    [centrality.cache_hits] / [centrality.cache_misses] record the reuse
+    rate.
+
+    [?sample:k] turns on the xl approximation: among demands {e missing}
+    from the cache (invalidated or never computed), only the top-[k] by
+    amount (ties towards smaller [(src, dst)]) are given a fresh bundle
+    this call; the rest are left out of scores and [contributions]
+    entirely for this round — counted in [centrality.sampled_skipped]
+    vs [centrality.sampled_recomputed].  Cache hits are always used, so
+    under a warm cache the approximation only throttles how fast
+    invalidations are repaid, not steady-state coverage.  Sampling
+    changes results; it is only sound for heuristics that re-verify
+    their final answer (ISP's final routing is recomputed by the flow
+    oracle either way).
+
+    [?max_paths] bounds each bundle's path enumeration, see
+    {!Paths.shortest_bundle}. *)
 
 val best : t -> Graph.vertex option
 (** The vertex [v_BC] with the highest strictly positive centrality

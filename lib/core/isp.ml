@@ -22,6 +22,8 @@ type config = {
   gk_eps : float;
   split_candidates : int;
   incremental_centrality : bool;
+  centrality_sample : int option;
+  bundle_max_paths : int option;
 }
 
 let default_config =
@@ -31,7 +33,9 @@ let default_config =
     lp_var_budget = 2500;
     gk_eps = 0.05;
     split_candidates = 5;
-    incremental_centrality = true }
+    incremental_centrality = true;
+    centrality_sample = None;
+    bundle_max_paths = None }
 
 type stats = {
   iterations : int;
@@ -331,7 +335,8 @@ let split_step st =
   Obs.span "isp.split_step" @@ fun () ->
   let g = st.inst.Instance.graph in
   let cent =
-    Centrality.compute ?cache:st.cent_cache ~length:(length_metric st)
+    Centrality.compute ?cache:st.cent_cache ?sample:st.cfg.centrality_sample
+      ?max_paths:st.cfg.bundle_max_paths ~length:(length_metric st)
       ~cap:(fun e -> st.resid.(e))
       g st.demands
   in

@@ -51,6 +51,15 @@ type config = {
           edges they touch, repairs flush the cache — so this is purely
           a speed knob; [false] forces the from-scratch path (used by
           tests to cross-check the cache). *)
+  centrality_sample : int option;
+      (** when [Some k], cap per-iteration centrality work: only the
+          top-[k] cache-missing demands get fresh bundles each split step
+          (see {!Centrality.compute}).  An approximation — default
+          [None] (exact); the xl sharded solver sets it. *)
+  bundle_max_paths : int option;
+      (** per-demand cap on successive-shortest-path enumeration inside
+          centrality bundles (default [None] = unlimited); the xl
+          sharded solver sets it. *)
 }
 
 val default_config : config

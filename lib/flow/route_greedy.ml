@@ -50,11 +50,18 @@ let orders demands =
     List.rev (List.stable_sort by_amount demands);
     demands ]
 
+(* The portfolio as thunks, in the fixed deterministic order.  Lazy on
+   purpose: on xl graphs one attempt costs |demands| Dijkstra runs over
+   the whole graph, and the first attempt usually routes everything —
+   evaluating the remaining five eagerly multiplied the final-routing
+   cost of the sharded solver several-fold for identical output. *)
 let portfolio ~vertex_ok ~edge_ok ~cap g demands =
   List.concat_map
     (fun order ->
-      [ attempt ~vertex_ok ~edge_ok ~cap ~metric:Hop g order;
-        attempt ~vertex_ok ~edge_ok ~cap ~metric:Inverse_capacity g order ])
+      [ (fun () -> attempt ~vertex_ok ~edge_ok ~cap ~metric:Hop g order);
+        (fun () ->
+          attempt ~vertex_ok ~edge_ok ~cap ~metric:Inverse_capacity g order)
+      ])
     (orders demands)
 
 let complete demands routing =
@@ -64,15 +71,31 @@ let route_all ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
   let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Some Routing.empty
   else
-    List.find_opt (complete demands)
-      (portfolio ~vertex_ok ~edge_ok ~cap g demands)
+    let rec first = function
+      | [] -> None
+      | t :: rest ->
+        let r = t () in
+        if complete demands r then Some r else first rest
+    in
+    first (portfolio ~vertex_ok ~edge_ok ~cap g demands)
 
 let route_max ?(vertex_ok = all) ?(edge_ok = all) ~cap g demands =
   let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Routing.empty
   else
-    let candidates = portfolio ~vertex_ok ~edge_ok ~cap g demands in
-    List.fold_left
-      (fun best r ->
-        if Routing.total_routed r > Routing.total_routed best then r else best)
-      (List.hd candidates) (List.tl candidates)
+    (* Same fold as an eager scan — first attempt reaching the maximum
+       wins — but a complete routing ends the scan: no later attempt can
+       strictly exceed the full demand, so the result is unchanged. *)
+    let rec scan best = function
+      | [] -> best
+      | _ when complete demands best -> best
+      | t :: rest ->
+        let r = t () in
+        scan
+          (if Routing.total_routed r > Routing.total_routed best then r
+           else best)
+          rest
+    in
+    (match portfolio ~vertex_ok ~edge_ok ~cap g demands with
+    | [] -> Routing.empty
+    | t :: rest -> scan (t ()) rest)

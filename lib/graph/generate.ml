@@ -52,6 +52,68 @@ let preferential_attachment ~rng ~n ~extra_edges ~capacity =
   done;
   Graph.make ~coords ~n ~edges:(List.rev !edges) ()
 
+(* Barabási–Albert preferential attachment at scale: the endpoint
+   multiset lives in one flat int array (every edge contributes both
+   endpoints), so a degree-proportional draw is a single uniform index —
+   O(n * m) total, no per-vertex array rebuild.  Coordinates are
+   geographic: seed vertices are uniform in the unit square and every
+   later vertex lands a Gaussian [jitter] away from its first attachment
+   target, so edges are mostly short and a geographically-correlated
+   disaster hits a topologically local region — the property the
+   disaster-region sharding of the xl solver relies on. *)
+let scale_free ~rng ?(jitter = 0.03) ~n ~m ~capacity () =
+  if n < 2 then invalid_arg "Generate.scale_free: n < 2";
+  if m < 1 then invalid_arg "Generate.scale_free: m < 1";
+  let m = min m (n - 1) in
+  let m0 = m + 1 in
+  (* seed path on m0 vertices *)
+  let ne_total = (m0 - 1) + ((n - m0) * m) in
+  let edges = Array.make ne_total (0, 0, capacity) in
+  let targets = Array.make (max 2 (2 * ne_total)) 0 in
+  let coords = Array.make n (0.0, 0.0) in
+  let tlen = ref 0 in
+  let elen = ref 0 in
+  let push_edge u v =
+    edges.(!elen) <- (u, v, capacity);
+    incr elen;
+    targets.(!tlen) <- u;
+    targets.(!tlen + 1) <- v;
+    tlen := !tlen + 2
+  in
+  for v = 0 to m0 - 1 do
+    coords.(v) <- (Rng.float rng 1.0, Rng.float rng 1.0);
+    if v > 0 then push_edge (v - 1) v
+  done;
+  let clamp x = Float.min 1.0 (Float.max 0.0 x) in
+  let chosen = Array.make m (-1) in
+  for v = m0 to n - 1 do
+    for k = 0 to m - 1 do
+      (* Degree-proportional draw, retried on duplicates; after a bounded
+         number of collisions (heavy hubs on tiny graphs) fall back to
+         uniform vertex draws, which always terminate since fewer than
+         [v] candidates are excluded. *)
+      let rec draw attempts =
+        let candidate =
+          if attempts < 32 then targets.(Rng.int rng !tlen)
+          else Rng.int rng v
+        in
+        let dup = ref false in
+        for j = 0 to k - 1 do
+          if chosen.(j) = candidate then dup := true
+        done;
+        if !dup then draw (attempts + 1) else candidate
+      in
+      chosen.(k) <- draw 0
+    done;
+    let tx, ty = coords.(chosen.(0)) in
+    let jx, jy = Rng.gaussian2 rng in
+    coords.(v) <- (clamp (tx +. (jitter *. jx)), clamp (ty +. (jitter *. jy)));
+    for k = 0 to m - 1 do
+      push_edge chosen.(k) v
+    done
+  done;
+  Graph.of_edge_array ~coords ~n edges
+
 let geometric ~rng ~n ~radius ~capacity =
   let coords = unit_square_coords ~rng n in
   let edges = ref [] in

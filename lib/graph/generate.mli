@@ -20,6 +20,27 @@ val preferential_attachment :
     this matches the size of the CAIDA AS28717 giant component
     (825 nodes, 1018 edges).  @raise Invalid_argument when [n < 2]. *)
 
+val scale_free :
+  rng:Netrec_util.Rng.t ->
+  ?jitter:float ->
+  n:int ->
+  m:int ->
+  capacity:float ->
+  unit ->
+  Graph.t
+(** Barabási–Albert scale-free topology at scale: [n] vertices, each new
+    vertex attaching to [m] distinct degree-proportional targets, built in
+    O(n * m) via a flat endpoint multiset — the constructor for the
+    50k–1M-node synthetic backbones of the xl experiments.  Seeded and
+    deterministic: the same [rng] state yields a byte-identical graph.
+    Always connected (grows from a seed path on [m + 1] vertices).
+    Coordinates are geographic: seed vertices are uniform in the unit
+    square and each later vertex is placed a Gaussian [jitter] (default
+    0.03, clamped to the square) away from its first attachment target,
+    so edges are short and the Gaussian disaster model breaks a
+    topologically local region.  @raise Invalid_argument when [n < 2] or
+    [m < 1]. *)
+
 val geometric :
   rng:Netrec_util.Rng.t -> n:int -> radius:float -> capacity:float -> Graph.t
 (** Random geometric graph: vertices uniform in the unit square, edges

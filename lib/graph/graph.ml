@@ -19,7 +19,7 @@ type t = {
   coords : (float * float) array option;
 }
 
-let make ?names ?coords ~n ~edges () =
+let of_edge_array ?names ?coords ~n edges =
   if n < 0 then invalid_arg "Graph.make: negative vertex count";
   (match names with
   | Some a when Array.length a <> n -> invalid_arg "Graph.make: names arity"
@@ -31,15 +31,14 @@ let make ?names ?coords ~n ~edges () =
     if w < 0 || w >= n then invalid_arg "Graph.make: endpoint out of range"
   in
   let edge_arr =
-    Array.of_list
-      (List.mapi
-         (fun id (u, v, capacity) ->
-           check_vertex u;
-           check_vertex v;
-           if u = v then invalid_arg "Graph.make: self-loop";
-           if capacity < 0.0 then invalid_arg "Graph.make: negative capacity";
-           { id; u; v; capacity })
-         edges)
+    Array.mapi
+      (fun id (u, v, capacity) ->
+        check_vertex u;
+        check_vertex v;
+        if u = v then invalid_arg "Graph.make: self-loop";
+        if capacity < 0.0 then invalid_arg "Graph.make: negative capacity";
+        { id; u; v; capacity })
+      edges
   in
   let m = Array.length edge_arr in
   (* Two-pass CSR build: count degrees, prefix-sum into offsets, then fill
@@ -68,6 +67,9 @@ let make ?names ?coords ~n ~edges () =
       cursor.(e.v) <- kv + 1)
     edge_arr;
   { nv = n; edge_arr; adj_off; adj_v; adj_e; names; coords }
+
+let make ?names ?coords ~n ~edges () =
+  of_edge_array ?names ?coords ~n (Array.of_list edges)
 
 let nv g = g.nv
 let ne g = Array.length g.edge_arr

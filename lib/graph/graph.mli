@@ -39,6 +39,17 @@ val make :
     rejected; parallel edges are allowed.
     @raise Invalid_argument on out-of-range endpoints or arity mismatch. *)
 
+val of_edge_array :
+  ?names:string array ->
+  ?coords:(float * float) array ->
+  n:int ->
+  (vertex * vertex * float) array ->
+  t
+(** Array-based variant of {!make} (ids assigned in array order) — the
+    constructor the large-scale generators use: a million-edge topology
+    builds without materialising an intermediate list.  The array is not
+    retained.  Same validation as {!make}. *)
+
 val nv : t -> int
 (** Number of vertices. *)
 

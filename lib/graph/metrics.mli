@@ -6,7 +6,13 @@
 
 val hop_diameter : Graph.t -> int
 (** Largest finite hop distance between two vertices (0 for graphs with at
-    most one vertex; disconnected pairs are ignored). *)
+    most one vertex; disconnected pairs are ignored).  O(nv * (nv + ne))
+    — exact, intended for the paper-sized topologies. *)
+
+val pseudo_diameter : Graph.t -> int
+(** Double-sweep BFS lower bound on {!hop_diameter} (exact on trees,
+    tight in practice on the scale-free synthetics).  Two BFS passes, so
+    it stays usable on 10^5-10^6-vertex graphs. *)
 
 val hop_distance : Graph.t -> Graph.vertex -> Graph.vertex -> int
 (** Hop distance ([max_int] when disconnected). *)
@@ -25,7 +31,10 @@ val degree_histogram : Graph.t -> (int * int) list
 (** [(degree, count)] pairs in increasing degree order. *)
 
 val summary : Graph.t -> string
-(** One-line human-readable summary (nv, ne, degree stats, diameter). *)
+(** One-line human-readable summary (nv, ne, degree stats, diameter).
+    Reports the exact {!hop_diameter} up to 2048 vertices and the
+    {!pseudo_diameter} bound (as [diameter>=]) beyond, so printing a
+    topology header never dominates an xl run. *)
 
 val betweenness : Graph.t -> float array
 (** Classic (unweighted) betweenness centrality via Brandes' algorithm

@@ -31,13 +31,14 @@ let is_simple g src p =
 type bundle = { paths : (path * float) list; covered : float }
 
 let shortest_bundle ?(vertex_ok = fun _ -> true) ?(edge_ok = fun _ -> true)
-    ~length:len ~cap ~demand g i j =
+    ?(max_paths = max_int) ~length:len ~cap ~demand g i j =
   let m = Graph.ne g in
   let resid = Array.init m (fun e -> cap e) in
   let eps = Netrec_util.Num.flow_eps in
   let edge_ok e = edge_ok e && resid.(e) > eps in
-  let rec collect acc covered =
-    if covered >= demand -. eps then { paths = List.rev acc; covered }
+  let rec collect acc n covered =
+    if covered >= demand -. eps || n >= max_paths then
+      { paths = List.rev acc; covered }
     else
       match
         Dijkstra.shortest_path ~vertex_ok ~edge_ok
@@ -51,10 +52,10 @@ let shortest_bundle ?(vertex_ok = fun _ -> true) ?(edge_ok = fun _ -> true)
           List.fold_left (fun a e -> Float.min a resid.(e)) infinity p
         in
         List.iter (fun e -> resid.(e) <- resid.(e) -. bottleneck) p;
-        collect ((p, bottleneck) :: acc) (covered +. bottleneck)
+        collect ((p, bottleneck) :: acc) (n + 1) (covered +. bottleneck)
   in
   if i = j then { paths = []; covered = demand }
-  else collect [] 0.0
+  else collect [] 0 0.0
 
 let through g i j v p =
   v <> i && v <> j

@@ -39,6 +39,7 @@ type bundle = {
 val shortest_bundle :
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
+  ?max_paths:int ->
   length:(Graph.edge_id -> float) ->
   cap:(Graph.edge_id -> float) ->
   demand:float ->
@@ -50,7 +51,11 @@ val shortest_bundle :
     [P̂*(i,j)]: successive shortest paths under [length], each taken with
     its bottleneck residual capacity, until [demand] is covered or no
     positive-capacity path remains.  Edges with non-positive residual
-    capacity are skipped. *)
+    capacity are skipped.  [?max_paths] caps the enumeration (default
+    unlimited): on xl instances a pathological demand can otherwise chase
+    hundreds of near-parallel paths — the bundle is then a truncated
+    [P*], still shortest-first, with [covered] possibly short of
+    [demand]. *)
 
 val through : Graph.t -> Graph.vertex -> Graph.vertex -> Graph.vertex -> path -> bool
 (** [through g i j v p] tells whether [v] is an {e interior} vertex of path

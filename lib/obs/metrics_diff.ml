@@ -290,6 +290,56 @@ let section_lp_gate cfg ctx ~base ~current =
                   (pct rel)))
       (Json.obj_members b)
 
+(* The xl_gate block (sharded solver on the pinned 5k scale-free
+   scenario, bench/main.ml) mirrors lp_gate: deterministic integers
+   gated on drift, plus two hard correctness invariants — the stitched
+   solution must stay certified with zero violations, whatever the
+   baseline says. *)
+let section_xl_gate cfg ctx ~base ~current =
+  let b = Json.member "xl_gate" base and c = Json.member "xl_gate" current in
+  match (b, c) with
+  | None, _ -> line ctx "xl_gate: no baseline section, skipped"
+  | Some _, None -> regress ctx "xl_gate: section missing from current run"
+  | Some b, Some c ->
+    line ctx "xl_gate (deterministic counters, tolerance %.0f%%):"
+      (pct cfg.lp_tolerance);
+    (match Option.bind (Json.member "xl.certified" c) Json.number with
+    | Some 1.0 -> ()
+    | Some cv ->
+      regress ctx "xl_gate xl.certified: stitched solution not certified (%.0f)"
+        cv
+    | None -> regress ctx "xl_gate xl.certified: missing from current");
+    (match Option.bind (Json.member "check.violations" c) Json.number with
+    | Some 0.0 -> ()
+    | Some cv -> regress ctx "xl_gate check.violations: %.0f violation(s)" cv
+    | None -> regress ctx "xl_gate check.violations: missing from current");
+    let hard = [ "xl.certified"; "check.violations" ] in
+    let gated =
+      [ "isp.shard_count"; "isp.shard_delegated"; "xl.repairs_total" ]
+    in
+    List.iter
+      (fun (name, bv) ->
+        if not (List.mem name hard) then
+          match Json.number bv with
+          | None -> ()
+          | Some bv -> (
+            match Option.bind (Json.member name c) Json.number with
+            | None -> line ctx "  note %s missing from current" name
+            | Some cv ->
+              let rel =
+                if bv <> 0.0 then (cv -. bv) /. Float.abs bv
+                else if cv = 0.0 then 0.0
+                else infinity
+              in
+              if List.mem name gated && Float.abs rel > cfg.lp_tolerance then
+                regress ctx
+                  "xl_gate %s: %.0f -> %.0f (%+.1f%% drift > %.0f%%)" name bv
+                  cv (pct rel) (pct cfg.lp_tolerance)
+              else
+                line ctx "  ok   %-32s %10.0f -> %10.0f (%+.1f%%)" name bv cv
+                  (pct rel)))
+      (Json.obj_members b)
+
 let quantile_keys = [ "p50"; "p90"; "p99" ]
 
 let section_histograms cfg ctx ~base ~current ~modes_match =
@@ -390,6 +440,7 @@ let diff cfg ~base ~current =
   | _ -> line ctx "schema: missing field in one document");
   section_benchmarks cfg ctx ~base ~current;
   section_lp_gate cfg ctx ~base ~current;
+  section_xl_gate cfg ctx ~base ~current;
   section_histograms cfg ctx ~base ~current ~modes_match;
   section_counters cfg ctx ~base ~current ~modes_match;
   { lines = List.rev ctx.out; regressions = List.rev ctx.regs }

@@ -9,7 +9,11 @@
     - {b LP-gate counters} (pivots, branch-and-bound nodes on a pinned
       scenario) are deterministic, so any relative drift beyond
       {!config.lp_tolerance} — in either direction — is flagged, and
-      [opt.proved] regressing from 1 is always a failure;
+      [opt.proved] regressing from 1 is always a failure; the
+      {b xl-gate counters} (sharded-solver shape on the pinned 5k
+      scale-free scenario) follow the same regime, with
+      [xl.certified = 1] and [check.violations = 0] as hard invariants
+      of the current run;
     - {b histogram quantiles} (p50/p90/p99 per metric) gate on
       {!config.quantile_tolerance}; wall-clock histograms (names ending
       in [_ms]) additionally require the absolute floor.

@@ -235,7 +235,11 @@ let stats_locked t =
     | Breaker.Half_open -> 2
   in
   let to_open, to_half, to_closed = Breaker.transition_counts t.breaker in
-  [ ("serve.requests", c.requests);
+  [ (* Topology size first: with synth: specs the daemon can host xl
+       graphs, and clients deserve to see what it loaded. *)
+    ("serve.topology_nv", G.nv t.graph);
+    ("serve.topology_ne", G.ne t.graph);
+    ("serve.requests", c.requests);
     ("serve.queries", c.queries);
     ("serve.ok", c.ok);
     ("serve.errors", c.errors);

@@ -1,0 +1,86 @@
+module Rng = Netrec_util.Rng
+
+type spec = {
+  n : int;
+  m : int;
+  seed : int;
+  capacity : float;
+  jitter : float;
+}
+
+let default = { n = 0; m = 2; seed = 1; capacity = 30.0; jitter = 0.03 }
+
+let to_string s =
+  Printf.sprintf "sf:n=%d,m=%d,seed=%d,cap=%g,jitter=%g" s.n s.m s.seed
+    s.capacity s.jitter
+
+let parse text =
+  let text = String.trim text in
+  match String.index_opt text ':' with
+  | None -> Error "synth spec: expected '<family>:<key=value,...>' (e.g. sf:n=100000,m=2,seed=42)"
+  | Some i ->
+    let family = String.sub text 0 i in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    if family <> "sf" then
+      Error (Printf.sprintf "synth spec: unknown family %S (only \"sf\")" family)
+    else begin
+      let fields =
+        String.split_on_char ',' rest
+        |> List.filter (fun s -> String.trim s <> "")
+      in
+      let parse_field acc field =
+        match acc with
+        | Error _ -> acc
+        | Ok spec -> (
+          match String.index_opt field '=' with
+          | None ->
+            Error (Printf.sprintf "synth spec: malformed field %S" field)
+          | Some j ->
+            let key = String.trim (String.sub field 0 j) in
+            let value =
+              String.trim
+                (String.sub field (j + 1) (String.length field - j - 1))
+            in
+            let int_of () =
+              match int_of_string_opt value with
+              | Some v -> Ok v
+              | None ->
+                Error
+                  (Printf.sprintf "synth spec: %s expects an integer, got %S"
+                     key value)
+            in
+            let float_of () =
+              match float_of_string_opt value with
+              | Some v -> Ok v
+              | None ->
+                Error
+                  (Printf.sprintf "synth spec: %s expects a number, got %S" key
+                     value)
+            in
+            (match key with
+            | "n" -> Result.map (fun v -> { spec with n = v }) (int_of ())
+            | "m" -> Result.map (fun v -> { spec with m = v }) (int_of ())
+            | "seed" ->
+              Result.map (fun v -> { spec with seed = v }) (int_of ())
+            | "cap" | "capacity" ->
+              Result.map (fun v -> { spec with capacity = v }) (float_of ())
+            | "jitter" ->
+              Result.map (fun v -> { spec with jitter = v }) (float_of ())
+            | _ -> Error (Printf.sprintf "synth spec: unknown key %S" key)))
+      in
+      match List.fold_left parse_field (Ok default) fields with
+      | Error _ as e -> e
+      | Ok spec ->
+        if spec.n < 2 then Error "synth spec: n must be >= 2"
+        else if spec.m < 1 then Error "synth spec: m must be >= 1"
+        else if spec.capacity <= 0.0 then
+          Error "synth spec: cap must be positive"
+        else Ok spec
+    end
+
+let graph spec =
+  let rng = Rng.create spec.seed in
+  Generate.scale_free ~rng ~jitter:spec.jitter ~n:spec.n ~m:spec.m
+    ~capacity:spec.capacity ()
+
+let of_string text = Result.map graph (parse text)

@@ -1,0 +1,31 @@
+(** Synthetic xl topologies from a compact textual spec.
+
+    The CLI and daemon accept [--topo synth:<spec>] where [<spec>] is
+    [sf:n=<vertices>,m=<edges-per-vertex>,seed=<s>,cap=<c>,jitter=<j>] —
+    a seeded Barabási–Albert scale-free graph from
+    {!Netrec_graph.Generate.scale_free} (geographic coordinates, uniform
+    capacities).  Only [n] is required; defaults are [m=2], [seed=1],
+    [cap=30], [jitter=0.03].  The same spec always yields a byte-identical
+    graph, so xl experiment scenarios are reproducible from their command
+    line alone. *)
+
+type spec = {
+  n : int;  (** vertex count (required, >= 2) *)
+  m : int;  (** attachment edges per new vertex (default 2) *)
+  seed : int;  (** generator seed (default 1) *)
+  capacity : float;  (** uniform link capacity (default 30) *)
+  jitter : float;  (** geographic placement spread (default 0.03) *)
+}
+
+val parse : string -> (spec, string) result
+(** Parse a spec string ([sf:key=value,...]).  Never raises; the error
+    string names the offending field. *)
+
+val to_string : spec -> string
+(** Canonical round-trippable rendering of a spec. *)
+
+val graph : spec -> Graph.t
+(** Generate the topology (deterministic in the spec). *)
+
+val of_string : string -> (Graph.t, string) result
+(** [parse] + [graph]. *)

@@ -41,8 +41,26 @@ missing = [k for k in ("isp.iterations", "simplex.pivots", "dijkstra.calls",
 # cache_hits > 0 above proves the incremental path actually reused work.
 if "centrality.cache_misses" not in counters:
     missing.append("centrality.cache_misses")
+# Sharded-solver counters: the xl gate runs a pinned multi-shard
+# scenario in every bench mode, so the shape counters must be live;
+# fixup/delegated/skipped are materialised at 0 and may stay there.
+missing += [k for k in ("isp.shard_count", "isp.shard_region_vertices",
+                        "isp.shard_cut_demands",
+                        "centrality.sampled_recomputed")
+            if counters.get(k, 0) <= 0]
+missing += [k for k in ("isp.shard_fixup_paths", "isp.shard_delegated",
+                        "centrality.sampled_skipped")
+            if k not in counters]
 if missing:
     sys.exit("FAIL: missing or zero counters: %s" % ", ".join(missing))
+gate = doc.get("xl_gate", {})
+if gate.get("xl.certified") != 1:
+    sys.exit("FAIL: xl_gate missing or stitched solution not certified: %r"
+             % gate)
+if gate.get("check.violations") != 0:
+    sys.exit("FAIL: xl_gate check.violations nonzero: %r" % gate)
+if gate.get("isp.shard_count", 0) < 2:
+    sys.exit("FAIL: xl_gate expected >= 2 shards: %r" % gate)
 gauges = doc.get("metrics", {}).get("gauges", {})
 cpd = gauges.get("parallel.cells_per_domain", {})
 if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
@@ -50,7 +68,7 @@ if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
 # Obs v2: every required histogram must be present with its full
 # quantile set; the per-run trajectory block must be non-empty.
 hists = doc.get("metrics", {}).get("histograms", {})
-for name in ("isp.iteration_ms", "isp.solve_ms",
+for name in ("isp.iteration_ms", "isp.solve_ms", "shard.solve_ms",
              "simplex.pivots_per_solve", "milp.nodes_per_solve",
              "dijkstra.settled_per_call", "parallel.batch_cells"):
     h = hists.get(name)
@@ -111,9 +129,13 @@ else
   for key in '"schema":"netrec-bench-metrics/2"' '"isp.iterations"' \
              '"simplex.pivots"' '"dijkstra.calls"' \
              '"centrality.cache_hits"' '"centrality.cache_misses"' \
+             '"centrality.sampled_recomputed"' '"centrality.sampled_skipped"' \
+             '"isp.shard_count"' '"isp.shard_region_vertices"' \
+             '"isp.shard_cut_demands"' '"isp.shard_fixup_paths"' \
              '"parallel.cells"' '"parallel.cells_per_domain"' \
              '"lp_gate"' '"simplex.warm_starts"' '"simplex.phase1_skipped"' \
              '"milp.nodes"' '"opt.proved":1' \
+             '"xl_gate"' '"xl.certified":1' '"shard.solve_ms"' \
              '"histograms"' '"isp.iteration_ms"' '"simplex.pivots_per_solve"' \
              '"dijkstra.settled_per_call"' '"p50"' '"p90"' '"p99"' \
              '"progress"' '"isp.residual"'; do

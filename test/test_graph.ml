@@ -445,6 +445,53 @@ let test_preferential_attachment_size () =
   Alcotest.(check int) "ne" 1018 (Graph.ne g);
   Alcotest.(check bool) "connected" true (Traverse.is_connected g)
 
+let test_scale_free_deterministic () =
+  let gen seed =
+    Generate.scale_free ~rng:(Rng.create seed) ~n:700 ~m:2 ~capacity:15.0 ()
+  in
+  Alcotest.(check string)
+    "same seed, byte-identical edge list"
+    (Graph.to_edge_list (gen 42))
+    (Graph.to_edge_list (gen 42));
+  Alcotest.(check bool)
+    "different seed, different graph" false
+    (Graph.to_edge_list (gen 42) = Graph.to_edge_list (gen 43))
+
+let test_scale_free_shape () =
+  let n = 1000 and m = 2 in
+  let g = Generate.scale_free ~rng:(Rng.create 7) ~n ~m ~capacity:15.0 () in
+  Alcotest.(check int) "nv" n (Graph.nv g);
+  (* seed path on m+1 vertices, then m attachments per later vertex *)
+  Alcotest.(check int) "ne" (m + ((n - m - 1) * m)) (Graph.ne g);
+  Alcotest.(check bool) "connected" true (Traverse.is_connected g);
+  (* Degree distribution sanity: mean ~2m by construction; preferential
+     attachment must have grown hubs far beyond the attachment count. *)
+  let mean = 2.0 *. float_of_int (Graph.ne g) /. float_of_int n in
+  Alcotest.(check bool) "mean degree ~2m" true (Float.abs (mean -. 4.0) < 0.1);
+  Alcotest.(check bool) "heavy tail (hub degree >> m)" true
+    (Graph.max_degree g >= 8 * m)
+
+let test_scale_free_coords () =
+  let g = Generate.scale_free ~rng:(Rng.create 5) ~n:400 ~m:3 ~capacity:1.0 () in
+  Alcotest.(check bool) "has coords" true (Graph.has_coords g);
+  List.iter
+    (fun v ->
+      match Graph.coord g v with
+      | None -> Alcotest.failf "vertex %d lost its coordinate" v
+      | Some (x, y) ->
+        if x < 0.0 || x > 1.0 || y < 0.0 || y > 1.0 then
+          Alcotest.failf "vertex %d outside the unit square: (%g, %g)" v x y)
+    (Graph.vertices g)
+
+let test_scale_free_rejects_bad_args () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "n < 2 rejected" true
+    (bad (fun () ->
+         Generate.scale_free ~rng:(Rng.create 1) ~n:1 ~m:1 ~capacity:1.0 ()));
+  Alcotest.(check bool) "m < 1 rejected" true
+    (bad (fun () ->
+         Generate.scale_free ~rng:(Rng.create 1) ~n:10 ~m:0 ~capacity:1.0 ()))
+
 let test_grid_structure () =
   let g = Generate.grid ~width:3 ~height:4 ~capacity:2.0 in
   Alcotest.(check int) "nv" 12 (Graph.nv g);
@@ -580,6 +627,10 @@ let () =
         [ tc "er extremes" test_er_extremes;
           tc "er deterministic" test_er_deterministic;
           tc "preferential attachment" test_preferential_attachment_size;
+          tc "scale free deterministic" test_scale_free_deterministic;
+          tc "scale free shape" test_scale_free_shape;
+          tc "scale free coords" test_scale_free_coords;
+          tc "scale free bad args" test_scale_free_rejects_bad_args;
           tc "grid" test_grid_structure;
           tc "ring" test_ring_structure;
           tc "complete" test_complete_structure;

@@ -350,6 +350,50 @@ let test_diff_missing_quantile_key () =
        (fun s -> contains s "quantile p99 missing")
        r.Diff.regressions)
 
+let doc_with_xl ~certified ~violations ~shards =
+  Printf.sprintf
+    {|{"schema":"netrec-bench-metrics/2","mode":"quick",
+      "benchmarks":{"fig4:isp":100},
+      "lp_gate":{"opt.proved":1,"simplex.pivots":9000,"milp.nodes":71},
+      "xl_gate":{"xl.certified":%d,"check.violations":%d,
+                 "isp.shard_count":%d,"isp.shard_delegated":0,
+                 "xl.repairs_total":50,"isp.shard_cut_demands":12},
+      "metrics":{"counters":{},"gauges":{},"histograms":{},
+                 "spans":[],"progress":[]}}|}
+    certified violations shards
+
+let test_diff_xl_gate () =
+  let base = doc_with_xl ~certified:1 ~violations:0 ~shards:4 in
+  check_bool "self-diff clean" true ((run_diff base base).Diff.regressions = []);
+  (* Certification and violation counts are hard invariants: any current
+     run that is uncertified or carries violations fails, whatever the
+     baseline says. *)
+  let broken = doc_with_xl ~certified:1 ~violations:2 ~shards:4 in
+  check_bool "violations regress" true
+    (List.exists
+       (fun s -> contains s "check.violations")
+       (run_diff base broken).Diff.regressions);
+  let uncert = doc_with_xl ~certified:0 ~violations:0 ~shards:4 in
+  check_bool "uncertified regresses" true
+    (List.exists
+       (fun s -> contains s "xl.certified")
+       (run_diff base uncert).Diff.regressions);
+  (* Shard counts are deterministic, so drift beyond the lp tolerance is
+     a structural change in the partitioning and must gate. *)
+  let drifted = doc_with_xl ~certified:1 ~violations:0 ~shards:6 in
+  check_bool "+50% shard drift regresses" true
+    (List.exists
+       (fun s -> contains s "isp.shard_count")
+       (run_diff base drifted).Diff.regressions);
+  (* A missing section only regresses when the baseline had one. *)
+  let without = doc_with ~mode:"quick" ~bench_ms:100.0 ~pivots:9000 ~p99:40.0 in
+  check_bool "section vanishing regresses" true
+    (List.exists
+       (fun s -> contains s "xl_gate")
+       (run_diff base without).Diff.regressions);
+  check_bool "no baseline section, skipped" true
+    ((run_diff without without).Diff.regressions = [])
+
 let test_json_parser () =
   let open Diff.Json in
   (match parse {| {"a":[1,2.5,-3e2],"b":"x\n\"yA","c":true,"d":null} |} with
@@ -502,6 +546,7 @@ let () =
             test_diff_gates_benchmarks_and_lp;
           Alcotest.test_case "diff: missing quantile key" `Quick
             test_diff_missing_quantile_key;
+          Alcotest.test_case "diff: xl gate" `Quick test_diff_xl_gate;
           Alcotest.test_case "vendored json parser" `Quick test_json_parser;
           Alcotest.test_case "jsonl well-formedness" `Quick
             test_jsonl_well_formed;

@@ -152,6 +152,101 @@ let test_caida_capacity () =
       Alcotest.(check (float 1e-9)) "uniform caps" 30.0 e.Graph.capacity)
     g ()
 
+(* ---- synth: xl topologies from a textual spec ---- *)
+
+let test_synth_parse_defaults () =
+  match Synth.parse "sf:n=100" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+    Alcotest.(check int) "n" 100 s.Synth.n;
+    Alcotest.(check int) "m default" 2 s.Synth.m;
+    Alcotest.(check int) "seed default" 1 s.Synth.seed;
+    Alcotest.(check (float 1e-9)) "cap default" 30.0 s.Synth.capacity;
+    Alcotest.(check (float 1e-9)) "jitter default" 0.03 s.Synth.jitter
+
+let test_synth_parse_full () =
+  match Synth.parse "sf:n=5000,m=3,seed=42,cap=12.5,jitter=0.1" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+    Alcotest.(check int) "n" 5000 s.Synth.n;
+    Alcotest.(check int) "m" 3 s.Synth.m;
+    Alcotest.(check int) "seed" 42 s.Synth.seed;
+    Alcotest.(check (float 1e-9)) "cap" 12.5 s.Synth.capacity;
+    Alcotest.(check (float 1e-9)) "jitter" 0.1 s.Synth.jitter
+
+let test_synth_parse_errors () =
+  let rejected spec =
+    match Synth.parse spec with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" spec) true
+        (rejected spec))
+    [ "sf:m=2" (* n is required *); "er:n=10" (* unknown family *);
+      "sf:n=1" (* below the 2-vertex minimum *); "sf:n=10,bogus=1";
+      "sf:n=ten"; "" ]
+
+let test_synth_canonical_round_trip () =
+  match Synth.parse "sf:n=750,seed=9" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s -> (
+    let canonical = Synth.to_string s in
+    match Synth.parse canonical with
+    | Error e -> Alcotest.failf "canonical form %S rejected: %s" canonical e
+    | Ok s' ->
+      Alcotest.(check string) "fixed point" canonical (Synth.to_string s'))
+
+let test_synth_graph_deterministic () =
+  let build () =
+    match Synth.of_string "sf:n=600,m=2,seed=7" with
+    | Error e -> Alcotest.failf "of_string failed: %s" e
+    | Ok g -> g
+  in
+  let g = build () in
+  Alcotest.(check int) "nv" 600 (Graph.nv g);
+  Alcotest.(check bool) "connected" true (Traverse.is_connected g);
+  Alcotest.(check bool) "coords" true (Graph.has_coords g);
+  Alcotest.(check string) "byte-identical rebuild"
+    (Graph.to_edge_list g)
+    (Graph.to_edge_list (build ()))
+
+(* A synth-topology disaster instance must survive the plain-text
+   instance format: the xl experiments rely on `recover plan --topo
+   synth:... --save` output being re-loadable by `recover verify`. *)
+let test_synth_serialize_round_trip () =
+  let module Serialize = Netrec_core.Serialize in
+  let module Instance = Netrec_core.Instance in
+  let module Failure = Netrec_disrupt.Failure in
+  let module Models = Netrec_disrupt.Models in
+  let g =
+    match Synth.of_string "sf:n=300,m=2,seed=11" with
+    | Error e -> Alcotest.failf "of_string failed: %s" e
+    | Ok g -> g
+  in
+  let rng = Rng.create 3 in
+  let failure = Models.gaussian ~rng ~variance:0.002 g in
+  let demands = Demand_gen.far_pairs ~rng ~count:8 ~amount:5.0 g in
+  let inst = Instance.make ~graph:g ~demands ~failure () in
+  let text = Serialize.to_string inst in
+  let inst' = Serialize.of_string text in
+  Alcotest.(check int) "nv" (Graph.nv g) (Graph.nv inst'.Instance.graph);
+  Alcotest.(check string) "edges survive" (Graph.to_edge_list g)
+    (Graph.to_edge_list inst'.Instance.graph);
+  Alcotest.(check bool) "coords survive" true
+    (Graph.has_coords inst'.Instance.graph);
+  Alcotest.(check int) "demands survive" (List.length demands)
+    (List.length inst'.Instance.demands);
+  Alcotest.(check (list int)) "broken vertices survive"
+    (Failure.broken_vertex_list failure)
+    (Failure.broken_vertex_list inst'.Instance.failure);
+  Alcotest.(check (list int)) "broken edges survive"
+    (Failure.broken_edge_list failure)
+    (Failure.broken_edge_list inst'.Instance.failure);
+  Alcotest.(check string) "reserialization is a fixed point" text
+    (Serialize.to_string inst')
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "netrec_topo"
@@ -191,6 +286,13 @@ let () =
                     Alcotest.(check bool) "alternative path" true
                       (Traverse.reachable ~vertex_ok:(fun v -> v <> dead) g 0 10))
                 (Graph.vertices g)) ] );
+      ( "synth",
+        [ tc "parse defaults" test_synth_parse_defaults;
+          tc "parse full spec" test_synth_parse_full;
+          tc "parse errors" test_synth_parse_errors;
+          tc "canonical round trip" test_synth_canonical_round_trip;
+          tc "graph deterministic" test_synth_graph_deterministic;
+          tc "serialize round trip" test_synth_serialize_round_trip ] );
       ( "caida",
         [ tc "size" test_caida_size;
           tc "connected" test_caida_connected;
