@@ -93,6 +93,14 @@ let micro_benchmarks () =
          path: the time/run behind the xl_gate counters. *)
       Test.make ~name:"fig9-xl:shard-synth-5k" (Staged.stage (fun () ->
           ignore (Netrec_shard.Shard.solve xl_smoke)));
+      (* Greedy + local search on the pinned scheduling smoke scenario:
+         the time/run behind the sched_gate counters. *)
+      Test.make ~name:"sched:greedy-ls-smoke" (Staged.stage (fun () ->
+          let module Sched = Netrec_sched.Sched in
+          let inst = E.Fig_sched.smoke_scenario () in
+          let cap = Sched.capacity ~crews:E.Fig_sched.smoke_crews () in
+          let greedy = Sched.greedy ~cap inst (Instance.repair_all inst) in
+          ignore (Sched.local_search ~cap inst (Sched.order_of greedy))));
       Test.make ~name:"opt:bell-canada-gaussian" (Staged.stage (fun () ->
           ignore (Netrec_heuristics.Opt.solve gauss)));
       Test.make ~name:"mcf-lp:feasible-bell-canada" (Staged.stage (fun () ->
@@ -284,11 +292,14 @@ let run_figure s fig =
       (E.Fig9_xl.run ~pool ~runs:(min 2 s.runs)
          ~sizes:(if s.runs = 1 then [ 20_000; 100_000 ] else E.Fig9_xl.default_sizes)
          ())
+  | "fig-sched" ->
+    emit_tables "fig_sched" (E.Fig_sched.run ~pool ~runs:s.runs ())
   | "ablation" -> emit_tables "ablation" (E.Ablation.run ~runs:s.runs ())
   | other -> Printf.eprintf "unknown figure %S\n" other
 
 let all_figures =
-  [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig9-xl"; "ablation" ]
+  [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig9-xl"; "fig-sched";
+    "ablation" ]
 
 let run_all s =
   List.iter
@@ -357,12 +368,54 @@ let xl_gate_metrics () =
     ("isp.shard_delegated", if st.Shard.delegated then 1 else 0) ]
   @ deltas
 
+(* Deterministic scheduling gate: greedy, greedy + local search and the
+   MILP oracle on the pinned two-corridor smoke scenario.  AUC and
+   regret enter as microunits so the block stays integer-valued like
+   the other gates; scripts/check_sched.sh asserts that the oracle
+   proves optimality, the refined plan stays within 5% regret
+   (sched.regret_microunits <= 50_000) and every round certifies. *)
+let sched_gate_metrics () =
+  let module Sched = Netrec_sched.Sched in
+  let inst = E.Fig_sched.smoke_scenario () in
+  let cap = Sched.capacity ~crews:E.Fig_sched.smoke_crews () in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let keys =
+    [ "sched.plans"; "sched.rounds"; "sched.evals"; "sched.ls_passes";
+      "sched.moves_tried"; "sched.moves_applied"; "sched.oracle_solves";
+      "sched.oracle_nodes" ]
+  in
+  let before = List.map (fun k -> (k, Obs.counter_value k)) keys in
+  let greedy = Sched.greedy ~cap inst (Instance.repair_all inst) in
+  let refined, _ = Sched.local_search ~cap inst (Sched.order_of greedy) in
+  let oracle =
+    match Sched.oracle ~cap inst (E.Fig_sched.smoke_elements ()) with
+    | Ok r -> r
+    | Error _ -> failwith "sched gate: oracle refused the smoke scenario"
+  in
+  let deltas = List.map (fun (k, v) -> (k, Obs.counter_value k - v)) before in
+  Obs.set_enabled was;
+  let micro x = int_of_float (Float.round (1e6 *. x)) in
+  let certified =
+    List.for_all Netrec_check.Check.ok (Sched.certify_rounds inst refined)
+  in
+  [ ("sched.oracle_proved", if oracle.Sched.proved then 1 else 0);
+    ("sched.plan_rounds", List.length refined.Sched.rounds);
+    ("sched.greedy_auc_microunits", micro greedy.Sched.auc);
+    ("sched.ls_auc_microunits", micro refined.Sched.auc);
+    ("sched.oracle_auc_microunits", micro oracle.Sched.plan.Sched.auc);
+    ( "sched.regret_microunits",
+      micro (Sched.regret ~oracle:oracle.Sched.plan refined) );
+    ("sched.certified", if certified then 1 else 0) ]
+  @ deltas
+
 (* Machine-readable run record: micro-benchmark estimates, the
-   deterministic LP and xl work gates, plus the full counter/gauge/
-   histogram/span/progress snapshot of the figure regeneration. *)
+   deterministic LP, xl and sched work gates, plus the full counter/
+   gauge/histogram/span/progress snapshot of the figure regeneration. *)
 let write_bench_metrics ~mode ~benchmarks =
   let lp_gate = lp_gate_metrics () in
   let xl_gate = xl_gate_metrics () in
+  let sched_gate = sched_gate_metrics () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"schema\":\"netrec-bench-metrics/2\",";
   Printf.bprintf buf "\"mode\":\"%s\",\"benchmarks\":{" mode;
@@ -383,6 +436,12 @@ let write_bench_metrics ~mode ~benchmarks =
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf "\"%s\":%d" name v)
     xl_gate;
+  Buffer.add_string buf "},\"sched_gate\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\":%d" name v)
+    sched_gate;
   Buffer.add_string buf "},\"metrics\":";
   Buffer.add_string buf (Obs.metrics_json ());
   Buffer.add_string buf "}\n";
@@ -417,6 +476,50 @@ let xl_smoke ~jobs =
   Printf.printf "violations=%d\ncertified=%b\n"
     (List.length st.Shard.certificate.Netrec_check.Check.violations)
     (Netrec_check.Check.ok st.Shard.certificate)
+
+(* The sched smoke run behind scripts/check_sched.sh: schedule the
+   pinned two-corridor scenario with greedy + local search on a -jN
+   pool, prove the optimum with the MILP oracle, and print only
+   deterministic facts (no wall clock), so the script can diff -j1
+   against -j4 byte-for-byte and grep the gate facts. *)
+let sched_smoke ~jobs =
+  let module Sched = Netrec_sched.Sched in
+  let inst = E.Fig_sched.smoke_scenario () in
+  let cap = Sched.capacity ~crews:E.Fig_sched.smoke_crews () in
+  let pool = E.Common.Pool.create ~jobs in
+  let el_str = function
+    | `Vertex v -> Printf.sprintf "v%d" v
+    | `Edge e -> Printf.sprintf "e%d" e
+  in
+  let round_str r =
+    Printf.sprintf "[%s] cost=%.1f satisfied=%.6f"
+      (String.concat "," (List.map el_str r.Sched.elements))
+      r.Sched.cost r.Sched.satisfied
+  in
+  let greedy = Sched.greedy ~cap inst (Instance.repair_all inst) in
+  let refined, stats =
+    Sched.local_search ~pool ~cap inst (Sched.order_of greedy)
+  in
+  let oracle =
+    match Sched.oracle ~cap inst (E.Fig_sched.smoke_elements ()) with
+    | Ok r -> r
+    | Error _ -> failwith "sched-smoke: oracle refused the smoke scenario"
+  in
+  Printf.printf "sched-smoke: n=%d ne=%d elements=%d crews=%d\n"
+    (G.nv inst.Instance.graph) (G.ne inst.Instance.graph)
+    (List.length (E.Fig_sched.smoke_elements ()))
+    E.Fig_sched.smoke_crews;
+  List.iteri
+    (fun i r -> Printf.printf "round %d: %s\n" (i + 1) (round_str r))
+    refined.Sched.rounds;
+  Printf.printf "greedy_auc=%.6f\nls_auc=%.6f\noracle_auc=%.6f\n"
+    greedy.Sched.auc refined.Sched.auc oracle.Sched.plan.Sched.auc;
+  Printf.printf "ls_passes=%d ls_moves_applied=%d\n" stats.Sched.passes
+    stats.Sched.moves_applied;
+  Printf.printf "oracle_proved=%b\nregret=%.6f\ncertified=%b\n"
+    oracle.Sched.proved
+    (Sched.regret ~oracle:oracle.Sched.plan refined)
+    (List.for_all Netrec_check.Check.ok (Sched.certify_rounds inst refined))
 
 (* [-jN] anywhere on the command line sets the pool size for figure
    regeneration (default 2; results are identical for any N). *)
@@ -464,6 +567,9 @@ let () =
   | [ "xl-smoke" ] ->
     Obs.set_enabled true;
     xl_smoke ~jobs:(Option.value ~default:1 jobs)
+  | [ "sched-smoke" ] ->
+    Obs.set_enabled true;
+    sched_smoke ~jobs:(Option.value ~default:1 jobs)
   | [ "figures" ] ->
     Obs.set_enabled true;
     run_all (with_jobs default);

@@ -560,34 +560,156 @@ let experiment_cmd =
 
 (* ---- schedule command ---- *)
 
-let schedule topology er_p seed pairs amount disruption variance fail_p =
+let per_round_arg =
+  let doc =
+    "Crews available per recovery round: chunk the schedule into rounds of \
+     at most $(docv) repairs and report the per-round recovery curve \
+     (0, the default, keeps the flat per-element schedule)."
+  in
+  Arg.(value & opt int 0 & info [ "per-round" ] ~docv:"N" ~doc)
+
+let round_budget_arg =
+  let doc =
+    "Repair-cost budget per round (needs --per-round; an element more \
+     expensive than the whole budget still ships alone)."
+  in
+  Arg.(value & opt (some float) None & info [ "round-budget" ] ~docv:"COST" ~doc)
+
+let local_search_arg =
+  let doc =
+    "Refine the greedy order with swap/insert local search over whole-plan \
+     AUC before reporting (needs --per-round)."
+  in
+  Arg.(value & flag & info [ "local-search" ] ~doc)
+
+let oracle_arg =
+  let doc =
+    "Also solve the exact MILP round-assignment oracle and report the \
+     schedule's regret against the proved optimum (small instances only; \
+     needs --per-round)."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let element_name g = function
+  | `Vertex v -> Printf.sprintf "node %s" (G.name g v)
+  | `Edge e ->
+    let u, v = G.endpoints g e in
+    Printf.sprintf "link %s-%s" (G.name g u) (G.name g v)
+
+let schedule_rounds inst ~crews ~round_budget ~local_search ~oracle ~certify =
+  let module Sched = Netrec_sched.Sched in
+  let g = inst.Instance.graph in
+  let cap = Sched.capacity ?round_budget ~crews () in
+  let sol, _ = Netrec_core.Isp.solve inst in
+  Printf.printf
+    "ISP plan: %d repairs; %d crew(s) per round%s; per-round recovery:\n"
+    (Instance.total_repairs sol) crews
+    (match round_budget with
+    | Some b -> Printf.sprintf ", round budget %g" b
+    | None -> "");
+  let plan = Sched.greedy ~cap inst sol in
+  let plan =
+    if not local_search then plan
+    else begin
+      let refined, stats = Sched.local_search ~cap inst (Sched.order_of plan) in
+      Printf.printf
+        "local search: %d pass(es), %d/%d improving move(s) applied\n"
+        stats.Sched.passes stats.Sched.moves_applied stats.Sched.moves_tried;
+      refined
+    end
+  in
+  List.iteri
+    (fun i r ->
+      Printf.printf "  round %2d (cost %5.1f): %-44s -> %5.1f%% served\n"
+        (i + 1) r.Sched.cost
+        (String.concat ", " (List.map (element_name g) r.Sched.elements))
+        (100.0 *. r.Sched.satisfied))
+    plan.Sched.rounds;
+  Printf.printf "area under the recovery curve: %.3f (baseline %.3f)\n"
+    plan.Sched.auc plan.Sched.baseline;
+  let oracle_ok =
+    (not oracle)
+    ||
+    match Sched.oracle ~cap inst (Sched.order_of plan) with
+    | Ok r ->
+      Printf.printf "oracle: AUC %.3f (%s, %d nodes); regret %.1f%%\n"
+        r.Sched.plan.Sched.auc
+        (if r.Sched.proved then "proved optimal" else "incumbent only")
+        r.Sched.nodes
+        (100.0 *. Sched.regret ~oracle:r.Sched.plan plan);
+      true
+    | Error (Sched.Too_big { vars; cap }) ->
+      Printf.eprintf "oracle: refused, model too big (%d vars > %d cap)\n" vars
+        cap;
+      false
+    | Error (Sched.Malformed e) ->
+      Printf.eprintf "oracle: %s\n"
+        (Netrec_core.Schedule.order_error_to_string e);
+      false
+    | Error (Sched.No_incumbent _) ->
+      Printf.eprintf "oracle: no incumbent found within budget\n";
+      false
+  in
+  let certify_ok =
+    (not certify)
+    ||
+    let certs = Sched.certify_rounds inst plan in
+    let bad = List.filter (fun c -> not (Check.ok c)) certs in
+    Printf.printf "certification: %d/%d round prefixes clean\n"
+      (List.length certs - List.length bad)
+      (List.length certs);
+    bad = []
+  in
+  if oracle_ok && certify_ok then 0 else 1
+
+let schedule topology er_p seed pairs amount disruption variance fail_p
+    per_round round_budget local_search oracle certify =
   try
     let g = build_topology topology ~er_p ~seed in
     let rng = Rng.create seed in
     let demands = E.Common.feasible_demands ~rng ~count:pairs ~amount g in
     let failure = build_failure disruption ~variance ~fail_p ~rng g in
     let inst = Instance.make ~graph:g ~demands ~failure () in
-    let sol, _ = Netrec_core.Isp.solve inst in
-    Printf.printf "ISP plan: %d repairs; ordering for fastest recovery:\n"
-      (Instance.total_repairs sol);
-    let sched = Netrec_core.Schedule.greedy inst sol in
-    List.iteri
-      (fun i step ->
-        let what =
-          match step.Netrec_core.Schedule.element with
-          | `Vertex v -> Printf.sprintf "node %s" (G.name g v)
-          | `Edge e ->
-            let u, v = G.endpoints g e in
-            Printf.sprintf "link %s-%s" (G.name g u) (G.name g v)
+    if per_round < 0 then begin
+      Printf.eprintf "error: --per-round must be >= 0\n";
+      2
+    end
+    else if per_round > 0 then
+      schedule_rounds inst ~crews:per_round ~round_budget ~local_search ~oracle
+        ~certify
+    else if round_budget <> None || local_search || oracle then begin
+      Printf.eprintf
+        "error: --round-budget, --local-search and --oracle need --per-round\n";
+      2
+    end
+    else begin
+      let sol, _ = Netrec_core.Isp.solve inst in
+      Printf.printf "ISP plan: %d repairs; ordering for fastest recovery:\n"
+        (Instance.total_repairs sol);
+      let sched = Netrec_core.Schedule.greedy inst sol in
+      List.iteri
+        (fun i step ->
+          Printf.printf "  %2d. %-34s -> %5.1f%% of demand served\n" (i + 1)
+            (element_name g step.Netrec_core.Schedule.element)
+            (100.0 *. step.Netrec_core.Schedule.satisfied_after))
+        sched.Netrec_core.Schedule.steps;
+      Printf.printf "area under the recovery curve: %.3f\n"
+        sched.Netrec_core.Schedule.auc;
+      if certify then begin
+        let cert =
+          Check.certify ~reported_cost:(Instance.repair_cost inst sol) inst sol
         in
-        Printf.printf "  %2d. %-34s -> %5.1f%% of demand served\n" (i + 1)
-          what
-          (100.0 *. step.Netrec_core.Schedule.satisfied_after))
-      sched.Netrec_core.Schedule.steps;
-    Printf.printf "area under the recovery curve: %.3f\n"
-      sched.Netrec_core.Schedule.auc;
-    0
-  with Failure msg ->
+        Printf.printf "certification: %s\n"
+          (if Check.ok cert then "clean" else "violations");
+        if Check.ok cert then 0 else 1
+      end
+      else 0
+    end
+  with
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -597,7 +719,9 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc)
     Term.(
       const schedule $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
-      $ amount_arg $ disruption_arg $ variance_arg $ fail_p_arg)
+      $ amount_arg $ disruption_arg $ variance_arg $ fail_p_arg
+      $ per_round_arg $ round_budget_arg $ local_search_arg $ oracle_arg
+      $ certify_arg)
 
 (* ---- verify command ---- *)
 

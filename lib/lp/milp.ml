@@ -27,15 +27,25 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
      each child.  The cold path keeps the old copy-and-resolve behavior as
      a differential oracle. *)
   let session = if warm then Some (Lp.warm root) else None in
+  let cold_node fixings =
+    let node_p = Lp.copy root in
+    List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
+    Lp.solve ~budget ?max_pivots node_p
+  in
   let solve_node fixings =
     match session with
-    | Some w ->
+    | None -> cold_node fixings
+    | Some w -> (
       let bounds = List.map (fun (v, x) -> (v, x, x)) fixings in
-      Lp.warm_solve ~budget ?max_pivots ~bounds w
-    | None ->
-      let node_p = Lp.copy root in
-      List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
-      Lp.solve ~budget ?max_pivots node_p
+      let sol = Lp.warm_solve ~budget ?max_pivots ~bounds w in
+      (* A degenerate warm run can cycle away the whole pivot budget;
+         a fresh slack basis usually terminates, so retry the node cold
+         before letting one bad basis truncate the proof. *)
+      match sol.Lp.status with
+      | Lp.Iteration_limit when Budget.ok budget ->
+        Obs.count "milp.cold_retries";
+        cold_node fixings
+      | _ -> sol)
   in
   let certify fixings sol =
     match node_certifier with

@@ -622,7 +622,17 @@ let dual t ~cost ~pivots_left ~budget =
           let j = t.ncols + i in
           if t.pos.(j) < 0 && t.lb.(j) < t.ub.(j) then consider j t.rho.(i)
         done;
-        if !q < 0 then `Infeasible
+        if !q < 0 then
+          (* The no-entering-column certificate is only as good as the
+             current factorization: re-prove it on a fresh one before
+             declaring the node infeasible (mirrors the drifted-pivot
+             guard below). *)
+          if retried || not (refactor t) then `Infeasible
+          else begin
+            recompute_xb t;
+            compute_y t cost;
+            loop true
+          end
         else begin
           let q = !q in
           compute_u t q;
@@ -820,7 +830,16 @@ let resolve ?(budget = Budget.unlimited) ?(max_pivots = default_max_pivots)
         recompute_xb t;
         match dual t ~cost:t.cost ~pivots_left ~budget with
         | `Limit -> Iteration_limit (* basis still dual feasible *)
-        | `Infeasible -> Infeasible
+        | `Infeasible ->
+          (* A warm dual-infeasibility certificate can rest on a
+             drifted — or, after a long degenerate run, outright
+             singular — basis, in which case [refactor] fails and every
+             later warm verdict is garbage.  Re-prove the claim from a
+             fresh slack basis: phase 1 owes nothing to inherited
+             state, and the cold solve heals the engine for the
+             resolves that follow. *)
+          Obs.count "simplex.cold_confirms";
+          cold t ~pivots_left ~budget
         | `Feasible -> (
           (* Polish: the dual end point is primal feasible and (up to
              drift) dual feasible, so this is usually zero iterations. *)

@@ -340,6 +340,71 @@ let section_xl_gate cfg ctx ~base ~current =
                   (pct rel)))
       (Json.obj_members b)
 
+(* The sched_gate block (scheduling smoke scenario, bench/main.ml)
+   follows the same shape: deterministic integers gated on drift, plus
+   three hard invariants — the oracle must keep proving optimality,
+   every round prefix must certify, and the regret of the production
+   pipeline must stay inside the 5% gate (50_000 microunits), whatever
+   the baseline says. *)
+let section_sched_gate cfg ctx ~base ~current =
+  let b = Json.member "sched_gate" base
+  and c = Json.member "sched_gate" current in
+  match (b, c) with
+  | None, _ -> line ctx "sched_gate: no baseline section, skipped"
+  | Some _, None -> regress ctx "sched_gate: section missing from current run"
+  | Some b, Some c ->
+    line ctx "sched_gate (deterministic counters, tolerance %.0f%%):"
+      (pct cfg.lp_tolerance);
+    (match Option.bind (Json.member "sched.oracle_proved" c) Json.number with
+    | Some 1.0 -> ()
+    | Some cv ->
+      regress ctx "sched_gate sched.oracle_proved: optimality not proved (%.0f)"
+        cv
+    | None -> regress ctx "sched_gate sched.oracle_proved: missing from current");
+    (match Option.bind (Json.member "sched.certified" c) Json.number with
+    | Some 1.0 -> ()
+    | Some cv ->
+      regress ctx "sched_gate sched.certified: round prefixes not clean (%.0f)"
+        cv
+    | None -> regress ctx "sched_gate sched.certified: missing from current");
+    (match Option.bind (Json.member "sched.regret_microunits" c) Json.number
+     with
+    | Some cv when cv <= 50_000.0 -> ()
+    | Some cv ->
+      regress ctx "sched_gate sched.regret_microunits: %.0f > 50000 (5%% gate)"
+        cv
+    | None ->
+      regress ctx "sched_gate sched.regret_microunits: missing from current");
+    let hard =
+      [ "sched.oracle_proved"; "sched.certified"; "sched.regret_microunits" ]
+    in
+    let gated =
+      [ "sched.plan_rounds"; "sched.greedy_auc_microunits";
+        "sched.ls_auc_microunits"; "sched.oracle_auc_microunits" ]
+    in
+    List.iter
+      (fun (name, bv) ->
+        if not (List.mem name hard) then
+          match Json.number bv with
+          | None -> ()
+          | Some bv -> (
+            match Option.bind (Json.member name c) Json.number with
+            | None -> regress ctx "sched_gate %s: missing from current" name
+            | Some cv ->
+              let rel =
+                if bv <> 0.0 then (cv -. bv) /. Float.abs bv
+                else if cv = 0.0 then 0.0
+                else infinity
+              in
+              if List.mem name gated && Float.abs rel > cfg.lp_tolerance then
+                regress ctx
+                  "sched_gate %s: %.0f -> %.0f (%+.1f%% drift > %.0f%%)" name
+                  bv cv (pct rel) (pct cfg.lp_tolerance)
+              else
+                line ctx "  ok   %-32s %10.0f -> %10.0f (%+.1f%%)" name bv cv
+                  (pct rel)))
+      (Json.obj_members b)
+
 let quantile_keys = [ "p50"; "p90"; "p99" ]
 
 let section_histograms cfg ctx ~base ~current ~modes_match =
@@ -441,6 +506,7 @@ let diff cfg ~base ~current =
   section_benchmarks cfg ctx ~base ~current;
   section_lp_gate cfg ctx ~base ~current;
   section_xl_gate cfg ctx ~base ~current;
+  section_sched_gate cfg ctx ~base ~current;
   section_histograms cfg ctx ~base ~current ~modes_match;
   section_counters cfg ctx ~base ~current ~modes_match;
   { lines = List.rev ctx.out; regressions = List.rev ctx.regs }

@@ -51,6 +51,15 @@ missing += [k for k in ("isp.shard_count", "isp.shard_region_vertices",
 missing += [k for k in ("isp.shard_fixup_paths", "isp.shard_delegated",
                         "centrality.sampled_skipped")
             if k not in counters]
+# Scheduler counters: the sched gate runs the pinned smoke scenario in
+# every bench mode, so plan/round/eval counters must be live;
+# moves_applied may legitimately stay 0 (greedy can already be optimal).
+missing += [k for k in ("sched.plans", "sched.rounds", "sched.evals",
+                        "sched.ls_passes", "sched.moves_tried",
+                        "sched.oracle_solves", "sched.oracle_nodes")
+            if counters.get(k, 0) <= 0]
+if "sched.moves_applied" not in counters:
+    missing.append("sched.moves_applied")
 if missing:
     sys.exit("FAIL: missing or zero counters: %s" % ", ".join(missing))
 gate = doc.get("xl_gate", {})
@@ -61,6 +70,21 @@ if gate.get("check.violations") != 0:
     sys.exit("FAIL: xl_gate check.violations nonzero: %r" % gate)
 if gate.get("isp.shard_count", 0) < 2:
     sys.exit("FAIL: xl_gate expected >= 2 shards: %r" % gate)
+gate = doc.get("sched_gate", {})
+if gate.get("sched.oracle_proved") != 1:
+    sys.exit("FAIL: sched_gate missing or oracle did not prove optimality: %r"
+             % gate)
+if gate.get("sched.certified") != 1:
+    sys.exit("FAIL: sched_gate round prefixes not certified: %r" % gate)
+# 5% regret gate, in the same microunits the block stores AUCs in.
+if gate.get("sched.regret_microunits", 10**9) > 50000:
+    sys.exit("FAIL: sched_gate regret exceeds 5%%: %r" % gate)
+bad = [k for k in ("sched.plans", "sched.rounds", "sched.evals",
+                   "sched.oracle_solves", "sched.oracle_nodes",
+                   "sched.plan_rounds")
+       if gate.get(k, 0) <= 0]
+if bad:
+    sys.exit("FAIL: sched_gate counters missing or zero: %s" % ", ".join(bad))
 gauges = doc.get("metrics", {}).get("gauges", {})
 cpd = gauges.get("parallel.cells_per_domain", {})
 if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
@@ -70,7 +94,8 @@ if cpd.get("samples", 0) <= 0 or cpd.get("max", 0) <= 0:
 hists = doc.get("metrics", {}).get("histograms", {})
 for name in ("isp.iteration_ms", "isp.solve_ms", "shard.solve_ms",
              "simplex.pivots_per_solve", "milp.nodes_per_solve",
-             "dijkstra.settled_per_call", "parallel.batch_cells"):
+             "dijkstra.settled_per_call", "parallel.batch_cells",
+             "sched.round_satisfaction"):
     h = hists.get(name)
     if h is None:
         sys.exit("FAIL: histogram %s missing" % name)
@@ -136,6 +161,8 @@ else
              '"lp_gate"' '"simplex.warm_starts"' '"simplex.phase1_skipped"' \
              '"milp.nodes"' '"opt.proved":1' \
              '"xl_gate"' '"xl.certified":1' '"shard.solve_ms"' \
+             '"sched_gate"' '"sched.oracle_proved":1' '"sched.certified":1' \
+             '"sched.plans"' '"sched.round_satisfaction"' \
              '"histograms"' '"isp.iteration_ms"' '"simplex.pivots_per_solve"' \
              '"dijkstra.settled_per_call"' '"p50"' '"p90"' '"p99"' \
              '"progress"' '"isp.residual"'; do

@@ -1,0 +1,66 @@
+#!/bin/sh
+# sched gate: run the pinned 5-vertex two-corridor smoke scenario
+# (bench/main.exe sched-smoke, the same instance behind the
+# BENCH_metrics.json sched_gate block) through every scheduler and
+# assert that
+#
+#   - the MILP oracle proves optimality (not just an incumbent),
+#   - greedy + local search land within 5% AUC of the proved optimum,
+#   - every round prefix certifies with zero violations,
+#   - the output is byte-identical for -j1 and -j4 pools.
+#
+# Fully deterministic (pinned scenario, no wall-clock in the output),
+# so it runs as part of @runtest via the @sched alias:
+#
+#   dune build @sched
+#
+# When invoked through the alias, $BENCH_EXE points at the already-built
+# executable (a dune action must not invoke dune recursively).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ -z "${BENCH_EXE:-}" ]; then
+  dune build bench/main.exe
+  BENCH_EXE=_build/default/bench/main.exe
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+"$BENCH_EXE" sched-smoke -j1 > "$TMP/j1.txt"
+"$BENCH_EXE" sched-smoke -j4 > "$TMP/j4.txt"
+
+if ! diff "$TMP/j1.txt" "$TMP/j4.txt" > "$TMP/diff.txt" 2>&1; then
+  echo "FAIL: sched-smoke output differs between -j1 and -j4:" >&2
+  cat "$TMP/diff.txt" >&2
+  exit 1
+fi
+
+require() {
+  if ! grep -q "$1" "$TMP/j1.txt"; then
+    echo "FAIL: sched-smoke: expected $1 in:" >&2
+    cat "$TMP/j1.txt" >&2
+    exit 1
+  fi
+}
+
+require 'oracle_proved=true'
+require 'certified=true'
+
+# Regret of the production pipeline (greedy + local search) against the
+# proved optimum must stay within the 5% gate.  The value is printed
+# with a fixed six-decimal format, so the comparison is pure text.
+regret=$(sed -n 's/^regret=\([0-9.]*\)$/\1/p' "$TMP/j1.txt")
+if [ -z "$regret" ]; then
+  echo "FAIL: sched-smoke: no regret= line in:" >&2
+  cat "$TMP/j1.txt" >&2
+  exit 1
+fi
+if ! awk "BEGIN { exit !($regret <= 0.05) }"; then
+  echo "FAIL: sched-smoke: regret $regret exceeds the 5% gate" >&2
+  cat "$TMP/j1.txt" >&2
+  exit 1
+fi
+
+echo "OK: sched smoke oracle proved, regret $regret <= 0.05, certified, -j deterministic"

@@ -76,6 +76,29 @@ plot 'results/fig9_2.csv' skip 1 using 1:2 with linespoints title 'ISP', \
      '' skip 1 using 1:3 with linespoints title 'SRT'
 unset yrange
 
+# Fig sched: capacity-constrained temporal recovery scheduling.
+# (a) the per-round recovery curves of the four schedulers on the pinned
+# smoke scenario (fig_sched_2.csv, satisfied fraction per round);
+# (b) the regret of each heuristic against the proved MILP optimum per
+# instance size (fig_sched_1.csv, AUC columns arb/greedy/ls/opt).
+set output 'results/fig_sched_curve.png'
+set title 'Fig sched(a): recovery curve per scheduler (pinned smoke, 3 crews)'
+set xlabel 'recovery round'; set ylabel 'satisfied demand fraction'
+set yrange [-0.05:1.05]
+plot 'results/fig_sched_2.csv' skip 1 using 1:($2/100) with linespoints title 'arbitrary order', \
+     '' skip 1 using 1:($3/100) with linespoints title 'greedy', \
+     '' skip 1 using 1:($4/100) with linespoints title 'greedy + local search', \
+     '' skip 1 using 1:($5/100) with linespoints title 'MILP oracle'
+unset yrange
+
+set output 'results/fig_sched_regret.png'
+set title 'Fig sched(b): schedule AUC vs the MILP oracle by instance size'
+set xlabel 'spine length n'; set ylabel 'area under the recovery curve'
+plot 'results/fig_sched_1.csv' skip 1 using 1:4 with linespoints title 'arbitrary order', \
+     '' skip 1 using 1:5 with linespoints title 'greedy', \
+     '' skip 1 using 1:6 with linespoints title 'greedy + local search', \
+     '' skip 1 using 1:7 with linespoints title 'MILP oracle (proved)'
+
 # Recovery curve: residual demand by ISP iteration, extracted from the
 # solver-progress event stream (results/progress.jsonl, written by the
 # bench harness; `recover ... --events FILE` produces the same format).

@@ -726,11 +726,113 @@ let test_schedule_staged_rejects_zero () =
     (fun () -> ignore (Schedule.staged ~per_stage:0 inst Instance.empty_solution))
 
 let test_schedule_empty_solution () =
+  (* An empty schedule's curve is flat at the unrepaired instance's
+     satisfaction: on a fully broken instance that is 0, not a perfect
+     1.0.  (The old behavior scored empty solutions as perfect.) *)
+  let g = path_graph 3 in
+  let broken = make_inst g [ demand 0 2 ] (Failure.complete g) in
+  let sched = Schedule.greedy broken Instance.empty_solution in
+  Alcotest.(check int) "no steps" 0 (List.length sched.Schedule.steps);
+  Alcotest.(check (float 1e-9)) "auc is baseline" 0.0 sched.Schedule.auc;
+  Alcotest.(check (float 1e-9)) "baseline matches" 0.0
+    (Schedule.baseline_satisfaction broken);
+  (* On an undamaged instance the baseline — and hence the empty
+     schedule's auc — really is 1. *)
+  let intact = make_inst g [ demand 0 2 ] (Failure.none g) in
+  let sched = Schedule.greedy intact Instance.empty_solution in
+  Alcotest.(check (float 1e-9)) "intact baseline" 1.0 sched.Schedule.auc
+
+(* Table-driven malformed repair orders: each case pins the structured
+   [order_error] reported before any state array is indexed (matching
+   the serializer's malformed-input table below). *)
+let order_error_t =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Schedule.order_error_to_string e))
+    ( = )
+
+let schedule_malformed_cases =
+  [ ("vertex out of range", [ `Vertex 99 ],
+     Schedule.Out_of_range (`Vertex 99));
+    ("negative vertex id", [ `Vertex (-1) ],
+     Schedule.Out_of_range (`Vertex (-1)));
+    ("edge out of range", [ `Edge 99 ], Schedule.Out_of_range (`Edge 99));
+    ("negative edge id", [ `Edge (-2) ], Schedule.Out_of_range (`Edge (-2)));
+    ("vertex not broken", [ `Vertex 0 ], Schedule.Not_broken (`Vertex 0));
+    ("edge not broken", [ `Edge 1 ], Schedule.Not_broken (`Edge 1));
+    ("duplicate vertex", [ `Vertex 1; `Vertex 1 ],
+     Schedule.Duplicate (`Vertex 1));
+    ("duplicate edge", [ `Edge 0; `Edge 0 ], Schedule.Duplicate (`Edge 0));
+    ("first offender wins", [ `Vertex 1; `Edge 9 ],
+     Schedule.Out_of_range (`Edge 9)) ]
+
+let test_schedule_malformed_table () =
+  (* path 0-1-2: vertex 1 and edge 0 broken; vertex 0 / edge 1 intact. *)
+  let g = path_graph 3 in
+  let inst =
+    make_inst g [ demand 0 2 ] (Failure.of_lists g ~vertices:[ 1 ] ~edges:[ 0 ])
+  in
+  List.iter
+    (fun (label, order, want) ->
+      (match Schedule.validate_order inst order with
+      | Ok () -> Alcotest.failf "%s: validated successfully" label
+      | Error e -> Alcotest.check order_error_t (label ^ ": error") want e);
+      (match Schedule.in_order_result inst order with
+      | Ok _ -> Alcotest.failf "%s: in_order_result accepted" label
+      | Error e ->
+        Alcotest.check order_error_t (label ^ ": in_order_result") want e);
+      let want_exn =
+        Invalid_argument
+          ("Schedule.in_order: " ^ Schedule.order_error_to_string want)
+      in
+      Alcotest.check_raises (label ^ ": in_order raises") want_exn (fun () ->
+          ignore (Schedule.in_order inst order)))
+    schedule_malformed_cases
+
+let test_schedule_greedy_rejects_malformed_solution () =
   let g = path_graph 3 in
   let inst = make_inst g [ demand 0 2 ] (Failure.none g) in
-  let sched = Schedule.greedy inst Instance.empty_solution in
-  Alcotest.(check int) "no steps" 0 (List.length sched.Schedule.steps);
-  Alcotest.(check (float 1e-9)) "auc 1" 1.0 sched.Schedule.auc
+  let sol =
+    { Instance.repaired_vertices = [ 42 ]; repaired_edges = []; routing = Routing.empty }
+  in
+  Alcotest.check_raises "greedy validates"
+    (Invalid_argument
+       ("Schedule.greedy: "
+       ^ Schedule.order_error_to_string (Schedule.Out_of_range (`Vertex 42))))
+    (fun () -> ignore (Schedule.greedy inst sol))
+
+let test_schedule_valid_orders_accepted () =
+  let g = path_graph 3 in
+  let inst =
+    make_inst g [ demand 0 2 ] (Failure.of_lists g ~vertices:[ 1 ] ~edges:[ 0 ])
+  in
+  Alcotest.(check bool) "valid order passes" true
+    (Schedule.validate_order inst [ `Vertex 1; `Edge 0 ] = Ok ())
+
+let test_schedule_perf_sanity () =
+  (* ~200-element solution: the greedy scheduler must stay comfortably
+     sub-quadratic-in-practice (baseline hoisted out of the scoring
+     loop, boolean-array membership in completion_element).  The
+     generous bound only guards against the removed O(k^2 * route)
+     blowup, not machine speed. *)
+  let n = 100 in
+  let g = path_graph n in
+  let inst = make_inst g [ demand 0 (n - 1) ] (Failure.complete g) in
+  let sol = Instance.repair_all inst in
+  Alcotest.(check int) "about 200 elements" (2 * n - 1)
+    (Instance.total_repairs sol);
+  let t0 = Unix.gettimeofday () in
+  let sched = Schedule.greedy inst sol in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all scheduled" (2 * n - 1)
+    (List.length sched.Schedule.steps);
+  let last =
+    List.nth sched.Schedule.steps (List.length sched.Schedule.steps - 1)
+  in
+  Alcotest.(check (float 1e-6)) "fully restored" 1.0
+    last.Schedule.satisfied_after;
+  if dt > 30.0 then
+    Alcotest.failf "greedy on %d elements took %.1fs (expected seconds)"
+      (2 * n - 1) dt
 
 (* ---- ISP length-mode ablation ---- *)
 
@@ -1089,7 +1191,12 @@ let () =
           tc "greedy beats arbitrary" test_schedule_greedy_beats_or_ties_arbitrary;
           tc "staged chunks" test_schedule_staged_chunks;
           tc "staged rejects zero" test_schedule_staged_rejects_zero;
-          tc "empty solution" test_schedule_empty_solution ] );
+          tc "empty solution" test_schedule_empty_solution;
+          tc "malformed order table" test_schedule_malformed_table;
+          tc "greedy rejects malformed solution"
+            test_schedule_greedy_rejects_malformed_solution;
+          tc "valid orders accepted" test_schedule_valid_orders_accepted;
+          tc "perf sanity ~200 elements" test_schedule_perf_sanity ] );
       ( "render",
         [ tc "instance dot" test_render_instance_dot;
           tc "solution marks repairs" test_render_solution_marks_repairs ] );
