@@ -294,12 +294,14 @@ let run_figure s fig =
          ())
   | "fig-sched" ->
     emit_tables "fig_sched" (E.Fig_sched.run ~pool ~runs:s.runs ())
+  | "fig-opt" ->
+    emit_tables "fig_opt" (E.Fig_opt.run ~pool ~runs:s.runs ())
   | "ablation" -> emit_tables "ablation" (E.Ablation.run ~runs:s.runs ())
   | other -> Printf.eprintf "unknown figure %S\n" other
 
 let all_figures =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig9-xl"; "fig-sched";
-    "ablation" ]
+    "fig-opt"; "ablation" ]
 
 let run_all s =
   List.iter
@@ -332,8 +334,12 @@ let lp_gate_metrics () =
   Obs.set_enabled true;
   let keys =
     [ "simplex.pivots"; "simplex.bound_flips"; "simplex.solves";
-      "simplex.warm_starts"; "simplex.phase1_skipped"; "milp.nodes";
-      "milp.nodes_pruned" ]
+      "simplex.warm_starts"; "simplex.phase1_skipped";
+      "simplex.dse_pivots"; "simplex.dse_resets"; "milp.nodes";
+      "milp.nodes_pruned"; "presolve.runs"; "presolve.vars_fixed";
+      "presolve.rows_dropped"; "presolve.bounds_tightened";
+      "presolve.coefs_tightened"; "cuts.separated"; "cuts.added";
+      "cuts.rejected"; "cuts.root_solves"; "cuts.aged_out" ]
   in
   let before = List.map (fun k -> (k, Obs.counter_value k)) keys in
   let r = Netrec_heuristics.Opt.solve inst in
@@ -521,6 +527,58 @@ let sched_smoke ~jobs =
     (Sched.regret ~oracle:oracle.Sched.plan refined)
     (List.for_all Netrec_check.Check.ok (Sched.certify_rounds inst refined))
 
+(* The opt smoke run behind scripts/check_opt.sh: one full OPT solve of
+   the pinned lp_gate scenario with the exact-solver accelerations on
+   (presolve + cuts + dual steepest edge), then one solve per
+   acceleration individually disabled, printing only deterministic facts
+   (no wall clock).  The script asserts the pivot/node ceilings, that
+   every variant proves optimality, and that the proved objective is
+   bit-identical across variants — the differential safety net for the
+   model-side performance layer.  The midsize row is a harder Gaussian
+   scenario under a node budget that only the accelerated solver closes:
+   base (no presolve, no cuts, Dantzig) must leave it unproved. *)
+let opt_smoke () =
+  let module Opt = Netrec_heuristics.Opt in
+  let counters =
+    [ "simplex.pivots"; "milp.nodes"; "cuts.added"; "cuts.root_solves";
+      "presolve.runs"; "simplex.dse_pivots"; "mcf.feasible_solves";
+      "mcf.feasible_pivots"; "mcf.max_scale_solves"; "mcf.max_scale_pivots" ]
+  in
+  let deltas f =
+    let before = List.map (fun k -> (k, Obs.counter_value k)) counters in
+    let r = f () in
+    (r, List.map (fun (k, v) -> (k, Obs.counter_value k - v)) before)
+  in
+  let row name ?presolve ?cuts ?pricing ?node_limit inst =
+    let r, ds =
+      deltas (fun () -> Opt.solve ?presolve ?cuts ?pricing ?node_limit inst)
+    in
+    Printf.printf "%s: proved=%b objective=%.6f nodes=%d %s\n" name
+      r.Opt.proved r.Opt.objective r.Opt.nodes
+      (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) ds));
+    r
+  in
+  Printf.printf "opt-smoke: pinned bell-canada gaussian (seed 2, variance 70)\n";
+  ignore (row "pinned" (gaussian_instance ()));
+  ignore (row "nopresolve" ~presolve:false (gaussian_instance ()));
+  ignore (row "nocuts" ~cuts:false (gaussian_instance ()));
+  ignore
+    (row "dantzig" ~pricing:Netrec_lp.Tuning.Dantzig (gaussian_instance ()));
+  let midsize () =
+    let g = Netrec_topo.Bell_canada.graph () in
+    let rng = Rng.create 5 in
+    let demands = E.Common.feasible_demands ~rng ~count:5 ~amount:10.0 g in
+    let failure = Netrec_disrupt.Models.gaussian ~rng ~variance:120.0 g in
+    Instance.make ~graph:g ~demands ~failure ()
+  in
+  let base =
+    row "midsize-base" ~presolve:false ~cuts:false
+      ~pricing:Netrec_lp.Tuning.Dantzig ~node_limit:600 (midsize ())
+  in
+  let full = row "midsize-full" ~node_limit:600 (midsize ()) in
+  Printf.printf "midsize: base_proved=%b full_proved=%b\n"
+    base.Netrec_heuristics.Opt.proved full.Netrec_heuristics.Opt.proved
+
 (* [-jN] anywhere on the command line sets the pool size for figure
    regeneration (default 2; results are identical for any N). *)
 let parse_jobs args =
@@ -570,6 +628,9 @@ let () =
   | [ "sched-smoke" ] ->
     Obs.set_enabled true;
     sched_smoke ~jobs:(Option.value ~default:1 jobs)
+  | [ "opt-smoke" ] ->
+    Obs.set_enabled true;
+    opt_smoke ()
   | [ "figures" ] ->
     Obs.set_enabled true;
     run_all (with_jobs default);

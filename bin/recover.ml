@@ -103,6 +103,56 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+(* ---- exact-solver tuning options (plan, experiment, check) ---- *)
+
+let presolve_flag_arg =
+  let doc =
+    "Enable LP presolve in the exact solvers (fixed/dominated variable \
+     elimination, redundant/forcing rows, bound strengthening and \
+     coefficient tightening, with certified postsolve).  Pass \
+     $(b,--presolve=false) to solve every LP un-reduced."
+  in
+  Arg.(value & opt bool true & info [ "presolve" ] ~docv:"BOOL" ~doc)
+
+let cuts_flag_arg =
+  let doc =
+    "Enable Steiner-forest cutting planes (connectivity and cover cuts \
+     separated from gate-scaled minimum cuts) in the MILP search.  Pass \
+     $(b,--cuts=false) for plain branch-and-bound."
+  in
+  Arg.(value & opt bool true & info [ "cuts" ] ~docv:"BOOL" ~doc)
+
+let pricing_conv =
+  let parse s =
+    match Netrec_lp.Tuning.pricing_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown pricing rule %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf p ->
+       Format.pp_print_string ppf (Netrec_lp.Tuning.pricing_to_string p))
+
+let pricing_flag_arg =
+  let doc =
+    "Simplex dual pricing rule for warm-started re-solves: $(b,dse) \
+     (dual steepest edge, default) or $(b,dantzig) (most-infeasible \
+     row)."
+  in
+  Arg.(
+    value
+    & opt pricing_conv Netrec_lp.Tuning.Dse
+    & info [ "pricing" ] ~docv:"RULE" ~doc)
+
+(* Evaluated for its side effect: stamp the process-wide solver defaults
+   before any command body (or worker domain) runs. *)
+let tuning_term =
+  let set presolve cuts pricing =
+    Netrec_lp.Tuning.set_presolve presolve;
+    Netrec_lp.Tuning.set_cuts cuts;
+    Netrec_lp.Tuning.set_pricing pricing
+  in
+  Term.(const set $ presolve_flag_arg $ cuts_flag_arg $ pricing_flag_arg)
+
 (* ---- observability options (plan and experiment) ---- *)
 
 let trace_arg =
@@ -138,9 +188,11 @@ let verbose_arg =
 (* Counters worth a one-line footer even without --verbose: the solver
    effort measures the paper reports next to wall time. *)
 let work_counters =
-  [ "isp.iterations"; "simplex.pivots"; "simplex.solves";
-    "simplex.warm_starts"; "milp.nodes"; "milp.nodes_pruned";
-    "dijkstra.calls"; "maxflow.calls"; "maxflow.augmentations" ]
+  [ "isp.iterations"; "simplex.pivots"; "simplex.dse_pivots";
+    "simplex.solves"; "simplex.warm_starts"; "milp.nodes";
+    "milp.nodes_pruned"; "presolve.runs"; "presolve.vars_fixed";
+    "cuts.separated"; "cuts.added"; "dijkstra.calls"; "maxflow.calls";
+    "maxflow.augmentations" ]
 
 let print_work_footer () =
   let parts =
@@ -430,7 +482,8 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc)
     Term.(
-      const plan $ topology_arg $ er_p_arg $ seed_arg $ pairs_arg
+      const (fun () -> plan) $ tuning_term $ topology_arg $ er_p_arg
+      $ seed_arg $ pairs_arg
       $ amount_arg $ algorithm_arg $ disruption_arg $ variance_arg
       $ fail_p_arg $ deadline_arg $ fallback_arg $ certify_arg $ dot_arg
       $ save_arg $ load_arg $ save_solution_arg $ trace_arg $ metrics_arg
@@ -443,12 +496,16 @@ let runs_arg =
   Arg.(value & opt int 3 & info [ "runs" ] ~doc)
 
 let opt_nodes_arg =
-  let doc = "Branch-and-bound node budget for the OPT series." in
-  Arg.(value & opt int 250 & info [ "opt-nodes" ] ~doc)
+  let doc =
+    "Branch-and-bound node budget for the OPT series (default: the \
+     figure's own budget — 250 for fig3-fig6, 600 for fig-opt)."
+  in
+  Arg.(value & opt (some int) None & info [ "opt-nodes" ] ~doc)
 
 let figure_arg =
   let doc =
-    "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 fig9-xl or all \
+    "Figure to regenerate: fig3 fig4 fig5 fig6 fig7 fig9 fig9-xl fig-opt \
+     or all \
      (fig9-xl — the 20k-100k-vertex sharded-ISP scale sweep — runs only \
      when asked for by name)."
   in
@@ -504,13 +561,14 @@ let experiment figure runs opt_nodes jobs certify journal_file trace_file
     let tables =
       Obs.span ("experiment." ^ name) @@ fun () ->
       match name with
-      | "fig3" -> E.Fig3.run ?journal ~pool ~runs ~opt_nodes ()
-      | "fig4" -> E.Fig4.run ?journal ~pool ~runs ~opt_nodes ()
-      | "fig5" -> E.Fig5.run ?journal ~pool ~runs ~opt_nodes ()
-      | "fig6" -> E.Fig6.run ?journal ~pool ~runs ~opt_nodes ()
+      | "fig3" -> E.Fig3.run ?journal ~pool ~runs ?opt_nodes ()
+      | "fig4" -> E.Fig4.run ?journal ~pool ~runs ?opt_nodes ()
+      | "fig5" -> E.Fig5.run ?journal ~pool ~runs ?opt_nodes ()
+      | "fig6" -> E.Fig6.run ?journal ~pool ~runs ?opt_nodes ()
       | "fig7" -> E.Fig7.run ?journal ~pool ~runs ()
       | "fig9" -> E.Fig9.run ?journal ~pool ~runs ()
       | "fig9-xl" -> E.Fig9_xl.run ?journal ~pool ~runs ()
+      | "fig-opt" -> E.Fig_opt.run ?journal ~pool ~runs ?opt_nodes ()
       | other -> failwith (Printf.sprintf "unknown figure %S" other)
     in
     print tables
@@ -554,7 +612,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
-      const experiment $ figure_arg $ runs_arg $ opt_nodes_arg $ jobs_arg
+      const (fun () -> experiment) $ tuning_term $ figure_arg $ runs_arg
+      $ opt_nodes_arg $ jobs_arg
       $ certify_arg $ journal_file_arg $ trace_arg $ metrics_arg
       $ events_arg $ verbose_arg)
 
@@ -790,7 +849,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const check $ seed_arg $ check_instances_arg $ check_opt_nodes_arg
+      const (fun () -> check) $ tuning_term $ seed_arg
+      $ check_instances_arg $ check_opt_nodes_arg
       $ jobs_arg)
 
 (* ---- metrics command (regression diff of two run records) ---- *)

@@ -445,12 +445,17 @@ let eval_cell ~opt_nodes ~cross_check inst =
     @ (let r = H.Opt.solve ~node_limit:opt_nodes inst in
        [ ("opt", r.H.Opt.solution, r.H.Opt.proved) ])
     @
-    (* Warm-vs-cold oracle: re-solve with per-node cold LP solves and let
-       [analyze]'s cost-ordering assertions pit the two against each
-       other — when both prove optimality their costs must agree. *)
+    (* Accelerator oracles: re-solve with per-node cold LP solves, with
+       presolve off and with cuts off, and let [analyze]'s assertions pit
+       each against the full pipeline — when both sides prove optimality
+       their recomputed costs must agree bit-for-bit. *)
     if cross_check then
-      let r = H.Opt.solve ~warm:false ~node_limit:opt_nodes inst in
-      [ ("opt-cold", r.H.Opt.solution, r.H.Opt.proved) ]
+      let cold = H.Opt.solve ~warm:false ~node_limit:opt_nodes inst in
+      let nopre = H.Opt.solve ~presolve:false ~node_limit:opt_nodes inst in
+      let nocut = H.Opt.solve ~cuts:false ~node_limit:opt_nodes inst in
+      [ ("opt-cold", cold.H.Opt.solution, cold.H.Opt.proved);
+        ("opt-nopre", nopre.H.Opt.solution, nopre.H.Opt.proved);
+        ("opt-nocuts", nocut.H.Opt.solution, nocut.H.Opt.proved) ]
     else []
   in
   List.map
@@ -509,18 +514,30 @@ let analyze rows =
                opt.cost r.name r.cost))
       rows
   | _ -> ());
-  (* Warm-vs-cold branch-and-bound divergence: with both searches run to
-     a proof, basis reuse must not have changed the optimum. *)
-  (match
-     ( List.find_opt (fun r -> r.name = "opt") rows,
-       List.find_opt (fun r -> r.name = "opt-cold") rows )
-   with
-  | Some w, Some c when w.proved && c.proved ->
-    if abs_float (w.cost -. c.cost) > Num.feas_eps then
-      add "opt-cold"
-        (Printf.sprintf
-           "warm-started OPT diverges from cold oracle: %g vs %g" w.cost
-           c.cost)
+  (* Accelerator divergence: with both searches run to a proof, neither
+     basis reuse nor presolve nor cutting planes may change the optimum.
+     The cold oracle keeps the historical feasibility tolerance; the
+     presolve-off and cuts-off oracles demand bit-for-bit agreement of
+     the recomputed costs (the repair sets may differ, their costs may
+     not). *)
+  (match List.find_opt (fun r -> r.name = "opt") rows with
+  | Some w when w.proved ->
+    List.iter
+      (fun (oracle, what, exact) ->
+        match List.find_opt (fun r -> r.name = oracle) rows with
+        | Some c when c.proved ->
+          let diverged =
+            if exact then not (Float.equal w.cost c.cost)
+            else abs_float (w.cost -. c.cost) > Num.feas_eps
+          in
+          if diverged then
+            add oracle
+              (Printf.sprintf "warm-started OPT diverges from %s: %g vs %g"
+                 what w.cost c.cost)
+        | _ -> ())
+      [ ("opt-cold", "cold oracle", false);
+        ("opt-nopre", "presolve-off oracle", true);
+        ("opt-nocuts", "cuts-off oracle", true) ]
   | _ -> ());
   List.rev !issues
 

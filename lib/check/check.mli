@@ -163,10 +163,13 @@ val differential :
     - when OPT proves optimality, require
       [cost(OPT) <= cost(s) + eps] for every complete certified
       solution [s] and [cost(OPT) <= cost(ALL)] — the Fig. 3–9 ordering;
-    - on every 16th instance, re-run OPT with cold per-node LP solves
-      ([~warm:false]) and, when both searches prove optimality, require
-      the warm-started and cold costs to agree — the basis-reuse
-      differential oracle;
+    - on every 16th instance, re-run OPT three more times — with cold
+      per-node LP solves ([~warm:false]), with LP presolve disabled
+      ([~presolve:false]) and with cutting planes disabled
+      ([~cuts:false]) — and, whenever the full pipeline and the
+      restricted oracle both prove optimality, require their recomputed
+      costs to agree (bit-for-bit for the presolve-off and cuts-off
+      oracles) — the accelerator differential safety net;
     - with a pool of >1 domains, re-run the first cell sequentially and
       require bit-identical results ([-j N] determinism).
 

@@ -264,6 +264,30 @@ let apply_split h v dx demands =
 let max_split_amount st h v =
   let g = st.inst.Instance.graph in
   let d = h.Commodity.amount in
+  (* Max-flow pre-bound: dx can never exceed what the residual graph
+     carries s->v and v->t even with every other demand dropped, so a
+     starved split vertex is rejected without building the parametric
+     LP, and otherwise the bound shrinks the LP's [t] box. *)
+  let flow_upper =
+    let cap e = st.resid.(e) in
+    Float.min d
+      (Float.min
+         (Maxflow.max_flow_value ~cap g ~source:h.Commodity.src ~sink:v)
+         (Maxflow.max_flow_value ~cap g ~source:v ~sink:h.Commodity.dst))
+  in
+  if flow_upper <= eps then 0.0
+  else if
+    (* Greedy sandwich: [flow_upper] is an upper bound on dx, so if the
+       constructive router certifies the post-split demand set at
+       exactly [flow_upper] the parametric LP's optimum is pinned to it
+       and the solve is skipped. *)
+    Route_greedy.route_all
+      ~cap:(fun e -> st.resid.(e))
+      g
+      (Commodity.normalize (apply_split h v flow_upper st.demands))
+    <> None
+  then flow_upper
+  else begin
   let param =
     List.map
       (fun d' ->
@@ -276,19 +300,14 @@ let max_split_amount st h v =
   match
     Mcf_lp.max_scale ~budget:st.budget ~var_budget:st.cfg.lp_var_budget
       ~cap:(fun e -> st.resid.(e))
-      ~tmax:d g param
+      ~tmax:flow_upper g param
   with
   | `Max dx -> Float.min dx d
   | `Too_big | `Undecided ->
     (* Certified binary search: a candidate dx is accepted only when the
        greedy router fully routes the post-split demand set. *)
     let cap e = st.resid.(e) in
-    let upper =
-      Float.min d
-        (Float.min
-           (Maxflow.max_flow_value ~cap g ~source:h.Commodity.src ~sink:v)
-           (Maxflow.max_flow_value ~cap g ~source:v ~sink:h.Commodity.dst))
-    in
+    let upper = flow_upper in
     let certified dx =
       dx <= eps
       ||
@@ -305,6 +324,7 @@ let max_split_amount st h v =
       done;
       !lo
     end
+  end
 
 (* Split-selection rule (§IV-C, Decision 1): among the demands
    contributing to v_BC's centrality pick the one whose routable-through-

@@ -1,4 +1,5 @@
 module Lp = Netrec_lp.Lp
+module Presolve = Netrec_lp.Presolve
 module Num = Netrec_util.Num
 module Obs = Netrec_obs.Obs
 
@@ -112,7 +113,7 @@ let endpoints_ok ~vertex_ok demands =
     (fun d -> vertex_ok d.Commodity.src && vertex_ok d.Commodity.dst)
     demands
 
-let feasible ?budget ?(vertex_ok = all) ?(edge_ok = all)
+let feasible ?budget ?presolve ?(vertex_ok = all) ?(edge_ok = all)
     ?(var_budget = default_budget) ~cap g demands =
   let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then Routable Routing.empty
@@ -135,7 +136,11 @@ let feasible ?budget ?(vertex_ok = all) ?(edge_ok = all)
       for h = 0 to nh - 1 do
         conservation ~extra_terms:(fun _ _ -> []) ~rhs h
       done;
-      let sol = Lp.solve ?budget skel.lp in
+      let __pv0 = Obs.counter_value "simplex.pivots" in
+      let sol = Presolve.solve ?budget ?enabled:presolve skel.lp in
+      Obs.count "mcf.feasible_solves";
+      Obs.count ~n:(Obs.counter_value "simplex.pivots" - __pv0)
+        "mcf.feasible_pivots";
       match sol.Lp.status with
       | Lp.Optimal ->
         Routable (routing_of_solution g skel demands sol.Lp.values)
@@ -147,7 +152,7 @@ let feasible ?budget ?(vertex_ok = all) ?(edge_ok = all)
     end
   end
 
-let max_scale ?budget ?(vertex_ok = all) ?(edge_ok = all)
+let max_scale ?budget ?presolve ?(vertex_ok = all) ?(edge_ok = all)
     ?(var_budget = default_budget) ~cap ~tmax g param =
   let demands = List.map fst param in
   if not (endpoints_ok ~vertex_ok demands) then `Max 0.0
@@ -183,7 +188,11 @@ let max_scale ?budget ?(vertex_ok = all) ?(edge_ok = all)
       for h = 0 to nh - 1 do
         conservation ~extra_terms ~rhs h
       done;
-      let sol = Lp.solve ?budget skel.lp in
+      let __pv0 = Obs.counter_value "simplex.pivots" in
+      let sol = Presolve.solve ?budget ?enabled:presolve skel.lp in
+      Obs.count "mcf.max_scale_solves";
+      Obs.count ~n:(Obs.counter_value "simplex.pivots" - __pv0)
+        "mcf.max_scale_pivots";
       match sol.Lp.status with
       | Lp.Optimal -> `Max sol.Lp.values.(t)
       | Lp.Infeasible -> `Max 0.0
@@ -194,7 +203,7 @@ let max_scale ?budget ?(vertex_ok = all) ?(edge_ok = all)
     end
   end
 
-let max_total ?budget ?(vertex_ok = all) ?(edge_ok = all)
+let max_total ?budget ?presolve ?(vertex_ok = all) ?(edge_ok = all)
     ?(var_budget = default_budget) ~cap g demands =
   let demands = List.filter (fun d -> Num.positive ~eps:Num.flow_eps d.Commodity.amount) demands in
   if demands = [] then `Routing Routing.empty
@@ -231,7 +240,11 @@ let max_total ?budget ?(vertex_ok = all) ?(edge_ok = all)
       for h = 0 to nh - 1 do
         conservation ~extra_terms ~rhs h
       done;
-      let sol = Lp.solve ?budget skel.lp in
+      let __pv0 = Obs.counter_value "simplex.pivots" in
+      let sol = Presolve.solve ?budget ?enabled:presolve skel.lp in
+      Obs.count "mcf.max_total_solves";
+      Obs.count ~n:(Obs.counter_value "simplex.pivots" - __pv0)
+        "mcf.max_total_pivots";
       match sol.Lp.status with
       | Lp.Optimal ->
         let routing = routing_of_solution g skel servable sol.Lp.values in

@@ -5,7 +5,12 @@
     variables, so every entry point takes a [var_budget] and refuses
     ([`Too_big]) instances beyond it — the {!Oracle} then falls back to
     the Garg–Könemann approximation.  All entry points accept the usual
-    availability predicates and a residual-capacity function. *)
+    availability predicates and a residual-capacity function.
+
+    Every entry point solves through {!Netrec_lp.Presolve.solve}:
+    [presolve] (default {!Netrec_lp.Tuning.presolve_enabled}) reduces
+    the model before the simplex and postsolves the answer — same
+    verdicts and routings, fewer pivots. *)
 
 type verdict =
   | Routable of Routing.t  (** feasible, with an explicit routing *)
@@ -15,6 +20,7 @@ type verdict =
 
 val feasible :
   ?budget:Netrec_resilience.Budget.t ->
+  ?presolve:bool ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->
@@ -28,6 +34,7 @@ val feasible :
 
 val max_scale :
   ?budget:Netrec_resilience.Budget.t ->
+  ?presolve:bool ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->
@@ -49,6 +56,7 @@ val max_scale :
 
 val max_total :
   ?budget:Netrec_resilience.Budget.t ->
+  ?presolve:bool ->
   ?vertex_ok:(Graph.vertex -> bool) ->
   ?edge_ok:(Graph.edge_id -> bool) ->
   ?var_budget:int ->

@@ -19,6 +19,11 @@ open Netrec_core
 type result = {
   solution : Instance.solution;
   objective : float;
+  bound : float;
+      (** global dual (lower) bound on the MinR optimum, from
+          {!Milp.solve}'s open-branch bookkeeping; equals [objective]
+          when [proved], and is the trivial 0 on the OPT-proxy path —
+          [objective -. bound] is the anytime bound gap *)
   proved : bool;  (** true iff branch-and-bound proved optimality *)
   nodes : int;  (** B&B nodes explored (0 for the proxy path) *)
   wall_seconds : float;
@@ -37,6 +42,9 @@ val solve :
   ?warm:bool ->
   ?node_certifier:
     (Netrec_lp.Lp.problem -> Netrec_lp.Lp.solution -> unit) ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?pricing:Netrec_lp.Tuning.pricing ->
   Instance.t ->
   result
 (** Solve MinR.  [node_limit] (default 3000) bounds the search;
@@ -46,6 +54,11 @@ val solve :
     branch-and-bound nodes; [~warm:false] cold-solves every node — the
     differential oracle of {!Milp.solve}.  [node_certifier] is forwarded
     to {!Milp.solve} (the test-suite's certificate hook).
+    [presolve]/[cuts]/[pricing] (defaults: the {!Netrec_lp.Tuning}
+    session knobs) control the model-side accelerations of {!Milp.solve};
+    the cut separator is always supplied (Steiner-forest connectivity and
+    cover cuts from gate-scaled minimum cuts), [cuts] decides whether the
+    search invokes it.
     [budget] (default unlimited) is threaded into the warm start and
     every branch-and-bound node; when it trips the best incumbent so far
     is returned with [proved = false] and the reason in [limited]. *)

@@ -217,13 +217,13 @@ let finish ~sign (out : Simplex.outcome) =
 
 let default_max_pivots p = 50_000 + (50 * (p.nv + p.ncons))
 
-let solve ?budget ?max_pivots p =
+let solve ?budget ?max_pivots ?pricing p =
   (* An already-exhausted budget exits before the model is even built. *)
   match Option.map Budget.check budget with
   | Some (Some reason) -> give_up p.nv reason
   | Some None | None ->
     let max_pivots = Option.value ~default:(default_max_pivots p) max_pivots in
-    let eng = Simplex.create (to_std p) in
+    let eng = Simplex.create ?pricing (to_std p) in
     finish ~sign:(obj_sign p) (Simplex.solve ?budget ~max_pivots eng)
 
 (* ---- warm-start sessions (branch-and-bound basis reuse) ---- *)
@@ -240,9 +240,9 @@ type warm = {
   wub : float array;
 }
 
-let warm p =
+let warm ?pricing p =
   let std = to_std p in
-  { weng = Simplex.create std;
+  { weng = Simplex.create ?pricing std;
     wsign = obj_sign p;
     wnv = p.nv;
     wdefault_pivots = default_max_pivots p;

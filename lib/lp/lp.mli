@@ -102,11 +102,16 @@ type solution = {
 }
 
 val solve :
-  ?budget:Netrec_resilience.Budget.t -> ?max_pivots:int -> problem -> solution
+  ?budget:Netrec_resilience.Budget.t ->
+  ?max_pivots:int ->
+  ?pricing:Tuning.pricing ->
+  problem ->
+  solution
 (** Cold solve with the sparse bounded-variable simplex.  [max_pivots]
     bounds total pivot operations (default
     [50_000 + 50 * (nvars + nconstraints)]); [budget] (default unlimited)
-    is checked once per pivot. *)
+    is checked once per pivot.  [pricing] (default
+    {!Tuning.default_pricing}) selects the dual leaving-row rule. *)
 
 type warm
 (** A warm-start session: a solver engine bound to a snapshot of the
@@ -115,10 +120,12 @@ type warm
     exactly branch-and-bound's node structure — restart from the parent
     basis via the dual simplex instead of solving from scratch. *)
 
-val warm : problem -> warm
+val warm : ?pricing:Tuning.pricing -> problem -> warm
 (** Capture [p] into a warm-start session.  The session snapshots the
     rows, costs and bounds at this point; later mutations of [p] are not
-    seen by {!warm_solve}. *)
+    seen by {!warm_solve}.  [pricing] (default
+    {!Tuning.default_pricing}) selects the dual leaving-row rule of the
+    session's engine. *)
 
 val warm_solve :
   ?budget:Netrec_resilience.Budget.t ->

@@ -7,51 +7,200 @@ type result = {
   status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
   objective : float;
   values : float array;
+  bound : float;
   nodes : int;
   pivots : int;
   proved : bool;
   limited : Budget.reason option;
 }
 
+type cut = {
+  cterms : (Lp.var * float) list;
+  crel : Lp.relation;
+  crhs : float;
+  mutable last_active : int;  (** node count when the cut was last tight *)
+}
+
 let frac x = abs_float (x -. Float.round x)
+
+(* Canonicalize a separator row the way [Lp.add_constraint] would store
+   it, so the dedup key is insensitive to term order. *)
+let canonical_terms terms =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) terms in
+  List.fold_left
+    (fun acc (v, c) ->
+      match acc with
+      | (v', c') :: tl when v' = v -> (v', c' +. c) :: tl
+      | _ -> (v, c) :: acc)
+    [] sorted
+  |> List.filter (fun (_, c) -> c <> 0.0)
+  |> List.rev
+
+let cut_key terms rel rhs =
+  let b = Buffer.create 64 in
+  List.iter (fun (v, c) -> Buffer.add_string b (Printf.sprintf "%d:%.9g;" v c)) terms;
+  Buffer.add_string b
+    (match rel with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=");
+  Buffer.add_string b (Printf.sprintf "%.9g" rhs);
+  Buffer.contents b
+
+let eval_terms terms (x : float array) =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 terms
+
+let satisfies terms rel rhs x =
+  let lhs = eval_terms terms x in
+  match rel with
+  | Lp.Le -> lhs <= rhs +. Num.feas_eps
+  | Lp.Ge -> lhs >= rhs -. Num.feas_eps
+  | Lp.Eq -> abs_float (lhs -. rhs) <= Num.feas_eps
+
+(* Aged cuts (not tight at any solved node recently) are dropped on the
+   next rebuild to keep node relaxations small. *)
+let cut_age_limit = 64
+
+(* Cap on root cutting rounds and on mid-search pool rebuilds: every
+   rebuild re-presolves and cold-starts the warm session — a mid-search
+   rebuild also forfeits the parent-basis warm start for the whole
+   frontier — so separation has to pay for itself.  Root rounds are
+   cheap (the next round warm-starts nothing anyway); node rounds are
+   kept rare. *)
+let max_cut_rounds = 8
+let max_node_cut_rounds = 2
 
 let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
     ?(integral_objective = false) ?incumbent ?(warm = true) ?node_certifier
-    ~binary p =
+    ?presolve ?cuts ?pricing ?separator ~binary p =
+  let use_presolve =
+    match presolve with Some b -> b | None -> Tuning.presolve_enabled ()
+  in
+  let use_cuts =
+    (match cuts with Some b -> b | None -> Tuning.cuts_enabled ())
+    && separator <> None
+  in
   let binary = Array.of_list binary in
-  (* All binaries get [0,1] bounds in the relaxation. *)
-  let root = Lp.copy p in
-  Array.iter (fun v -> Lp.set_bounds root v ~lb:0.0 ~ub:1.0) binary;
-  (* One engine serves every node: a node is just the root under different
-     binary bounds, so the parent's optimal basis dual-feasibly warm-starts
-     each child.  The cold path keeps the old copy-and-resolve behavior as
-     a differential oracle. *)
-  let session = if warm then Some (Lp.warm root) else None in
+  let nv = Lp.nvars p in
+  (* All binaries get [0,1] bounds in the relaxation.  [base] never
+     changes; the active root is base plus the surviving cut pool. *)
+  let base = Lp.copy p in
+  Array.iter (fun v -> Lp.set_bounds base v ~lb:0.0 ~ub:1.0) binary;
+  let nodes = ref 0 in
+  let pool = ref ([] : cut list) in
+  let pool_keys = Hashtbl.create 16 in
+  (* The active root, its presolve reduction and the warm session are
+     rebuilt together whenever the cut pool changes.  One engine serves
+     every node between rebuilds: a node is just the root under
+     different binary bounds, so the parent's optimal basis dual-feasibly
+     warm-starts each child.  The cold path keeps the copy-and-resolve
+     behavior as a differential oracle. *)
+  let root = ref base in
+  let pre = ref (None : Presolve.t option) in
+  let session = ref (None : Lp.warm option) in
+  let pre_infeasible = ref false in
+  let rebuild () =
+    let r =
+      if !pool = [] then base
+      else begin
+        let r = Lp.copy base in
+        List.iter (fun c -> Lp.add_constraint r c.cterms c.crel c.crhs) !pool;
+        r
+      end
+    in
+    root := r;
+    pre_infeasible := false;
+    if use_presolve then begin
+      let t = Presolve.run ~integer:(Array.to_list binary) r in
+      if t.Presolve.infeasible then begin
+        pre := None;
+        session := None;
+        pre_infeasible := true
+      end
+      else begin
+        pre := Some t;
+        session :=
+          (if warm then Some (Lp.warm ?pricing t.Presolve.reduced) else None)
+      end
+    end
+    else begin
+      pre := None;
+      session := (if warm then Some (Lp.warm ?pricing r) else None)
+    end
+  in
+  rebuild ();
+  let infeasible_sol () =
+    { Lp.status = Lp.Infeasible;
+      objective = 0.0;
+      values = Array.make nv 0.0;
+      pivots = 0;
+      limited = None }
+  in
   let cold_node fixings =
-    let node_p = Lp.copy root in
+    let node_p = Lp.copy !root in
     List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
-    Lp.solve ~budget ?max_pivots node_p
+    Lp.solve ~budget ?max_pivots ?pricing node_p
+  in
+  (* Node fixings are in original variable space; under presolve they map
+     through the reduction: kept variables become bound overrides on the
+     reduced problem, eliminated ones must agree with their fixed value —
+     a disagreement means this sub-box lost its only candidate value, so
+     the node is infeasible (sound because every presolve reduction
+     preserves the optimum over every sub-box; see {!Presolve}). *)
+  let map_fixings t fixings =
+    let rec go acc = function
+      | [] -> Some acc
+      | (v, x) :: tl ->
+        let r = t.Presolve.of_orig.(v) in
+        if r >= 0 then go ((r, x, x) :: acc) tl
+        else if abs_float (t.Presolve.fixed.(v) -. x) <= Num.feas_eps then
+          go acc tl
+        else None
+    in
+    go [] fixings
   in
   let solve_node fixings =
-    match session with
-    | None -> cold_node fixings
-    | Some w -> (
-      let bounds = List.map (fun (v, x) -> (v, x, x)) fixings in
-      let sol = Lp.warm_solve ~budget ?max_pivots ~bounds w in
-      (* A degenerate warm run can cycle away the whole pivot budget;
-         a fresh slack basis usually terminates, so retry the node cold
-         before letting one bad basis truncate the proof. *)
-      match sol.Lp.status with
-      | Lp.Iteration_limit when Budget.ok budget ->
-        Obs.count "milp.cold_retries";
-        cold_node fixings
-      | _ -> sol)
+    if !pre_infeasible then infeasible_sol ()
+    else
+      match !pre with
+      | Some t -> (
+        match map_fixings t fixings with
+        | None -> infeasible_sol ()
+        | Some bounds -> (
+          let sol =
+            match !session with
+            | Some w -> Lp.warm_solve ~budget ?max_pivots ~bounds w
+            | None ->
+              let node_p = Lp.copy t.Presolve.reduced in
+              List.iter
+                (fun (v, lo, hi) -> Lp.set_bounds node_p v ~lb:lo ~ub:hi)
+                bounds;
+              Lp.solve ~budget ?max_pivots ?pricing node_p
+          in
+          match sol.Lp.status with
+          | Lp.Iteration_limit when !session <> None && Budget.ok budget ->
+            (* A degenerate warm run can cycle away the whole pivot
+               budget; a fresh slack basis usually terminates, so retry
+               the node cold (and un-presolved) before letting one bad
+               basis truncate the proof. *)
+            Obs.count "milp.cold_retries";
+            cold_node fixings
+          | Lp.Optimal -> Presolve.lift_solution t sol
+          | _ -> { sol with Lp.values = Array.make nv 0.0 }))
+      | None -> (
+        match !session with
+        | None -> cold_node fixings
+        | Some w -> (
+          let bounds = List.map (fun (v, x) -> (v, x, x)) fixings in
+          let sol = Lp.warm_solve ~budget ?max_pivots ~bounds w in
+          match sol.Lp.status with
+          | Lp.Iteration_limit when Budget.ok budget ->
+            Obs.count "milp.cold_retries";
+            cold_node fixings
+          | _ -> sol))
   in
   let certify fixings sol =
     match node_certifier with
     | None -> ()
     | Some f ->
-      let node_p = Lp.copy root in
+      let node_p = Lp.copy !root in
       List.iter (fun (v, x) -> Lp.fix node_p v x) fixings;
       f node_p sol
   in
@@ -62,9 +211,99 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
     best_values := Some (Array.copy values);
     best_obj := obj
   | None -> ());
-  let nodes = ref 0 in
+  (* Integer-feasible points discovered by THIS search (full space).
+     Candidate cuts must not cut any of them off; the caller-supplied
+     incumbent is deliberately excluded — heuristic warm starts may pass
+     a bound with placeholder values. *)
+  let found_incumbents = ref ([] : float array list) in
   let pivots = ref 0 in
   let truncated = ref false in
+  (* ---- cut separation ---- *)
+  let touch_pool x =
+    List.iter
+      (fun c ->
+        let lhs = eval_terms c.cterms x in
+        let tight =
+          match c.crel with
+          | Lp.Le -> lhs >= c.crhs -. Num.feas_eps
+          | Lp.Ge -> lhs <= c.crhs +. Num.feas_eps
+          | Lp.Eq -> true
+        in
+        if tight then c.last_active <- !nodes)
+      !pool
+  in
+  let prune_pool () =
+    let kept, aged =
+      List.partition (fun c -> !nodes - c.last_active <= cut_age_limit) !pool
+    in
+    if aged <> [] then begin
+      Obs.count ~n:(List.length aged) "cuts.aged_out";
+      List.iter
+        (fun c -> Hashtbl.remove pool_keys (cut_key c.cterms c.crel c.crhs))
+        aged;
+      pool := kept
+    end
+  in
+  (* Filter the separator's candidates: canonical, actually violated at
+     the fractional point, new to the pool, and consistent with every
+     integer point found so far.  Returns how many entered the pool. *)
+  let separate_at x =
+    match separator with
+    | None -> 0
+    | Some sep ->
+      let added = ref 0 in
+      List.iter
+        (fun (terms, rel, rhs) ->
+          Obs.count "cuts.separated";
+          let terms = canonical_terms terms in
+          if terms <> [] && not (satisfies terms rel rhs x) then begin
+            let key = cut_key terms rel rhs in
+            if not (Hashtbl.mem pool_keys key) then begin
+              if
+                List.for_all
+                  (fun inc -> satisfies terms rel rhs inc)
+                  !found_incumbents
+              then begin
+                Hashtbl.add pool_keys key ();
+                pool :=
+                  { cterms = terms; crel = rel; crhs = rhs;
+                    last_active = !nodes }
+                  :: !pool;
+                incr added;
+                Obs.count "cuts.added"
+              end
+              else Obs.count "cuts.rejected"
+            end
+          end)
+        (sep x);
+      !added
+  in
+  (* Root cutting loop: solve the root relaxation, separate at its
+     fractional point, rebuild, repeat until integral, dry or capped. *)
+  if use_cuts then begin
+    let rounds = ref 0 in
+    let go = ref true in
+    while !go && !rounds < max_cut_rounds && Budget.ok budget do
+      incr rounds;
+      Obs.count "cuts.root_solves";
+      let sol = solve_node [] in
+      pivots := !pivots + sol.Lp.pivots;
+      match sol.Lp.status with
+      | Lp.Optimal ->
+        let fractional =
+          Array.exists (fun v -> frac sol.Lp.values.(v) > Num.feas_eps) binary
+        in
+        if not fractional then go := false
+        else if separate_at sol.Lp.values > 0 then begin
+          Obs.count "cuts.rounds";
+          rebuild ()
+        end
+        else go := false
+      | _ -> go := false
+    done
+  end;
+  let cut_rebuilds = ref 0 in
+  (* ---- branch and bound ---- *)
   let tighten bound =
     (* Integral costs allow rounding the LP bound up to the next integer. *)
     if integral_objective then Float.round (ceil (bound -. Num.feas_eps))
@@ -80,6 +319,9 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
   (* Best-bound pops are non-decreasing, so each strict improvement of
      the global dual bound is one progress event. *)
   let last_bound = ref neg_infinity in
+  (* Dual-bound bookkeeping for the final gap: the least LP bound over
+     branches the search abandoned without closing. *)
+  let open_bound = ref infinity in
   while Pqueue.length q > 0 && have_room () do
     match Pqueue.pop q with
     | None -> ()
@@ -95,6 +337,7 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
         (* Plunge: follow the preferred child depth-first until the branch
            closes (integral, infeasible or pruned), queueing the twins. *)
         let cur = ref fixings in
+        let cur_bound = ref bound in
         let plunging = ref true in
         while !plunging && have_room () do
           incr nodes;
@@ -107,13 +350,17 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
           | Lp.Iteration_limit ->
             Obs.count "lp.iteration_limit_hits";
             truncated := true;
+            open_bound := Float.min !open_bound !cur_bound;
             plunging := false
           | Lp.Unbounded ->
             truncated := true;
+            open_bound := Float.min !open_bound !cur_bound;
             plunging := false
           | Lp.Optimal ->
             certify !cur sol;
+            if use_cuts then touch_pool sol.Lp.values;
             let bound = tighten sol.Lp.objective in
+            cur_bound := bound;
             if pruned bound then begin
               Obs.count "milp.nodes_pruned";
               plunging := false
@@ -139,8 +386,26 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
                       ("objective", sol.Lp.objective) ];
                 best_obj := sol.Lp.objective;
                 best_values := Some (Array.copy sol.Lp.values);
+                if use_cuts then
+                  found_incumbents :=
+                    Array.copy sol.Lp.values :: !found_incumbents;
                 plunging := false
               end
+              else if
+                  use_cuts
+                  && !cut_rebuilds < max_node_cut_rounds
+                  && separate_at sol.Lp.values > 0
+                then begin
+                  (* The fractional point is separated: grow the root,
+                     rebuild, and re-queue this node at its bound so it
+                     re-solves against the tightened relaxation. *)
+                  incr cut_rebuilds;
+                  Obs.count "cuts.rounds";
+                  prune_pool ();
+                  rebuild ();
+                  Pqueue.push q bound !cur;
+                  plunging := false
+                end
               else begin
                 let v = !branch_var in
                 let preferred = Float.round sol.Lp.values.(v) in
@@ -151,7 +416,10 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
             end
         done;
         (* Leaving mid-plunge (node limit / budget) abandons an open branch. *)
-        if !plunging then truncated := true
+        if !plunging then begin
+          truncated := true;
+          open_bound := Float.min !open_bound !cur_bound
+        end
       end
   done;
   if Pqueue.length q > 0 then begin
@@ -163,7 +431,10 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
       | None -> ()
       | Some (bound, _) ->
         if pruned bound then Obs.count "milp.nodes_pruned"
-        else open_nodes := true;
+        else begin
+          open_nodes := true;
+          open_bound := Float.min !open_bound bound
+        end;
         drain ()
     in
     drain ();
@@ -178,29 +449,26 @@ let solve ?(budget = Budget.unlimited) ?(node_limit = 100_000) ?max_pivots
       | Some r -> Some r
       | None -> Some (Budget.Work { spent = !nodes; cap = node_limit })
   in
+  let dual_bound =
+    if proved then (match !best_values with Some _ -> !best_obj | None -> infinity)
+    else Float.min !open_bound !best_obj
+  in
   match !best_values with
   | Some values ->
     { status = (if proved then `Optimal else `Feasible);
       objective = !best_obj;
       values;
+      bound = dual_bound;
       nodes = !nodes;
       pivots = !pivots;
       proved;
       limited }
   | None ->
-    if proved then
-      { status = `Infeasible;
-        objective = infinity;
-        values = Array.make (Lp.nvars p) 0.0;
-        nodes = !nodes;
-        pivots = !pivots;
-        proved;
-        limited }
-    else
-      { status = `Unknown;
-        objective = infinity;
-        values = Array.make (Lp.nvars p) 0.0;
-        nodes = !nodes;
-        pivots = !pivots;
-        proved;
-        limited }
+    { status = (if proved then `Infeasible else `Unknown);
+      objective = infinity;
+      values = Array.make (Lp.nvars p) 0.0;
+      bound = dual_bound;
+      nodes = !nodes;
+      pivots = !pivots;
+      proved;
+      limited }

@@ -19,7 +19,27 @@
 
     Node and pivot budgets make the solver an anytime algorithm: when the
     budget runs out it reports the best incumbent with [proved = false],
-    mirroring how the paper's Gurobi runs were wall-clock bounded. *)
+    mirroring how the paper's Gurobi runs were wall-clock bounded.
+
+    Two model-side accelerations ride on top of the node loop, both off
+    the exact same answers as the plain search:
+
+    - {b Presolve} ([?presolve], default {!Tuning.presolve_enabled}): the
+      root (plus any active cuts) is reduced by {!Presolve.run} with the
+      binaries declared integer; every node then solves the reduced
+      problem, with node fixings mapped through the reduction (a fixing
+      that contradicts an eliminated variable's value closes the node as
+      infeasible) and solutions postsolved back to full space before
+      branching, certification and incumbent bookkeeping.
+    - {b Cutting planes} ([?cuts] + [?separator]): a user separator maps
+      a fractional LP point to violated valid rows.  Candidates are
+      deduplicated, checked against every integer point found so far
+      (["cuts.rejected"]) and added to a pool spliced into the root;
+      rounds run at the root until the point is integral or separation
+      dries up, and again at fractional nodes (bounded rebuilds).  Cuts
+      that stay slack for a long stretch of nodes age out of the pool
+      (["cuts.aged_out"]).  Counters: ["cuts.separated"], ["cuts.added"],
+      ["cuts.rounds"], ["cuts.root_solves"]. *)
 
 type result = {
   status : [ `Optimal | `Feasible | `Infeasible | `Unknown ];
@@ -28,6 +48,11 @@ type result = {
           with no incumbent. *)
   objective : float;  (** incumbent objective (meaningful unless [`Unknown]/[`Infeasible]) *)
   values : float array;  (** incumbent variable values *)
+  bound : float;
+      (** global dual (lower) bound on the optimum: equals [objective]
+          when proved, [infinity] when proved infeasible, otherwise the
+          least LP bound over branches the search left open — the
+          bound-gap side of anytime reporting *)
   nodes : int;  (** branch-and-bound nodes whose LP relaxation was solved *)
   pivots : int;  (** simplex pivots consumed across all node relaxations *)
   proved : bool;  (** whether optimality was proved *)
@@ -45,6 +70,11 @@ val solve :
   ?incumbent:float array * float ->
   ?warm:bool ->
   ?node_certifier:(Lp.problem -> Lp.solution -> unit) ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?pricing:Tuning.pricing ->
+  ?separator:
+    (float array -> ((Lp.var * float) list * Lp.relation * float) list) ->
   binary:Lp.var list ->
   Lp.problem ->
   result
@@ -57,9 +87,14 @@ val solve :
     [~warm:false] every node is cold-solved on a fresh copy of the root —
     same answers, only slower (kept as a differential-testing oracle).
     [node_certifier] (default absent) is called with every node's problem
-    (the root under that node's fixings) and its LP solution — the hook the
-    test-suite uses to run {!Netrec_check.Check.lp_certificate} over every
-    warm-started solve.  [budget] (default unlimited) is spent one unit per
+    (the root — including active cuts — under that node's fixings) and its
+    LP solution in full variable space — the hook the test-suite uses to
+    run {!Netrec_check.Check.lp_certificate} over every warm-started
+    solve.  [presolve]/[cuts]/[pricing] override the {!Tuning} session
+    defaults for this solve; [separator sol_values] (default absent — no
+    separation without it, whatever [cuts] says) returns candidate valid
+    rows [(terms, rel, rhs)] violated at the given fractional point.
+    [budget] (default unlimited) is spent one unit per
     branch-and-bound node and also threaded into every node's LP
     relaxation; when it trips the best incumbent so far is returned with
     [proved = false].  The problem [p] is not modified. *)

@@ -88,9 +88,17 @@ type t = {
       (* the current basis is dual feasible for [cost] — a warm restart
          may skip phase 1 and run the dual simplex *)
   mutable since_refactor : int;
+  (* Dual steepest-edge state: [dse.(i)] approximates the squared norm of
+     row [i] of the basis inverse (the reference framework is the unit
+     basis).  [dse_ok] says the weights match the current basis; they are
+     maintained through dual pivots only and recomputed exactly from
+     [binv] whenever the dual simplex finds them stale. *)
+  dse : float array;
+  mutable dse_ok : bool;
+  mutable use_dse : bool;
 }
 
-let create std =
+let create ?pricing std =
   let m = std.nrows and ncols = std.ncols in
   if Array.length std.row_off <> m + 1 then
     invalid_arg "Simplex.create: row_off length";
@@ -178,7 +186,16 @@ let create std =
     dense = Array.make (max 1 (m * m)) 0.0;
     inv2 = Array.make (max 1 (m * m)) 0.0;
     dual_ready = false;
-    since_refactor = 0 }
+    since_refactor = 0;
+    dse = Array.make (max 1 m) 1.0;
+    dse_ok = false;
+    use_dse =
+      (match pricing with
+      | Some Tuning.Dse -> true
+      | Some Tuning.Dantzig -> false
+      | None -> Tuning.default_pricing () = Tuning.Dse) }
+
+let set_pricing t p = t.use_dse <- p = Tuning.Dse
 
 (* Iterate the rows of column [j] with their coefficients. *)
 let[@inline] col_iter t j f =
@@ -325,7 +342,9 @@ let refactor t =
    with Exit -> ());
   if !ok then begin
     Array.blit inv2 0 t.binv 0 (m * m);
-    t.since_refactor <- 0
+    t.since_refactor <- 0;
+    (* weights were tracking the drifted inverse; recompute lazily *)
+    t.dse_ok <- false
   end;
   !ok
 
@@ -338,12 +357,65 @@ let maybe_refactor t =
   end
   else false
 
+(* Exact dual steepest-edge weights from the rows of the current inverse:
+   beta_i = ||e_i^T B^-1||^2 (unit reference framework). *)
+let dse_floor = 1e-10
+
+let dse_reset t =
+  Obs.count "simplex.dse_resets";
+  let m = t.m and binv = t.binv and dse = t.dse in
+  for i = 0 to m - 1 do
+    let s = ref 0.0 in
+    let off = i * m in
+    for k = 0 to m - 1 do
+      let b = Array.unsafe_get binv (off + k) in
+      s := !s +. (b *. b)
+    done;
+    dse.(i) <- (if !s < dse_floor then dse_floor else !s)
+  done;
+  t.dse_ok <- true
+
+(* Forrest–Goldfarb update of the steepest-edge weights across a pivot
+   (entering column [q] in row [r], [t.u] = B^-1 a_q): with
+   kappa_i = u_i / u_r and tau_i = (row i of B^-1) . (row r of B^-1),
+
+     beta_r' = beta_r / u_r^2
+     beta_i' = beta_i - 2 kappa_i tau_i + kappa_i^2 beta_r    (i <> r)
+
+   floored at [dse_floor] against drift.  Must run against the
+   *pre-pivot* inverse, i.e. before the product-form update. *)
+let dse_update t ~r =
+  let m = t.m and u = t.u and binv = t.binv and dse = t.dse in
+  let ur = u.(r) in
+  let beta_r = dse.(r) in
+  let off_r = r * m in
+  for i = 0 to m - 1 do
+    if i <> r && abs_float u.(i) > drop_tol then begin
+      let kappa = u.(i) /. ur in
+      let tau = ref 0.0 in
+      let off_i = i * m in
+      for k = 0 to m - 1 do
+        tau :=
+          !tau
+          +. (Array.unsafe_get binv (off_i + k)
+             *. Array.unsafe_get binv (off_r + k))
+      done;
+      let b =
+        dse.(i) -. (2.0 *. kappa *. !tau) +. (kappa *. kappa *. beta_r)
+      in
+      dse.(i) <- (if b < dse_floor then dse_floor else b)
+    end
+  done;
+  let br = beta_r /. (ur *. ur) in
+  dse.(r) <- (if br < dse_floor then dse_floor else br)
+
 (* Apply a basis change: entering column [q] moves [tstar] along [dir]
    from its bound, row [r]'s basic variable leaves to its lower or upper
    bound, and binv gets the product-form update.  [t.u] must hold
    B^-1 a_q. *)
 let basis_pivot t ~q ~dir ~tstar ~r ~to_ub =
   Obs.count "simplex.pivots";
+  if t.use_dse && t.dse_ok then dse_update t ~r;
   let m = t.m and u = t.u and binv = t.binv in
   let xq = nb_val t q +. (dir *. tstar) in
   for i = 0 to m - 1 do
@@ -414,6 +486,10 @@ let objective_sample_period = 128
 let primal t ~cost ~pivots_left ~budget =
   let stall = ref 0 in
   let npiv = ref 0 in
+  (* Primal pivots do not maintain the steepest-edge weights (the dual
+     simplex recomputes them exactly on entry instead, trading one O(m^2)
+     reset per warm restart for zero overhead here). *)
+  t.dse_ok <- false;
   compute_y t cost;
   let rec loop fresh =
     if !pivots_left <= 0 || not (Budget.ok budget) then `Limit
@@ -551,28 +627,65 @@ let primal t ~cost ~pivots_left ~budget =
 
 let dual t ~cost ~pivots_left ~budget =
   compute_y t cost;
+  let stall = ref 0 in
   let rec loop retried =
     if !pivots_left <= 0 || not (Budget.ok budget) then `Limit
     else begin
-      (* Leaving row: the most infeasible basic variable. *)
-      let r = ref (-1) and worst = ref feas_eps and below = ref false in
-      for i = 0 to t.m - 1 do
-        let b = t.basis.(i) in
-        let lo_v = t.lb.(b) -. t.xb.(i) in
-        if lo_v > !worst then begin
-          r := i;
-          worst := lo_v;
-          below := true
-        end
-        else begin
-          let hi_v = t.xb.(i) -. t.ub.(b) in
-          if hi_v > !worst then begin
-            r := i;
-            worst := hi_v;
-            below := false
+      (* Leaving row.  Default rule: dual steepest edge — maximize
+         infeasibility^2 / beta_i, where beta_i tracks ||row i of
+         B^-1||^2 ({!dse_update}).  After a degeneracy run the selection
+         falls back to the plain most-infeasible rule (mirroring the
+         primal's Dantzig -> Bland switch), and with [use_dse] off the
+         fallback rule is simply always in force. *)
+      let dse_now = t.use_dse && !stall <= 200 in
+      if dse_now && not t.dse_ok then dse_reset t;
+      let r = ref (-1) and below = ref false in
+      if dse_now then begin
+        let best = ref 0.0 in
+        for i = 0 to t.m - 1 do
+          let b = t.basis.(i) in
+          let lo_v = t.lb.(b) -. t.xb.(i) in
+          if lo_v > feas_eps then begin
+            let score = lo_v *. lo_v /. Array.unsafe_get t.dse i in
+            if score > !best then begin
+              r := i;
+              best := score;
+              below := true
+            end
           end
-        end
-      done;
+          else begin
+            let hi_v = t.xb.(i) -. t.ub.(b) in
+            if hi_v > feas_eps then begin
+              let score = hi_v *. hi_v /. Array.unsafe_get t.dse i in
+              if score > !best then begin
+                r := i;
+                best := score;
+                below := false
+              end
+            end
+          end
+        done
+      end
+      else begin
+        let worst = ref feas_eps in
+        for i = 0 to t.m - 1 do
+          let b = t.basis.(i) in
+          let lo_v = t.lb.(b) -. t.xb.(i) in
+          if lo_v > !worst then begin
+            r := i;
+            worst := lo_v;
+            below := true
+          end
+          else begin
+            let hi_v = t.xb.(i) -. t.ub.(b) in
+            if hi_v > !worst then begin
+              r := i;
+              worst := hi_v;
+              below := false
+            end
+          end
+        done
+      end;
       if !r < 0 then `Feasible
       else begin
         let r = !r in
@@ -653,6 +766,10 @@ let dual t ~cost ~pivots_left ~budget =
             let tstar = if tstar < 0.0 then 0.0 else tstar in
             decr pivots_left;
             Budget.spend budget;
+            (* A degenerate dual step leaves the dual objective in place:
+               the entering ratio (|d_q| / |alpha_q|) is the step length. *)
+            if !best > eps then stall := 0 else incr stall;
+            if dse_now then Obs.count "simplex.dse_pivots";
             basis_pivot t ~q ~dir ~tstar ~r ~to_ub:(not !below);
             dual_update t ~r ~dq:!qd;
             if maybe_refactor t then compute_y t cost;

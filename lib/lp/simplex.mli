@@ -15,7 +15,17 @@
     every child.
 
     Anti-cycling: Dantzig pricing switches to Bland's rule after a run of
-    degenerate steps, which guarantees termination. *)
+    degenerate steps, which guarantees termination.
+
+    Dual pricing: the leaving row is chosen by dual steepest edge by
+    default — weights approximating [||row i of B^-1||^2] are kept
+    current across pivots with the Forrest–Goldfarb update (the explicit
+    dense inverse makes both the update and the exact re-initialization
+    O(m^2)) and the row maximizing [infeasibility^2 / weight] leaves
+    (["simplex.dse_pivots"], ["simplex.dse_resets"]).  After a run of
+    degenerate dual steps the selection falls back to the plain
+    most-infeasible rule, which is also what [~pricing:Dantzig]
+    selects unconditionally. *)
 
 type relation = Le | Ge | Eq
 
@@ -57,11 +67,15 @@ type t
 (** A reusable engine instance holding the factorized basis.  Not
     thread-safe: share engines within a domain only. *)
 
-val create : std -> t
+val create : ?pricing:Tuning.pricing -> std -> t
 (** Build an engine (CSC transpose, slack/artificial column layout, basis
-    workspace).  No solving happens here.
+    workspace).  No solving happens here.  [pricing] (default
+    {!Tuning.default_pricing}) selects the dual leaving-row rule.
     @raise Invalid_argument on ragged CSR arrays, out-of-range column
     indices, [lb > ub], or a variable with no finite bound at all. *)
+
+val set_pricing : t -> Tuning.pricing -> unit
+(** Switch the dual pricing rule of an existing engine. *)
 
 val solve :
   ?budget:Netrec_resilience.Budget.t -> ?max_pivots:int -> t -> outcome

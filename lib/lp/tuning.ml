@@ -1,0 +1,26 @@
+(* Process-wide defaults for the LP performance layer.  Each knob can be
+   overridden per call site with an optional argument; these refs only
+   supply the default, so the CLI can flip a feature off globally
+   (--presolve/--cuts/--pricing) without threading flags through every
+   solver layer.  Set them before spawning worker domains: the refs are
+   plain (unsynchronized) and are meant to be configured once at
+   startup. *)
+
+type pricing = Dse | Dantzig
+
+let presolve = ref true
+let cuts = ref true
+let pricing = ref Dse
+let set_presolve b = presolve := b
+let set_cuts b = cuts := b
+let set_pricing p = pricing := p
+let presolve_enabled () = !presolve
+let cuts_enabled () = !cuts
+let default_pricing () = !pricing
+
+let pricing_of_string = function
+  | "dse" | "steepest-edge" -> Some Dse
+  | "dantzig" -> Some Dantzig
+  | _ -> None
+
+let pricing_to_string = function Dse -> "dse" | Dantzig -> "dantzig"

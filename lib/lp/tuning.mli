@@ -1,0 +1,31 @@
+(** Process-wide defaults for the LP performance layer.
+
+    Every knob has a matching optional argument on the solver entry
+    points ({!Lp.solve}, {!Lp.warm}, {!Milp.solve},
+    {!Netrec_heuristics.Opt.solve}); these refs only supply the default
+    when the argument is omitted.  The CLI maps
+    [--presolve/--cuts/--pricing] onto {!set_presolve}/{!set_cuts}/
+    {!set_pricing} once at startup, before any worker domain spawns —
+    the refs are unsynchronized by design. *)
+
+type pricing =
+  | Dse  (** dual steepest-edge leaving-row pricing (default) *)
+  | Dantzig  (** most-infeasible leaving row (the pre-DSE rule) *)
+
+val set_presolve : bool -> unit
+val set_cuts : bool -> unit
+val set_pricing : pricing -> unit
+
+val presolve_enabled : unit -> bool
+(** Default for the presolve knob (initially [true]). *)
+
+val cuts_enabled : unit -> bool
+(** Default for the cutting-plane knob (initially [true]). *)
+
+val default_pricing : unit -> pricing
+(** Default dual pricing rule (initially [Dse]). *)
+
+val pricing_of_string : string -> pricing option
+(** ["dse"] / ["dantzig"] (CLI spelling), [None] otherwise. *)
+
+val pricing_to_string : pricing -> string

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Cross-solver differential gate: run every solver on seeded random
 # instances, certify each solution with netrec_check, and assert the
-# paper's cost orderings plus -j determinism.
+# paper's cost orderings plus -j determinism.  Every 16th instance also
+# re-runs OPT with cold node solves, presolve off and cuts off, and
+# requires proved costs to agree with the full pipeline.
 #
 #   scripts/check_differential.sh          # 200 instances, seed 42
 #   scripts/check_differential.sh 500 7    # custom count and seed

@@ -144,6 +144,34 @@ bad = [k for k in ("simplex.pivots", "simplex.solves", "simplex.warm_starts",
                    "milp.nodes") if gate.get(k, 0) <= 0]
 if bad:
     sys.exit("FAIL: lp_gate counters missing or zero: %s" % ", ".join(bad))
+# Exact-solver accelerations (DESIGN.md 18): the pinned solve must
+# actually exercise presolve, the cut separator and DSE pricing, not
+# merely tolerate them; the remaining acceleration counters only need
+# to be materialised (tightening/aging legitimately hit 0 on some
+# models).
+bad = [k for k in ("simplex.dse_pivots", "presolve.runs",
+                   "presolve.vars_fixed", "cuts.separated", "cuts.added",
+                   "cuts.root_solves")
+       if gate.get(k, 0) <= 0]
+if bad:
+    sys.exit("FAIL: lp_gate acceleration counters missing or zero: %s"
+             % ", ".join(bad))
+bad = [k for k in ("presolve.rows_dropped", "presolve.bounds_tightened",
+                   "presolve.coefs_tightened", "simplex.dse_resets",
+                   "cuts.rejected", "cuts.aged_out")
+       if k not in gate]
+if bad:
+    sys.exit("FAIL: lp_gate acceleration counters not materialised: %s"
+             % ", ".join(bad))
+counters_bad = [k for k in ("presolve.runs", "presolve.vars_fixed",
+                            "presolve.rows_dropped",
+                            "presolve.bounds_tightened", "cuts.separated",
+                            "cuts.added", "cuts.root_solves",
+                            "simplex.dse_pivots")
+                if counters.get(k, 0) <= 0]
+if counters_bad:
+    sys.exit("FAIL: acceleration counters missing or zero in the run-wide "
+             "snapshot: %s" % ", ".join(counters_bad))
 print("OK: %s valid (%d counters, %d histograms, %d progress events, "
       "%d benchmarks)"
       % (sys.argv[1], len(counters), len(hists), len(progress),
@@ -159,7 +187,8 @@ else
              '"isp.shard_cut_demands"' '"isp.shard_fixup_paths"' \
              '"parallel.cells"' '"parallel.cells_per_domain"' \
              '"lp_gate"' '"simplex.warm_starts"' '"simplex.phase1_skipped"' \
-             '"milp.nodes"' '"opt.proved":1' \
+             '"milp.nodes"' '"opt.proved":1' '"presolve.runs"' \
+             '"cuts.added"' '"simplex.dse_pivots"' \
              '"xl_gate"' '"xl.certified":1' '"shard.solve_ms"' \
              '"sched_gate"' '"sched.oracle_proved":1' '"sched.certified":1' \
              '"sched.plans"' '"sched.round_satisfaction"' \

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Exact-solver acceleration gate: run the pinned Bell-Canada Gaussian
+# scenario (bench/main.exe opt-smoke, the same instance behind the
+# BENCH_metrics.json lp_gate block) through the full pipeline and with
+# each acceleration individually disabled, and assert that
+#
+#   - the full pipeline proves optimality within the ratcheted work
+#     ceilings (simplex.pivots <= 8310, milp.nodes < 71 — half the
+#     pre-acceleration pivot count),
+#   - presolve off, cuts off and Dantzig pricing each still prove the
+#     SAME objective (printed with a fixed six-decimal format, so the
+#     comparison is pure text),
+#   - the mid-size Gaussian scenario flips: the un-accelerated pipeline
+#     exhausts its node budget unproved, the full pipeline proves.
+#
+# Fully deterministic (pinned scenarios, no wall-clock in the output),
+# so it runs as part of @runtest via the @opt alias:
+#
+#   dune build @opt
+#
+# When invoked through the alias, $BENCH_EXE points at the already-built
+# executable (a dune action must not invoke dune recursively).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PIVOT_CEILING=8310
+NODE_CEILING=71
+
+if [ -z "${BENCH_EXE:-}" ]; then
+  dune build bench/main.exe
+  BENCH_EXE=_build/default/bench/main.exe
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+"$BENCH_EXE" opt-smoke > "$TMP/out.txt"
+
+fail() {
+  echo "FAIL: opt-smoke: $1" >&2
+  cat "$TMP/out.txt" >&2
+  exit 1
+}
+
+row() {
+  sed -n "s/^$1: //p" "$TMP/out.txt"
+}
+
+field() {
+  # field "<row text>" <key>  ->  value of key=value
+  printf '%s\n' "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"
+}
+
+pinned=$(row pinned)
+[ -n "$pinned" ] || fail "no pinned row"
+
+for name in pinned nopresolve nocuts dantzig; do
+  r=$(row "$name")
+  [ -n "$r" ] || fail "no $name row"
+  [ "$(field "$r" proved)" = "true" ] || fail "$name did not prove optimality"
+done
+
+objective=$(field "$pinned" objective)
+for name in nopresolve nocuts dantzig; do
+  o=$(field "$(row "$name")" objective)
+  if [ "$o" != "$objective" ]; then
+    fail "$name objective $o differs from pinned $objective"
+  fi
+done
+
+pivots=$(field "$pinned" simplex.pivots)
+nodes=$(field "$pinned" milp.nodes)
+[ -n "$pivots" ] && [ -n "$nodes" ] || fail "pinned row lacks work counters"
+if [ "$pivots" -gt "$PIVOT_CEILING" ]; then
+  fail "pinned simplex.pivots $pivots exceeds the $PIVOT_CEILING ceiling"
+fi
+if [ "$nodes" -ge "$NODE_CEILING" ]; then
+  fail "pinned milp.nodes $nodes reaches the $NODE_CEILING ceiling"
+fi
+
+# The accelerations must be live on the pinned solve, not merely harmless.
+[ "$(field "$pinned" presolve.runs)" -gt 0 ] || fail "presolve never ran"
+[ "$(field "$pinned" cuts.added)" -gt 0 ] || fail "no cuts were added"
+[ "$(field "$pinned" simplex.dse_pivots)" -gt 0 ] || fail "DSE never priced"
+
+grep -q '^midsize: base_proved=false full_proved=true$' "$TMP/out.txt" \
+  || fail "mid-size scenario did not flip from budget-exhausted to proved"
+
+echo "OK: opt smoke proved at $pivots pivots / $nodes nodes," \
+  "objective $objective stable with each acceleration disabled," \
+  "mid-size scenario flips to proved"

@@ -99,6 +99,24 @@ plot 'results/fig_sched_1.csv' skip 1 using 1:4 with linespoints title 'arbitrar
      '' skip 1 using 1:6 with linespoints title 'greedy + local search', \
      '' skip 1 using 1:7 with linespoints title 'MILP oracle (proved)'
 
+# Fig OPT: the exact-solver acceleration study (fig_opt_1.csv: proved
+# rate and node counts; fig_opt_2.csv: anytime bound gap), base pipeline
+# (presolve/cuts off, Dantzig) vs full (presolve + cuts + DSE) under the
+# same node budget.
+set output 'results/fig_opt_proved.png'
+set title 'Fig OPT(a): proved-optimality rate vs variance (600-node budget)'
+set xlabel 'variance of the Gaussian disruption'; set ylabel 'proved rate (%)'
+set yrange [-5:105]
+plot 'results/fig_opt_1.csv' skip 1 using 1:2 with linespoints title 'base (no accelerations)', \
+     '' skip 1 using 1:3 with linespoints title 'full (presolve + cuts + DSE)'
+unset yrange
+
+set output 'results/fig_opt_gap.png'
+set title 'Fig OPT(b): anytime bound gap vs variance (600-node budget)'
+set xlabel 'variance of the Gaussian disruption'; set ylabel 'objective - bound (cost units)'
+plot 'results/fig_opt_2.csv' skip 1 using 1:2 with linespoints title 'base (no accelerations)', \
+     '' skip 1 using 1:3 with linespoints title 'full (presolve + cuts + DSE)'
+
 # Recovery curve: residual demand by ISP iteration, extracted from the
 # solver-progress event stream (results/progress.jsonl, written by the
 # bench harness; `recover ... --events FILE` produces the same format).

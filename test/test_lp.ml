@@ -412,6 +412,123 @@ let test_lp_warm_session () =
   check_against [ (x, 4.0, 4.0); (y, 3.0, 4.0) ];
   check_against []
 
+(* Shared generator: random bounded LPs with nonnegative costs (bounded
+   below) and mixed-sense rows — feasible, infeasible and degenerate
+   cases all occur across seeds. *)
+let random_lp rng =
+  let n = 3 + Netrec_util.Rng.int rng 4 in
+  let m = 2 + Netrec_util.Rng.int rng 5 in
+  let p = Lp.create () in
+  let vars =
+    List.init n (fun _ ->
+        Lp.add_var p
+          ~obj:(Netrec_util.Rng.float rng 4.0)
+          ~ub:(1.0 +. Netrec_util.Rng.float rng 5.0)
+          ())
+  in
+  for _ = 1 to m do
+    let terms =
+      List.filter_map
+        (fun v ->
+          if Netrec_util.Rng.float rng 1.0 < 0.7 then
+            Some (v, Netrec_util.Rng.float rng 6.0 -. 3.0)
+          else None)
+        vars
+    in
+    let rel =
+      match Netrec_util.Rng.int rng 3 with
+      | 0 -> Lp.Le
+      | 1 -> Lp.Ge
+      | _ -> Lp.Eq
+    in
+    let rhs = Netrec_util.Rng.float rng 6.0 -. 2.0 in
+    if terms <> [] then Lp.add_constraint p terms rel rhs
+  done;
+  p
+
+let presolve_roundtrip_prop =
+  (* Presolve + postsolve is invisible: on random LPs the reduced solve
+     must report the same status as the direct solve, match its proved
+     objective, and the lifted solution must certify against the
+     ORIGINAL problem — every row, every bound, objective recomputation. *)
+  QCheck.Test.make ~name:"presolve round-trips and certifies" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netrec_util.Rng.create seed in
+      let p = random_lp rng in
+      let direct = Lp.solve p in
+      let pre = Presolve.solve ~enabled:true p in
+      pre.Lp.status = direct.Lp.status
+      && (direct.Lp.status <> Lp.Optimal
+         || abs_float (pre.Lp.objective -. direct.Lp.objective) <= 1e-6
+            && Netrec_check.Check.(lp_ok (lp_certificate p pre))))
+
+let dse_dantzig_prop =
+  (* Pricing is a pure performance choice.  The dual simplex (where the
+     leaving-row rule lives) only runs on warm re-solves, so drive two
+     warm sessions — dual steepest edge vs the most-infeasible rule —
+     through the same random bound-override sequence: statuses and
+     proved objectives must agree at every step. *)
+  QCheck.Test.make ~name:"dse agrees with dantzig pricing" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netrec_util.Rng.create seed in
+      let p = random_lp rng in
+      let n = Lp.nvars p in
+      let dse = Lp.warm ~pricing:Tuning.Dse p in
+      let dtz = Lp.warm ~pricing:Tuning.Dantzig p in
+      let steps = 3 + Netrec_util.Rng.int rng 4 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let bounds =
+          List.filter_map
+            (fun v ->
+              match Netrec_util.Rng.int rng 3 with
+              | 0 -> Some (v, 0.0, 0.0)
+              | 1 -> Some (v, Lp.var_ub p v, Lp.var_ub p v)
+              | _ -> None)
+            (List.init n (fun v -> v))
+        in
+        let a = Lp.warm_solve ~bounds dse in
+        let b = Lp.warm_solve ~bounds dtz in
+        if
+          a.Lp.status <> b.Lp.status
+          || (a.Lp.status = Lp.Optimal
+             && abs_float (a.Lp.objective -. b.Lp.objective) > 1e-6)
+        then ok := false
+      done;
+      !ok)
+
+(* Shared generator for the MILP properties: a random binary program
+   with mixed Le/Ge/Eq rows. *)
+let random_bip rng =
+  let n = 2 + Netrec_util.Rng.int rng 4 in
+  let m = 2 + Netrec_util.Rng.int rng 5 in
+  let p = Lp.create () in
+  let vars =
+    List.init n (fun _ ->
+        Lp.add_var p ~obj:(Netrec_util.Rng.float rng 4.0) ~ub:1.0 ())
+  in
+  for _ = 1 to m do
+    let terms =
+      List.filter_map
+        (fun v ->
+          if Netrec_util.Rng.float rng 1.0 < 0.7 then
+            Some (v, Netrec_util.Rng.float rng 6.0 -. 3.0)
+          else None)
+        vars
+    in
+    let rel =
+      match Netrec_util.Rng.int rng 3 with
+      | 0 -> Lp.Le
+      | 1 -> Lp.Ge
+      | _ -> Lp.Eq
+    in
+    let rhs = Netrec_util.Rng.float rng 6.0 -. 2.0 in
+    if terms <> [] then Lp.add_constraint p terms rel rhs
+  done;
+  (p, vars)
+
 let milp_warm_cold_prop =
   (* Warm-started branch-and-bound is a pure performance move: on 200
      seeded random binary programs (run to completion, no node limit) it
@@ -421,37 +538,66 @@ let milp_warm_cold_prop =
     QCheck.(small_int)
     (fun seed ->
       let rng = Netrec_util.Rng.create seed in
-      let n = 2 + Netrec_util.Rng.int rng 4 in
-      let m = 2 + Netrec_util.Rng.int rng 5 in
-      let p = Lp.create () in
-      let vars =
-        List.init n (fun _ ->
-            Lp.add_var p ~obj:(Netrec_util.Rng.float rng 4.0) ~ub:1.0 ())
-      in
-      for _ = 1 to m do
-        let terms =
-          List.filter_map
-            (fun v ->
-              if Netrec_util.Rng.float rng 1.0 < 0.7 then
-                Some (v, Netrec_util.Rng.float rng 6.0 -. 3.0)
-              else None)
-            vars
-        in
-        let rel =
-          match Netrec_util.Rng.int rng 3 with
-          | 0 -> Lp.Le
-          | 1 -> Lp.Ge
-          | _ -> Lp.Eq
-        in
-        let rhs = Netrec_util.Rng.float rng 6.0 -. 2.0 in
-        if terms <> [] then Lp.add_constraint p terms rel rhs
-      done;
+      let p, vars = random_bip rng in
       let w = Milp.solve ~binary:vars p in
       let c = Milp.solve ~warm:false ~binary:vars p in
       w.Milp.status = c.Milp.status
       && w.Milp.proved = c.Milp.proved
       && (w.Milp.status <> `Optimal
          || abs_float (w.Milp.objective -. c.Milp.objective) <= 1e-6))
+
+let milp_cuts_prop =
+  (* Cutting planes must be pure strengthening: a separator emitting
+     valid cardinality cuts (from all-positive Ge rows: sum a_j x_j >= b
+     with x binary implies sum x_j >= ceil(b / max a_j)) may never
+     change the proved optimum, and the cuts-off integral optimum must
+     satisfy every cut the separator ever emitted. *)
+  QCheck.Test.make ~name:"milp cuts never cut off the optimum" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Netrec_util.Rng.create seed in
+      let p, vars = random_bip rng in
+      let recorded = ref [] in
+      let separator _x =
+        let cuts =
+          List.filter_map
+            (fun (terms, rel, rhs) ->
+              if
+                rel = Lp.Ge && rhs > 0.0
+                && List.for_all (fun (_, a) -> a > 1e-9) terms
+              then begin
+                let amax =
+                  List.fold_left (fun m (_, a) -> Float.max m a) 0.0 terms
+                in
+                let k = ceil ((rhs /. amax) -. 1e-9) in
+                if k >= 1.0 then
+                  Some (List.map (fun (v, _) -> (v, 1.0)) terms, Lp.Ge, k)
+                else None
+              end
+              else None)
+            (Lp.constraints p)
+        in
+        recorded := cuts @ !recorded;
+        cuts
+      in
+      let w = Milp.solve ~binary:vars ~cuts:true ~separator p in
+      let c = Milp.solve ~binary:vars ~cuts:false p in
+      let optimum_respects_cuts =
+        c.Milp.status <> `Optimal
+        || List.for_all
+             (fun (terms, _, k) ->
+               let lhs =
+                 List.fold_left
+                   (fun acc (v, a) -> acc +. (a *. c.Milp.values.(v)))
+                   0.0 terms
+               in
+               lhs >= k -. 1e-6)
+             !recorded
+      in
+      w.Milp.status = c.Milp.status
+      && (w.Milp.status <> `Optimal
+         || abs_float (w.Milp.objective -. c.Milp.objective) <= 1e-6)
+      && optimum_respects_cuts)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -478,7 +624,9 @@ let () =
           tc "copy isolation" test_lp_copy_isolation;
           tc "canonical terms" test_lp_canonical_terms;
           tc "warm session" test_lp_warm_session;
-          QCheck_alcotest.to_alcotest simplex_random_feasible_prop ] );
+          QCheck_alcotest.to_alcotest simplex_random_feasible_prop;
+          QCheck_alcotest.to_alcotest presolve_roundtrip_prop;
+          QCheck_alcotest.to_alcotest dse_dantzig_prop ] );
       ( "milp",
         [ tc "knapsack" test_milp_knapsack;
           tc "forces integrality" test_milp_forces_integrality;
@@ -486,4 +634,5 @@ let () =
           tc "respects incumbent" test_milp_respects_incumbent;
           tc "node limit" test_milp_node_limit_feasible;
           tc "vertex cover" test_milp_binary_assignment;
-          QCheck_alcotest.to_alcotest milp_warm_cold_prop ] ) ]
+          QCheck_alcotest.to_alcotest milp_warm_cold_prop;
+          QCheck_alcotest.to_alcotest milp_cuts_prop ] ) ]
